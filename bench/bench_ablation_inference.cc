@@ -1,0 +1,113 @@
+// Ablation: rebuild the paper's input datasets from scratch — collect AS
+// paths at RouteViews-style monitors, infer relationships with Gao's
+// algorithm, and compare analyses on the inferred topology against the
+// ground-truth relationships the simulator actually used.
+//
+// Expected shape (the premises §4.1 rests on): c2p links are inferred with
+// high accuracy and coverage; the vast majority of edge peering never
+// crosses a monitor's best path and so is absent; consequently cloud
+// hierarchy-free reachability computed on the monitor-inferred topology is
+// a gross underestimate — the measurement gap the paper's traceroute
+// augmentation exists to fix.
+#include <cstdio>
+
+#include "bgp/asrank.h"
+#include "bgp/gao.h"
+#include "bgp/monitors.h"
+#include "common.h"
+#include "core/reachability_analysis.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace flatnet;
+
+int main() {
+  bench::PrintHeader("bench_ablation_inference: monitor RIBs -> Gao inference -> analysis",
+                     "§2.3 / §4.1 (the provenance of the CAIDA datasets)");
+  const World& world = bench::World2020();
+  const AsGraph& truth = world.full_graph;
+
+  auto monitors = DefaultMonitorPlacement(truth, 40, 0x90);
+  RibCollectionOptions options;
+  options.origin_fraction = 0.35;
+  std::printf("collecting RIBs at %zu monitors (%.0f%% of origins sampled)...\n",
+              monitors.size(), 100 * options.origin_fraction);
+  RibDump dump = CollectRibs(truth, monitors, options);
+  std::printf("observed %zu paths\n", dump.paths.size());
+
+  GaoResult result = InferRelationshipsGao(dump, truth);
+  GaoResult asrank = InferRelationshipsAsRank(dump, truth);
+
+  std::size_t truth_p2p = 0;
+  for (const auto& e : truth.EdgeList()) truth_p2p += e.type == EdgeType::kP2P;
+  std::size_t truth_p2c = truth.num_edges() - truth_p2p;
+  double p2c_cov = 1.0 - static_cast<double>(result.missing_p2c) / truth_p2c;
+  double p2p_cov = 1.0 - static_cast<double>(result.missing_p2p) / truth_p2p;
+
+  TextTable table;
+  table.AddColumn("metric");
+  table.AddColumn("Gao (2001)", TextTable::Align::kRight);
+  table.AddColumn("AS-Rank-style", TextTable::Align::kRight);
+  table.AddRow({"edges observed on monitor paths", WithCommas(result.observed_edges),
+                WithCommas(asrank.observed_edges)});
+  table.AddRow({"relationship accuracy (observed edges)",
+                StrFormat("%.1f%%", 100 * result.EdgeAccuracy()),
+                StrFormat("%.1f%%", 100 * asrank.EdgeAccuracy())});
+  table.AddRow({"c2p accuracy (observed c2p links)",
+                StrFormat("%.1f%%", 100 * result.P2cAccuracy()),
+                StrFormat("%.1f%%", 100 * asrank.P2cAccuracy())});
+  table.AddRow({"p2p accuracy (observed p2p links)",
+                StrFormat("%.1f%%", 100 * result.P2pAccuracy()),
+                StrFormat("%.1f%%", 100 * asrank.P2pAccuracy())});
+  table.AddRow({"c2p coverage", StrFormat("%.1f%%", 100 * p2c_cov),
+                StrFormat("%.1f%%", 100 * p2c_cov)});
+  table.AddRow({"p2p coverage", StrFormat("%.1f%%", 100 * p2p_cov),
+                StrFormat("%.1f%%", 100 * p2p_cov)});
+  table.Print(stdout);
+
+  // Analyses on the inferred topology. Tier sets carry over by ASN.
+  std::vector<Asn> t1_asns, t2_asns;
+  for (AsId id : world.tiers.tier1) t1_asns.push_back(truth.AsnOf(id));
+  for (AsId id : world.tiers.tier2) t2_asns.push_back(truth.AsnOf(id));
+  TierSets inferred_tiers = MakeTierSets(result.inferred, t1_asns, t2_asns);
+  Internet inferred_internet(result.inferred, inferred_tiers,
+                             AsMetadata(result.inferred.num_ases()));
+  Internet truth_internet(truth, world.tiers, world.metadata);
+
+  std::printf("\ncloud hierarchy-free reachability, inferred vs truth topology:\n");
+  TextTable clouds;
+  clouds.AddColumn("cloud");
+  clouds.AddColumn("inferred", TextTable::Align::kRight);
+  clouds.AddColumn("truth", TextTable::Align::kRight);
+  bool underestimates = true;
+  for (const CloudInstance& cloud : world.clouds) {
+    if (!cloud.archetype.is_study_cloud) continue;
+    auto inferred_id = result.inferred.IdOf(cloud.archetype.asn);
+    std::size_t hf_inferred =
+        inferred_id ? AnalyzeReachability(inferred_internet, *inferred_id).hierarchy_free : 0;
+    std::size_t hf_truth = AnalyzeReachability(truth_internet, cloud.id).hierarchy_free;
+    clouds.AddRow({cloud.archetype.name, WithCommas(hf_inferred), WithCommas(hf_truth)});
+    if (hf_inferred * 2 > hf_truth) underestimates = false;
+  }
+  clouds.Print(stdout);
+
+  bench::Expect(result.P2cAccuracy() > 0.85,
+                "Gao inference types c2p links with high accuracy (§4.1's premise)");
+  bench::Expect(result.P2pAccuracy() < 0.6,
+                "apex peering defeats degree-based inference — the historical gap that "
+                "AS-Rank/ProbLink (§2.3) close");
+  bench::Expect(asrank.P2pAccuracy() > result.P2pAccuracy() + 0.03 &&
+                    asrank.EdgeAccuracy() >= result.EdgeAccuracy(),
+                "the AS-Rank-style clique+default-peering refinement improves p2p "
+                "classification over Gao — closing the gap fully is what needed "
+                "ProbLink-class learning (§2.3)");
+  bench::Expect(p2c_cov > p2p_cov + 0.2,
+                "c2p links are far better covered than peering links (§4.1's premise)");
+  bench::Expect(p2p_cov < 0.5,
+                "most peering never crosses a monitor's best path (the ~90% blind spot)");
+  bench::Expect(underestimates,
+                "analyses on the monitor-inferred topology grossly underestimate cloud "
+                "independence — why the paper measures from inside the clouds");
+  bench::PrintSummary();
+  return 0;
+}

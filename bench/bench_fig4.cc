@@ -1,0 +1,65 @@
+// Fig 4: which kinds of networks stay unreachable when the clouds and the
+// big transits bypass the Tier-1/Tier-2 ISPs.
+//
+// Paper shape: access networks dominate the unreachable set (~57-63%),
+// then transit (~13-23%) and enterprise (~12-19%), content ~6%; Google,
+// IBM, and Microsoft peer their way to user (access) networks, while
+// Amazon's breakdown resembles the transit providers'.
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "core/reachability_analysis.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace flatnet;
+
+int main() {
+  bench::PrintHeader("bench_fig4: unreachable-AS types under hierarchy-free constraints",
+                     "Fig 4 / §6.7");
+  const Internet& internet = bench::Internet2020();
+
+  const char* networks[] = {"Level 3", "Hurricane Electric", "Google", "Microsoft", "IBM",
+                            "Cogent", "Zayo", "Telia", "GTT", "NTT", "TELIN PT", "Amazon"};
+
+  TextTable table;
+  table.AddColumn("network");
+  table.AddColumn("unreachable", TextTable::Align::kRight);
+  table.AddColumn("content%", TextTable::Align::kRight);
+  table.AddColumn("transit%", TextTable::Align::kRight);
+  table.AddColumn("access%", TextTable::Align::kRight);
+  table.AddColumn("enterprise%", TextTable::Align::kRight);
+
+  bool access_dominates = true;
+  double google_access = 0, amazon_transit = 0, google_transit = 0;
+  for (const char* name : networks) {
+    AsId id = bench::IdByName(internet, name);
+    Bitset unreachable = HierarchyFreeUnreachable(internet, id);
+    // Excluded hierarchy nodes are "unreachable" by construction; Fig 4
+    // reports the composition of everything the origin cannot serve.
+    TypeBreakdown breakdown = BreakdownByType(internet, unreachable);
+    double total = static_cast<double>(breakdown.Total());
+    auto pct = [&](std::size_t v) { return StrFormat("%.1f", 100.0 * v / total); };
+    table.AddRow({name, WithCommas(breakdown.Total()), pct(breakdown.content),
+                  pct(breakdown.transit), pct(breakdown.access), pct(breakdown.enterprise)});
+    double access_share = breakdown.access / total;
+    if (access_share < 0.40) access_dominates = false;
+    if (std::string(name) == "Google") {
+      google_access = access_share;
+      google_transit = breakdown.transit / total;
+    }
+    if (std::string(name) == "Amazon") amazon_transit = breakdown.transit / total;
+  }
+  table.Print(stdout);
+
+  bench::Expect(access_dominates,
+                "access networks are the dominant unreachable type for every provider");
+  bench::Expect(amazon_transit > google_transit,
+                "Amazon leaves more transit networks unreached than Google (peering strategy "
+                "difference, §6.7)");
+  bench::Expect(google_access > 0.40,
+                "Google's unreachable set is access-heavy (it peers towards users)");
+  bench::PrintSummary();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Engine microbenchmarks (google-benchmark): the per-operation costs that
+// determine how far the experiment harness scales — valley-free BFS, the
+// full best-route computation, reliance accumulation, leak trials, cone
+// computation, and prefix-trie lookups.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "asgraph/cone.h"
+#include "bgp/leak.h"
+#include "bgp/propagation.h"
+#include "bgp/reachability.h"
+#include "bgp/reliance.h"
+#include "net/prefix_trie.h"
+#include "topogen/generate.h"
+#include "util/rng.h"
+
+namespace flatnet {
+namespace {
+
+const World& BenchWorld() {
+  static const World world = [] {
+    GeneratorParams params = GeneratorParams::Era2020(4000);
+    return GenerateWorld(params);
+  }();
+  return world;
+}
+
+void BM_ReachabilityBfs(benchmark::State& state) {
+  const World& world = BenchWorld();
+  ReachabilityEngine engine(world.full_graph);
+  Rng rng(1);
+  for (auto _ : state) {
+    AsId origin = static_cast<AsId>(rng.UniformU64(world.num_ases()));
+    benchmark::DoNotOptimize(engine.Count(origin));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReachabilityBfs);
+
+void BM_ReachabilityHierarchyFree(benchmark::State& state) {
+  const World& world = BenchWorld();
+  ReachabilityEngine engine(world.full_graph);
+  Bitset mask = world.tiers.HierarchyMask();
+  Rng rng(2);
+  for (auto _ : state) {
+    AsId origin = static_cast<AsId>(rng.UniformU64(world.num_ases()));
+    if (mask.Test(origin)) continue;
+    benchmark::DoNotOptimize(engine.Count(origin, &mask));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReachabilityHierarchyFree);
+
+void BM_BestRouteComputation(benchmark::State& state) {
+  const World& world = BenchWorld();
+  Rng rng(3);
+  for (auto _ : state) {
+    AnnouncementSource source{.node = static_cast<AsId>(rng.UniformU64(world.num_ases()))};
+    RouteComputation computation(world.full_graph, {source});
+    benchmark::DoNotOptimize(computation.ReachedCount());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BestRouteComputation);
+
+void BM_Reliance(benchmark::State& state) {
+  const World& world = BenchWorld();
+  AnnouncementSource source{.node = world.Cloud("Google").id};
+  RouteComputation computation(world.full_graph, {source});
+  for (auto _ : state) {
+    RelianceResult result = ComputeReliance(computation);
+    benchmark::DoNotOptimize(result.reliance.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Reliance);
+
+void BM_LeakTrial(benchmark::State& state) {
+  const World& world = BenchWorld();
+  LeakExperiment experiment(world.full_graph, world.Cloud("Google").id, LeakConfig{});
+  Rng rng(4);
+  for (auto _ : state) {
+    AsId leaker = static_cast<AsId>(rng.UniformU64(world.num_ases()));
+    benchmark::DoNotOptimize(experiment.Run(leaker));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LeakTrial);
+
+void BM_CustomerConeSizes(benchmark::State& state) {
+  const World& world = BenchWorld();
+  for (auto _ : state) {
+    auto sizes = CustomerConeSizes(world.full_graph);
+    benchmark::DoNotOptimize(sizes.data());
+  }
+}
+BENCHMARK(BM_CustomerConeSizes);
+
+void BM_PrefixTrieLookup(benchmark::State& state) {
+  const World& world = BenchWorld();
+  PrefixTrie<AsId> trie;
+  for (AsId id = 0; id < world.prefixes.size(); ++id) {
+    for (const Ipv4Prefix& prefix : world.prefixes[id]) trie.Insert(prefix, id);
+  }
+  Rng rng(5);
+  for (auto _ : state) {
+    Ipv4Address addr(static_cast<std::uint32_t>(rng.NextU64()));
+    benchmark::DoNotOptimize(trie.Lookup(addr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrefixTrieLookup);
+
+void BM_GenerateWorld(benchmark::State& state) {
+  for (auto _ : state) {
+    GeneratorParams params = GeneratorParams::Era2020(static_cast<std::uint32_t>(state.range(0)));
+    World world = GenerateWorld(params);
+    benchmark::DoNotOptimize(world.num_ases());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GenerateWorld)->Arg(1000)->Arg(4000)->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace flatnet
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// §4.1: cloud peer counts, BGP-feed view vs. traceroute-augmented view.
+//
+// Paper numbers (paper-scale): Amazon 333 -> 1,389; Google 818 -> 7,757;
+// IBM 3,027 -> 3,702; Microsoft 315 -> 3,580. BGP feeds miss ~90% of the
+// open-policy clouds' peers; IBM's mostly-bilateral footprint is largely
+// visible.
+#include <cstdio>
+
+#include "common.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace flatnet;
+
+int main() {
+  bench::PrintHeader("bench_peers: cloud provider peer counts",
+                     "§4.1 (CAIDA-only vs traceroute-augmented neighbor sets)");
+  const Study& study = bench::Study2020();
+
+  TextTable table;
+  table.AddColumn("cloud");
+  table.AddColumn("BGP view", TextTable::Align::kRight);
+  table.AddColumn("augmented", TextTable::Align::kRight);
+  table.AddColumn("ground truth", TextTable::Align::kRight);
+  table.AddColumn("BGP misses", TextTable::Align::kRight);
+
+  double google_ratio = 0;
+  double ibm_ratio = 0;
+  bool augmented_always_larger = true;
+  for (const CloudPeerCounts& row : study.PeerCounts()) {
+    double missed = row.ground_truth > 0
+                        ? 1.0 - static_cast<double>(row.bgp_only) /
+                                    static_cast<double>(row.ground_truth)
+                        : 0.0;
+    table.AddRow({row.name, std::to_string(row.bgp_only), std::to_string(row.merged),
+                  std::to_string(row.ground_truth), StrFormat("%.0f%%", 100 * missed)});
+    if (row.name == "Google") google_ratio = missed;
+    if (row.name == "IBM") ibm_ratio = missed;
+    if (row.merged <= row.bgp_only) augmented_always_larger = false;
+  }
+  table.Print(stdout);
+
+  bench::Expect(augmented_always_larger,
+                "traceroute augmentation uncovers peers beyond BGP feeds for every cloud");
+  bench::Expect(google_ratio > 0.75,
+                "BGP feeds miss ~90% of Google's (open peering policy) peers");
+  bench::Expect(ibm_ratio < 0.45,
+                "IBM's peers are mostly visible in BGP feeds (paper: 19% missed)");
+  bench::PrintSummary();
+  return 0;
+}

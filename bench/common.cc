@@ -1,0 +1,122 @@
+#include "common.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "core/serialize.h"
+#include "util/error.h"
+#include "util/env.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace flatnet::bench {
+namespace {
+
+int g_failures = 0;
+int g_checks = 0;
+
+std::string CacheStem(const char* era, std::uint32_t total_ases) {
+  std::filesystem::create_directories("flatnet_cache");
+  return StrFormat("flatnet_cache/%s-n%u", era, total_ases);
+}
+
+std::unique_ptr<Study> BuildStudy(bool era2020) {
+  StudyOptions options;
+  options.generator = era2020 ? GeneratorParams::Era2020() : GeneratorParams::Era2015();
+  options.campaign.seed = options.generator.seed ^ 0xca3;
+  Stopwatch sw;
+  auto study = std::make_unique<Study>(options);
+  std::fprintf(stderr, "[bench] built %s study: %zu ASes, %zu traces, %.1fs\n",
+               era2020 ? "2020" : "2015", study->world().num_ases(),
+               study->campaign().traces().size(), sw.ElapsedSeconds());
+  return study;
+}
+
+const Internet& CachedInternet(bool era2020) {
+  static std::unique_ptr<Internet> cached2020;
+  static std::unique_ptr<Internet> cached2015;
+  auto& slot = era2020 ? cached2020 : cached2015;
+  if (slot) return *slot;
+
+  GeneratorParams params = era2020 ? GeneratorParams::Era2020() : GeneratorParams::Era2015();
+  std::string stem = CacheStem(era2020 ? "era2020" : "era2015", params.total_ases);
+  if (InternetCacheExists(stem)) {
+    Stopwatch sw;
+    slot = std::make_unique<Internet>(LoadInternet(stem));
+    std::fprintf(stderr, "[bench] loaded %s from cache (%s) in %.1fs\n",
+                 era2020 ? "2020" : "2015", stem.c_str(), sw.ElapsedSeconds());
+    return *slot;
+  }
+  auto study = BuildStudy(era2020);
+  slot = std::make_unique<Internet>(study->internet());
+  SaveInternet(*slot, stem);
+  std::fprintf(stderr, "[bench] cached %s topology at %s\n", era2020 ? "2020" : "2015",
+               stem.c_str());
+  return *slot;
+}
+
+const Study& CachedStudy(bool era2020) {
+  static std::unique_ptr<Study> s2020;
+  static std::unique_ptr<Study> s2015;
+  auto& slot = era2020 ? s2020 : s2015;
+  if (!slot) slot = BuildStudy(era2020);
+  return *slot;
+}
+
+}  // namespace
+
+const World& World2020() {
+  static std::unique_ptr<World> world;
+  if (!world) {
+    Stopwatch sw;
+    world = std::make_unique<World>(GenerateWorld(GeneratorParams::Era2020()));
+    std::fprintf(stderr, "[bench] generated 2020 world (%zu ASes) in %.1fs\n",
+                 world->num_ases(), sw.ElapsedSeconds());
+  }
+  return *world;
+}
+
+const Internet& Internet2020() { return CachedInternet(true); }
+const Internet& Internet2015() { return CachedInternet(false); }
+const Study& Study2020() { return CachedStudy(true); }
+const Study& Study2015() { return CachedStudy(false); }
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  const ScaleConfig& scale = GetScaleConfig();
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("scale: %.3g x paper topology, %.3g x paper trials (%s)\n",
+              scale.topology_fraction, scale.trial_fraction, scale.source.c_str());
+  std::printf("================================================================\n");
+}
+
+bool Expect(bool ok, const std::string& claim) {
+  ++g_checks;
+  if (!ok) ++g_failures;
+  std::printf("EXPECT [%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+  return ok;
+}
+
+int ExpectFailures() { return g_failures; }
+
+void PrintSummary() {
+  std::printf("----------------------------------------------------------------\n");
+  std::printf("expectations: %d checked, %d failed\n", g_checks, g_failures);
+}
+
+std::string NameOf(const Internet& internet, AsId id) {
+  const std::string& name = internet.NameOf(id);
+  if (!name.empty()) return name;
+  return StrFormat("AS%u", internet.graph().AsnOf(id));
+}
+
+AsId IdByName(const Internet& internet, const std::string& name) {
+  for (AsId id = 0; id < internet.num_ases(); ++id) {
+    if (internet.NameOf(id) == name) return id;
+  }
+  throw InvalidArgument("IdByName: no AS named '" + name + "'");
+}
+
+}  // namespace flatnet::bench

@@ -1,0 +1,57 @@
+// cloud_study: the paper's full §4-§6 pipeline on a small synthetic
+// Internet — generate ground truth, measure from cloud VMs, infer
+// neighbors, merge with the BGP view, and compare each cloud's
+// hierarchy-free reachability on the measured topology against the
+// (normally unknowable) ground truth.
+#include <cstdio>
+
+#include "core/reachability_analysis.h"
+#include "core/study.h"
+#include "measure/validation.h"
+#include "util/table.h"
+#include "util/strings.h"
+
+using namespace flatnet;
+
+int main() {
+  StudyOptions options;
+  options.generator = GeneratorParams::Era2020(4000);  // small demo Internet
+  options.campaign.seed = 7;
+
+  std::printf("building study: generating %u-AS world, measuring from cloud VMs...\n",
+              options.generator.total_ases);
+  Study study(options);
+  std::printf("traceroutes collected: %zu\n\n", study.campaign().traces().size());
+
+  TextTable table;
+  table.AddColumn("cloud");
+  table.AddColumn("peers (BGP)", TextTable::Align::kRight);
+  table.AddColumn("peers (merged)", TextTable::Align::kRight);
+  table.AddColumn("peers (truth)", TextTable::Align::kRight);
+  table.AddColumn("FDR", TextTable::Align::kRight);
+  table.AddColumn("FNR", TextTable::Align::kRight);
+  table.AddColumn("HF reach (merged)", TextTable::Align::kRight);
+  table.AddColumn("HF reach (truth)", TextTable::Align::kRight);
+
+  for (std::uint32_t c = 0; c < study.world().clouds.size(); ++c) {
+    const CloudInstance& cloud = study.world().clouds[c];
+    if (!cloud.archetype.is_study_cloud || cloud.archetype.vm_locations == 0) continue;
+    auto truth_neighbors = TrueNeighborAsns(study.world().full_graph, cloud.id);
+    ValidationStats stats = ValidateNeighbors(study.inferred_neighbors()[c], truth_neighbors);
+    ReachabilitySummary merged = AnalyzeReachability(study.internet(), cloud.id);
+    ReachabilitySummary truth = AnalyzeReachability(study.truth(), cloud.id);
+    table.AddRow({cloud.archetype.name,
+                  std::to_string(study.world().bgp_graph.PeerCount(cloud.id)),
+                  std::to_string(study.internet().graph().PeerCount(cloud.id)),
+                  std::to_string(study.world().full_graph.PeerCount(cloud.id)),
+                  StrFormat("%.0f%%", 100 * stats.Fdr()), StrFormat("%.0f%%", 100 * stats.Fnr()),
+                  WithCommas(merged.hierarchy_free), WithCommas(truth.hierarchy_free)});
+  }
+  table.Print(stdout);
+  std::printf(
+      "\nThe BGP view alone misses most cloud peering; traceroute augmentation recovers\n"
+      "enough of it that hierarchy-free reachability on the measured topology\n"
+      "approaches the ground truth (the residual gap is the ~20%% false-negative rate\n"
+      "the paper reports in §5).\n");
+  return 0;
+}

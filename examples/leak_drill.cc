@@ -1,0 +1,62 @@
+// leak_drill: a network operator's what-if tool for route-leak exposure.
+//
+// Given a topology and a victim network, simulates leaks from random
+// misconfigured ASes and reports how much of the Internet is detoured under
+// each defensive posture (announcement scope, peer-locking deployment) —
+// the §8 analysis packaged as a drill.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/leak_scenarios.h"
+#include "core/study.h"
+#include "topogen/generate.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace flatnet;
+
+int main(int argc, char** argv) {
+  // Usage: leak_drill [victim-name] — defaults to Google.
+  std::string victim_name = argc > 1 ? argv[1] : "Google";
+
+  GeneratorParams params = GeneratorParams::Era2020(4000);
+  World world = GenerateWorld(params);
+  Internet internet(world.full_graph, world.tiers, world.metadata);
+
+  AsId victim = kInvalidAsId;
+  for (AsId id = 0; id < internet.num_ases(); ++id) {
+    if (internet.NameOf(id) == victim_name) victim = id;
+  }
+  if (victim == kInvalidAsId) {
+    std::fprintf(stderr, "unknown network '%s' (try Google, Amazon, Level 3, ...)\n",
+                 victim_name.c_str());
+    return 1;
+  }
+
+  constexpr std::size_t kTrials = 250;
+  std::printf("leak drill for %s: %zu random leakers per posture\n\n", victim_name.c_str(),
+              kTrials);
+
+  TextTable table;
+  table.AddColumn("defensive posture");
+  table.AddColumn("mean detoured", TextTable::Align::kRight);
+  table.AddColumn("worst case", TextTable::Align::kRight);
+  for (LeakScenario scenario :
+       {LeakScenario::kAnnounceAll, LeakScenario::kAnnounceAllLockT1,
+        LeakScenario::kAnnounceAllLockT1T2, LeakScenario::kAnnounceAllLockGlobal,
+        LeakScenario::kAnnounceHierarchyOnly}) {
+    LeakTrialSeries series = RunLeakScenario(internet, victim, scenario, kTrials, 0xd711);
+    const auto& f = series.fraction_ases_detoured;
+    double mean = f.empty() ? 0 : std::accumulate(f.begin(), f.end(), 0.0) / f.size();
+    double worst = f.empty() ? 0 : *std::max_element(f.begin(), f.end());
+    table.AddRow({ToString(scenario), StrFormat("%5.1f%%", 100 * mean),
+                  StrFormat("%5.1f%%", 100 * worst)});
+  }
+  table.Print(stdout);
+  std::printf(
+      "\nReading the drill: peer-locking at the Tier-1/Tier-2 neighbors bounds even the\n"
+      "worst leak; announcing only to the hierarchy is the most exposed posture because\n"
+      "leaked customer routes out-prefer your peer announcements everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// peering_planner: what-if analysis for a cloud's peering strategy — the
+// forward-looking question the paper's conclusions raise ("the potential to
+// bypass the Tier-1 and Tier-2 ISPs... driving further changes").
+//
+// Starting from Amazon's (relatively peer-poor) position, greedily adds
+// peering sessions with candidate transit networks and reports the
+// hierarchy-free reachability gained per session — a marginal-value curve
+// for an interconnection budget.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "asgraph/cone.h"
+#include "bgp/reachability.h"
+#include "core/internet.h"
+#include "topogen/generate.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace flatnet;
+
+int main() {
+  GeneratorParams params = GeneratorParams::Era2020(4000);
+  World world = GenerateWorld(params);
+  const AsGraph& graph = world.full_graph;
+  AsId amazon = world.Cloud("Amazon").id;
+
+  Bitset hierarchy = world.tiers.HierarchyMask();
+  Bitset exclusion = hierarchy;
+  for (const Neighbor& nb : graph.Providers(amazon)) exclusion.Set(nb.id);
+  exclusion.Reset(amazon);
+
+  ReachabilityEngine engine(graph);
+  Bitset reached = engine.Compute(amazon, &exclusion);
+  std::printf("Amazon today: %zu peers, hierarchy-free reach %zu / %zu ASes\n\n",
+              graph.PeerCount(amazon), reached.Count() - 1, world.num_ases() - 1);
+
+  // Candidates: non-hierarchy transit networks Amazon does not peer with,
+  // ranked by how many currently-unreached ASes their customer cone covers.
+  struct Candidate {
+    AsId id;
+    std::size_t gain;
+  };
+  std::vector<Candidate> candidates;
+  for (AsId id = 0; id < world.num_ases(); ++id) {
+    if (id == amazon || hierarchy.Test(id)) continue;
+    if (graph.CustomerCount(id) == 0) continue;  // no cone to unlock
+    if (graph.RelationshipBetween(amazon, id).has_value()) continue;
+    Bitset cone = CustomerCone(graph, id);
+    cone -= reached;
+    cone &= ~exclusion;  // excluded hierarchy nodes do not count as gain
+    std::size_t gain = cone.Count();
+    if (gain > 0) candidates.push_back({id, gain});
+  }
+
+  TextTable table;
+  table.AddColumn("#", TextTable::Align::kRight);
+  table.AddColumn("peer with");
+  table.AddColumn("new ASes", TextTable::Align::kRight);
+  table.AddColumn("cumulative reach", TextTable::Align::kRight);
+  table.AddColumn("% of Internet", TextTable::Align::kRight);
+
+  // Greedy marginal-gain selection, re-evaluated after each pick.
+  std::size_t cumulative = reached.Count() - 1;
+  for (int round = 1; round <= 10 && !candidates.empty(); ++round) {
+    for (Candidate& candidate : candidates) {
+      Bitset cone = CustomerCone(graph, candidate.id);
+      cone -= reached;
+      cone &= ~exclusion;
+      candidate.gain = cone.Count() + 1 - (reached.Test(candidate.id) ? 1 : 0);
+    }
+    auto best = std::max_element(
+        candidates.begin(), candidates.end(),
+        [](const Candidate& a, const Candidate& b) { return a.gain < b.gain; });
+    if (best->gain == 0) break;
+
+    Bitset cone = CustomerCone(graph, best->id);
+    cone &= ~exclusion;
+    reached |= cone;
+    cumulative = reached.Count() - 1;
+    std::string name = world.metadata.Get(best->id).name;
+    table.AddRow({std::to_string(round), name.empty() ? StrFormat("AS%u", graph.AsnOf(best->id))
+                                                      : name,
+                  WithCommas(best->gain), WithCommas(cumulative),
+                  StrFormat("%.1f%%", 100.0 * cumulative / (world.num_ases() - 1))});
+    candidates.erase(best);
+  }
+  table.Print(stdout);
+  std::printf(
+      "\nThe curve flattens fast: a handful of well-chosen transit peers buys most of\n"
+      "the reachable Internet — the economics behind the flattening the paper measures.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// retrospective: re-analyzing a stored measurement campaign, the way §6.5
+// reuses the 2015 traceroute dataset from prior work.
+//
+// Builds a world, runs a campaign, then ships the *artifacts* — a
+// traceroute dump and a PeeringDB snapshot — through files and re-runs the
+// neighbor-inference pipeline purely from the stored data, verifying the
+// conclusions survive the round trip.
+#include <cstdio>
+#include <filesystem>
+
+#include "core/study.h"
+#include "data/peeringdb.h"
+#include "measure/trace_io.h"
+#include "measure/validation.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace flatnet;
+
+int main() {
+  StudyOptions options;
+  options.generator = GeneratorParams::Era2020(3000);
+  options.generator.seed = 2015;
+  Study study(options);
+
+  auto dir = std::filesystem::temp_directory_path() / "flatnet_retrospective";
+  std::filesystem::create_directories(dir);
+  std::string trace_path = (dir / "campaign.traces").string();
+  std::string pdb_path = (dir / "peeringdb.json").string();
+
+  // Archive the campaign and the registry snapshot.
+  SaveTraceroutes(study.campaign().traces(), study.world().full_graph, trace_path);
+  PeeringDbSnapshot snapshot =
+      PeeringDbSnapshot::FromWorld(study.world(), study.plan(), 0.9, 42);
+  {
+    std::string text = snapshot.Dump();
+    FILE* f = std::fopen(pdb_path.c_str(), "w");
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  std::printf("archived %zu traceroutes to %s\n", study.campaign().traces().size(),
+              trace_path.c_str());
+  std::printf("archived PeeringDB snapshot (%zu nets, %zu ports) to %s\n",
+              snapshot.nets().size(), snapshot.netixlans().size(), pdb_path.c_str());
+
+  // Years later: reload and re-run inference from the files alone.
+  std::vector<Traceroute> reloaded =
+      LoadTraceroutes(trace_path, study.world().full_graph);
+  std::printf("\nreloaded %zu traceroutes; re-running neighbor inference...\n",
+              reloaded.size());
+
+  TextTable table;
+  table.AddColumn("cloud");
+  table.AddColumn("inferred (live)", TextTable::Align::kRight);
+  table.AddColumn("inferred (archived)", TextTable::Align::kRight);
+  table.AddColumn("identical", TextTable::Align::kRight);
+  InferenceRules rules = InferenceRules::ForStage(MethodologyStage::kV3Final);
+  for (std::uint32_t c = 0; c < study.world().clouds.size(); ++c) {
+    const CloudInstance& cloud = study.world().clouds[c];
+    if (cloud.archetype.vm_locations == 0) continue;
+    auto live = study.inference().InferNeighbors(study.campaign().traces(), c,
+                                                 cloud.archetype.asn,
+                                                 cloud.archetype.vm_locations, rules);
+    auto archived = study.inference().InferNeighbors(reloaded, c, cloud.archetype.asn,
+                                                     cloud.archetype.vm_locations, rules);
+    table.AddRow({cloud.archetype.name, std::to_string(live.size()),
+                  std::to_string(archived.size()), live == archived ? "yes" : "NO"});
+  }
+  table.Print(stdout);
+  std::printf(
+      "\nThe archived dataset reproduces the live inference bit-for-bit — the property\n"
+      "§6.5 depends on when it re-analyzes the 2015 traceroutes with 2020 methodology.\n");
+  return 0;
+}

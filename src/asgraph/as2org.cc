@@ -1,0 +1,134 @@
+#include "asgraph/as2org.h"
+
+#include <istream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace flatnet {
+
+void OrgMap::AddOrganization(Organization org) { orgs_[org.id] = std::move(org); }
+
+void OrgMap::AssignAs(Asn asn, const std::string& org_id) {
+  auto it = org_of_.find(asn);
+  if (it != org_of_.end()) {
+    // Re-assignment: remove from the previous org's member list.
+    auto& members = members_[it->second];
+    std::erase(members, asn);
+  }
+  org_of_[asn] = org_id;
+  members_[org_id].push_back(asn);
+}
+
+std::optional<std::string> OrgMap::OrgIdOf(Asn asn) const {
+  if (auto it = org_of_.find(asn); it != org_of_.end()) return it->second;
+  return std::nullopt;
+}
+
+const Organization* OrgMap::OrgOf(Asn asn) const {
+  auto id = OrgIdOf(asn);
+  if (!id) return nullptr;
+  auto it = orgs_.find(*id);
+  return it == orgs_.end() ? nullptr : &it->second;
+}
+
+std::vector<Asn> OrgMap::SiblingsOf(Asn asn) const {
+  auto id = OrgIdOf(asn);
+  if (!id) return {asn};
+  auto it = members_.find(*id);
+  if (it == members_.end() || it->second.empty()) return {asn};
+  return it->second;
+}
+
+OrgMap ReadAs2Org(std::istream& in) {
+  OrgMap map;
+  enum class Section { kUnknown, kOrg, kAut };
+  Section section = Section::kUnknown;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view view = Trim(line);
+    if (view.empty()) continue;
+    if (view.front() == '#') {
+      if (view.find("format:org") != std::string_view::npos) section = Section::kOrg;
+      if (view.find("format:aut") != std::string_view::npos) section = Section::kAut;
+      continue;
+    }
+    auto fields = Split(view, '|');
+    if (section == Section::kOrg) {
+      if (fields.size() < 5) {
+        throw ParseError(StrFormat("as2org line %zu: org record needs 5 fields", line_number));
+      }
+      map.AddOrganization({std::string(fields[0]), std::string(fields[2]),
+                           std::string(fields[3])});
+    } else if (section == Section::kAut) {
+      if (fields.size() < 6) {
+        throw ParseError(StrFormat("as2org line %zu: aut record needs 6 fields", line_number));
+      }
+      auto asn = ParseU64(fields[0]);
+      if (!asn) {
+        throw ParseError(StrFormat("as2org line %zu: bad AS number", line_number));
+      }
+      map.AssignAs(static_cast<Asn>(*asn), std::string(fields[3]));
+    } else {
+      throw ParseError(StrFormat("as2org line %zu: record before any format header",
+                                 line_number));
+    }
+  }
+  return map;
+}
+
+OrgMap ParseAs2Org(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return ReadAs2Org(in);
+}
+
+std::unordered_map<Asn, AsType> ReadAs2Type(std::istream& in) {
+  std::unordered_map<Asn, AsType> types;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view view = Trim(line);
+    if (view.empty() || view.front() == '#') continue;
+    auto fields = Split(view, '|');
+    if (fields.size() != 3) {
+      throw ParseError(StrFormat("as2type line %zu: expected 3 fields", line_number));
+    }
+    auto asn = ParseU64(fields[0]);
+    if (!asn) throw ParseError(StrFormat("as2type line %zu: bad AS number", line_number));
+    std::string type = AsciiLower(fields[2]);
+    AsType parsed;
+    if (type == "transit/access" || type == "transit" || type == "access") {
+      parsed = AsType::kTransit;
+    } else if (type == "content") {
+      parsed = AsType::kContent;
+    } else if (type == "enterprise" || type == "enterpise") {  // CAIDA typo happens
+      parsed = AsType::kEnterprise;
+    } else {
+      throw ParseError(StrFormat("as2type line %zu: unknown type '%s'", line_number,
+                                 type.c_str()));
+    }
+    types[static_cast<Asn>(*asn)] = parsed;
+  }
+  return types;
+}
+
+std::unordered_map<Asn, AsType> ParseAs2Type(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return ReadAs2Type(in);
+}
+
+void ApplyTypes(const AsGraph& graph, const std::unordered_map<Asn, AsType>& types,
+                AsMetadata& metadata) {
+  for (const auto& [asn, type] : types) {
+    auto id = graph.IdOf(asn);
+    if (!id) continue;
+    AsInfo& info = metadata.GetMutable(*id);
+    info.type = ReclassifyWithUsers(type, info.users);
+  }
+}
+
+}  // namespace flatnet

@@ -1,0 +1,73 @@
+// Readers for CAIDA's AS-to-organization and AS-classification datasets
+// (§4.3's inputs: "CAIDA classifies AS into three types" and the inferred
+// AS-to-organization mapping).
+//
+// as2org (pipe-delimited sections):
+//   # format:org_id|changed|org_name|country|source
+//   ORG-1|20200101|Example Org|US|ARIN
+//   # format:aut|changed|aut_name|org_id|opaque_id|source
+//   15169|20200101|GOOGLE|ORG-1||ARIN
+//
+// as2type:
+//   # format: as|source|type        (type in {Transit/Access, Content,
+//   15169|CAIDA_class|Content        Enterprise})
+#ifndef FLATNET_ASGRAPH_AS2ORG_H_
+#define FLATNET_ASGRAPH_AS2ORG_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "asgraph/as_graph.h"
+#include "asgraph/metadata.h"
+
+namespace flatnet {
+
+struct Organization {
+  std::string id;
+  std::string name;
+  std::string country;
+};
+
+class OrgMap {
+ public:
+  // Registers an organization (idempotent by id; later entries win).
+  void AddOrganization(Organization org);
+  void AssignAs(Asn asn, const std::string& org_id);
+
+  std::optional<std::string> OrgIdOf(Asn asn) const;
+  const Organization* OrgOf(Asn asn) const;
+  std::size_t organization_count() const { return orgs_.size(); }
+  std::size_t mapped_as_count() const { return org_of_.size(); }
+
+  // All ASNs mapped to the same organization as `asn` (including itself);
+  // {asn} when unmapped. This is how sibling ASes (e.g. one company's
+  // regional ASNs) are grouped before counting "networks".
+  std::vector<Asn> SiblingsOf(Asn asn) const;
+
+ private:
+  std::unordered_map<std::string, Organization> orgs_;
+  std::unordered_map<Asn, std::string> org_of_;
+  std::unordered_map<std::string, std::vector<Asn>> members_;
+};
+
+// Parses the as2org format. Throws ParseError on malformed records.
+OrgMap ReadAs2Org(std::istream& in);
+OrgMap ParseAs2Org(std::string_view text);
+
+// Parses the as2type format into ASN -> AsType (Transit/Access -> kTransit;
+// the §4.3 user-based reclassification happens separately).
+std::unordered_map<Asn, AsType> ReadAs2Type(std::istream& in);
+std::unordered_map<Asn, AsType> ParseAs2Type(std::string_view text);
+
+// Applies a type map onto metadata (unknown ASNs left untouched), then
+// reclassifies transit/access by users per §4.3.
+void ApplyTypes(const AsGraph& graph, const std::unordered_map<Asn, AsType>& types,
+                AsMetadata& metadata);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_ASGRAPH_AS2ORG_H_

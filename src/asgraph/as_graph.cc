@@ -1,0 +1,164 @@
+#include "asgraph/as_graph.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace flatnet {
+
+const char* ToString(Relationship rel) {
+  switch (rel) {
+    case Relationship::kCustomer: return "customer";
+    case Relationship::kPeer: return "peer";
+    case Relationship::kProvider: return "provider";
+  }
+  return "?";
+}
+
+const char* ToString(EdgeType type) {
+  switch (type) {
+    case EdgeType::kP2C: return "p2c";
+    case EdgeType::kP2P: return "p2p";
+  }
+  return "?";
+}
+
+AsId AsGraphBuilder::AddAs(Asn asn) {
+  auto [it, inserted] = id_of_.try_emplace(asn, static_cast<AsId>(asn_of_.size()));
+  if (inserted) asn_of_.push_back(asn);
+  return it->second;
+}
+
+std::uint64_t AsGraphBuilder::PairKey(AsId x, AsId y) {
+  if (x > y) std::swap(x, y);
+  return (std::uint64_t{x} << 32) | y;
+}
+
+void AsGraphBuilder::AddEdge(Asn a, Asn b, EdgeType type) {
+  if (a == b) throw InvalidArgument(StrFormat("AddEdge: self-loop on AS%u", a));
+  AsId ia = AddAs(a);
+  AsId ib = AddAs(b);
+  std::uint64_t key = PairKey(ia, ib);
+  auto it = edge_index_.find(key);
+  if (it != edge_index_.end()) {
+    const Edge& existing = edges_[it->second];
+    bool same = existing.type == type &&
+                (type == EdgeType::kP2P || (existing.a == ia && existing.b == ib));
+    if (!same) {
+      throw InvalidArgument(
+          StrFormat("AddEdge: conflicting duplicate edge AS%u-AS%u", a, b));
+    }
+    return;
+  }
+  edge_index_.emplace(key, static_cast<std::uint32_t>(edges_.size()));
+  edges_.push_back(Edge{ia, ib, type});
+}
+
+bool AsGraphBuilder::AddEdgeIfAbsent(Asn a, Asn b, EdgeType type) {
+  if (a == b) return false;
+  AsId ia = AddAs(a);
+  AsId ib = AddAs(b);
+  std::uint64_t key = PairKey(ia, ib);
+  if (edge_index_.contains(key)) return false;
+  edge_index_.emplace(key, static_cast<std::uint32_t>(edges_.size()));
+  edges_.push_back(Edge{ia, ib, type});
+  return true;
+}
+
+bool AsGraphBuilder::HasEdge(Asn a, Asn b) const {
+  auto ia = id_of_.find(a);
+  auto ib = id_of_.find(b);
+  if (ia == id_of_.end() || ib == id_of_.end()) return false;
+  return edge_index_.contains(PairKey(ia->second, ib->second));
+}
+
+AsGraph AsGraphBuilder::Build() && {
+  AsGraph graph;
+  graph.asn_of_ = std::move(asn_of_);
+  graph.id_of_ = std::move(id_of_);
+  graph.num_edges_ = edges_.size();
+
+  std::size_t n = graph.asn_of_.size();
+  // Per-node neighbor lists bucketed by relationship.
+  std::vector<std::array<std::vector<Neighbor>, 3>> adj(n);
+  auto bucket_of = [](Relationship rel) { return static_cast<std::size_t>(rel); };
+  for (const Edge& e : edges_) {
+    if (e.type == EdgeType::kP2P) {
+      adj[e.a][bucket_of(Relationship::kPeer)].push_back({e.b, Relationship::kPeer});
+      adj[e.b][bucket_of(Relationship::kPeer)].push_back({e.a, Relationship::kPeer});
+    } else {
+      // e.a is provider of e.b.
+      adj[e.a][bucket_of(Relationship::kCustomer)].push_back({e.b, Relationship::kCustomer});
+      adj[e.b][bucket_of(Relationship::kProvider)].push_back({e.a, Relationship::kProvider});
+    }
+  }
+
+  graph.offsets_.resize(n + 1);
+  graph.customers_end_.resize(n);
+  graph.peers_end_.resize(n);
+  graph.entries_.reserve(edges_.size() * 2);
+  std::uint64_t cursor = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    graph.offsets_[i] = cursor;
+    for (std::size_t b = 0; b < 3; ++b) {
+      auto& bucket = adj[i][b];
+      std::sort(bucket.begin(), bucket.end(),
+                [](const Neighbor& x, const Neighbor& y) { return x.id < y.id; });
+      graph.entries_.insert(graph.entries_.end(), bucket.begin(), bucket.end());
+      cursor += bucket.size();
+      if (b == bucket_of(Relationship::kCustomer)) graph.customers_end_[i] = cursor;
+      if (b == bucket_of(Relationship::kPeer)) graph.peers_end_[i] = cursor;
+    }
+  }
+  graph.offsets_[n] = cursor;
+  return graph;
+}
+
+std::optional<AsId> AsGraph::IdOf(Asn asn) const {
+  auto it = id_of_.find(asn);
+  if (it == id_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::span<const Neighbor> AsGraph::NeighborsOf(AsId id) const {
+  return {entries_.data() + offsets_[id], entries_.data() + offsets_[id + 1]};
+}
+
+std::span<const Neighbor> AsGraph::Customers(AsId id) const {
+  return {entries_.data() + offsets_[id], entries_.data() + customers_end_[id]};
+}
+
+std::span<const Neighbor> AsGraph::Peers(AsId id) const {
+  return {entries_.data() + customers_end_[id], entries_.data() + peers_end_[id]};
+}
+
+std::span<const Neighbor> AsGraph::Providers(AsId id) const {
+  return {entries_.data() + peers_end_[id], entries_.data() + offsets_[id + 1]};
+}
+
+std::optional<Relationship> AsGraph::RelationshipBetween(AsId from, AsId to) const {
+  for (auto group : {Customers(from), Peers(from), Providers(from)}) {
+    auto it = std::lower_bound(group.begin(), group.end(), to,
+                               [](const Neighbor& n, AsId id) { return n.id < id; });
+    if (it != group.end() && it->id == to) return it->rel;
+  }
+  return std::nullopt;
+}
+
+std::vector<AsGraph::Edge> AsGraph::EdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  for (AsId i = 0; i < num_ases(); ++i) {
+    for (const Neighbor& n : Customers(i)) {
+      edges.push_back({AsnOf(i), AsnOf(n.id), EdgeType::kP2C});
+    }
+    for (const Neighbor& n : Peers(i)) {
+      if (i < n.id) edges.push_back({AsnOf(i), AsnOf(n.id), EdgeType::kP2P});
+    }
+  }
+  return edges;
+}
+
+}  // namespace flatnet

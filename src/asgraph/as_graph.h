@@ -1,0 +1,145 @@
+// AS-level topology graph with typed business relationships.
+//
+// The graph is immutable after construction (build with AsGraphBuilder).
+// ASes are addressed internally by dense ids so algorithm state lives in
+// flat arrays; external AS numbers map bidirectionally. Adjacency is stored
+// in a CSR layout, grouped by relationship (customers, then peers, then
+// providers) so the BGP propagation phases can iterate exactly the slice
+// they need.
+#ifndef FLATNET_ASGRAPH_AS_GRAPH_H_
+#define FLATNET_ASGRAPH_AS_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace flatnet {
+
+// External AS number (as seen in BGP).
+using Asn = std::uint32_t;
+// Dense internal index in [0, num_ases).
+using AsId = std::uint32_t;
+
+inline constexpr AsId kInvalidAsId = 0xffffffffu;
+
+// Relationship of a neighbor *from this node's perspective*.
+enum class Relationship : std::uint8_t {
+  kCustomer = 0,  // neighbor pays this node for transit
+  kPeer = 1,      // settlement-free peer
+  kProvider = 2,  // this node pays the neighbor for transit
+};
+
+// Undirected edge annotation as stored in datasets.
+enum class EdgeType : std::uint8_t {
+  kP2C,  // first AS is provider of the second
+  kP2P,  // settlement-free peering
+};
+
+const char* ToString(Relationship rel);
+const char* ToString(EdgeType type);
+
+struct Neighbor {
+  AsId id;
+  Relationship rel;
+};
+
+class AsGraph;
+
+// Accumulates ASes and edges, then builds the immutable AsGraph.
+class AsGraphBuilder {
+ public:
+  // Registers an AS (idempotent); returns its dense id.
+  AsId AddAs(Asn asn);
+
+  // Adds an edge between two ASNs (registering them if needed). Identical
+  // duplicate edges are ignored; conflicting duplicates (same pair, other
+  // type or reversed p2c orientation) throw InvalidArgument.
+  void AddEdge(Asn a, Asn b, EdgeType type);
+
+  // Adds the edge only when no edge exists between the pair yet; returns
+  // true if added. This is the §4.1 merge rule: traceroute-discovered links
+  // become p2p but never override a relationship already in the base data.
+  bool AddEdgeIfAbsent(Asn a, Asn b, EdgeType type);
+
+  bool HasAs(Asn asn) const { return id_of_.contains(asn); }
+  bool HasEdge(Asn a, Asn b) const;
+
+  std::size_t num_ases() const { return asn_of_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  AsGraph Build() &&;
+
+ private:
+  friend class AsGraph;
+
+  struct Edge {
+    AsId a;  // provider side for kP2C
+    AsId b;
+    EdgeType type;
+  };
+
+  static std::uint64_t PairKey(AsId x, AsId y);
+
+  std::vector<Asn> asn_of_;
+  std::unordered_map<Asn, AsId> id_of_;
+  std::vector<Edge> edges_;
+  std::unordered_map<std::uint64_t, std::uint32_t> edge_index_;  // pair key -> index in edges_
+};
+
+class AsGraph {
+ public:
+  AsGraph() = default;
+
+  std::size_t num_ases() const { return asn_of_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  Asn AsnOf(AsId id) const { return asn_of_[id]; }
+  std::optional<AsId> IdOf(Asn asn) const;
+
+  // All neighbors of `id`, customers first, then peers, then providers;
+  // each group sorted by neighbor id.
+  std::span<const Neighbor> NeighborsOf(AsId id) const;
+
+  std::span<const Neighbor> Customers(AsId id) const;
+  std::span<const Neighbor> Peers(AsId id) const;
+  std::span<const Neighbor> Providers(AsId id) const;
+
+  std::size_t Degree(AsId id) const { return NeighborsOf(id).size(); }
+  std::size_t CustomerCount(AsId id) const { return Customers(id).size(); }
+  std::size_t PeerCount(AsId id) const { return Peers(id).size(); }
+  std::size_t ProviderCount(AsId id) const { return Providers(id).size(); }
+
+  // Relationship of `to` from `from`'s perspective, if adjacent.
+  std::optional<Relationship> RelationshipBetween(AsId from, AsId to) const;
+
+  // Edge list in dataset orientation (provider first for p2c).
+  struct Edge {
+    Asn a;
+    Asn b;
+    EdgeType type;
+  };
+  std::vector<Edge> EdgeList() const;
+
+ private:
+  friend class AsGraphBuilder;
+
+  std::vector<Asn> asn_of_;
+  std::unordered_map<Asn, AsId> id_of_;
+  std::size_t num_edges_ = 0;
+
+  // CSR adjacency. For node i the neighbors live in
+  // entries_[offsets_[i] .. offsets_[i+1]); customers occupy
+  // [offsets_[i], customers_end_[i]), peers [customers_end_[i],
+  // peers_end_[i]), providers [peers_end_[i], offsets_[i+1]).
+  std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint64_t> customers_end_;
+  std::vector<std::uint64_t> peers_end_;
+  std::vector<Neighbor> entries_;
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_ASGRAPH_AS_GRAPH_H_

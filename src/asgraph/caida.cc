@@ -1,0 +1,70 @@
+#include "asgraph/caida.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace flatnet {
+
+void ReadCaidaRelationships(std::istream& in, AsGraphBuilder& builder) {
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view view = Trim(line);
+    if (view.empty() || view.front() == '#') continue;
+    auto fields = Split(view, '|');
+    if (fields.size() != 3 && fields.size() != 4) {
+      throw ParseError(StrFormat("CAIDA line %zu: expected 3 or 4 fields, got %zu",
+                                 line_number, fields.size()));
+    }
+    auto a = ParseU64(fields[0]);
+    auto b = ParseU64(fields[1]);
+    auto rel = ParseI64(fields[2]);
+    if (!a || !b || !rel || (*rel != -1 && *rel != 0)) {
+      throw ParseError(StrFormat("CAIDA line %zu: malformed record '%s'", line_number,
+                                 std::string(view).c_str()));
+    }
+    EdgeType type = (*rel == -1) ? EdgeType::kP2C : EdgeType::kP2P;
+    builder.AddEdge(static_cast<Asn>(*a), static_cast<Asn>(*b), type);
+  }
+}
+
+AsGraph ParseCaidaRelationships(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  AsGraphBuilder builder;
+  ReadCaidaRelationships(in, builder);
+  return std::move(builder).Build();
+}
+
+AsGraph LoadCaidaFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("LoadCaidaFile: cannot open " + path);
+  AsGraphBuilder builder;
+  ReadCaidaRelationships(in, builder);
+  return std::move(builder).Build();
+}
+
+void WriteCaidaRelationships(const AsGraph& graph, std::ostream& out, CaidaFormat format) {
+  out << "# flatnet AS-relationship export\n";
+  out << "# <provider|peer>|<customer|peer>|<-1: p2c, 0: p2p>";
+  if (format == CaidaFormat::kSerial2) out << "|<source>";
+  out << "\n";
+  for (const AsGraph::Edge& e : graph.EdgeList()) {
+    out << e.a << '|' << e.b << '|' << (e.type == EdgeType::kP2C ? "-1" : "0");
+    if (format == CaidaFormat::kSerial2) out << "|bgp";
+    out << '\n';
+  }
+}
+
+std::string FormatCaidaRelationships(const AsGraph& graph, CaidaFormat format) {
+  std::ostringstream out;
+  WriteCaidaRelationships(graph, out, format);
+  return out.str();
+}
+
+}  // namespace flatnet

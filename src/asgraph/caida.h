@@ -1,0 +1,46 @@
+// Readers/writers for the CAIDA AS-relationship file formats.
+//
+// serial-1:  "<provider-asn>|<customer-asn>|-1"  or  "<peer>|<peer>|0",
+//            '#'-prefixed comment lines.
+// serial-2:  same, with a trailing "|<source>" field (e.g. "|bgp", "|mlp").
+//
+// The paper uses the September 2015 serial-1 and September 2020 serial-2
+// datasets; these parsers let the library run on the real files when they
+// are available (the synthetic generator replaces them otherwise).
+#ifndef FLATNET_ASGRAPH_CAIDA_H_
+#define FLATNET_ASGRAPH_CAIDA_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "asgraph/as_graph.h"
+
+namespace flatnet {
+
+enum class CaidaFormat {
+  kSerial1,
+  kSerial2,
+};
+
+// Parses a CAIDA AS-relationship stream into a builder. Accepts both
+// serial-1 and serial-2 lines (the source field is ignored). Throws
+// ParseError with the offending line number on malformed input.
+void ReadCaidaRelationships(std::istream& in, AsGraphBuilder& builder);
+
+// Convenience: parse from an in-memory string.
+AsGraph ParseCaidaRelationships(std::string_view text);
+
+// Loads a file from disk. Throws Error if the file cannot be opened.
+AsGraph LoadCaidaFile(const std::string& path);
+
+// Serializes the graph's edges in CAIDA format. serial-2 emits "|bgp" as
+// the source for every edge.
+void WriteCaidaRelationships(const AsGraph& graph, std::ostream& out,
+                             CaidaFormat format = CaidaFormat::kSerial1);
+std::string FormatCaidaRelationships(const AsGraph& graph,
+                                     CaidaFormat format = CaidaFormat::kSerial1);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_ASGRAPH_CAIDA_H_

@@ -1,0 +1,69 @@
+#include "asgraph/cone.h"
+
+#include <vector>
+
+namespace flatnet {
+
+Bitset CustomerCone(const AsGraph& graph, AsId root) {
+  Bitset cone(graph.num_ases());
+  std::vector<AsId> stack{root};
+  cone.Set(root);
+  while (!stack.empty()) {
+    AsId node = stack.back();
+    stack.pop_back();
+    for (const Neighbor& n : graph.Customers(node)) {
+      if (!cone.Test(n.id)) {
+        cone.Set(n.id);
+        stack.push_back(n.id);
+      }
+    }
+  }
+  return cone;
+}
+
+std::vector<std::uint32_t> CustomerConeSizes(const AsGraph& graph) {
+  std::size_t n = graph.num_ases();
+  std::vector<std::uint32_t> sizes(n, 1);
+  // Reused scratch to avoid per-AS allocation; epoch-stamped visited array.
+  std::vector<std::uint32_t> visited_epoch(n, 0);
+  std::vector<AsId> stack;
+  std::uint32_t epoch = 0;
+  for (AsId root = 0; root < n; ++root) {
+    if (graph.Customers(root).empty()) continue;  // stub: cone is {self}
+    ++epoch;
+    visited_epoch[root] = epoch;
+    stack.assign(1, root);
+    std::uint32_t count = 1;
+    while (!stack.empty()) {
+      AsId node = stack.back();
+      stack.pop_back();
+      for (const Neighbor& nb : graph.Customers(node)) {
+        if (visited_epoch[nb.id] != epoch) {
+          visited_epoch[nb.id] = epoch;
+          ++count;
+          stack.push_back(nb.id);
+        }
+      }
+    }
+    sizes[root] = count;
+  }
+  return sizes;
+}
+
+std::vector<std::uint32_t> TransitDegrees(const AsGraph& graph) {
+  std::size_t n = graph.num_ases();
+  std::vector<std::uint32_t> degrees(n);
+  for (AsId i = 0; i < n; ++i) {
+    degrees[i] = static_cast<std::uint32_t>(graph.CustomerCount(i) + graph.ProviderCount(i));
+  }
+  return degrees;
+}
+
+std::vector<std::uint32_t> NodeDegrees(const AsGraph& graph) {
+  std::size_t n = graph.num_ases();
+  std::vector<std::uint32_t> degrees(n);
+  for (AsId i = 0; i < n; ++i) degrees[i] = static_cast<std::uint32_t>(graph.Degree(i));
+  return degrees;
+}
+
+}  // namespace flatnet

@@ -1,0 +1,37 @@
+// Customer cone, transit degree, and node degree — the classical influence
+// metrics that §6.6 contrasts with hierarchy-free reachability.
+#ifndef FLATNET_ASGRAPH_CONE_H_
+#define FLATNET_ASGRAPH_CONE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "asgraph/as_graph.h"
+#include "util/bitset.h"
+
+namespace flatnet {
+
+// Membership bitset of the customer cone of `root`: the set of ASes
+// reachable from `root` by following only provider->customer edges,
+// including `root` itself (AS-Rank convention: an AS is in its own cone).
+Bitset CustomerCone(const AsGraph& graph, AsId root);
+
+// Cone sizes (|cone|, including self) for every AS. Stub ASes cost O(1);
+// transit ASes cost one downward BFS each.
+std::vector<std::uint32_t> CustomerConeSizes(const AsGraph& graph);
+
+// Transit degree approximation from the relationship graph: the number of
+// neighbors the AS can appear "in the middle" next to, i.e. customers plus
+// providers (peers exchange only customer routes, so a pure peering
+// neighbor never transits through this AS in valley-free routing... but the
+// AS *does* sit between a peer and its own customers, so peers with
+// customers attached also count when the AS has at least one customer).
+// We use customers + providers, the standard graph-only proxy.
+std::vector<std::uint32_t> TransitDegrees(const AsGraph& graph);
+
+// Plain neighbor counts.
+std::vector<std::uint32_t> NodeDegrees(const AsGraph& graph);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_ASGRAPH_CONE_H_

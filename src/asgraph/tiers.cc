@@ -1,0 +1,86 @@
+#include "asgraph/tiers.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "asgraph/cone.h"
+
+namespace flatnet {
+
+Bitset TierSets::HierarchyMask() const {
+  Bitset mask = tier1_mask;
+  mask |= tier2_mask;
+  return mask;
+}
+
+TierSets InferTierSets(const AsGraph& graph, const TierInferenceOptions& options) {
+  std::size_t n = graph.num_ases();
+  std::vector<std::uint32_t> cones = CustomerConeSizes(graph);
+
+  // Candidates: largest customer cones first.
+  std::vector<AsId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](AsId a, AsId b) { return cones[a] > cones[b]; });
+  std::size_t pool = std::min<std::size_t>(options.clique_candidates, n);
+
+  // Grow the clique greedily: every member must peer with every other and
+  // have no transit provider (Tier-1s buy transit from nobody).
+  std::vector<AsId> clique;
+  for (std::size_t i = 0; i < pool && clique.size() < options.max_clique_size; ++i) {
+    AsId candidate = order[i];
+    if (!graph.Providers(candidate).empty()) continue;
+    bool mutual = std::all_of(clique.begin(), clique.end(), [&](AsId member) {
+      return graph.RelationshipBetween(candidate, member) == Relationship::kPeer;
+    });
+    if (mutual) clique.push_back(candidate);
+  }
+
+  TierSets tiers;
+  tiers.tier1 = clique;
+  tiers.tier1_mask.Resize(n);
+  for (AsId id : clique) tiers.tier1_mask.Set(id);
+
+  // Tier-2: the next largest transit ASes (by cone) outside the clique that
+  // touch the clique (peer with or buy from a Tier-1). "Touching" weeds out
+  // large but isolated regional hierarchies.
+  for (std::size_t i = 0; i < n && tiers.tier2.size() < options.tier2_count; ++i) {
+    AsId candidate = order[i];
+    if (tiers.tier1_mask.Test(candidate)) continue;
+    if (cones[candidate] < 2) break;  // no transit role at all
+    bool touches_clique = false;
+    for (const Neighbor& nb : graph.NeighborsOf(candidate)) {
+      if (tiers.tier1_mask.Test(nb.id)) {
+        touches_clique = true;
+        break;
+      }
+    }
+    if (touches_clique) tiers.tier2.push_back(candidate);
+  }
+  tiers.tier2_mask.Resize(n);
+  for (AsId id : tiers.tier2) tiers.tier2_mask.Set(id);
+  return tiers;
+}
+
+TierSets MakeTierSets(const AsGraph& graph, const std::vector<Asn>& tier1_asns,
+                      const std::vector<Asn>& tier2_asns) {
+  TierSets tiers;
+  tiers.tier1_mask.Resize(graph.num_ases());
+  tiers.tier2_mask.Resize(graph.num_ases());
+  for (Asn asn : tier1_asns) {
+    if (auto id = graph.IdOf(asn)) {
+      tiers.tier1.push_back(*id);
+      tiers.tier1_mask.Set(*id);
+    }
+  }
+  for (Asn asn : tier2_asns) {
+    if (auto id = graph.IdOf(asn)) {
+      if (tiers.tier1_mask.Test(*id)) continue;  // tier-1 wins on overlap
+      tiers.tier2.push_back(*id);
+      tiers.tier2_mask.Set(*id);
+    }
+  }
+  return tiers;
+}
+
+}  // namespace flatnet

@@ -1,0 +1,49 @@
+// Tier-1 clique and Tier-2 identification.
+//
+// The paper takes the Tier-1/Tier-2 lists from ProbLink/AS-Rank; on real
+// CAIDA data those lists ship with the dataset. For arbitrary graphs this
+// module infers them: the Tier-1 clique is grown greedily over mutual
+// peering from the highest-cone AS (AS-Rank's clique heuristic), and the
+// Tier-2 set is the next band of large transit ASes connected to the
+// clique.
+#ifndef FLATNET_ASGRAPH_TIERS_H_
+#define FLATNET_ASGRAPH_TIERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "asgraph/as_graph.h"
+#include "util/bitset.h"
+
+namespace flatnet {
+
+struct TierSets {
+  std::vector<AsId> tier1;
+  std::vector<AsId> tier2;
+  Bitset tier1_mask;  // size == graph.num_ases()
+  Bitset tier2_mask;
+
+  // Union mask (Tier-1 | Tier-2), the "Internet hierarchy" of the title.
+  Bitset HierarchyMask() const;
+};
+
+struct TierInferenceOptions {
+  // Candidate pool size for the clique search (top ASes by customer cone).
+  std::uint32_t clique_candidates = 40;
+  // Upper bound on clique size (the real Internet has ~17-20 Tier-1s).
+  std::uint32_t max_clique_size = 20;
+  // Number of Tier-2 ASes to select (paper's Tier-2 list has ~24).
+  std::uint32_t tier2_count = 24;
+};
+
+// Infers tier sets from graph structure alone.
+TierSets InferTierSets(const AsGraph& graph, const TierInferenceOptions& options = {});
+
+// Builds tier sets from explicit AS number lists (e.g. the ProbLink lists
+// when reproducing on real CAIDA data). Unknown ASNs are ignored.
+TierSets MakeTierSets(const AsGraph& graph, const std::vector<Asn>& tier1_asns,
+                      const std::vector<Asn>& tier2_asns);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_ASGRAPH_TIERS_H_

@@ -1,0 +1,232 @@
+#include "bgp/asrank.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace flatnet {
+namespace {
+
+std::uint64_t PairKey(AsId a, AsId b) {
+  if (a > b) std::swap(a, b);
+  return (std::uint64_t{a} << 32) | b;
+}
+
+}  // namespace
+
+GaoResult InferRelationshipsAsRank(const RibDump& dump, const AsGraph& truth,
+                                   const AsRankOptions& options) {
+  std::size_t n = truth.num_ases();
+
+  // Transit degree from the paths: unique neighbors adjacent to an AS while
+  // it sits in the middle of a path (AS-Rank's ranking signal).
+  std::unordered_set<std::uint64_t> transit_pairs;  // (middle AS, neighbor)
+  std::vector<std::uint32_t> transit_degree(n, 0);
+  std::unordered_set<std::uint64_t> observed_links;
+  for (const AsPath& path : dump.paths) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      observed_links.insert(PairKey(path[i], path[i + 1]));
+    }
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      for (AsId nb : {path[i - 1], path[i + 1]}) {
+        if (transit_pairs.insert((std::uint64_t{path[i]} << 32) | nb).second) {
+          ++transit_degree[path[i]];
+        }
+      }
+    }
+  }
+
+  // Stage 1 (Gao-style pass): provisional votes oriented at the
+  // transit-degree apex, used only to detect which ASes clearly have
+  // transit *providers* — a Tier-1 never appears below anyone, while even
+  // the busiest mid transit shows up under its providers on many paths.
+  // Only votes whose alleged customer sits in the *middle* of a path count
+  // towards provider detection: a genuine transit climbs through its
+  // providers while carrying someone else's traffic, whereas a Tier-1 (or
+  // an origin hypergiant) only ever appears at a path's end, where apex
+  // misorientation produces bogus customer votes.
+  std::unordered_map<AsId, std::uint32_t> intermediate_customer_votes;
+  for (const AsPath& path : dump.paths) {
+    if (path.size() < 2) continue;
+    std::size_t apex = 0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      if (transit_degree[path[i]] > transit_degree[path[apex]]) apex = i;
+    }
+    // Monitor-side ascent only, skipping the monitor itself and the edge
+    // adjacent to the apex (which may be the path's one peer link — e.g.
+    // two clique members side by side).
+    for (std::size_t i = 1; i + 1 < apex; ++i) {
+      ++intermediate_customer_votes[path[i]];
+    }
+  }
+  std::vector<bool> has_provider(n, false);
+  for (const auto& [node, count] : intermediate_customer_votes) {
+    if (count >= 2) has_provider[node] = true;
+  }
+
+  // Clique inference: greedy mutual-adjacency growth over the top transit
+  // degrees, restricted to provider-free candidates (AS-Rank's clique is
+  // exactly the transit-free apex).
+  std::vector<AsId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](AsId a, AsId b) { return transit_degree[a] > transit_degree[b]; });
+  std::vector<AsId> clique;
+  std::vector<bool> in_clique(n, false);
+  std::size_t considered = 0;
+  for (std::size_t i = 0; i < n && considered < options.clique_candidates &&
+                          clique.size() < options.max_clique_size;
+       ++i) {
+    AsId candidate = order[i];
+    if (transit_degree[candidate] == 0) break;
+    if (has_provider[candidate]) continue;
+    ++considered;
+    // The core of the clique (the first few members) must be fully
+    // inter-adjacent; beyond that, monitors only observe a subset of the
+    // mutual mesh, so later members need adjacency to most of the core
+    // (AS-Rank similarly tolerates missing links).
+    constexpr std::size_t kStrictCore = 6;
+    std::size_t adjacent = 0;
+    for (AsId member : clique) {
+      if (observed_links.contains(PairKey(candidate, member))) ++adjacent;
+    }
+    bool admit = clique.size() < kStrictCore ? adjacent == clique.size()
+                                             : 3 * adjacent >= 2 * clique.size();
+    if (admit) {
+      clique.push_back(candidate);
+      in_clique[candidate] = true;
+    }
+  }
+
+  // Votes, oriented at the clique span (or the transit-degree apex).
+  std::unordered_map<std::uint64_t, std::uint32_t> votes_up;    // customer = lower id
+  std::unordered_map<std::uint64_t, std::uint32_t> votes_down;  // customer = higher id
+  auto vote = [&](AsId customer, AsId provider) {
+    std::uint64_t key = PairKey(customer, provider);
+    (customer < provider ? votes_up[key] : votes_down[key])++;
+  };
+  for (const AsPath& path : dump.paths) {
+    if (path.size() < 2) continue;
+    std::size_t first = path.size();
+    std::size_t last = path.size();
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      if (in_clique[path[i]]) {
+        if (first == path.size()) first = i;
+        last = i;
+      }
+    }
+    if (first == path.size()) {
+      // No clique member: orient at the transit-degree apex.
+      std::size_t apex = 0;
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        if (transit_degree[path[i]] > transit_degree[path[apex]]) apex = i;
+      }
+      first = last = apex;
+    }
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (i < first) {
+        vote(path[i], path[i + 1]);
+      } else if (i >= last) {
+        vote(path[i + 1], path[i]);
+      }
+      // Links within the clique span carry no transit votes.
+    }
+  }
+
+  // Classification: clique pairs are p2p; dominant transit votes make p2c;
+  // everything else defaults to peering.
+  AsGraphBuilder builder;
+  std::vector<bool> transits(n, false);
+  for (const AsPath& path : dump.paths) {
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) transits[path[i]] = true;
+  }
+  std::vector<std::uint32_t> degree(n, 0);
+  for (std::uint64_t key : observed_links) {
+    ++degree[static_cast<AsId>(key >> 32)];
+    ++degree[static_cast<AsId>(key & 0xffffffffu)];
+  }
+  for (AsId id = 0; id < n; ++id) {
+    if (degree[id] > 0) builder.AddAs(truth.AsnOf(id));
+  }
+
+  GaoResult result;
+  for (AsId member : clique) result.clique.push_back(truth.AsnOf(member));
+  for (std::uint64_t key : observed_links) {
+    auto low = static_cast<AsId>(key >> 32);
+    auto high = static_cast<AsId>(key & 0xffffffffu);
+    std::uint32_t up = 0;
+    std::uint32_t down = 0;
+    if (auto it = votes_up.find(key); it != votes_up.end()) up = it->second;
+    if (auto it = votes_down.find(key); it != votes_down.end()) down = it->second;
+
+    EdgeType inferred_type = EdgeType::kP2P;
+    AsId provider = low;
+    // A non-transiting endpoint whose degree rivals its neighbor's is a
+    // peering hypergiant (clouds/content peering with the clique) — its
+    // one-directional votes are path-end artifacts, not transit.
+    constexpr double kHypergiantDegreeFloor = 20.0;
+    double dlow = std::max<std::uint32_t>(degree[low], 1);
+    double dhigh = std::max<std::uint32_t>(degree[high], 1);
+    bool hypergiant_peer = (!transits[low] && dlow >= kHypergiantDegreeFloor &&
+                            dlow > 0.5 * dhigh) ||
+                           (!transits[high] && dhigh >= kHypergiantDegreeFloor &&
+                            dhigh > 0.5 * dlow);
+    if ((in_clique[low] && in_clique[high]) || hypergiant_peer) {
+      inferred_type = EdgeType::kP2P;
+    } else if (up > 0 &&
+               static_cast<double>(up) >= options.transit_vote_dominance *
+                                              std::max<std::uint32_t>(down, 1) &&
+               up > down) {
+      inferred_type = EdgeType::kP2C;
+      provider = high;
+    } else if (down > 0 &&
+               static_cast<double>(down) >= options.transit_vote_dominance *
+                                                std::max<std::uint32_t>(up, 1) &&
+               down > up) {
+      inferred_type = EdgeType::kP2C;
+      provider = low;
+    }
+
+    AsId customer = provider == low ? high : low;
+    if (inferred_type == EdgeType::kP2P) {
+      builder.AddEdge(truth.AsnOf(low), truth.AsnOf(high), EdgeType::kP2P);
+    } else {
+      builder.AddEdge(truth.AsnOf(provider), truth.AsnOf(customer), EdgeType::kP2C);
+    }
+    ++result.observed_edges;
+
+    auto true_rel = truth.RelationshipBetween(low, high);
+    if (!true_rel) {
+      ++result.misclassified;
+      continue;
+    }
+    if (*true_rel == Relationship::kPeer) {
+      ++result.observed_true_p2p;
+      inferred_type == EdgeType::kP2P ? ++result.correct_p2p : ++result.misclassified;
+    } else {
+      ++result.observed_true_p2c;
+      bool truth_low_is_provider = (*true_rel == Relationship::kCustomer);
+      bool correct = inferred_type == EdgeType::kP2C &&
+                     ((truth_low_is_provider && provider == low) ||
+                      (!truth_low_is_provider && provider == high));
+      correct ? ++result.correct_p2c : ++result.misclassified;
+    }
+  }
+
+  for (const AsGraph::Edge& e : truth.EdgeList()) {
+    AsId a = *truth.IdOf(e.a);
+    AsId b = *truth.IdOf(e.b);
+    if (!observed_links.contains(PairKey(a, b))) {
+      ++result.missing_edges;
+      e.type == EdgeType::kP2P ? ++result.missing_p2p : ++result.missing_p2c;
+    }
+  }
+
+  result.inferred = std::move(builder).Build();
+  return result;
+}
+
+}  // namespace flatnet

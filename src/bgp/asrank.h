@@ -1,0 +1,40 @@
+// AS-Rank-style relationship inference (Luckie et al., IMC 2013) — the
+// successor to Gao's algorithm and the basis of the CAIDA serial datasets
+// the paper consumes (§2.3 traces the lineage Gao -> AS-Rank -> ProbLink).
+//
+// Simplified reproduction of the algorithm's core ideas:
+//   1. infer the Tier-1 clique from transit degree + mutual adjacency over
+//      the observed paths (links inside the clique are p2p by definition);
+//   2. orient every observed path at its clique (or highest-transit-degree)
+//      apex and classify the uphill/downhill links as c2p, accumulating
+//      votes across all paths and vantage points;
+//   3. remaining un-voted or conflicted adjacencies default to p2p —
+//      AS-Rank's key insight that "everything that is not transit is
+//      peering", which is what fixes Gao's apex-peering blindness.
+//
+// Output shape matches Gao's result type so the two can be compared
+// head-to-head (bench_ablation_inference).
+#ifndef FLATNET_BGP_ASRANK_H_
+#define FLATNET_BGP_ASRANK_H_
+
+#include "bgp/gao.h"
+#include "bgp/monitors.h"
+
+namespace flatnet {
+
+struct AsRankOptions {
+  // Candidate pool / size bounds for the clique inference step.
+  std::uint32_t clique_candidates = 60;
+  std::uint32_t max_clique_size = 20;
+  // A link is c2p only when the vote imbalance is at least this factor;
+  // balanced links become p2p.
+  double transit_vote_dominance = 2.0;
+};
+
+// Same scoring semantics as InferRelationshipsGao.
+GaoResult InferRelationshipsAsRank(const RibDump& dump, const AsGraph& truth,
+                                   const AsRankOptions& options = {});
+
+}  // namespace flatnet
+
+#endif  // FLATNET_BGP_ASRANK_H_

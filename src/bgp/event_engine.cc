@@ -1,0 +1,169 @@
+#include "bgp/event_engine.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace flatnet {
+namespace {
+
+std::uint64_t PairKey(AsId a, AsId b) {
+  if (a > b) std::swap(a, b);
+  return (std::uint64_t{a} << 32) | b;
+}
+
+RouteClass ClassOf(Relationship sender_rel_from_receiver) {
+  switch (sender_rel_from_receiver) {
+    case Relationship::kCustomer: return RouteClass::kCustomer;
+    case Relationship::kPeer: return RouteClass::kPeer;
+    case Relationship::kProvider: return RouteClass::kProvider;
+  }
+  return RouteClass::kNone;
+}
+
+}  // namespace
+
+EventBgpEngine::EventBgpEngine(const AsGraph& graph)
+    : graph_(graph),
+      adj_in_(graph.num_ases()),
+      best_(graph.num_ases()),
+      best_via_(graph.num_ases(), kInvalidAsId) {}
+
+void EventBgpEngine::Originate(AsId origin) {
+  if (origin_ != kInvalidAsId) throw InvalidArgument("EventBgpEngine: already originated");
+  if (origin >= graph_.num_ases()) throw InvalidArgument("EventBgpEngine: bad origin");
+  origin_ = origin;
+  RibRoute own;
+  own.cls = RouteClass::kOrigin;
+  best_[origin] = own;
+  AnnounceFrom(origin);
+  Process();
+}
+
+void EventBgpEngine::WithdrawOrigin() {
+  if (origin_ == kInvalidAsId) throw InvalidArgument("EventBgpEngine: nothing originated");
+  best_[origin_] = std::nullopt;
+  AnnounceFrom(origin_);
+  Process();
+}
+
+void EventBgpEngine::FailLink(AsId a, AsId b) {
+  if (!graph_.RelationshipBetween(a, b).has_value()) {
+    throw InvalidArgument("EventBgpEngine::FailLink: ASes not adjacent");
+  }
+  failed_links_[PairKey(a, b)] = true;
+  // Both sides lose whatever they heard over the link and re-select.
+  adj_in_[a].erase(b);
+  adj_in_[b].erase(a);
+  Reselect(a);
+  Reselect(b);
+  Process();
+}
+
+bool EventBgpEngine::LinkDown(AsId a, AsId b) const {
+  auto it = failed_links_.find(PairKey(a, b));
+  return it != failed_links_.end() && it->second;
+}
+
+bool EventBgpEngine::Better(AsId node, AsId via_a, const RibRoute& a, AsId via_b,
+                            const RibRoute& b) const {
+  RouteClass ca = ClassOf(*graph_.RelationshipBetween(node, via_a));
+  RouteClass cb = ClassOf(*graph_.RelationshipBetween(node, via_b));
+  if (ca != cb) return ca < cb;
+  if (a.Length() != b.Length()) return a.Length() < b.Length();
+  return graph_.AsnOf(via_a) < graph_.AsnOf(via_b);
+}
+
+void EventBgpEngine::Enqueue(AsId sender, AsId receiver, const std::optional<RibRoute>& route) {
+  Message message;
+  message.sender = sender;
+  message.receiver = receiver;
+  if (route) {
+    RibRoute exported = *route;
+    exported.path.insert(exported.path.begin(), sender);
+    exported.cls = RouteClass::kNone;  // class is assigned by the receiver
+    message.route = std::move(exported);
+  }
+  queue_.push_back(std::move(message));
+}
+
+void EventBgpEngine::AnnounceFrom(AsId node) {
+  const std::optional<RibRoute>& best = best_[node];
+  bool export_everywhere =
+      best && (best->cls == RouteClass::kOrigin || best->cls == RouteClass::kCustomer);
+  for (const Neighbor& nb : graph_.NeighborsOf(node)) {
+    if (LinkDown(node, nb.id)) continue;
+    // Valley-free export: customer-learned (and own) routes go to everyone;
+    // peer/provider-learned routes go to customers only.
+    bool eligible = best && (export_everywhere || nb.rel == Relationship::kCustomer);
+    // Never announce a route back through its next hop.
+    if (eligible && best_via_[node] == nb.id) eligible = false;
+    if (eligible) {
+      Enqueue(node, nb.id, best);
+    } else {
+      Enqueue(node, nb.id, std::nullopt);
+    }
+  }
+}
+
+void EventBgpEngine::Reselect(AsId node) {
+  std::optional<RibRoute> previous = best_[node];
+  AsId previous_via = best_via_[node];
+  if (node == origin_) return;  // the origin always prefers its own prefix
+
+  std::optional<RibRoute> chosen;
+  AsId chosen_via = kInvalidAsId;
+  for (const auto& [via, route] : adj_in_[node]) {
+    if (!chosen || Better(node, via, route, chosen_via, *chosen)) {
+      chosen = route;
+      chosen_via = via;
+    }
+  }
+  if (chosen) chosen->cls = ClassOf(*graph_.RelationshipBetween(node, chosen_via));
+
+  bool changed;
+  if (chosen.has_value() != previous.has_value()) {
+    changed = true;
+  } else if (!chosen) {
+    changed = false;
+  } else {
+    changed = chosen_via != previous_via || chosen->path != previous->path ||
+              chosen->cls != previous->cls;
+  }
+  if (!changed) return;
+  best_[node] = std::move(chosen);
+  best_via_[node] = best_[node] ? chosen_via : kInvalidAsId;
+  AnnounceFrom(node);
+}
+
+void EventBgpEngine::Process() {
+  while (!queue_.empty()) {
+    Message message = std::move(queue_.front());
+    queue_.pop_front();
+    ++messages_;
+    AsId node = message.receiver;
+    if (LinkDown(message.sender, node)) continue;  // lost on the wire
+    if (message.route) {
+      // Loop prevention: reject paths containing the receiver.
+      if (std::find(message.route->path.begin(), message.route->path.end(), node) !=
+          message.route->path.end()) {
+        adj_in_[node].erase(message.sender);
+      } else {
+        adj_in_[node][message.sender] = *message.route;
+      }
+    } else {
+      adj_in_[node].erase(message.sender);
+    }
+    Reselect(node);
+  }
+}
+
+std::size_t EventBgpEngine::ReachedCount() const {
+  std::size_t count = 0;
+  for (AsId node = 0; node < graph_.num_ases(); ++node) {
+    if (node != origin_ && best_[node].has_value()) ++count;
+  }
+  return count;
+}
+
+}  // namespace flatnet

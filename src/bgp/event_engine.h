@@ -1,0 +1,92 @@
+// Event-driven, message-passing BGP simulation for a single prefix.
+//
+// Where the phase engine (propagation.h) computes the converged outcome
+// directly, this engine actually exchanges UPDATE/WITHDRAW messages between
+// per-AS RIBs: each AS keeps an Adj-RIB-In per neighbor, selects a single
+// best route (Gao-Rexford preference, then AS-path length, then lowest
+// neighbor ASN — a deterministic router-like tie-break), and re-announces
+// on change under valley-free export rules. Gao-Rexford policies are
+// provably convergent, so FIFO processing always reaches a fixed point.
+//
+// The two engines cross-validate each other (their class/length outcomes
+// must agree — see bgp_test), and the event engine additionally supports
+// dynamics the closed form cannot: withdrawals, link failures, and
+// message-churn accounting.
+#ifndef FLATNET_BGP_EVENT_ENGINE_H_
+#define FLATNET_BGP_EVENT_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "asgraph/as_graph.h"
+#include "bgp/policy.h"
+
+namespace flatnet {
+
+struct RibRoute {
+  RouteClass cls = RouteClass::kNone;
+  // AS path, next hop first, origin last (excludes the route's holder).
+  std::vector<AsId> path;
+
+  std::uint16_t Length() const { return static_cast<std::uint16_t>(path.size()); }
+};
+
+class EventBgpEngine {
+ public:
+  explicit EventBgpEngine(const AsGraph& graph);
+
+  // Originates the prefix at `origin` and processes messages to
+  // convergence. May be called once per engine instance.
+  void Originate(AsId origin);
+
+  // Withdraws the origin's announcement and processes to convergence.
+  void WithdrawOrigin();
+
+  // Fails the (a, b) link in both directions: routes learned over it are
+  // withdrawn and the network re-converges. The link stays down for
+  // subsequent events. Throws InvalidArgument if a and b are not adjacent.
+  void FailLink(AsId a, AsId b);
+
+  // The node's selected route (nullopt when it has none). The origin holds
+  // an empty-path kOrigin route.
+  const std::optional<RibRoute>& BestRoute(AsId node) const { return best_[node]; }
+
+  std::size_t ReachedCount() const;
+
+  // Total UPDATE/WITHDRAW messages processed since construction — the
+  // churn metric for the failure experiments.
+  std::size_t messages_processed() const { return messages_; }
+
+ private:
+  struct Message {
+    AsId sender;
+    AsId receiver;
+    std::optional<RibRoute> route;  // nullopt == withdraw
+  };
+
+  void Enqueue(AsId sender, AsId receiver, const std::optional<RibRoute>& route);
+  void Process();
+  // Re-selects `node`'s best route; announces the delta when it changed.
+  void Reselect(AsId node);
+  void AnnounceFrom(AsId node);
+  bool LinkDown(AsId a, AsId b) const;
+  // Preference order: true when `a` beats `b`.
+  bool Better(AsId node, AsId via_a, const RibRoute& a, AsId via_b, const RibRoute& b) const;
+
+  const AsGraph& graph_;
+  AsId origin_ = kInvalidAsId;
+  // adj_in_[node]: routes most recently announced by each neighbor.
+  std::vector<std::unordered_map<AsId, RibRoute>> adj_in_;
+  std::vector<std::optional<RibRoute>> best_;
+  std::vector<AsId> best_via_;  // neighbor supplying the best route
+  std::deque<Message> queue_;
+  std::unordered_map<std::uint64_t, bool> failed_links_;
+  std::size_t messages_ = 0;
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_BGP_EVENT_ENGINE_H_

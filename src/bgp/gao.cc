@@ -1,0 +1,168 @@
+#include "bgp/gao.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace flatnet {
+namespace {
+
+std::uint64_t PairKey(AsId a, AsId b) {
+  if (a > b) std::swap(a, b);
+  return (std::uint64_t{a} << 32) | b;
+}
+
+}  // namespace
+
+GaoResult InferRelationshipsGao(const RibDump& dump, const AsGraph& truth,
+                                const GaoOptions& options) {
+  std::size_t n = truth.num_ases();
+
+  // Phase 1: degree as seen in the paths.
+  std::vector<std::uint32_t> degree(n, 0);
+  std::unordered_set<std::uint64_t> observed_links;
+  for (const AsPath& path : dump.paths) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (observed_links.insert(PairKey(path[i], path[i + 1])).second) {
+        ++degree[path[i]];
+        ++degree[path[i + 1]];
+      }
+    }
+  }
+
+  // Which ASes ever transit (appear as a non-endpoint of some path)? An AS
+  // that never transits but has a large degree is an edge hypergiant whose
+  // links are peerings, not provider links — Gao's degree-ratio heuristic.
+  std::vector<bool> transits(n, false);
+  for (const AsPath& path : dump.paths) {
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) transits[path[i]] = true;
+  }
+
+  // Phase 2: transit votes. transit[(a,b)] counts paths where b acts as a's
+  // provider (a is on the uphill side towards the top, or b is the top's
+  // downhill neighbor seen from the other direction).
+  std::unordered_map<std::uint64_t, std::uint32_t> votes_up;    // low->high id direction
+  std::unordered_map<std::uint64_t, std::uint32_t> votes_down;  // high->low id direction
+  auto vote = [&](AsId customer, AsId provider) {
+    std::uint64_t key = PairKey(customer, provider);
+    if (customer < provider) {
+      ++votes_up[key];
+    } else {
+      ++votes_down[key];
+    }
+  };
+
+  for (const AsPath& path : dump.paths) {
+    if (path.size() < 2) continue;
+    // Top provider: highest observed degree on the path.
+    std::size_t top = 0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      if (degree[path[i]] > degree[path[top]]) top = i;
+    }
+    // Paths are monitor-first, origin-last; the announcement travelled
+    // origin -> monitor. Between origin and top the announcement climbed
+    // (provider chains towards the path position `top`); after top it
+    // descended. Viewed in path order: for i < top, path[i] learned from
+    // path[i+1]'s export downhill => path[i+1] is closer to top => provider
+    // of path[i]... up to the top; beyond top the roles flip.
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (i < top) {
+        vote(path[i], path[i + 1]);  // path[i+1] transits for path[i]
+      } else {
+        vote(path[i + 1], path[i]);
+      }
+    }
+  }
+
+  // Classify observed edges.
+  AsGraphBuilder builder;
+  for (AsId id = 0; id < n; ++id) {
+    if (degree[id] > 0) builder.AddAs(truth.AsnOf(id));
+  }
+
+  GaoResult result;
+  for (std::uint64_t key : observed_links) {
+    auto low = static_cast<AsId>(key >> 32);
+    auto high = static_cast<AsId>(key & 0xffffffffu);
+    std::uint32_t up = 0;
+    std::uint32_t down = 0;
+    if (auto it = votes_up.find(key); it != votes_up.end()) up = it->second;
+    if (auto it = votes_down.find(key); it != votes_down.end()) down = it->second;
+
+    EdgeType inferred_type;
+    AsId provider = low;
+    AsId customer = high;
+    bool ambiguous = up <= options.sibling_vote_threshold &&
+                     down <= options.sibling_vote_threshold;
+    bool balanced = up > 0 && down > 0 &&
+                    std::max(up, down) < 2 * std::min(up, down);
+    double dlow = std::max<std::uint32_t>(degree[low], 1);
+    double dhigh = std::max<std::uint32_t>(degree[high], 1);
+    double ratio = std::max(dlow, dhigh) / std::min(dlow, dhigh);
+    // Hypergiant peering: a non-transiting endpoint with a large degree
+    // that rivals (or dwarfs) its neighbor's is a peering content/cloud
+    // network, not a customer — the one-directional votes against it are
+    // artifacts of it sitting at the end of every path. No customer has a
+    // much larger degree than its provider.
+    constexpr double kHypergiantDegreeFloor = 20.0;
+    bool stub_peer = (!transits[low] && dlow >= kHypergiantDegreeFloor &&
+                      dlow > 0.5 * dhigh) ||
+                     (!transits[high] && dhigh >= kHypergiantDegreeFloor &&
+                      dhigh > 0.5 * dlow);
+    if (stub_peer || ((ambiguous || balanced) && ratio < options.peer_degree_ratio)) {
+      inferred_type = EdgeType::kP2P;
+    } else if (up >= down) {
+      // votes_up counted (customer=low, provider=high).
+      inferred_type = EdgeType::kP2C;
+      provider = high;
+      customer = low;
+    } else {
+      inferred_type = EdgeType::kP2C;
+      provider = low;
+      customer = high;
+    }
+
+    if (inferred_type == EdgeType::kP2P) {
+      builder.AddEdge(truth.AsnOf(low), truth.AsnOf(high), EdgeType::kP2P);
+    } else {
+      builder.AddEdge(truth.AsnOf(provider), truth.AsnOf(customer), EdgeType::kP2C);
+    }
+    ++result.observed_edges;
+
+    // Score against ground truth.
+    auto true_rel = truth.RelationshipBetween(low, high);  // high from low's view
+    if (!true_rel) {
+      ++result.misclassified;  // a link that does not exist (cannot happen
+                               // with simulated paths, but be safe)
+      continue;
+    }
+    if (*true_rel == Relationship::kPeer) {
+      ++result.observed_true_p2p;
+      inferred_type == EdgeType::kP2P ? ++result.correct_p2p : ++result.misclassified;
+    } else {
+      ++result.observed_true_p2c;
+      bool truth_low_is_provider = (*true_rel == Relationship::kCustomer);
+      bool inferred_correctly = inferred_type == EdgeType::kP2C &&
+                                ((truth_low_is_provider && provider == low) ||
+                                 (!truth_low_is_provider && provider == high));
+      inferred_correctly ? ++result.correct_p2c : ++result.misclassified;
+    }
+  }
+
+  // Coverage: ground-truth edges never observed on any path.
+  for (const AsGraph::Edge& e : truth.EdgeList()) {
+    AsId a = *truth.IdOf(e.a);
+    AsId b = *truth.IdOf(e.b);
+    if (!observed_links.contains(PairKey(a, b))) {
+      ++result.missing_edges;
+      e.type == EdgeType::kP2P ? ++result.missing_p2p : ++result.missing_p2c;
+    }
+  }
+
+  result.inferred = std::move(builder).Build();
+  return result;
+}
+
+}  // namespace flatnet

@@ -1,0 +1,85 @@
+// AS relationship inference from observed BGP paths — Gao's classic
+// algorithm (ToN 2001), the ancestor of AS-Rank and ProbLink (§2.3).
+//
+// Phase 1: compute node degrees from the paths; in each path the
+//          highest-degree AS is the "top provider" — the path climbs to it
+//          and descends after it (valley-free assumption).
+// Phase 2: every uphill step votes "right transits for left" and every
+//          downhill step votes the reverse; edges are classified p2c by the
+//          dominant direction (both directions ≤ L votes → sibling-ish,
+//          treated as peer here).
+// Phase 3: edges adjacent to the top of a path whose endpoint degrees are
+//          within ratio R and whose transit votes are balanced become p2p.
+//
+// The output is an inferred AsGraph plus an accuracy report against a
+// ground-truth graph — reproducing both the strength the paper leans on
+// (c2p links are inferred well) and the weakness it fights (edge peering
+// that never crosses a monitor's best path simply does not exist in the
+// output).
+#ifndef FLATNET_BGP_GAO_H_
+#define FLATNET_BGP_GAO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "asgraph/as_graph.h"
+#include "bgp/monitors.h"
+
+namespace flatnet {
+
+struct GaoOptions {
+  // Phase-2 vote threshold L: with both directions at most L, the edge is
+  // ambiguous (sibling in Gao's terms); we classify it as p2p.
+  std::uint32_t sibling_vote_threshold = 1;
+  // Phase-3 degree ratio R for peering candidates.
+  double peer_degree_ratio = 60.0;
+};
+
+struct GaoResult {
+  AsGraph inferred;  // same ASN universe as the input graph's observed ASes
+  std::size_t observed_edges = 0;
+  // Inferred Tier-1 clique (AS-Rank only; empty for plain Gao).
+  std::vector<Asn> clique;
+
+  // Accuracy vs ground truth, over the observed edges.
+  std::size_t correct_p2c = 0;
+  std::size_t correct_p2p = 0;
+  std::size_t misclassified = 0;   // observed but typed wrongly
+  std::size_t observed_true_p2c = 0;
+  std::size_t observed_true_p2p = 0;
+  std::size_t missing_edges = 0;   // in truth but never observed on a path
+  std::size_t missing_p2p = 0;     // the §4.1 blind spot
+  std::size_t missing_p2c = 0;
+
+  double EdgeAccuracy() const {
+    std::size_t total = correct_p2c + correct_p2p + misclassified;
+    return total == 0 ? 0.0
+                      : static_cast<double>(correct_p2c + correct_p2p) /
+                            static_cast<double>(total);
+  }
+  // Per-class accuracy over observed links: Gao types c2p links very well
+  // (the paper's premise) but struggles with apex peering — the historical
+  // gap AS-Rank and ProbLink (§2.3) were built to close.
+  double P2cAccuracy() const {
+    return observed_true_p2c == 0 ? 0.0
+                                  : static_cast<double>(correct_p2c) / observed_true_p2c;
+  }
+  double P2pAccuracy() const {
+    return observed_true_p2p == 0 ? 0.0
+                                  : static_cast<double>(correct_p2p) / observed_true_p2p;
+  }
+  double Coverage() const {
+    std::size_t truth = observed_edges + missing_edges;
+    return truth == 0 ? 0.0
+                      : static_cast<double>(observed_edges) / static_cast<double>(truth);
+  }
+};
+
+// Infers relationships from `dump` and scores them against `truth` (the
+// graph the paths were simulated on).
+GaoResult InferRelationshipsGao(const RibDump& dump, const AsGraph& truth,
+                                const GaoOptions& options = {});
+
+}  // namespace flatnet
+
+#endif  // FLATNET_BGP_GAO_H_

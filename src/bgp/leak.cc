@@ -1,0 +1,86 @@
+#include "bgp/leak.h"
+
+#include "util/error.h"
+
+namespace flatnet {
+
+LeakExperiment::LeakExperiment(const AsGraph& graph, AsId victim, LeakConfig config,
+                               const std::vector<double>* users)
+    : graph_(graph), victim_(victim), config_(std::move(config)), users_(users) {
+  if (victim >= graph.num_ases()) throw InvalidArgument("LeakExperiment: bad victim");
+  if (users_ != nullptr) {
+    if (users_->size() != graph.num_ases()) {
+      throw InvalidArgument("LeakExperiment: users array size mismatch");
+    }
+    for (double u : *users_) total_users_ += u;
+  }
+
+  AnnouncementSource victim_source;
+  victim_source.node = victim_;
+  victim_source.allowed_neighbors = config_.victim_export;
+  PropagationOptions options;
+  if (config_.peer_locked && config_.lock_mode == PeerLockMode::kFull) {
+    // Only full locking constrains legitimate propagation; the pre-erratum
+    // filter acts on the leaker alone (no leaker exists in the baseline).
+    options.peer_locked = &*config_.peer_locked;
+    options.protected_origin = victim_;
+  }
+  baseline_ = std::make_unique<RouteComputation>(graph_, std::vector{victim_source}, options);
+}
+
+std::optional<LeakOutcome> LeakExperiment::Run(AsId leaker) const {
+  if (leaker >= graph_.num_ases()) throw InvalidArgument("LeakExperiment::Run: bad leaker");
+  if (leaker == victim_) return std::nullopt;
+
+  PathLength base = 0;
+  if (config_.model == LeakModel::kReannounce) {
+    const RouteEntry& entry = baseline_->Route(leaker);
+    if (!entry.HasRoute()) return std::nullopt;  // nothing to leak
+    base = entry.length;
+  }
+
+  AnnouncementSource victim_source;
+  victim_source.node = victim_;
+  victim_source.allowed_neighbors = config_.victim_export;
+
+  AnnouncementSource leak_source;
+  leak_source.node = leaker;
+  leak_source.base_length = base;
+  // The leak exports to every neighbor: no allowed_neighbors restriction.
+
+  PropagationOptions options;
+  Bitset leaker_mask;
+  if (config_.peer_locked) {
+    options.peer_locked = &*config_.peer_locked;
+    options.protected_origin = victim_;
+    options.lock_mode = config_.lock_mode;
+    if (config_.lock_mode == PeerLockMode::kDirectOnly) {
+      leaker_mask.Resize(graph_.num_ases());
+      leaker_mask.Set(leaker);
+      options.lock_filtered_senders = &leaker_mask;
+    }
+  }
+
+  RouteComputation joint(graph_, {victim_source, leak_source}, options);
+
+  LeakOutcome outcome;
+  outcome.leaker = leaker;
+  constexpr std::uint8_t kLeakBit = 1u << 1;  // the leaker is source index 1
+  std::size_t n = graph_.num_ases();
+  double users_detoured = 0.0;
+  for (AsId node = 0; node < n; ++node) {
+    if (node == victim_ || node == leaker) continue;
+    if (joint.Route(node).source_mask & kLeakBit) {
+      ++outcome.detoured_count;
+      if (users_ != nullptr) users_detoured += (*users_)[node];
+    }
+  }
+  outcome.fraction_ases_detoured =
+      n > 2 ? static_cast<double>(outcome.detoured_count) / static_cast<double>(n - 2) : 0.0;
+  if (users_ != nullptr && total_users_ > 0.0) {
+    outcome.fraction_users_detoured = users_detoured / total_users_;
+  }
+  return outcome;
+}
+
+}  // namespace flatnet

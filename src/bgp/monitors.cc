@@ -1,0 +1,60 @@
+#include "bgp/monitors.h"
+
+#include <algorithm>
+
+#include "bgp/propagation.h"
+#include "util/error.h"
+
+namespace flatnet {
+
+RibDump CollectRibs(const AsGraph& graph, const std::vector<AsId>& monitors,
+                    const RibCollectionOptions& options) {
+  if (monitors.empty()) throw InvalidArgument("CollectRibs: no monitors");
+  Rng rng(options.seed);
+  RibDump dump;
+  dump.monitors = monitors;
+
+  for (AsId origin = 0; origin < graph.num_ases(); ++origin) {
+    if (options.origin_fraction < 1.0 && !rng.Bernoulli(options.origin_fraction)) continue;
+    ++dump.origins_sampled;
+    AnnouncementSource source{.node = origin};
+    RouteComputation computation(graph, {source});
+    for (AsId monitor : monitors) {
+      if (monitor == origin || !computation.Route(monitor).HasRoute()) continue;
+      if (options.max_paths_per_pair <= 1) {
+        dump.paths.push_back(DeterministicBestPath(computation, monitor));
+      } else {
+        auto paths = EnumerateBestPaths(computation, monitor, options.max_paths_per_pair);
+        dump.paths.insert(dump.paths.end(), paths.begin(), paths.end());
+      }
+    }
+  }
+  return dump;
+}
+
+std::vector<AsId> DefaultMonitorPlacement(const AsGraph& graph, std::size_t count,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<AsId> monitors;
+  // Half the collectors peer with large transit ASes (pick the customers of
+  // the highest-degree nodes), half are random volunteers.
+  std::vector<AsId> order(graph.num_ases());
+  for (AsId id = 0; id < graph.num_ases(); ++id) order[id] = id;
+  std::sort(order.begin(), order.end(), [&](AsId a, AsId b) {
+    return graph.CustomerCount(a) > graph.CustomerCount(b);
+  });
+  std::size_t transit_monitors = count / 2;
+  for (std::size_t i = 0; i < transit_monitors && i < order.size(); ++i) {
+    auto customers = graph.Customers(order[i]);
+    if (customers.empty()) continue;
+    monitors.push_back(customers[rng.UniformU64(customers.size())].id);
+  }
+  while (monitors.size() < count) {
+    monitors.push_back(static_cast<AsId>(rng.UniformU64(graph.num_ases())));
+  }
+  std::sort(monitors.begin(), monitors.end());
+  monitors.erase(std::unique(monitors.begin(), monitors.end()), monitors.end());
+  return monitors;
+}
+
+}  // namespace flatnet

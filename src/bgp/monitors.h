@@ -1,0 +1,52 @@
+// BGP route collectors.
+//
+// The CAIDA relationship datasets the paper builds on are themselves
+// derived from AS paths observed at RouteViews/RIPE-RIS collector peers.
+// This module reproduces that upstream step: designated monitor ASes record
+// the AS path of their best route towards every origin, yielding the RIB
+// dump an inference algorithm (asgraph/gao.h) consumes. Monitor placement
+// drives visibility — a monitor deep in the hierarchy sees c2p chains but
+// almost no edge peering, which is precisely the blind spot §4.1 works
+// around.
+#ifndef FLATNET_BGP_MONITORS_H_
+#define FLATNET_BGP_MONITORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "asgraph/as_graph.h"
+#include "bgp/paths.h"
+#include "util/rng.h"
+
+namespace flatnet {
+
+struct RibDump {
+  // AS paths in BGP order: monitor first, origin last (dense ids).
+  std::vector<AsPath> paths;
+  std::vector<AsId> monitors;
+  std::size_t origins_sampled = 0;
+};
+
+struct RibCollectionOptions {
+  // Fraction of ASes whose announcements are traced (1.0 = every origin).
+  double origin_fraction = 1.0;
+  // Keep every tied-best path up to this bound per (monitor, origin); 1
+  // records only the deterministic tie-break winner (a router's single
+  // best path).
+  std::size_t max_paths_per_pair = 1;
+  std::uint64_t seed = 7;
+};
+
+// Collects best-path RIBs at `monitors` for announcements from every
+// (sampled) origin. O(origins * (V + E)).
+RibDump CollectRibs(const AsGraph& graph, const std::vector<AsId>& monitors,
+                    const RibCollectionOptions& options = {});
+
+// Typical collector-peer placement: a few monitors inside the hierarchy's
+// customer cones plus a handful of edge volunteers.
+std::vector<AsId> DefaultMonitorPlacement(const AsGraph& graph, std::size_t count,
+                                          std::uint64_t seed);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_BGP_MONITORS_H_

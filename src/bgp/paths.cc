@@ -1,0 +1,72 @@
+#include "bgp/paths.h"
+
+#include <algorithm>
+
+namespace flatnet {
+namespace {
+
+void Enumerate(const RouteComputation& computation, AsId node, AsPath& current,
+               std::vector<AsPath>& out, std::size_t max_paths) {
+  if (out.size() >= max_paths) return;
+  current.push_back(node);
+  const auto& preds = computation.Predecessors(node);
+  if (preds.empty()) {
+    out.push_back(current);  // reached the origin
+  } else {
+    for (AsId pred : preds) {
+      Enumerate(computation, pred, current, out, max_paths);
+      if (out.size() >= max_paths) break;
+    }
+  }
+  current.pop_back();
+}
+
+}  // namespace
+
+std::vector<AsPath> EnumerateBestPaths(const RouteComputation& computation, AsId node,
+                                       std::size_t max_paths) {
+  std::vector<AsPath> out;
+  if (!computation.Route(node).HasRoute()) return out;
+  AsPath current;
+  Enumerate(computation, node, current, out, max_paths);
+  return out;
+}
+
+AsPath DeterministicBestPath(const RouteComputation& computation, AsId node) {
+  AsPath path;
+  if (!computation.Route(node).HasRoute()) return path;
+  const AsGraph& graph = computation.graph();
+  AsId cursor = node;
+  while (true) {
+    path.push_back(cursor);
+    const auto& preds = computation.Predecessors(cursor);
+    if (preds.empty()) return path;
+    cursor = *std::min_element(preds.begin(), preds.end(), [&](AsId a, AsId b) {
+      return graph.AsnOf(a) < graph.AsnOf(b);
+    });
+  }
+}
+
+AsPath SampleBestPath(const RouteComputation& computation, AsId node, Rng& rng) {
+  AsPath path;
+  if (!computation.Route(node).HasRoute()) return path;
+  AsId cursor = node;
+  while (true) {
+    path.push_back(cursor);
+    const auto& preds = computation.Predecessors(cursor);
+    if (preds.empty()) return path;
+    cursor = preds[rng.UniformU64(preds.size())];
+  }
+}
+
+bool IsBestPath(const RouteComputation& computation, const AsPath& path) {
+  if (path.empty()) return false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto& preds = computation.Predecessors(path[i]);
+    if (std::find(preds.begin(), preds.end(), path[i + 1]) == preds.end()) return false;
+  }
+  return computation.Predecessors(path.back()).empty() &&
+         computation.Route(path.back()).cls == RouteClass::kOrigin;
+}
+
+}  // namespace flatnet

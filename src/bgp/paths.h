@@ -1,0 +1,38 @@
+// Enumeration and sampling of tied-best AS paths from the predecessor DAG.
+// Used by the traceroute simulator (ground-truth forwarding follows one
+// concrete best path) and the Appendix-A validation (is the measured path
+// within the simulated tied-best set?).
+#ifndef FLATNET_BGP_PATHS_H_
+#define FLATNET_BGP_PATHS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/propagation.h"
+#include "util/rng.h"
+
+namespace flatnet {
+
+// An AS path from a node to the origin, node first, origin last.
+using AsPath = std::vector<AsId>;
+
+// Enumerates tied-best paths from `node` to the origin, up to `max_paths`
+// (DFS order). Returns an empty vector for unreachable nodes.
+std::vector<AsPath> EnumerateBestPaths(const RouteComputation& computation, AsId node,
+                                       std::size_t max_paths = 64);
+
+// Picks one tied-best path deterministically: at every step, the
+// predecessor with the lowest AS number wins — a stand-in for the
+// tie-breaks (router ids, IGP costs) real routers apply consistently.
+AsPath DeterministicBestPath(const RouteComputation& computation, AsId node);
+
+// Picks one tied-best path uniformly at random over predecessor choices.
+AsPath SampleBestPath(const RouteComputation& computation, AsId node, Rng& rng);
+
+// True if `path` (node-to-origin order) is one of the tied-best paths in
+// the computation.
+bool IsBestPath(const RouteComputation& computation, const AsPath& path);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_BGP_PATHS_H_

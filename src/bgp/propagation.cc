@@ -1,0 +1,273 @@
+#include "bgp/propagation.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace flatnet {
+namespace {
+
+const char* kClassNames[] = {"origin", "customer", "peer", "provider", "none"};
+
+bool SourceAllows(const AnnouncementSource& source, AsId neighbor) {
+  return !source.allowed_neighbors || source.allowed_neighbors->Test(neighbor);
+}
+
+}  // namespace
+
+const char* ToString(RouteClass cls) { return kClassNames[static_cast<std::size_t>(cls)]; }
+
+RouteComputation::RouteComputation(const AsGraph& graph,
+                                   const std::vector<AnnouncementSource>& sources,
+                                   const PropagationOptions& options)
+    : graph_(&graph),
+      num_sources_(sources.size()),
+      entries_(graph.num_ases()),
+      preds_(graph.num_ases()),
+      is_source_(graph.num_ases()) {
+  if (sources.empty()) throw InvalidArgument("RouteComputation: no sources");
+  if (sources.size() > 8) throw InvalidArgument("RouteComputation: at most 8 sources");
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const AnnouncementSource& s = sources[i];
+    if (s.node >= graph.num_ases()) throw InvalidArgument("RouteComputation: bad source node");
+    if (is_source_.Test(s.node)) {
+      throw InvalidArgument("RouteComputation: duplicate source node");
+    }
+    if (options.excluded != nullptr && options.excluded->Test(s.node)) {
+      throw InvalidArgument("RouteComputation: source is in the excluded set");
+    }
+    is_source_.Set(s.node);
+    entries_[s.node].cls = RouteClass::kOrigin;
+    entries_[s.node].length = s.base_length;
+    entries_[s.node].source_mask = static_cast<std::uint8_t>(1u << i);
+  }
+
+  RunCustomerPhase(sources, options);
+  RunPeerPhase(sources, options);
+  RunProviderPhase(sources, options);
+
+  // Topological order of the predecessor DAG: ascending best length.
+  // Counting sort over lengths.
+  PathLength max_len = 0;
+  std::size_t routed = 0;
+  for (const RouteEntry& e : entries_) {
+    if (e.HasRoute()) {
+      ++routed;
+      max_len = std::max(max_len, e.length);
+    }
+  }
+  std::vector<std::uint32_t> counts(static_cast<std::size_t>(max_len) + 2, 0);
+  for (const RouteEntry& e : entries_) {
+    if (e.HasRoute()) ++counts[e.length + 1];
+  }
+  for (std::size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+  order_.resize(routed);
+  for (AsId node = 0; node < entries_.size(); ++node) {
+    if (entries_[node].HasRoute()) order_[counts[entries_[node].length]++] = node;
+  }
+}
+
+bool RouteComputation::Filtered(AsId receiver, AsId sender,
+                                const PropagationOptions& options) const {
+  if (options.excluded != nullptr && options.excluded->Test(receiver)) return true;
+  if (options.peer_locked != nullptr && options.peer_locked->Test(receiver)) {
+    if (options.lock_mode == PeerLockMode::kFull) {
+      return sender != options.protected_origin;
+    }
+    // Pre-erratum: the lock only drops announcements arriving directly from
+    // a filtered sender (the misconfigured AS); relayed copies slip through.
+    return options.lock_filtered_senders != nullptr &&
+           options.lock_filtered_senders->Test(sender);
+  }
+  return false;
+}
+
+void RouteComputation::RunCustomerPhase(const std::vector<AnnouncementSource>& sources,
+                                        const PropagationOptions& options) {
+  // dist/preds/mask live directly in entries_/preds_ : a node reached here
+  // has customer class, the best possible for a non-origin.
+  buckets_.clear();
+  auto relax = [&](AsId node, PathLength len, AsId pred, std::uint8_t mask) {
+    if (is_source_.Test(node)) return;
+    RouteEntry& e = entries_[node];
+    if (e.cls == RouteClass::kCustomer && e.length == len) {
+      preds_[node].push_back(pred);
+      e.source_mask |= mask;
+      return;
+    }
+    if (e.cls != RouteClass::kCustomer || len < e.length) {
+      e.cls = RouteClass::kCustomer;
+      e.length = len;
+      e.source_mask = mask;
+      preds_[node].assign(1, pred);
+      if (buckets_.size() <= len) buckets_.resize(len + 1);
+      buckets_[len].push_back(node);
+    }
+  };
+
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const AnnouncementSource& s = sources[i];
+    auto mask = static_cast<std::uint8_t>(1u << i);
+    for (const Neighbor& nb : graph_->Providers(s.node)) {
+      if (!SourceAllows(s, nb.id) || Filtered(nb.id, s.node, options)) continue;
+      relax(nb.id, static_cast<PathLength>(s.base_length + 1), s.node, mask);
+    }
+  }
+
+  for (std::size_t len = 0; len < buckets_.size(); ++len) {
+    // buckets_ may grow while iterating; index-based loop is intentional.
+    for (std::size_t head = 0; head < buckets_[len].size(); ++head) {
+      AsId node = buckets_[len][head];
+      const RouteEntry& e = entries_[node];
+      if (e.cls != RouteClass::kCustomer || e.length != len) continue;  // stale entry
+      std::uint8_t mask = e.source_mask;
+      for (const Neighbor& nb : graph_->Providers(node)) {
+        if (Filtered(nb.id, node, options)) continue;
+        relax(nb.id, static_cast<PathLength>(len + 1), node, mask);
+      }
+    }
+  }
+}
+
+void RouteComputation::RunPeerPhase(const std::vector<AnnouncementSource>& sources,
+                                    const PropagationOptions& options) {
+  std::size_t n = graph_->num_ases();
+  for (AsId node = 0; node < n; ++node) {
+    if (entries_[node].HasRoute()) continue;  // customer route or source
+    if (options.excluded != nullptr && options.excluded->Test(node)) continue;
+    PathLength best = kInfLength;
+    std::vector<AsId> best_preds;
+    std::uint8_t mask = 0;
+    for (const Neighbor& nb : graph_->Peers(node)) {
+      PathLength candidate = kInfLength;
+      std::uint8_t nb_mask = 0;
+      if (is_source_.Test(nb.id)) {
+        // Find which source this is; with <=8 sources a linear scan is fine.
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+          if (sources[i].node == nb.id) {
+            if (!SourceAllows(sources[i], node)) break;
+            candidate = static_cast<PathLength>(sources[i].base_length + 1);
+            nb_mask = static_cast<std::uint8_t>(1u << i);
+            break;
+          }
+        }
+      } else if (entries_[nb.id].cls == RouteClass::kCustomer) {
+        // Peers export only customer-learned routes.
+        candidate = static_cast<PathLength>(entries_[nb.id].length + 1);
+        nb_mask = entries_[nb.id].source_mask;
+      }
+      if (candidate == kInfLength || Filtered(node, nb.id, options)) continue;
+      if (candidate < best) {
+        best = candidate;
+        best_preds.assign(1, nb.id);
+        mask = nb_mask;
+      } else if (candidate == best) {
+        best_preds.push_back(nb.id);
+        mask |= nb_mask;
+      }
+    }
+    if (best != kInfLength) {
+      entries_[node].cls = RouteClass::kPeer;
+      entries_[node].length = best;
+      entries_[node].source_mask = mask;
+      preds_[node] = std::move(best_preds);
+    }
+  }
+}
+
+void RouteComputation::RunProviderPhase(const std::vector<AnnouncementSource>& sources,
+                                        const PropagationOptions& options) {
+  std::size_t n = graph_->num_ases();
+  // Provider-phase distances are tracked separately: entries_ still holds
+  // the (preferred) customer/peer routes, which must not be overwritten.
+  std::vector<PathLength> dist(n, kInfLength);
+  std::vector<std::uint8_t> mask(n, 0);
+  buckets_.clear();
+
+  auto relax = [&](AsId node, PathLength len, AsId pred, std::uint8_t m) {
+    // Nodes that already selected a better class never adopt provider routes.
+    if (is_source_.Test(node) || entries_[node].HasRoute()) return;
+    if (dist[node] == len) {
+      preds_[node].push_back(pred);
+      mask[node] |= m;
+      return;
+    }
+    if (len < dist[node]) {
+      dist[node] = len;
+      mask[node] = m;
+      preds_[node].assign(1, pred);
+      if (buckets_.size() <= len) buckets_.resize(len + 1);
+      buckets_[len].push_back(node);
+    }
+  };
+
+  // Seed: sources export to their customers...
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const AnnouncementSource& s = sources[i];
+    auto m = static_cast<std::uint8_t>(1u << i);
+    for (const Neighbor& nb : graph_->Customers(s.node)) {
+      if (!SourceAllows(s, nb.id) || Filtered(nb.id, s.node, options)) continue;
+      relax(nb.id, static_cast<PathLength>(s.base_length + 1), s.node, m);
+    }
+  }
+  // ... and every AS with a selected (customer/peer) route exports it to its
+  // customers.
+  for (AsId node = 0; node < n; ++node) {
+    const RouteEntry& e = entries_[node];
+    if (!e.HasRoute() || e.cls == RouteClass::kOrigin) continue;
+    for (const Neighbor& nb : graph_->Customers(node)) {
+      if (Filtered(nb.id, node, options)) continue;
+      relax(nb.id, static_cast<PathLength>(e.length + 1), node, e.source_mask);
+    }
+  }
+
+  // Downward unit-weight Dijkstra: adopters relay to their own customers.
+  for (std::size_t len = 0; len < buckets_.size(); ++len) {
+    for (std::size_t head = 0; head < buckets_[len].size(); ++head) {
+      AsId node = buckets_[len][head];
+      if (dist[node] != len) continue;  // stale
+      for (const Neighbor& nb : graph_->Customers(node)) {
+        if (Filtered(nb.id, node, options)) continue;
+        relax(nb.id, static_cast<PathLength>(len + 1), node, mask[node]);
+      }
+    }
+  }
+
+  for (AsId node = 0; node < n; ++node) {
+    if (dist[node] != kInfLength) {
+      entries_[node].cls = RouteClass::kProvider;
+      entries_[node].length = dist[node];
+      entries_[node].source_mask = mask[node];
+    }
+  }
+}
+
+Bitset RouteComputation::ReachedSet() const {
+  Bitset reached(entries_.size());
+  for (AsId node = 0; node < entries_.size(); ++node) {
+    if (entries_[node].HasRoute()) reached.Set(node);
+  }
+  return reached;
+}
+
+std::size_t RouteComputation::ReachedCount() const {
+  std::size_t count = 0;
+  for (AsId node = 0; node < entries_.size(); ++node) {
+    if (entries_[node].HasRoute() && !is_source_.Test(node)) ++count;
+  }
+  return count;
+}
+
+std::size_t RouteComputation::CountFromSource(std::size_t source_index) const {
+  if (source_index >= num_sources_) {
+    throw InvalidArgument("RouteComputation::CountFromSource: bad index");
+  }
+  auto bit = static_cast<std::uint8_t>(1u << source_index);
+  std::size_t count = 0;
+  for (AsId node = 0; node < entries_.size(); ++node) {
+    if (!is_source_.Test(node) && (entries_[node].source_mask & bit)) ++count;
+  }
+  return count;
+}
+
+}  // namespace flatnet

@@ -1,0 +1,94 @@
+// Gao-Rexford best-route computation with unbroken ties.
+//
+// Given one or more announcement sources for a single prefix, computes for
+// every AS the preference class and AS-path length of its best route(s),
+// the set of neighbors supplying a tied-best route (a predecessor DAG
+// rooted at the sources), and which sources contribute to the tied-best
+// set. Selection follows the standard model (§6.1): prefer customer over
+// peer over provider routes, then shortest AS path, keeping all ties.
+//
+// The computation runs in three phases mirroring the preference order:
+//   1. customer routes — multi-source BFS "up" provider edges,
+//   2. peer routes — one lateral hop off customer-route holders,
+//   3. provider routes — unit-weight Dijkstra "down" customer edges seeded
+//      by every AS that selected a route in phases 1-2.
+// Each phase uses a bucket queue over path length, so the whole computation
+// is O(V + E + maxlen).
+#ifndef FLATNET_BGP_PROPAGATION_H_
+#define FLATNET_BGP_PROPAGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "asgraph/as_graph.h"
+#include "bgp/policy.h"
+#include "util/bitset.h"
+
+namespace flatnet {
+
+struct RouteEntry {
+  RouteClass cls = RouteClass::kNone;
+  PathLength length = kInfLength;
+  // Bit i set: source i contributes at least one tied-best route.
+  std::uint8_t source_mask = 0;
+
+  bool HasRoute() const { return cls != RouteClass::kNone; }
+};
+
+class RouteComputation {
+ public:
+  // At most 8 sources (source_mask is a byte); 2 is the practical maximum
+  // (victim + leaker).
+  RouteComputation(const AsGraph& graph, const std::vector<AnnouncementSource>& sources,
+                   const PropagationOptions& options = {});
+
+  const AsGraph& graph() const { return *graph_; }
+  std::size_t num_sources() const { return num_sources_; }
+
+  const RouteEntry& Route(AsId node) const { return entries_[node]; }
+
+  // Neighbors of `node` supplying a tied-best route. For a node adjacent to
+  // a source that received the announcement directly, the source node id
+  // appears here. Empty for sources and unreachable nodes.
+  const std::vector<AsId>& Predecessors(AsId node) const { return preds_[node]; }
+
+  // Node ids with a route (sources included), sorted by ascending best
+  // length — a topological order of the predecessor DAG.
+  const std::vector<AsId>& NodesByLength() const { return order_; }
+
+  // Set of nodes holding any route (sources included).
+  Bitset ReachedSet() const;
+
+  // Count of non-source nodes holding a route.
+  std::size_t ReachedCount() const;
+
+  // Count of nodes whose tied-best set includes a route from source
+  // `source_index` (sources themselves excluded).
+  std::size_t CountFromSource(std::size_t source_index) const;
+
+ private:
+  void RunCustomerPhase(const std::vector<AnnouncementSource>& sources,
+                        const PropagationOptions& options);
+  void RunPeerPhase(const std::vector<AnnouncementSource>& sources,
+                    const PropagationOptions& options);
+  void RunProviderPhase(const std::vector<AnnouncementSource>& sources,
+                        const PropagationOptions& options);
+
+  // True when `receiver` must discard an announcement arriving from
+  // `sender` (exclusion or peer-lock filter).
+  bool Filtered(AsId receiver, AsId sender, const PropagationOptions& options) const;
+
+  const AsGraph* graph_;
+  std::size_t num_sources_ = 0;
+  std::vector<RouteEntry> entries_;
+  std::vector<std::vector<AsId>> preds_;
+  std::vector<AsId> order_;
+  Bitset is_source_;
+
+  // Scratch for the bucket queues: buckets_[len] = nodes to visit at len.
+  std::vector<std::vector<AsId>> buckets_;
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_BGP_PROPAGATION_H_

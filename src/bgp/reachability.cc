@@ -1,0 +1,86 @@
+#include "bgp/reachability.h"
+
+#include "util/error.h"
+
+namespace flatnet {
+
+ReachabilityEngine::ReachabilityEngine(const AsGraph& graph)
+    : graph_(graph),
+      up_epoch_(graph.num_ases(), 0),
+      down_epoch_(graph.num_ases(), 0) {}
+
+Bitset ReachabilityEngine::Compute(AsId origin, const Bitset* excluded) {
+  std::size_t n = graph_.num_ases();
+  if (origin >= n) throw InvalidArgument("ReachabilityEngine: origin out of range");
+  Bitset reached(n);
+  if (excluded != nullptr && excluded->Test(origin)) return reached;
+
+  ++epoch_;
+  auto blocked = [&](AsId id) { return excluded != nullptr && excluded->Test(id); };
+
+  // Stage 1: "up" state — ASes holding a customer-learned route. These form
+  // the set reachable from the origin by provider edges only; each can
+  // export to every neighbor. The origin behaves like an up-state node (it
+  // exports its own prefix everywhere).
+  queue_.clear();
+  up_epoch_[origin] = epoch_;
+  queue_.push_back(origin);
+  reached.Set(origin);
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    AsId node = queue_[head];
+    for (const Neighbor& nb : graph_.Providers(node)) {
+      if (blocked(nb.id) || up_epoch_[nb.id] == epoch_) continue;
+      up_epoch_[nb.id] = epoch_;
+      reached.Set(nb.id);
+      queue_.push_back(nb.id);
+    }
+  }
+
+  // Stage 2: one lateral peer step off any up-state node, then strictly
+  // downward through customer edges. Seed the down queue with peers and
+  // customers of every up-state node.
+  std::size_t up_count = queue_.size();
+  for (std::size_t head = 0; head < up_count; ++head) {
+    AsId node = queue_[head];
+    for (const Neighbor& nb : graph_.Peers(node)) {
+      if (blocked(nb.id) || up_epoch_[nb.id] == epoch_ || down_epoch_[nb.id] == epoch_) continue;
+      down_epoch_[nb.id] = epoch_;
+      reached.Set(nb.id);
+      queue_.push_back(nb.id);
+    }
+    for (const Neighbor& nb : graph_.Customers(node)) {
+      if (blocked(nb.id) || up_epoch_[nb.id] == epoch_ || down_epoch_[nb.id] == epoch_) continue;
+      down_epoch_[nb.id] = epoch_;
+      reached.Set(nb.id);
+      queue_.push_back(nb.id);
+    }
+  }
+  for (std::size_t head = up_count; head < queue_.size(); ++head) {
+    AsId node = queue_[head];
+    for (const Neighbor& nb : graph_.Customers(node)) {
+      if (blocked(nb.id) || up_epoch_[nb.id] == epoch_ || down_epoch_[nb.id] == epoch_) continue;
+      down_epoch_[nb.id] = epoch_;
+      reached.Set(nb.id);
+      queue_.push_back(nb.id);
+    }
+  }
+  return reached;
+}
+
+std::size_t ReachabilityEngine::Count(AsId origin, const Bitset* excluded) {
+  Bitset reached = Compute(origin, excluded);
+  std::size_t count = reached.Count();
+  return count > 0 ? count - 1 : 0;  // exclude the origin itself
+}
+
+Bitset ReachableSet(const AsGraph& graph, AsId origin, const Bitset* excluded) {
+  ReachabilityEngine engine(graph);
+  return engine.Compute(origin, excluded);
+}
+
+std::size_t ReachableCount(const AsGraph& graph, AsId origin, const Bitset* excluded) {
+  ReachabilityEngine engine(graph);
+  return engine.Count(origin, excluded);
+}
+
+}  // namespace flatnet

@@ -1,0 +1,47 @@
+// Fast valley-free reachability.
+//
+// reach(o, G): the set of ASes that receive an announcement originated at
+// `o` under valley-free export rules. Computed with a two-state BFS in
+// O(V + E): a node holding a customer-learned route may export to all
+// neighbors ("up" state); a node holding a peer- or provider-learned route
+// may export only to customers ("down" state). This is the engine behind
+// provider-free, Tier-1-free, and hierarchy-free reachability (§6.1).
+#ifndef FLATNET_BGP_REACHABILITY_H_
+#define FLATNET_BGP_REACHABILITY_H_
+
+#include "asgraph/as_graph.h"
+#include "bgp/policy.h"
+#include "util/bitset.h"
+
+namespace flatnet {
+
+// Returns the reachable set, origin included. Nodes in `excluded` (when
+// non-null) neither receive nor forward; an excluded origin yields the
+// empty set.
+Bitset ReachableSet(const AsGraph& graph, AsId origin, const Bitset* excluded = nullptr);
+
+// |ReachableSet| minus the origin itself — the paper's "number of ASes
+// reachable" counts destinations only.
+std::size_t ReachableCount(const AsGraph& graph, AsId origin, const Bitset* excluded = nullptr);
+
+// Reusable workspace for sweeps over many origins: avoids reallocating the
+// per-node state between calls. Not thread-safe; use one per thread.
+class ReachabilityEngine {
+ public:
+  explicit ReachabilityEngine(const AsGraph& graph);
+
+  Bitset Compute(AsId origin, const Bitset* excluded = nullptr);
+  std::size_t Count(AsId origin, const Bitset* excluded = nullptr);
+
+ private:
+  const AsGraph& graph_;
+  // 2 bits per node per sweep, epoch-stamped to avoid clearing.
+  std::vector<std::uint32_t> up_epoch_;
+  std::vector<std::uint32_t> down_epoch_;
+  std::vector<AsId> queue_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_BGP_REACHABILITY_H_

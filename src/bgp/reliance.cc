@@ -1,0 +1,52 @@
+#include "bgp/reliance.h"
+
+#include "util/error.h"
+
+namespace flatnet {
+
+RelianceResult ComputeReliance(const RouteComputation& computation) {
+  if (computation.num_sources() != 1) {
+    throw InvalidArgument("ComputeReliance: requires a single-origin computation");
+  }
+  std::size_t n = computation.graph().num_ases();
+  const std::vector<AsId>& order = computation.NodesByLength();
+
+  RelianceResult result;
+  result.path_counts.assign(n, 0.0);
+  result.reliance.assign(n, 0.0);
+  std::vector<double> dependency(n, 0.0);
+
+  // Forward pass (ascending length): σ(v) = Σ σ(pred). The origin is the
+  // first element of `order` (length 0) with σ = 1.
+  for (AsId node : order) {
+    const auto& preds = computation.Predecessors(node);
+    if (preds.empty()) {
+      result.path_counts[node] = 1.0;  // the origin
+      continue;
+    }
+    double sigma = 0.0;
+    for (AsId pred : preds) sigma += result.path_counts[pred];
+    result.path_counts[node] = sigma;
+  }
+
+  // Backward pass (descending length): Brandes dependency accumulation.
+  // δ(p) += (σ(p)/σ(v)) * (1 + δ(v)) for every tied-best pred p of v.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    AsId node = *it;
+    const auto& preds = computation.Predecessors(node);
+    if (preds.empty()) continue;
+    double share = (1.0 + dependency[node]) / result.path_counts[node];
+    for (AsId pred : preds) {
+      dependency[pred] += result.path_counts[pred] * share;
+    }
+  }
+
+  // rely(a) = δ(a) + 1 (self term) for every reachable non-origin AS.
+  for (AsId node : order) {
+    if (computation.Predecessors(node).empty()) continue;  // origin
+    result.reliance[node] = dependency[node] + 1.0;
+  }
+  return result;
+}
+
+}  // namespace flatnet

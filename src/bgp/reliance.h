@@ -1,0 +1,33 @@
+// Reliance (§7.1): rely(o, a) = Σ_t σ_t(a)/σ_t, where σ_t is the number of
+// best paths network t holds towards origin o (ties unbroken) and σ_t(a)
+// counts those passing through a. The t = a term contributes 1 for every
+// reachable a, which reproduces the paper's two calibration extremes: in a
+// full mesh every AS has reliance exactly 1 on every other AS, and in a
+// pure hierarchy an AS relies on its sole transit provider for the entire
+// Internet.
+//
+// Computed with Brandes-style dependency accumulation over the tied-best
+// predecessor DAG in O(V + E); path counts use doubles because the number
+// of tied paths grows combinatorially while only ratios matter.
+#ifndef FLATNET_BGP_RELIANCE_H_
+#define FLATNET_BGP_RELIANCE_H_
+
+#include <vector>
+
+#include "bgp/propagation.h"
+
+namespace flatnet {
+
+struct RelianceResult {
+  // rely(o, a) per AsId; 0 for the origin itself and unreachable ASes.
+  std::vector<double> reliance;
+  // Number of tied-best paths from each AS to the origin (0 if unreachable).
+  std::vector<double> path_counts;
+};
+
+// `computation` must have exactly one source (the origin).
+RelianceResult ComputeReliance(const RouteComputation& computation);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_BGP_RELIANCE_H_

@@ -1,0 +1,107 @@
+#include "core/leak_scenarios.h"
+
+#include "bgp/leak.h"
+#include "util/rng.h"
+
+namespace flatnet {
+namespace {
+
+LeakConfig ConfigFor(const Internet& internet, AsId victim, LeakScenario scenario,
+                     PeerLockMode lock_mode) {
+  LeakConfig config;
+  config.lock_mode = lock_mode;
+  const AsGraph& graph = internet.graph();
+  const TierSets& tiers = internet.tiers();
+
+  auto neighbor_mask_where = [&](auto predicate) {
+    Bitset mask(graph.num_ases());
+    for (const Neighbor& nb : graph.NeighborsOf(victim)) {
+      if (predicate(nb)) mask.Set(nb.id);
+    }
+    return mask;
+  };
+
+  switch (scenario) {
+    case LeakScenario::kAnnounceAll:
+      break;
+    case LeakScenario::kAnnounceAllLockT1:
+      config.peer_locked = neighbor_mask_where(
+          [&](const Neighbor& nb) { return tiers.tier1_mask.Test(nb.id); });
+      break;
+    case LeakScenario::kAnnounceAllLockT1T2:
+      config.peer_locked = neighbor_mask_where([&](const Neighbor& nb) {
+        return tiers.tier1_mask.Test(nb.id) || tiers.tier2_mask.Test(nb.id);
+      });
+      break;
+    case LeakScenario::kAnnounceAllLockGlobal:
+      config.peer_locked = neighbor_mask_where([](const Neighbor&) { return true; });
+      break;
+    case LeakScenario::kAnnounceHierarchyOnly:
+      config.victim_export = neighbor_mask_where([&](const Neighbor& nb) {
+        return tiers.tier1_mask.Test(nb.id) || tiers.tier2_mask.Test(nb.id) ||
+               nb.rel == Relationship::kProvider;
+      });
+      break;
+  }
+  return config;
+}
+
+}  // namespace
+
+const char* ToString(LeakScenario scenario) {
+  switch (scenario) {
+    case LeakScenario::kAnnounceAll: return "announce to all";
+    case LeakScenario::kAnnounceAllLockT1: return "announce to all, T1 peer lock";
+    case LeakScenario::kAnnounceAllLockT1T2: return "announce to all, T1+T2 peer lock";
+    case LeakScenario::kAnnounceAllLockGlobal: return "announce to all, global peer lock";
+    case LeakScenario::kAnnounceHierarchyOnly: return "announce to T1, T2, and providers";
+  }
+  return "?";
+}
+
+LeakTrialSeries RunLeakScenario(const Internet& internet, AsId victim, LeakScenario scenario,
+                                std::size_t trials, std::uint64_t seed,
+                                const std::vector<double>* users, PeerLockMode lock_mode) {
+  Rng rng(seed);
+  LeakExperiment experiment(internet.graph(), victim,
+                            ConfigFor(internet, victim, scenario, lock_mode), users);
+  LeakTrialSeries series;
+  series.scenario = scenario;
+  std::size_t n = internet.num_ases();
+  std::size_t attempts = 0;
+  std::size_t max_attempts = trials * 20 + 100;
+  while (series.fraction_ases_detoured.size() < trials && attempts++ < max_attempts) {
+    AsId leaker = static_cast<AsId>(rng.UniformU64(n));
+    auto outcome = experiment.Run(leaker);
+    if (!outcome) continue;  // leaker == victim or has nothing to leak
+    series.fraction_ases_detoured.push_back(outcome->fraction_ases_detoured);
+    if (users != nullptr) {
+      series.fraction_users_detoured.push_back(outcome->fraction_users_detoured);
+    }
+  }
+  return series;
+}
+
+std::vector<double> AverageResilienceBaseline(const Internet& internet, std::size_t victims,
+                                              std::size_t leakers_per_victim,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> fractions;
+  std::size_t n = internet.num_ases();
+  for (std::size_t v = 0; v < victims; ++v) {
+    AsId victim = static_cast<AsId>(rng.UniformU64(n));
+    LeakExperiment experiment(internet.graph(), victim, LeakConfig{});
+    std::size_t collected = 0;
+    std::size_t attempts = 0;
+    while (collected < leakers_per_victim && attempts++ < leakers_per_victim * 20 + 50) {
+      AsId leaker = static_cast<AsId>(rng.UniformU64(n));
+      auto outcome = experiment.Run(leaker);
+      if (!outcome) continue;
+      fractions.push_back(outcome->fraction_ases_detoured);
+      ++collected;
+    }
+  }
+  return fractions;
+}
+
+}  // namespace flatnet

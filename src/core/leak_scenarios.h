@@ -1,0 +1,49 @@
+// §8's route-leak scenario matrix (with the erratum's peer-locking
+// semantics): announcement configurations × peer-locking deployments,
+// evaluated over randomly drawn misconfigured ASes.
+#ifndef FLATNET_CORE_LEAK_SCENARIOS_H_
+#define FLATNET_CORE_LEAK_SCENARIOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/policy.h"
+#include "core/internet.h"
+
+namespace flatnet {
+
+enum class LeakScenario {
+  kAnnounceAll,             // victim announces to every neighbor
+  kAnnounceAllLockT1,       // + Tier-1 neighbors deploy peer locking
+  kAnnounceAllLockT1T2,     // + Tier-1 and Tier-2 neighbors lock
+  kAnnounceAllLockGlobal,   // + all neighbors lock
+  kAnnounceHierarchyOnly,   // victim announces only to T1s, T2s, providers
+};
+
+const char* ToString(LeakScenario scenario);
+
+struct LeakTrialSeries {
+  LeakScenario scenario = LeakScenario::kAnnounceAll;
+  std::vector<double> fraction_ases_detoured;   // one entry per trial
+  std::vector<double> fraction_users_detoured;  // filled when users given
+};
+
+// Runs `trials` leak simulations against `victim` under `scenario`,
+// choosing the misconfigured AS uniformly at random (re-drawing when the
+// leaker holds no route). `users`, when non-null, enables the Fig 9
+// population weighting.
+LeakTrialSeries RunLeakScenario(const Internet& internet, AsId victim, LeakScenario scenario,
+                                std::size_t trials, std::uint64_t seed,
+                                const std::vector<double>* users = nullptr,
+                                PeerLockMode lock_mode = PeerLockMode::kFull);
+
+// Fig 7/8's "average resilience" baseline: random (victim, leaker) pairs
+// with announce-to-all. Returns the detoured fractions.
+std::vector<double> AverageResilienceBaseline(const Internet& internet, std::size_t victims,
+                                              std::size_t leakers_per_victim,
+                                              std::uint64_t seed);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_CORE_LEAK_SCENARIOS_H_

@@ -1,0 +1,99 @@
+#include "core/reachability_analysis.h"
+
+#include "bgp/propagation.h"
+#include "bgp/reachability.h"
+
+namespace flatnet {
+
+ReachabilitySummary AnalyzeReachability(const Internet& internet, AsId origin) {
+  ReachabilityEngine engine(internet.graph());
+  ReachabilitySummary summary;
+  Bitset mask = internet.ProviderFreeExclusion(origin);
+  summary.provider_free = engine.Count(origin, &mask);
+  mask = internet.Tier1FreeExclusion(origin);
+  summary.tier1_free = engine.Count(origin, &mask);
+  mask = internet.HierarchyFreeExclusion(origin);
+  summary.hierarchy_free = engine.Count(origin, &mask);
+  return summary;
+}
+
+std::vector<std::uint32_t> HierarchyFreeSweep(const Internet& internet) {
+  std::size_t n = internet.num_ases();
+  std::vector<std::uint32_t> result(n, 0);
+  ReachabilityEngine engine(internet.graph());
+  // One shared base mask; per-origin provider bits are set and restored,
+  // avoiding an O(n) mask copy per origin.
+  Bitset mask = internet.tiers().tier1_mask;
+  mask |= internet.tiers().tier2_mask;
+  for (AsId origin = 0; origin < n; ++origin) {
+    bool origin_in_hierarchy = mask.Test(origin);
+    if (origin_in_hierarchy) mask.Reset(origin);
+    std::vector<AsId> flipped;
+    for (const Neighbor& nb : internet.graph().Providers(origin)) {
+      if (!mask.Test(nb.id)) {
+        mask.Set(nb.id);
+        flipped.push_back(nb.id);
+      }
+    }
+    result[origin] = static_cast<std::uint32_t>(engine.Count(origin, &mask));
+    for (AsId id : flipped) mask.Reset(id);
+    if (origin_in_hierarchy) mask.Set(origin);
+  }
+  return result;
+}
+
+Bitset HierarchyFreeUnreachable(const Internet& internet, AsId origin) {
+  ReachabilityEngine engine(internet.graph());
+  Bitset mask = internet.HierarchyFreeExclusion(origin);
+  Bitset reached = engine.Compute(origin, &mask);
+  Bitset unreachable = ~reached;
+  unreachable.Reset(origin);
+  return unreachable;
+}
+
+TypeBreakdown BreakdownByType(const Internet& internet, const Bitset& nodes) {
+  TypeBreakdown breakdown;
+  nodes.ForEachSet([&](std::size_t id) {
+    switch (internet.metadata().Get(static_cast<AsId>(id)).type) {
+      case AsType::kContent:
+      case AsType::kCloud:
+        ++breakdown.content;
+        break;
+      case AsType::kTransit:
+        ++breakdown.transit;
+        break;
+      case AsType::kAccess:
+        ++breakdown.access;
+        break;
+      case AsType::kEnterprise:
+        ++breakdown.enterprise;
+        break;
+    }
+  });
+  return breakdown;
+}
+
+PathLengthBins PathLengths(const Internet& internet, AsId origin,
+                           const std::vector<double>* weights) {
+  AnnouncementSource source;
+  source.node = origin;
+  RouteComputation computation(internet.graph(), {source});
+  PathLengthBins bins;
+  for (AsId node = 0; node < internet.num_ases(); ++node) {
+    if (node == origin) continue;
+    const RouteEntry& entry = computation.Route(node);
+    if (!entry.HasRoute()) continue;
+    double w = weights != nullptr ? (*weights)[node] : 1.0;
+    if (w <= 0.0) continue;
+    if (entry.length <= 1) {
+      bins.one_hop += w;
+    } else if (entry.length == 2) {
+      bins.two_hops += w;
+    } else {
+      bins.three_plus += w;
+    }
+  }
+  return bins;
+}
+
+}  // namespace flatnet

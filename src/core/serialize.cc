@@ -1,0 +1,93 @@
+#include "core/serialize.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "asgraph/caida.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace flatnet {
+namespace {
+
+std::string RelPath(const std::string& stem) { return stem + ".as-rel.txt"; }
+std::string MetaPath(const std::string& stem) { return stem + ".meta.tsv"; }
+
+AsType TypeFromString(std::string_view s) {
+  if (s == "transit") return AsType::kTransit;
+  if (s == "access") return AsType::kAccess;
+  if (s == "content") return AsType::kContent;
+  if (s == "cloud") return AsType::kCloud;
+  if (s == "enterprise") return AsType::kEnterprise;
+  throw ParseError("unknown AS type '" + std::string(s) + "'");
+}
+
+}  // namespace
+
+void SaveInternet(const Internet& internet, const std::string& stem) {
+  {
+    std::ofstream out(RelPath(stem));
+    if (!out) throw Error("SaveInternet: cannot write " + RelPath(stem));
+    WriteCaidaRelationships(internet.graph(), out);
+  }
+  std::ofstream out(MetaPath(stem));
+  if (!out) throw Error("SaveInternet: cannot write " + MetaPath(stem));
+  out << "# asn\tname\ttype\tusers\ttier\n";
+  for (AsId id = 0; id < internet.num_ases(); ++id) {
+    const AsInfo& info = internet.metadata().Get(id);
+    int tier = internet.tiers().tier1_mask.Test(id)   ? 1
+               : internet.tiers().tier2_mask.Test(id) ? 2
+                                                      : 0;
+    out << internet.graph().AsnOf(id) << '\t' << info.name << '\t' << ToString(info.type)
+        << '\t' << StrFormat("%.6g", info.users) << '\t' << tier << '\n';
+  }
+  if (!out) throw Error("SaveInternet: write failure on " + MetaPath(stem));
+}
+
+Internet LoadInternet(const std::string& stem) {
+  AsGraph graph = LoadCaidaFile(RelPath(stem));
+
+  std::ifstream in(MetaPath(stem));
+  if (!in) throw Error("LoadInternet: cannot open " + MetaPath(stem));
+  AsMetadata metadata(graph.num_ases());
+  std::vector<Asn> tier1;
+  std::vector<Asn> tier2;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view view = Trim(line);
+    if (view.empty() || view.front() == '#') continue;
+    auto fields = Split(view, '\t');
+    if (fields.size() != 5) {
+      throw ParseError(StrFormat("meta line %zu: expected 5 fields", line_number));
+    }
+    auto asn = ParseU64(fields[0]);
+    auto users = ParseDouble(fields[3]);
+    auto tier = ParseU64(fields[4]);
+    if (!asn || !users || !tier || *tier > 2) {
+      throw ParseError(StrFormat("meta line %zu: malformed record", line_number));
+    }
+    auto id = graph.IdOf(static_cast<Asn>(*asn));
+    if (!id) {
+      // Metadata for an AS absent from the graph: isolated nodes are not
+      // representable in the CAIDA edge format; skip them.
+      continue;
+    }
+    AsInfo& info = metadata.GetMutable(*id);
+    info.name = std::string(fields[1]);
+    info.type = TypeFromString(fields[2]);
+    info.users = *users;
+    if (*tier == 1) tier1.push_back(static_cast<Asn>(*asn));
+    if (*tier == 2) tier2.push_back(static_cast<Asn>(*asn));
+  }
+  TierSets tiers = MakeTierSets(graph, tier1, tier2);
+  return Internet(std::move(graph), std::move(tiers), std::move(metadata));
+}
+
+bool InternetCacheExists(const std::string& stem) {
+  return std::filesystem::exists(RelPath(stem)) && std::filesystem::exists(MetaPath(stem));
+}
+
+}  // namespace flatnet

@@ -1,0 +1,30 @@
+// Persistence for analysis topologies.
+//
+// An Internet serializes to two plain-text files: the relationship graph in
+// CAIDA serial-1 format (so external tools — and the real CAIDA datasets —
+// interoperate) and a sidecar TSV with per-AS metadata and tier membership.
+// The bench harness uses this as a cache so every experiment binary does
+// not have to regenerate and re-measure the world.
+#ifndef FLATNET_CORE_SERIALIZE_H_
+#define FLATNET_CORE_SERIALIZE_H_
+
+#include <string>
+
+#include "core/internet.h"
+
+namespace flatnet {
+
+// Writes `<stem>.as-rel.txt` and `<stem>.meta.tsv`. Throws Error on I/O
+// failure.
+void SaveInternet(const Internet& internet, const std::string& stem);
+
+// Loads a pair written by SaveInternet. Throws Error if either file is
+// missing or malformed.
+Internet LoadInternet(const std::string& stem);
+
+// True when both files exist.
+bool InternetCacheExists(const std::string& stem);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_CORE_SERIALIZE_H_

@@ -1,0 +1,248 @@
+#include "data/peeringdb.h"
+
+#include <set>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace flatnet {
+namespace {
+
+const char* PolicyFor(const AsInfo& info) {
+  // PeeringDB policies are self-declared; approximate them by role.
+  switch (info.type) {
+    case AsType::kContent:
+    case AsType::kCloud:
+      return "Open";
+    case AsType::kTransit:
+    case AsType::kAccess:
+      return "Selective";
+    case AsType::kEnterprise:
+      return "Restrictive";
+  }
+  return "Selective";
+}
+
+}  // namespace
+
+PeeringDbSnapshot PeeringDbSnapshot::FromWorld(const World& world, const AddressPlan& plan,
+                                               double record_coverage, std::uint64_t seed) {
+  Rng rng(seed);
+  PeeringDbSnapshot snapshot;
+  auto cities = WorldCities();
+
+  // net: one record per AS with a PeeringDB presence. Smaller networks
+  // often skip registration entirely; hypergiants always register.
+  for (AsId id = 0; id < world.num_ases(); ++id) {
+    const AsInfo& info = world.metadata.Get(id);
+    bool registered = world.full_graph.Degree(id) > 3 || !info.name.empty()
+                          ? true
+                          : rng.Bernoulli(0.5);
+    if (!registered) continue;
+    PdbNet net;
+    net.asn = world.full_graph.AsnOf(id);
+    net.name = info.name.empty()
+                   ? StrFormat("AS%u", world.full_graph.AsnOf(id))
+                   : info.name;
+    net.policy = PolicyFor(info);
+    snapshot.nets_.push_back(std::move(net));
+  }
+
+  // ix + netixlan: exchange records and member ports (subject to record
+  // freshness, as in the resolvers).
+  for (std::uint32_t x = 0; x < world.ixps.size(); ++x) {
+    const IxpInstance& ixp = world.ixps[x];
+    PdbIx ix;
+    ix.id = x + 1;
+    ix.name = ixp.name;
+    ix.city = std::string(cities[ixp.city].name);
+    snapshot.ixes_.push_back(std::move(ix));
+  }
+  const AsGraph& graph = world.full_graph;
+  for (AsId a = 0; a < graph.num_ases(); ++a) {
+    for (const Neighbor& nb : graph.Peers(a)) {
+      if (nb.id < a) continue;
+      const LinkAddressing& link = plan.LinkInfo(a, nb.id);
+      if (link.medium != LinkMedium::kIxpLan) continue;
+      for (auto [from, to] : {std::pair{a, nb.id}, std::pair{nb.id, a}}) {
+        if (!rng.Bernoulli(record_coverage)) continue;
+        PdbNetIxLan port;
+        port.asn = graph.AsnOf(to);
+        port.ix_id = link.ixp_index + 1;
+        port.ipaddr4 = plan.BorderAddress(from, to);
+        snapshot.netixlans_.push_back(port);
+      }
+    }
+  }
+
+  // fac + netfac: one colo per city hosting any multi-city network, with
+  // presence rows for every network footprint.
+  std::set<CityIndex> fac_cities;
+  for (AsId id = 0; id < world.num_ases(); ++id) {
+    for (CityIndex c : world.presence[id]) fac_cities.insert(c);
+  }
+  std::unordered_map<CityIndex, std::uint32_t> fac_id_of;
+  for (CityIndex c : fac_cities) {
+    PdbFacility fac;
+    fac.id = static_cast<std::uint32_t>(c) + 1;
+    fac.name = StrFormat("%s Colo 1", std::string(cities[c].name).c_str());
+    fac.city = std::string(cities[c].name);
+    fac_id_of[c] = fac.id;
+    snapshot.facilities_.push_back(std::move(fac));
+  }
+  for (AsId id = 0; id < world.num_ases(); ++id) {
+    // Single-homed stubs rarely list facilities; networks with footprints do.
+    if (world.presence[id].size() <= 1 && !rng.Bernoulli(0.3)) continue;
+    for (CityIndex c : world.presence[id]) {
+      snapshot.netfacs_.push_back({graph.AsnOf(id), fac_id_of[c]});
+    }
+  }
+
+  snapshot.RebuildIndexes();
+  return snapshot;
+}
+
+Json PeeringDbSnapshot::ToJson() const {
+  Json root = Json::MakeObject();
+  auto wrap = [](Json data) {
+    Json section = Json::MakeObject();
+    section["data"] = std::move(data);
+    return section;
+  };
+
+  Json nets = Json::MakeArray();
+  for (const PdbNet& net : nets_) {
+    Json record = Json::MakeObject();
+    record["asn"] = net.asn;
+    record["name"] = net.name;
+    record["policy_general"] = net.policy;
+    nets.Append(std::move(record));
+  }
+  root["net"] = wrap(std::move(nets));
+
+  Json ixes = Json::MakeArray();
+  for (const PdbIx& ix : ixes_) {
+    Json record = Json::MakeObject();
+    record["id"] = ix.id;
+    record["name"] = ix.name;
+    record["city"] = ix.city;
+    ixes.Append(std::move(record));
+  }
+  root["ix"] = wrap(std::move(ixes));
+
+  Json ports = Json::MakeArray();
+  for (const PdbNetIxLan& port : netixlans_) {
+    Json record = Json::MakeObject();
+    record["asn"] = port.asn;
+    record["ix_id"] = port.ix_id;
+    record["ipaddr4"] = port.ipaddr4.ToString();
+    ports.Append(std::move(record));
+  }
+  root["netixlan"] = wrap(std::move(ports));
+
+  Json facs = Json::MakeArray();
+  for (const PdbFacility& fac : facilities_) {
+    Json record = Json::MakeObject();
+    record["id"] = fac.id;
+    record["name"] = fac.name;
+    record["city"] = fac.city;
+    facs.Append(std::move(record));
+  }
+  root["fac"] = wrap(std::move(facs));
+
+  Json netfacs = Json::MakeArray();
+  for (const PdbNetFac& row : netfacs_) {
+    Json record = Json::MakeObject();
+    record["asn"] = row.asn;
+    record["fac_id"] = row.fac_id;
+    netfacs.Append(std::move(record));
+  }
+  root["netfac"] = wrap(std::move(netfacs));
+  return root;
+}
+
+PeeringDbSnapshot PeeringDbSnapshot::FromJson(const Json& json) {
+  PeeringDbSnapshot snapshot;
+  auto section = [&](const char* key) -> const Json::Array& {
+    return json.At(key).At("data").AsArray();
+  };
+  for (const Json& record : section("net")) {
+    PdbNet net;
+    net.asn = static_cast<Asn>(record.At("asn").AsU64());
+    net.name = record.At("name").AsString();
+    net.policy = record.At("policy_general").AsString();
+    snapshot.nets_.push_back(std::move(net));
+  }
+  for (const Json& record : section("ix")) {
+    PdbIx ix;
+    ix.id = static_cast<std::uint32_t>(record.At("id").AsU64());
+    ix.name = record.At("name").AsString();
+    ix.city = record.At("city").AsString();
+    snapshot.ixes_.push_back(std::move(ix));
+  }
+  for (const Json& record : section("netixlan")) {
+    PdbNetIxLan port;
+    port.asn = static_cast<Asn>(record.At("asn").AsU64());
+    port.ix_id = static_cast<std::uint32_t>(record.At("ix_id").AsU64());
+    auto addr = Ipv4Address::FromString(record.At("ipaddr4").AsString());
+    if (!addr) throw ParseError("peeringdb: bad ipaddr4 '" +
+                                record.At("ipaddr4").AsString() + "'");
+    port.ipaddr4 = *addr;
+    snapshot.netixlans_.push_back(port);
+  }
+  for (const Json& record : section("fac")) {
+    PdbFacility fac;
+    fac.id = static_cast<std::uint32_t>(record.At("id").AsU64());
+    fac.name = record.At("name").AsString();
+    fac.city = record.At("city").AsString();
+    snapshot.facilities_.push_back(std::move(fac));
+  }
+  for (const Json& record : section("netfac")) {
+    PdbNetFac row;
+    row.asn = static_cast<Asn>(record.At("asn").AsU64());
+    row.fac_id = static_cast<std::uint32_t>(record.At("fac_id").AsU64());
+    snapshot.netfacs_.push_back(row);
+  }
+  snapshot.RebuildIndexes();
+  return snapshot;
+}
+
+PeeringDbSnapshot PeeringDbSnapshot::Parse(std::string_view text) {
+  return FromJson(Json::Parse(text));
+}
+
+void PeeringDbSnapshot::RebuildIndexes() {
+  lan_owner_.clear();
+  net_index_.clear();
+  fac_city_.clear();
+  fac_of_.clear();
+  for (const PdbNetIxLan& port : netixlans_) lan_owner_[port.ipaddr4.value()] = port.asn;
+  for (std::size_t i = 0; i < nets_.size(); ++i) net_index_[nets_[i].asn] = i;
+  for (const PdbFacility& fac : facilities_) fac_city_[fac.id] = fac.city;
+  for (const PdbNetFac& row : netfacs_) fac_of_[row.asn].push_back(row.fac_id);
+}
+
+std::optional<Asn> PeeringDbSnapshot::ResolveLanAddress(Ipv4Address addr) const {
+  if (auto it = lan_owner_.find(addr.value()); it != lan_owner_.end()) return it->second;
+  return std::nullopt;
+}
+
+std::vector<std::string> PeeringDbSnapshot::FacilityCitiesOf(Asn asn) const {
+  std::vector<std::string> cities;
+  if (auto it = fac_of_.find(asn); it != fac_of_.end()) {
+    for (std::uint32_t fac_id : it->second) {
+      if (auto city = fac_city_.find(fac_id); city != fac_city_.end()) {
+        cities.push_back(city->second);
+      }
+    }
+  }
+  return cities;
+}
+
+const PdbNet* PeeringDbSnapshot::NetOf(Asn asn) const {
+  if (auto it = net_index_.find(asn); it != net_index_.end()) return &nets_[it->second];
+  return nullptr;
+}
+
+}  // namespace flatnet

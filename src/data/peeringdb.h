@@ -1,0 +1,97 @@
+// PeeringDB-style dataset snapshots (§4.2's "authoritative" registry).
+//
+// Mirrors the slice of the PeeringDB schema the paper relies on: networks
+// (`net`), exchanges (`ix`), per-exchange ports with their LAN addresses
+// (`netixlan` — the records that resolve IXP interface addresses to member
+// ASes in §5's final methodology), facilities (`fac`), and network-facility
+// presence (`netfac` — the candidate locations in Appendix D). Snapshots
+// serialize to a JSON document shaped like a PeeringDB API dump, so the
+// registry inputs of a study can be stored, shared, and reloaded.
+#ifndef FLATNET_DATA_PEERINGDB_H_
+#define FLATNET_DATA_PEERINGDB_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "measure/addressing.h"
+#include "util/json.h"
+#include "topogen/world.h"
+
+namespace flatnet {
+
+struct PdbNet {
+  Asn asn = 0;
+  std::string name;
+  std::string policy;  // "Open" / "Selective" / "Restrictive"
+};
+
+struct PdbIx {
+  std::uint32_t id = 0;
+  std::string name;
+  std::string city;
+};
+
+struct PdbNetIxLan {
+  Asn asn = 0;
+  std::uint32_t ix_id = 0;
+  Ipv4Address ipaddr4;
+};
+
+struct PdbFacility {
+  std::uint32_t id = 0;
+  std::string name;
+  std::string city;
+};
+
+struct PdbNetFac {
+  Asn asn = 0;
+  std::uint32_t fac_id = 0;
+};
+
+class PeeringDbSnapshot {
+ public:
+  // Builds a snapshot of the world's registries: every AS as a `net`
+  // record, every IXP as an `ix` with `netixlan` port records for members
+  // that keep their entries current (`record_coverage`), and one facility
+  // per (deployment network, PoP city) with the matching `netfac` rows.
+  static PeeringDbSnapshot FromWorld(const World& world, const AddressPlan& plan,
+                                     double record_coverage, std::uint64_t seed);
+
+  Json ToJson() const;
+  static PeeringDbSnapshot FromJson(const Json& json);
+
+  std::string Dump(int indent = 2) const { return ToJson().Dump(indent); }
+  static PeeringDbSnapshot Parse(std::string_view text);
+
+  // Lookups mirroring how the paper uses PeeringDB.
+  std::optional<Asn> ResolveLanAddress(Ipv4Address addr) const;      // §5
+  std::vector<std::string> FacilityCitiesOf(Asn asn) const;          // Appendix D
+  const PdbNet* NetOf(Asn asn) const;
+
+  const std::vector<PdbNet>& nets() const { return nets_; }
+  const std::vector<PdbIx>& ixes() const { return ixes_; }
+  const std::vector<PdbNetIxLan>& netixlans() const { return netixlans_; }
+  const std::vector<PdbFacility>& facilities() const { return facilities_; }
+  const std::vector<PdbNetFac>& netfacs() const { return netfacs_; }
+
+ private:
+  void RebuildIndexes();
+
+  std::vector<PdbNet> nets_;
+  std::vector<PdbIx> ixes_;
+  std::vector<PdbNetIxLan> netixlans_;
+  std::vector<PdbFacility> facilities_;
+  std::vector<PdbNetFac> netfacs_;
+
+  std::unordered_map<std::uint32_t, Asn> lan_owner_;        // raw ip -> asn
+  std::unordered_map<Asn, std::size_t> net_index_;
+  std::unordered_map<std::uint32_t, std::string> fac_city_;
+  std::unordered_map<Asn, std::vector<std::uint32_t>> fac_of_;
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_DATA_PEERINGDB_H_

@@ -1,0 +1,182 @@
+#include "geo/cities.h"
+
+#include <array>
+
+#include "util/strings.h"
+
+namespace flatnet {
+namespace {
+
+using enum Continent;
+
+// Coordinates rounded to ~0.1 degree; populations are metro-area estimates
+// in millions. The mix intentionally over-represents the regions where the
+// paper observes PoP concentration (North America, Europe, East Asia) and
+// includes the secondary markets where only transit providers deploy.
+constexpr std::array kCities = {
+    // North America
+    City{"New York", "US", "NYC", kNorthAmerica, {40.7, -74.0}, 19.8},
+    City{"Los Angeles", "US", "LAX", kNorthAmerica, {34.1, -118.2}, 13.2},
+    City{"Chicago", "US", "CHI", kNorthAmerica, {41.9, -87.6}, 9.5},
+    City{"Dallas", "US", "DFW", kNorthAmerica, {32.8, -96.8}, 7.6},
+    City{"Houston", "US", "IAH", kNorthAmerica, {29.8, -95.4}, 7.1},
+    City{"Washington", "US", "IAD", kNorthAmerica, {38.9, -77.0}, 6.3},
+    City{"Miami", "US", "MIA", kNorthAmerica, {25.8, -80.2}, 6.1},
+    City{"Philadelphia", "US", "PHL", kNorthAmerica, {40.0, -75.2}, 6.2},
+    City{"Atlanta", "US", "ATL", kNorthAmerica, {33.7, -84.4}, 6.0},
+    City{"Phoenix", "US", "PHX", kNorthAmerica, {33.4, -112.1}, 4.9},
+    City{"Boston", "US", "BOS", kNorthAmerica, {42.4, -71.1}, 4.9},
+    City{"San Francisco", "US", "SFO", kNorthAmerica, {37.8, -122.4}, 4.7},
+    City{"Seattle", "US", "SEA", kNorthAmerica, {47.6, -122.3}, 4.0},
+    City{"San Jose", "US", "SJC", kNorthAmerica, {37.3, -121.9}, 2.0},
+    City{"Denver", "US", "DEN", kNorthAmerica, {39.7, -105.0}, 3.0},
+    City{"Minneapolis", "US", "MSP", kNorthAmerica, {44.98, -93.3}, 3.7},
+    City{"Toronto", "CA", "YYZ", kNorthAmerica, {43.7, -79.4}, 6.4},
+    City{"Montreal", "CA", "YUL", kNorthAmerica, {45.5, -73.6}, 4.3},
+    City{"Vancouver", "CA", "YVR", kNorthAmerica, {49.3, -123.1}, 2.6},
+    City{"Mexico City", "MX", "MEX", kNorthAmerica, {19.4, -99.1}, 21.8},
+    City{"Monterrey", "MX", "MTY", kNorthAmerica, {25.7, -100.3}, 5.3},
+    City{"Guadalajara", "MX", "GDL", kNorthAmerica, {20.7, -103.3}, 5.3},
+    City{"Ashburn", "US", "ASH", kNorthAmerica, {39.0, -77.5}, 0.4},
+    City{"Kansas City", "US", "MCI", kNorthAmerica, {39.1, -94.6}, 2.2},
+    City{"Salt Lake City", "US", "SLC", kNorthAmerica, {40.8, -111.9}, 1.3},
+    City{"Columbus", "US", "CMH", kNorthAmerica, {40.0, -83.0}, 2.1},
+    // South America
+    City{"Sao Paulo", "BR", "GRU", kSouthAmerica, {-23.5, -46.6}, 22.0},
+    City{"Rio de Janeiro", "BR", "GIG", kSouthAmerica, {-22.9, -43.2}, 13.5},
+    City{"Fortaleza", "BR", "FOR", kSouthAmerica, {-3.7, -38.5}, 4.1},
+    City{"Porto Alegre", "BR", "POA", kSouthAmerica, {-30.0, -51.2}, 4.3},
+    City{"Brasilia", "BR", "BSB", kSouthAmerica, {-15.8, -47.9}, 4.8},
+    City{"Buenos Aires", "AR", "EZE", kSouthAmerica, {-34.6, -58.4}, 15.4},
+    City{"Santiago", "CL", "SCL", kSouthAmerica, {-33.4, -70.7}, 6.9},
+    City{"Lima", "PE", "LIM", kSouthAmerica, {-12.0, -77.0}, 11.0},
+    City{"Bogota", "CO", "BOG", kSouthAmerica, {4.7, -74.1}, 11.3},
+    City{"Medellin", "CO", "MDE", kSouthAmerica, {6.2, -75.6}, 4.1},
+    City{"Quito", "EC", "UIO", kSouthAmerica, {-0.2, -78.5}, 2.0},
+    City{"Caracas", "VE", "CCS", kSouthAmerica, {10.5, -66.9}, 2.9},
+    City{"Asuncion", "PY", "ASU", kSouthAmerica, {-25.3, -57.6}, 3.5},
+    City{"Montevideo", "UY", "MVD", kSouthAmerica, {-34.9, -56.2}, 1.8},
+    // Europe
+    City{"London", "GB", "LHR", kEurope, {51.5, -0.1}, 14.8},
+    City{"Paris", "FR", "CDG", kEurope, {48.9, 2.4}, 13.0},
+    City{"Frankfurt", "DE", "FRA", kEurope, {50.1, 8.7}, 5.9},
+    City{"Amsterdam", "NL", "AMS", kEurope, {52.4, 4.9}, 2.9},
+    City{"Berlin", "DE", "BER", kEurope, {52.5, 13.4}, 6.1},
+    City{"Munich", "DE", "MUC", kEurope, {48.1, 11.6}, 6.0},
+    City{"Madrid", "ES", "MAD", kEurope, {40.4, -3.7}, 6.7},
+    City{"Barcelona", "ES", "BCN", kEurope, {41.4, 2.2}, 5.6},
+    City{"Milan", "IT", "MXP", kEurope, {45.5, 9.2}, 4.3},
+    City{"Rome", "IT", "FCO", kEurope, {41.9, 12.5}, 4.3},
+    City{"Zurich", "CH", "ZRH", kEurope, {47.4, 8.5}, 1.4},
+    City{"Geneva", "CH", "GVA", kEurope, {46.2, 6.1}, 0.6},
+    City{"Vienna", "AT", "VIE", kEurope, {48.2, 16.4}, 2.9},
+    City{"Brussels", "BE", "BRU", kEurope, {50.8, 4.4}, 2.1},
+    City{"Dublin", "IE", "DUB", kEurope, {53.3, -6.3}, 1.4},
+    City{"Stockholm", "SE", "ARN", kEurope, {59.3, 18.1}, 2.4},
+    City{"Copenhagen", "DK", "CPH", kEurope, {55.7, 12.6}, 2.1},
+    City{"Oslo", "NO", "OSL", kEurope, {59.9, 10.8}, 1.6},
+    City{"Helsinki", "FI", "HEL", kEurope, {60.2, 24.9}, 1.5},
+    City{"Warsaw", "PL", "WAW", kEurope, {52.2, 21.0}, 3.1},
+    City{"Prague", "CZ", "PRG", kEurope, {50.1, 14.4}, 2.7},
+    City{"Budapest", "HU", "BUD", kEurope, {47.5, 19.0}, 3.0},
+    City{"Bucharest", "RO", "OTP", kEurope, {44.4, 26.1}, 2.3},
+    City{"Sofia", "BG", "SOF", kEurope, {42.7, 23.3}, 1.7},
+    City{"Athens", "GR", "ATH", kEurope, {38.0, 23.7}, 3.6},
+    City{"Lisbon", "PT", "LIS", kEurope, {38.7, -9.1}, 2.9},
+    City{"Marseille", "FR", "MRS", kEurope, {43.3, 5.4}, 1.9},
+    City{"Moscow", "RU", "DME", kEurope, {55.8, 37.6}, 17.3},
+    City{"St Petersburg", "RU", "LED", kEurope, {59.9, 30.3}, 5.4},
+    City{"Kyiv", "UA", "KBP", kEurope, {50.5, 30.5}, 3.5},
+    City{"Istanbul", "TR", "IST", kEurope, {41.0, 28.9}, 15.8},
+    City{"Manchester", "GB", "MAN", kEurope, {53.5, -2.2}, 2.9},
+    City{"Hull", "GB", "HUY", kEurope, {53.7, -0.3}, 0.6},
+    // Africa
+    City{"Johannesburg", "ZA", "JNB", kAfrica, {-26.2, 28.0}, 10.5},
+    City{"Cape Town", "ZA", "CPT", kAfrica, {-33.9, 18.4}, 4.8},
+    City{"Durban", "ZA", "DUR", kAfrica, {-29.9, 31.0}, 3.9},
+    City{"Lagos", "NG", "LOS", kAfrica, {6.5, 3.4}, 15.9},
+    City{"Abuja", "NG", "ABV", kAfrica, {9.1, 7.5}, 3.8},
+    City{"Nairobi", "KE", "NBO", kAfrica, {-1.3, 36.8}, 5.3},
+    City{"Mombasa", "KE", "MBA", kAfrica, {-4.0, 39.7}, 1.4},
+    City{"Cairo", "EG", "CAI", kAfrica, {30.0, 31.2}, 21.7},
+    City{"Casablanca", "MA", "CMN", kAfrica, {33.6, -7.6}, 3.8},
+    City{"Accra", "GH", "ACC", kAfrica, {5.6, -0.2}, 2.6},
+    City{"Dakar", "SN", "DKR", kAfrica, {14.7, -17.5}, 3.3},
+    City{"Addis Ababa", "ET", "ADD", kAfrica, {9.0, 38.8}, 5.2},
+    City{"Dar es Salaam", "TZ", "DAR", kAfrica, {-6.8, 39.3}, 7.4},
+    City{"Kinshasa", "CD", "FIH", kAfrica, {-4.3, 15.3}, 15.6},
+    City{"Algiers", "DZ", "ALG", kAfrica, {36.7, 3.1}, 2.9},
+    City{"Tunis", "TN", "TUN", kAfrica, {36.8, 10.2}, 2.4},
+    // Middle East
+    City{"Dubai", "AE", "DXB", kMiddleEast, {25.3, 55.3}, 3.6},
+    City{"Abu Dhabi", "AE", "AUH", kMiddleEast, {24.5, 54.4}, 1.5},
+    City{"Doha", "QA", "DOH", kMiddleEast, {25.3, 51.5}, 2.4},
+    City{"Riyadh", "SA", "RUH", kMiddleEast, {24.7, 46.7}, 7.7},
+    City{"Jeddah", "SA", "JED", kMiddleEast, {21.5, 39.2}, 4.8},
+    City{"Tel Aviv", "IL", "TLV", kMiddleEast, {32.1, 34.8}, 4.4},
+    City{"Amman", "JO", "AMM", kMiddleEast, {32.0, 35.9}, 2.2},
+    City{"Kuwait City", "KW", "KWI", kMiddleEast, {29.4, 48.0}, 3.3},
+    City{"Manama", "BH", "BAH", kMiddleEast, {26.2, 50.6}, 0.7},
+    City{"Muscat", "OM", "MCT", kMiddleEast, {23.6, 58.4}, 1.7},
+    // Asia
+    City{"Tokyo", "JP", "NRT", kAsia, {35.7, 139.7}, 37.3},
+    City{"Osaka", "JP", "KIX", kAsia, {34.7, 135.5}, 18.9},
+    City{"Seoul", "KR", "ICN", kAsia, {37.6, 127.0}, 25.5},
+    City{"Busan", "KR", "PUS", kAsia, {35.2, 129.1}, 3.4},
+    City{"Beijing", "CN", "PEK", kAsia, {39.9, 116.4}, 21.5},
+    City{"Shanghai", "CN", "PVG", kAsia, {31.2, 121.5}, 28.5},
+    City{"Shenzhen", "CN", "SZX", kAsia, {22.5, 114.1}, 17.6},
+    City{"Guangzhou", "CN", "CAN", kAsia, {23.1, 113.3}, 18.7},
+    City{"Chengdu", "CN", "CTU", kAsia, {30.7, 104.1}, 16.3},
+    City{"Hong Kong", "HK", "HKG", kAsia, {22.3, 114.2}, 7.5},
+    City{"Taipei", "TW", "TPE", kAsia, {25.0, 121.6}, 7.0},
+    City{"Singapore", "SG", "SIN", kAsia, {1.4, 103.8}, 5.9},
+    City{"Kuala Lumpur", "MY", "KUL", kAsia, {3.1, 101.7}, 8.4},
+    City{"Jakarta", "ID", "CGK", kAsia, {-6.2, 106.8}, 33.4},
+    City{"Surabaya", "ID", "SUB", kAsia, {-7.3, 112.7}, 9.5},
+    City{"Bangkok", "TH", "BKK", kAsia, {13.8, 100.5}, 17.1},
+    City{"Manila", "PH", "MNL", kAsia, {14.6, 121.0}, 24.3},
+    City{"Hanoi", "VN", "HAN", kAsia, {21.0, 105.8}, 8.4},
+    City{"Ho Chi Minh City", "VN", "SGN", kAsia, {10.8, 106.7}, 9.3},
+    City{"Mumbai", "IN", "BOM", kAsia, {19.1, 72.9}, 20.7},
+    City{"Delhi", "IN", "DEL", kAsia, {28.6, 77.2}, 31.2},
+    City{"Bangalore", "IN", "BLR", kAsia, {13.0, 77.6}, 12.8},
+    City{"Chennai", "IN", "MAA", kAsia, {13.1, 80.3}, 11.2},
+    City{"Hyderabad", "IN", "HYD", kAsia, {17.4, 78.5}, 10.3},
+    City{"Kolkata", "IN", "CCU", kAsia, {22.6, 88.4}, 15.1},
+    City{"Karachi", "PK", "KHI", kAsia, {24.9, 67.0}, 16.8},
+    City{"Lahore", "PK", "LHE", kAsia, {31.5, 74.3}, 13.5},
+    City{"Dhaka", "BD", "DAC", kAsia, {23.8, 90.4}, 22.4},
+    City{"Colombo", "LK", "CMB", kAsia, {6.9, 79.9}, 2.4},
+    City{"Almaty", "KZ", "ALA", kAsia, {43.2, 76.9}, 2.0},
+    City{"Ulaanbaatar", "MN", "ULN", kAsia, {47.9, 106.9}, 1.6},
+    // Oceania
+    City{"Sydney", "AU", "SYD", kOceania, {-33.9, 151.2}, 5.4},
+    City{"Melbourne", "AU", "MEL", kOceania, {-37.8, 145.0}, 5.2},
+    City{"Brisbane", "AU", "BNE", kOceania, {-27.5, 153.0}, 2.6},
+    City{"Perth", "AU", "PER", kOceania, {-32.0, 115.9}, 2.1},
+    City{"Adelaide", "AU", "ADL", kOceania, {-34.9, 138.6}, 1.4},
+    City{"Auckland", "NZ", "AKL", kOceania, {-36.8, 174.8}, 1.7},
+    City{"Wellington", "NZ", "WLG", kOceania, {-41.3, 174.8}, 0.4},
+    City{"Suva", "FJ", "SUV", kOceania, {-18.1, 178.4}, 0.2},
+};
+
+}  // namespace
+
+std::span<const City> WorldCities() { return kCities; }
+
+std::optional<CityIndex> CityByIata(std::string_view iata) {
+  std::string lowered = AsciiLower(iata);
+  for (std::size_t i = 0; i < kCities.size(); ++i) {
+    if (AsciiLower(kCities[i].iata) == lowered) return static_cast<CityIndex>(i);
+  }
+  return std::nullopt;
+}
+
+double TotalCityPopulationMillions() {
+  double total = 0.0;
+  for (const City& city : kCities) total += city.population_millions;
+  return total;
+}
+
+}  // namespace flatnet

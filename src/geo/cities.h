@@ -1,0 +1,43 @@
+// Embedded world-city database.
+//
+// Substitute for the GPWv4 population raster and the PoP location inputs
+// (§4.2, §4.3): ~130 metropolitan areas with coordinates, IATA-style
+// airport codes (the rDNS pipeline embeds and re-extracts these), and
+// metro population estimates. Population figures are coarse public
+// knowledge and only the *relative* distribution matters for the coverage
+// experiments.
+#ifndef FLATNET_GEO_CITIES_H_
+#define FLATNET_GEO_CITIES_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "geo/geo.h"
+
+namespace flatnet {
+
+struct City {
+  std::string_view name;
+  std::string_view country;
+  std::string_view iata;  // three-letter code used in router hostnames
+  Continent continent;
+  GeoPoint location;
+  double population_millions;  // metro-area estimate
+};
+
+// All cities, fixed order (stable indices for the lifetime of the build).
+std::span<const City> WorldCities();
+
+using CityIndex = std::uint16_t;
+
+// Index lookup by IATA code (case-insensitive); nullopt if unknown.
+std::optional<CityIndex> CityByIata(std::string_view iata);
+
+// Total population across the database, in millions.
+double TotalCityPopulationMillions();
+
+}  // namespace flatnet
+
+#endif  // FLATNET_GEO_CITIES_H_

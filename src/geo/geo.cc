@@ -1,0 +1,34 @@
+#include "geo/geo.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace flatnet {
+
+const char* ToString(Continent continent) {
+  switch (continent) {
+    case Continent::kNorthAmerica: return "North America";
+    case Continent::kSouthAmerica: return "South America";
+    case Continent::kEurope: return "Europe";
+    case Continent::kAfrica: return "Africa";
+    case Continent::kAsia: return "Asia";
+    case Continent::kOceania: return "Oceania";
+    case Continent::kMiddleEast: return "Middle East";
+  }
+  return "?";
+}
+
+double DistanceKm(const GeoPoint& a, const GeoPoint& b) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = std::numbers::pi / 180.0;
+  double lat1 = a.lat_deg * kDegToRad;
+  double lat2 = b.lat_deg * kDegToRad;
+  double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  double s1 = std::sin(dlat / 2.0);
+  double s2 = std::sin(dlon / 2.0);
+  double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+}  // namespace flatnet

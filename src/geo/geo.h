@@ -1,0 +1,33 @@
+// Geodesic primitives: coordinates, great-circle distance, continents.
+#ifndef FLATNET_GEO_GEO_H_
+#define FLATNET_GEO_GEO_H_
+
+#include <cstdint>
+#include <string>
+
+namespace flatnet {
+
+enum class Continent : std::uint8_t {
+  kNorthAmerica = 0,
+  kSouthAmerica = 1,
+  kEurope = 2,
+  kAfrica = 3,
+  kAsia = 4,
+  kOceania = 5,
+  kMiddleEast = 6,  // reported separately from Asia in coverage tables
+};
+inline constexpr std::size_t kContinentCount = 7;
+
+const char* ToString(Continent continent);
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+// Great-circle distance in kilometers (haversine, mean Earth radius).
+double DistanceKm(const GeoPoint& a, const GeoPoint& b);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_GEO_GEO_H_

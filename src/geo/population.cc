@@ -1,0 +1,46 @@
+#include "geo/population.h"
+
+namespace flatnet {
+
+CoverageResult PopulationCoverage(const std::vector<CityIndex>& pop_cities, double radius_km) {
+  auto cities = WorldCities();
+  CoverageResult result;
+  result.per_continent.assign(kContinentCount, 0.0);
+  std::vector<double> continent_total(kContinentCount, 0.0);
+  double world_total = 0.0;
+  double world_covered = 0.0;
+
+  for (const City& city : cities) {
+    auto continent = static_cast<std::size_t>(city.continent);
+    world_total += city.population_millions;
+    continent_total[continent] += city.population_millions;
+    bool covered = false;
+    for (CityIndex pop : pop_cities) {
+      if (DistanceKm(city.location, cities[pop].location) <= radius_km) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered) {
+      world_covered += city.population_millions;
+      result.per_continent[continent] += city.population_millions;
+    }
+  }
+
+  result.world = world_total > 0 ? world_covered / world_total : 0.0;
+  for (std::size_t c = 0; c < kContinentCount; ++c) {
+    result.per_continent[c] =
+        continent_total[c] > 0 ? result.per_continent[c] / continent_total[c] : 0.0;
+  }
+  return result;
+}
+
+std::vector<double> ContinentPopulations() {
+  std::vector<double> totals(kContinentCount, 0.0);
+  for (const City& city : WorldCities()) {
+    totals[static_cast<std::size_t>(city.continent)] += city.population_millions;
+  }
+  return totals;
+}
+
+}  // namespace flatnet

@@ -1,0 +1,32 @@
+// Population-coverage queries over the city database (Fig 11 / Fig 12).
+//
+// The GPWv4 raster the paper uses is replaced by point masses at metro
+// centers: for the radii the paper studies (500-1000 km) metro extent is
+// negligible, so "population within R of a PoP" reduces to summing cities
+// whose center lies within R of any PoP.
+#ifndef FLATNET_GEO_POPULATION_H_
+#define FLATNET_GEO_POPULATION_H_
+
+#include <vector>
+
+#include "geo/cities.h"
+#include "geo/geo.h"
+
+namespace flatnet {
+
+struct CoverageResult {
+  // Fraction of world population within the radius of any PoP.
+  double world = 0.0;
+  // Per-continent fraction, indexed by Continent.
+  std::vector<double> per_continent;
+};
+
+// `pop_cities`: city indices hosting at least one PoP of the deployment.
+CoverageResult PopulationCoverage(const std::vector<CityIndex>& pop_cities, double radius_km);
+
+// Population (millions) per continent across the whole database.
+std::vector<double> ContinentPopulations();
+
+}  // namespace flatnet
+
+#endif  // FLATNET_GEO_POPULATION_H_

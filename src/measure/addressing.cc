@@ -1,0 +1,163 @@
+#include "measure/addressing.h"
+
+#include "util/error.h"
+
+namespace flatnet {
+namespace {
+
+// Interface addresses live in the top /24-aligned tail of the AS's first
+// announced prefix, so they resolve to the AS via longest-prefix match but
+// never collide with probe destinations (allocated from the prefix head).
+constexpr std::uint32_t kInterfaceBlock = 256;
+
+}  // namespace
+
+AddressPlan::AddressPlan(const World& world, std::uint64_t seed) : world_(&world) {
+  Rng rng(seed);
+  const AsGraph& graph = world.full_graph;
+
+  for (AsId node = 0; node < world.prefixes.size(); ++node) {
+    for (const Ipv4Prefix& prefix : world.prefixes[node]) {
+      prefix_owner_.Insert(prefix, node);
+    }
+  }
+
+  // Per-IXP LAN slot counters for member interface addresses.
+  std::vector<std::uint32_t> ixp_slot(world.ixps.size(), 1);
+  // Per-AS private-subnet slot counters.
+  std::vector<std::uint32_t> owner_slot(graph.num_ases(), 0);
+
+  // Map each AS to the IXPs it belongs to (for LAN-link assignment).
+  std::unordered_map<AsId, std::vector<std::uint32_t>> member_ixps;
+  for (std::uint32_t x = 0; x < world.ixps.size(); ++x) {
+    for (AsId member : world.ixps[x].members) member_ixps[member].push_back(x);
+  }
+
+  for (AsId a = 0; a < graph.num_ases(); ++a) {
+    for (const Neighbor& nb : graph.NeighborsOf(a)) {
+      if (nb.id < a) continue;  // handle each undirected link once
+      AsId b = nb.id;
+      LinkAddressing link;
+      if (nb.rel == Relationship::kPeer) {
+        // Public peering rides an IXP LAN when a shared IXP exists and the
+        // coin flip favors it; PNIs otherwise.
+        std::optional<std::uint32_t> shared_ixp;
+        if (auto it = member_ixps.find(a); it != member_ixps.end()) {
+          for (std::uint32_t x : it->second) {
+            for (AsId m : world.ixps[x].members) {
+              if (m == b) {
+                shared_ixp = x;
+                break;
+              }
+            }
+            if (shared_ixp) break;
+          }
+        }
+        if (!shared_ixp && !world.ixps.empty() && rng.Bernoulli(0.5)) {
+          // Many peerings form at exchanges our membership sampling did not
+          // record (route servers, remote peering); pick a plausible LAN.
+          shared_ixp = static_cast<std::uint32_t>(rng.UniformU64(world.ixps.size()));
+        }
+        if (shared_ixp && rng.Bernoulli(0.75)) {
+          link.medium = LinkMedium::kIxpLan;
+          link.ixp_index = *shared_ixp;
+        } else {
+          link.medium = LinkMedium::kPrivate;
+          link.subnet_owner = rng.Bernoulli(0.5) ? a : b;
+        }
+      } else {
+        // p2c: the provider usually numbers the interconnect.
+        AsId provider = nb.rel == Relationship::kCustomer ? a : b;
+        AsId customer = provider == a ? b : a;
+        link.medium = LinkMedium::kPrivate;
+        link.subnet_owner = rng.Bernoulli(0.8) ? provider : customer;
+      }
+      // Physical location: the LAN's exchange, or a city where the
+      // endpoints' footprints meet (networks interconnect where they both
+      // have presence; the smaller party's home is the usual meeting point).
+      if (link.medium == LinkMedium::kIxpLan) {
+        link.city = world.ixps[link.ixp_index].city;
+      } else {
+        CityIndex home_a = world.home_city[a];
+        CityIndex home_b = world.home_city[b];
+        bool a_reaches_b = false;
+        for (CityIndex c : world.presence[a]) a_reaches_b |= (c == home_b);
+        bool b_reaches_a = false;
+        for (CityIndex c : world.presence[b]) b_reaches_a |= (c == home_a);
+        if (a_reaches_b) {
+          link.city = home_b;
+        } else if (b_reaches_a) {
+          link.city = home_a;
+        } else {
+          link.city = rng.Bernoulli(0.5) ? home_a : home_b;
+        }
+      }
+      links_.emplace(PairKey(a, b), link);
+
+      // Allocate the two directed border interfaces (the responding router
+      // on each side).
+      for (auto [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+        Ipv4Address addr;
+        if (link.medium == LinkMedium::kIxpLan) {
+          const IxpInstance& ixp = world.ixps[link.ixp_index];
+          std::uint32_t slot = ixp_slot[link.ixp_index]++;
+          if (slot >= ixp.lan.Size() - 1) slot = 1;  // wrap defensively
+          addr = ixp.lan.AddressAt(slot);
+        } else {
+          addr = AllocateInterfaceIp(link.subnet_owner, owner_slot[link.subnet_owner]++);
+        }
+        border_addr_.emplace((std::uint64_t{from} << 32) | to, addr);
+        operator_of_[addr.value()] = to;
+        city_of_[addr.value()] = link.city;
+      }
+    }
+  }
+}
+
+Ipv4Address AddressPlan::AllocateInterfaceIp(AsId owner_space, std::uint32_t slot) const {
+  const Ipv4Prefix& prefix = world_->prefixes[owner_space].front();
+  std::uint64_t size = prefix.Size();
+  // Interface pool: the upper half of the prefix, wrapping on exhaustion.
+  std::uint64_t pool = size / 2;
+  return prefix.AddressAt(size / 2 + (slot % pool));
+}
+
+Ipv4Address AddressPlan::InternalAddress(AsId node, std::uint32_t router_index) const {
+  const Ipv4Prefix& prefix = world_->prefixes[node].front();
+  // Internal routers: a small block right below the interface pool.
+  std::uint64_t base = prefix.Size() / 2 - kInterfaceBlock;
+  return prefix.AddressAt(base + (router_index % kInterfaceBlock));
+}
+
+Ipv4Address AddressPlan::BorderAddress(AsId from, AsId to) const {
+  auto it = border_addr_.find((std::uint64_t{from} << 32) | to);
+  if (it == border_addr_.end()) {
+    throw InvalidArgument("AddressPlan::BorderAddress: no such link");
+  }
+  return it->second;
+}
+
+Ipv4Address AddressPlan::DestinationAddress(AsId node) const {
+  return world_->prefixes[node].front().AddressAt(1);
+}
+
+std::optional<AsId> AddressPlan::OperatorOf(Ipv4Address addr) const {
+  if (auto it = operator_of_.find(addr.value()); it != operator_of_.end()) return it->second;
+  // Fall back to prefix ownership (internal routers, destinations).
+  if (const AsId* owner = prefix_owner_.Lookup(addr)) return *owner;
+  return std::nullopt;
+}
+
+std::optional<CityIndex> AddressPlan::CityOf(Ipv4Address addr) const {
+  if (auto it = city_of_.find(addr.value()); it != city_of_.end()) return it->second;
+  if (auto owner = OperatorOf(addr)) return world_->home_city[*owner];
+  return std::nullopt;
+}
+
+const LinkAddressing& AddressPlan::LinkInfo(AsId a, AsId b) const {
+  auto it = links_.find(PairKey(a, b));
+  if (it == links_.end()) throw InvalidArgument("AddressPlan::LinkInfo: no such link");
+  return it->second;
+}
+
+}  // namespace flatnet

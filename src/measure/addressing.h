@@ -1,0 +1,88 @@
+// Interface addressing for the simulated router-level Internet.
+//
+// Traceroute hops expose *interface* addresses, and the pain of §4.1/§5 is
+// that interface ownership does not follow AS ownership: inter-AS subnets
+// are numbered out of one side's space (usually the provider's) or out of
+// an IXP transfer LAN that may not be announced in BGP at all. This module
+// assigns every AS an interface block inside its first announced prefix,
+// assigns every inter-AS link a subnet owner (provider / either peer / IXP
+// LAN), and allocates the concrete responding addresses the traceroute
+// engine emits.
+#ifndef FLATNET_MEASURE_ADDRESSING_H_
+#define FLATNET_MEASURE_ADDRESSING_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/prefix_trie.h"
+#include "topogen/world.h"
+#include "util/rng.h"
+
+namespace flatnet {
+
+enum class LinkMedium : std::uint8_t {
+  kPrivate,  // PNI / direct cross-connect, numbered from one side's space
+  kIxpLan,   // public peering over an IXP transfer LAN
+};
+
+struct LinkAddressing {
+  LinkMedium medium = LinkMedium::kPrivate;
+  // Index of the IXP whose LAN numbers the link (medium == kIxpLan).
+  std::uint32_t ixp_index = 0;
+  // Which endpoint's space numbers a private link.
+  AsId subnet_owner = kInvalidAsId;
+  // Where the interconnect physically sits (ground truth for the
+  // Appendix-D geolocation pipeline): the IXP's city for LAN links, a city
+  // shared by the endpoints' footprints for PNIs.
+  CityIndex city = 0;
+};
+
+class AddressPlan {
+ public:
+  AddressPlan(const World& world, std::uint64_t seed);
+
+  // Interface address identifying `node`'s k-th internal router.
+  Ipv4Address InternalAddress(AsId node, std::uint32_t router_index) const;
+
+  // Address of `to`'s interface on the (from, to) link — what a TTL-expired
+  // reply from `to`'s border router carries when entered from `from`.
+  Ipv4Address BorderAddress(AsId from, AsId to) const;
+
+  // An address inside one of `node`'s announced prefixes (a probe target).
+  Ipv4Address DestinationAddress(AsId node) const;
+
+  // Ground truth: which AS operates the router answering at `addr`
+  // (interface ownership resolved to the *operator*, not the subnet owner).
+  std::optional<AsId> OperatorOf(Ipv4Address addr) const;
+
+  // Ground-truth city of the router interface at `addr`: the interconnect
+  // city for border interfaces, the operator's home city otherwise.
+  std::optional<CityIndex> CityOf(Ipv4Address addr) const;
+
+  const LinkAddressing& LinkInfo(AsId a, AsId b) const;
+
+  const World& world() const { return *world_; }
+
+ private:
+  static std::uint64_t PairKey(AsId a, AsId b) {
+    if (a > b) std::swap(a, b);
+    return (std::uint64_t{a} << 32) | b;
+  }
+
+  Ipv4Address AllocateInterfaceIp(AsId owner_space, std::uint32_t slot) const;
+
+  const World* world_;
+  PrefixTrie<AsId> prefix_owner_;  // announced prefix -> originating AS
+  std::unordered_map<std::uint64_t, LinkAddressing> links_;
+  // Per (directed from->to) border interface slot, assigned deterministically.
+  std::unordered_map<std::uint64_t, Ipv4Address> border_addr_;
+  std::unordered_map<std::uint32_t, AsId> operator_of_;      // raw ip -> AS
+  std::unordered_map<std::uint32_t, CityIndex> city_of_;     // raw ip -> city
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_MEASURE_ADDRESSING_H_

@@ -1,0 +1,121 @@
+#include "measure/inference.h"
+
+#include <cmath>
+
+namespace flatnet {
+
+const char* ToString(MethodologyStage stage) {
+  switch (stage) {
+    case MethodologyStage::kV0Initial: return "v0-initial";
+    case MethodologyStage::kV1Registries: return "v1-registries";
+    case MethodologyStage::kV2MoreVantage: return "v2-more-vantage";
+    case MethodologyStage::kV3Final: return "v3-final";
+  }
+  return "?";
+}
+
+InferenceRules InferenceRules::ForStage(MethodologyStage stage) {
+  InferenceRules rules;
+  switch (stage) {
+    case MethodologyStage::kV0Initial:
+      rules.allow_single_unknown_gap = true;
+      rules.use_peeringdb = false;
+      rules.use_whois = false;
+      rules.peeringdb_first = false;
+      rules.vm_fraction = 0.5;
+      break;
+    case MethodologyStage::kV1Registries:
+      rules.allow_single_unknown_gap = false;
+      rules.use_peeringdb = true;
+      rules.use_whois = true;
+      rules.peeringdb_first = false;
+      rules.vm_fraction = 0.5;
+      break;
+    case MethodologyStage::kV2MoreVantage:
+      rules.allow_single_unknown_gap = false;
+      rules.use_peeringdb = true;
+      rules.use_whois = true;
+      rules.peeringdb_first = false;
+      rules.vm_fraction = 1.0;
+      break;
+    case MethodologyStage::kV3Final:
+      rules.allow_single_unknown_gap = false;
+      rules.use_peeringdb = true;
+      rules.use_whois = true;
+      rules.peeringdb_first = true;
+      rules.vm_fraction = 1.0;
+      break;
+  }
+  return rules;
+}
+
+NeighborInference::NeighborInference(const CymruResolver* cymru,
+                                     const PeeringDbResolver* peeringdb,
+                                     const WhoisResolver* whois)
+    : cymru_(cymru), peeringdb_(peeringdb), whois_(whois) {}
+
+std::optional<Asn> NeighborInference::ResolveHop(Ipv4Address addr,
+                                                 const InferenceRules& rules) const {
+  if (rules.peeringdb_first && rules.use_peeringdb) {
+    if (auto asn = peeringdb_->Resolve(addr)) return asn;
+  }
+  if (auto asn = cymru_->Resolve(addr)) return asn;
+  if (!rules.peeringdb_first && rules.use_peeringdb) {
+    if (auto asn = peeringdb_->Resolve(addr)) return asn;
+  }
+  if (rules.use_whois) {
+    if (auto asn = whois_->Resolve(addr)) return asn;
+  }
+  return std::nullopt;
+}
+
+std::set<Asn> NeighborInference::InferNeighbors(std::span<const Traceroute> traces,
+                                                std::uint32_t cloud_index, Asn cloud_asn,
+                                                std::uint16_t total_vms,
+                                                const InferenceRules& rules) const {
+  auto vm_limit = static_cast<std::uint16_t>(
+      std::ceil(rules.vm_fraction * static_cast<double>(total_vms)));
+  std::set<Asn> neighbors;
+
+  for (const Traceroute& trace : traces) {
+    if (trace.cloud_index != cloud_index || trace.vm >= vm_limit) continue;
+
+    // Resolve the hop sequence. kUnresponsive/kUnresolved are sentinels.
+    enum : Asn { kUnresponsive = 0xffffffffu, kUnresolved = 0xfffffffeu };
+    // Find the last hop resolving to the cloud, then classify what follows.
+    std::size_t last_cloud = static_cast<std::size_t>(-1);
+    std::vector<Asn> resolved(trace.hops.size());
+    for (std::size_t i = 0; i < trace.hops.size(); ++i) {
+      if (!trace.hops[i].responded) {
+        resolved[i] = kUnresponsive;
+        continue;
+      }
+      auto asn = ResolveHop(trace.hops[i].addr, rules);
+      resolved[i] = asn ? *asn : kUnresolved;
+      if (asn && *asn == cloud_asn) last_cloud = i;
+    }
+    if (last_cloud == static_cast<std::size_t>(-1)) continue;
+
+    // §4.1 final rule: keep only traceroutes where the cloud hop is
+    // immediately adjacent to a hop mapped to a different AS, with no
+    // unresponsive or unmapped hops between. The v0 rules additionally
+    // bridge exactly one unknown hop (the mistake §5 diagnoses).
+    std::size_t i = last_cloud + 1;
+    std::size_t unknown_gap = 0;
+    while (i < trace.hops.size() &&
+           (resolved[i] == kUnresponsive || resolved[i] == kUnresolved)) {
+      ++unknown_gap;
+      ++i;
+    }
+    if (i >= trace.hops.size()) continue;
+    if (unknown_gap == 0) {
+      if (resolved[i] != cloud_asn) neighbors.insert(resolved[i]);
+    } else if (unknown_gap == 1 && rules.allow_single_unknown_gap) {
+      if (resolved[i] != cloud_asn) neighbors.insert(resolved[i]);
+    }
+    // Larger gaps (or any gap under the final rules): discard the trace.
+  }
+  return neighbors;
+}
+
+}  // namespace flatnet

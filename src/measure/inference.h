@@ -1,0 +1,65 @@
+// Neighbor inference from cloud traceroutes, with the methodology stages of
+// §5's iterative refinement encoded as rule sets:
+//
+//   v0  initial      — Team-Cymru-only resolution; a single unknown hop
+//                      after the cloud is assumed non-AS and skipped over
+//                      (the paper's "leading cause for inaccuracy").
+//   v1  +registries  — unresponsive gaps discard the traceroute; unresolved
+//                      (but responsive) hops retry PeeringDB and whois.
+//   v2  +vantage     — same rules, all VM locations instead of half.
+//   v3  final        — PeeringDB preferred over Cymru for interface
+//                      addresses (fixes IXP-LAN-announced-in-BGP captures).
+#ifndef FLATNET_MEASURE_INFERENCE_H_
+#define FLATNET_MEASURE_INFERENCE_H_
+
+#include <set>
+#include <span>
+#include <vector>
+
+#include "measure/ip2as.h"
+#include "measure/traceroute.h"
+
+namespace flatnet {
+
+enum class MethodologyStage {
+  kV0Initial,
+  kV1Registries,
+  kV2MoreVantage,
+  kV3Final,
+};
+
+const char* ToString(MethodologyStage stage);
+
+struct InferenceRules {
+  bool allow_single_unknown_gap = false;
+  bool use_peeringdb = true;
+  bool use_whois = true;
+  bool peeringdb_first = true;
+  double vm_fraction = 1.0;  // leading fraction of VM indices considered
+
+  static InferenceRules ForStage(MethodologyStage stage);
+};
+
+class NeighborInference {
+ public:
+  // Resolver pointers must outlive the inference object.
+  NeighborInference(const CymruResolver* cymru, const PeeringDbResolver* peeringdb,
+                    const WhoisResolver* whois);
+
+  // Infers the neighbor ASNs of the cloud at `cloud_index` from its traces.
+  std::set<Asn> InferNeighbors(std::span<const Traceroute> traces, std::uint32_t cloud_index,
+                               Asn cloud_asn, std::uint16_t total_vms,
+                               const InferenceRules& rules) const;
+
+  // Resolves one hop address under the given rules (exposed for tests).
+  std::optional<Asn> ResolveHop(Ipv4Address addr, const InferenceRules& rules) const;
+
+ private:
+  const CymruResolver* cymru_;
+  const PeeringDbResolver* peeringdb_;
+  const WhoisResolver* whois_;
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_MEASURE_INFERENCE_H_

@@ -1,0 +1,79 @@
+#include "measure/ip2as.h"
+
+#include "util/rng.h"
+
+namespace flatnet {
+
+CymruResolver::CymruResolver(const World& world) {
+  for (AsId node = 0; node < world.prefixes.size(); ++node) {
+    Asn asn = world.full_graph.AsnOf(node);
+    for (const Ipv4Prefix& prefix : world.prefixes[node]) announced_.Insert(prefix, asn);
+  }
+  // Announced IXP LANs resolve to the IXP's management AS — technically
+  // correct prefix origin, wrong answer for neighbor inference.
+  for (const IxpInstance& ixp : world.ixps) {
+    if (ixp.lan_in_bgp) announced_.Insert(ixp.lan, ixp.ixp_asn);
+  }
+}
+
+std::optional<Asn> CymruResolver::Resolve(Ipv4Address addr) const {
+  if (const Asn* asn = announced_.Lookup(addr)) return *asn;
+  return std::nullopt;
+}
+
+PeeringDbResolver::PeeringDbResolver(const World& world, const AddressPlan& plan,
+                                     double record_coverage, double wrong_record_fraction,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  // Register every LAN border interface whose owner keeps PeeringDB fresh.
+  const AsGraph& graph = world.full_graph;
+  for (AsId a = 0; a < graph.num_ases(); ++a) {
+    for (const Neighbor& nb : graph.Peers(a)) {
+      if (nb.id < a) continue;
+      const LinkAddressing& link = plan.LinkInfo(a, nb.id);
+      if (link.medium != LinkMedium::kIxpLan) continue;
+      const IxpInstance& ixp = world.ixps[link.ixp_index];
+      for (auto [from, to] : {std::pair{a, nb.id}, std::pair{nb.id, a}}) {
+        if (!rng.Bernoulli(record_coverage)) continue;
+        Ipv4Address addr = plan.BorderAddress(from, to);
+        AsId recorded = to;
+        if (!ixp.members.empty() && rng.Bernoulli(wrong_record_fraction)) {
+          recorded = ixp.members[rng.UniformU64(ixp.members.size())];
+        }
+        lan_interface_owner_.emplace(addr.value(), graph.AsnOf(recorded));
+      }
+    }
+  }
+}
+
+std::optional<Asn> PeeringDbResolver::Resolve(Ipv4Address addr) const {
+  if (auto it = lan_interface_owner_.find(addr.value()); it != lan_interface_owner_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+WhoisResolver::WhoisResolver(const World& world, double stale_fraction, std::uint64_t seed) {
+  Rng rng(seed);
+  std::size_t n = world.num_ases();
+  for (AsId node = 0; node < world.prefixes.size(); ++node) {
+    Asn asn = world.full_graph.AsnOf(node);
+    for (const Ipv4Prefix& prefix : world.prefixes[node]) {
+      // Stale registrations point at an unrelated organization.
+      Asn registered = rng.Bernoulli(stale_fraction)
+                           ? world.full_graph.AsnOf(static_cast<AsId>(rng.UniformU64(n)))
+                           : asn;
+      registry_.Insert(prefix, registered);
+    }
+  }
+  // IXP LANs are registered to the IXP organization — whois answers, but
+  // with the IXP's AS, not the member using the address (§5).
+  for (const IxpInstance& ixp : world.ixps) registry_.Insert(ixp.lan, ixp.ixp_asn);
+}
+
+std::optional<Asn> WhoisResolver::Resolve(Ipv4Address addr) const {
+  if (const Asn* asn = registry_.Lookup(addr)) return *asn;
+  return std::nullopt;
+}
+
+}  // namespace flatnet

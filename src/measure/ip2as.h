@@ -1,0 +1,70 @@
+// IP-to-AS resolution services (§4.1's mapping pipeline).
+//
+// Three imperfect resolvers mirror the paper's sources:
+//  * CymruResolver  — longest-prefix match over *BGP-announced* space. IXP
+//    transfer LANs are usually absent (unresolvable); the minority of LANs
+//    that are announced resolve to the IXP's own AS — the false-positive
+//    trap §5 describes.
+//  * PeeringDbResolver — knows IXP LAN membership: resolves a LAN interface
+//    to the member AS using it, when the member keeps its record current.
+//  * WhoisResolver  — registry data: resolves unannounced blocks to the
+//    registrant (the IXP org for LANs, the subnet owner for PNIs), with
+//    occasional stale entries.
+#ifndef FLATNET_MEASURE_IP2AS_H_
+#define FLATNET_MEASURE_IP2AS_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "measure/addressing.h"
+#include "net/prefix_trie.h"
+#include "topogen/world.h"
+
+namespace flatnet {
+
+// A resolution result is an AS *number* (services speak ASN, and early
+// pipeline stages can return ASNs that are not even in the topology, e.g.
+// IXP management ASes).
+class Ip2AsResolver {
+ public:
+  virtual ~Ip2AsResolver() = default;
+  virtual std::optional<Asn> Resolve(Ipv4Address addr) const = 0;
+};
+
+class CymruResolver final : public Ip2AsResolver {
+ public:
+  explicit CymruResolver(const World& world);
+  std::optional<Asn> Resolve(Ipv4Address addr) const override;
+
+ private:
+  PrefixTrie<Asn> announced_;
+};
+
+class PeeringDbResolver final : public Ip2AsResolver {
+ public:
+  // `record_coverage`: probability a member's IXP port is registered.
+  // `wrong_record_fraction`: probability a registered port points at another
+  // member of the same exchange (stale or mis-entered records — the FP
+  // noise floor that keeps the paper's final FDR at ~11%).
+  PeeringDbResolver(const World& world, const AddressPlan& plan, double record_coverage,
+                    double wrong_record_fraction, std::uint64_t seed);
+  std::optional<Asn> Resolve(Ipv4Address addr) const override;
+
+ private:
+  std::unordered_map<std::uint32_t, Asn> lan_interface_owner_;
+};
+
+class WhoisResolver final : public Ip2AsResolver {
+ public:
+  // `stale_fraction`: probability a registration points at the wrong org.
+  WhoisResolver(const World& world, double stale_fraction, std::uint64_t seed);
+  std::optional<Asn> Resolve(Ipv4Address addr) const override;
+
+ private:
+  PrefixTrie<Asn> registry_;
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_MEASURE_IP2AS_H_

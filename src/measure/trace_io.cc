@@ -1,0 +1,110 @@
+#include "measure/trace_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace flatnet {
+
+void WriteTraceroutes(const std::vector<Traceroute>& traces, const AsGraph& graph,
+                      std::ostream& out) {
+  out << "# flatnet traceroute dump v1\n";
+  for (const Traceroute& trace : traces) {
+    out << "T " << trace.cloud_index << ' ' << trace.vm << ' '
+        << graph.AsnOf(trace.dst_as) << ' ' << trace.dst.ToString() << ' '
+        << (trace.reached ? 1 : 0) << '\n';
+    if (!trace.true_path.empty()) {
+      out << 'P';
+      for (AsId node : trace.true_path) out << ' ' << graph.AsnOf(node);
+      out << '\n';
+    }
+    for (const Hop& hop : trace.hops) {
+      out << "H " << hop.addr.ToString() << ' ' << (hop.responded ? 1 : 0) << '\n';
+    }
+  }
+}
+
+std::string FormatTraceroutes(const std::vector<Traceroute>& traces, const AsGraph& graph) {
+  std::ostringstream out;
+  WriteTraceroutes(traces, graph, out);
+  return out.str();
+}
+
+std::vector<Traceroute> ReadTraceroutes(std::istream& in, const AsGraph& graph) {
+  std::vector<Traceroute> traces;
+  std::string line;
+  std::size_t line_number = 0;
+  auto fail = [&](const std::string& what) {
+    throw ParseError(StrFormat("traceroute dump line %zu: %s", line_number, what.c_str()));
+  };
+  auto resolve = [&](std::string_view field) {
+    auto asn = ParseU64(field);
+    if (!asn) fail("bad AS number '" + std::string(field) + "'");
+    auto id = graph.IdOf(static_cast<Asn>(*asn));
+    if (!id) fail(StrFormat("AS%llu not in topology", static_cast<unsigned long long>(*asn)));
+    return *id;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view view = Trim(line);
+    if (view.empty() || view.front() == '#') continue;
+    auto fields = SplitWhitespace(view);
+    if (fields[0] == "T") {
+      if (fields.size() != 6) fail("T record needs 5 fields");
+      Traceroute trace;
+      auto cloud = ParseU64(fields[1]);
+      auto vm = ParseU64(fields[2]);
+      auto reached = ParseU64(fields[5]);
+      auto dst = Ipv4Address::FromString(fields[4]);
+      if (!cloud || !vm || !reached || *reached > 1 || !dst) fail("malformed T record");
+      trace.cloud_index = static_cast<std::uint32_t>(*cloud);
+      trace.vm = static_cast<std::uint16_t>(*vm);
+      trace.dst_as = resolve(fields[3]);
+      trace.dst = *dst;
+      trace.reached = *reached == 1;
+      traces.push_back(std::move(trace));
+    } else if (fields[0] == "P") {
+      if (traces.empty()) fail("P record before any T record");
+      if (!traces.back().true_path.empty()) fail("duplicate P record");
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        traces.back().true_path.push_back(resolve(fields[i]));
+      }
+    } else if (fields[0] == "H") {
+      if (traces.empty()) fail("H record before any T record");
+      if (fields.size() != 3) fail("H record needs 2 fields");
+      auto addr = Ipv4Address::FromString(fields[1]);
+      auto responded = ParseU64(fields[2]);
+      if (!addr || !responded || *responded > 1) fail("malformed H record");
+      traces.back().hops.push_back({*addr, *responded == 1});
+    } else {
+      fail("unknown record type '" + std::string(fields[0]) + "'");
+    }
+  }
+  return traces;
+}
+
+std::vector<Traceroute> ParseTraceroutes(const std::string& text, const AsGraph& graph) {
+  std::istringstream in(text);
+  return ReadTraceroutes(in, graph);
+}
+
+void SaveTraceroutes(const std::vector<Traceroute>& traces, const AsGraph& graph,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("SaveTraceroutes: cannot write " + path);
+  WriteTraceroutes(traces, graph, out);
+  if (!out) throw Error("SaveTraceroutes: write failure on " + path);
+}
+
+std::vector<Traceroute> LoadTraceroutes(const std::string& path, const AsGraph& graph) {
+  std::ifstream in(path);
+  if (!in) throw Error("LoadTraceroutes: cannot open " + path);
+  return ReadTraceroutes(in, graph);
+}
+
+}  // namespace flatnet

@@ -1,0 +1,44 @@
+// Traceroute dataset persistence.
+//
+// A line-oriented dump format in the spirit of scamper's text output, so a
+// campaign can be stored, shared, and re-run through the inference pipeline
+// without re-measuring (the paper does exactly this with the 2015 dataset
+// from Chiu et al.):
+//
+//   # flatnet traceroute dump v1
+//   T <cloud_index> <vm> <dst_asn> <dst_ip> <reached 0|1>
+//   P <asn> <asn> ...            ground-truth AS path (optional line)
+//   H <ip> <responded 0|1>       one line per hop
+//
+// Records are separated by their next "T" line; unknown leading characters
+// raise ParseError with the line number.
+#ifndef FLATNET_MEASURE_TRACE_IO_H_
+#define FLATNET_MEASURE_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "asgraph/as_graph.h"
+#include "measure/traceroute.h"
+
+namespace flatnet {
+
+// `graph` translates AS numbers in "P" lines to dense ids (and back).
+void WriteTraceroutes(const std::vector<Traceroute>& traces, const AsGraph& graph,
+                      std::ostream& out);
+std::string FormatTraceroutes(const std::vector<Traceroute>& traces, const AsGraph& graph);
+
+// Paths referencing AS numbers absent from `graph` throw ParseError (the
+// dump belongs to a different topology).
+std::vector<Traceroute> ReadTraceroutes(std::istream& in, const AsGraph& graph);
+std::vector<Traceroute> ParseTraceroutes(const std::string& text, const AsGraph& graph);
+
+// File convenience wrappers; throw Error on I/O failure.
+void SaveTraceroutes(const std::vector<Traceroute>& traces, const AsGraph& graph,
+                     const std::string& path);
+std::vector<Traceroute> LoadTraceroutes(const std::string& path, const AsGraph& graph);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_MEASURE_TRACE_IO_H_

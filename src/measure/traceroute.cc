@@ -1,0 +1,191 @@
+#include "measure/traceroute.h"
+
+#include <algorithm>
+
+#include "bgp/paths.h"
+
+namespace flatnet {
+
+TracerouteCampaign::TracerouteCampaign(const World& world, const AddressPlan& plan,
+                                       const CampaignOptions& options)
+    : world_(world), plan_(plan), options_(options) {
+  Rng rng(options.seed);
+
+  // Peers unusable from any VM, and peers only usable from later VM
+  // locations (campaign-stable, per cloud).
+  inactive_peers_.resize(world.clouds.size());
+  late_vm_peers_.resize(world.clouds.size());
+  for (std::size_t c = 0; c < world.clouds.size(); ++c) {
+    // Early-exit clouds (Amazon) egress near each VM, so measurements from
+    // many locations exercise many more peerings (§5: "issuing measurements
+    // from more locations tends to decrease false negatives").
+    double inactive = options.inactive_peer_fraction *
+                      (world.clouds[c].archetype.wan_egress ? 1.0 : 0.15);
+    for (const Neighbor& nb : world.full_graph.Peers(world.clouds[c].id)) {
+      if (rng.Bernoulli(inactive)) {
+        inactive_peers_[c].insert(nb.id);
+      } else if (rng.Bernoulli(options.late_vm_peer_fraction)) {
+        late_vm_peers_[c].insert(nb.id);
+      }
+    }
+  }
+
+  // ASes whose routers never respond to probes.
+  stealth_.assign(world.num_ases(), false);
+  Bitset is_cloud(world.num_ases());
+  for (const CloudInstance& cloud : world.clouds) is_cloud.Set(cloud.id);
+  for (AsId node = 0; node < world.num_ases(); ++node) {
+    if (!is_cloud.Test(node) && rng.Bernoulli(options.stealth_border_fraction)) {
+      stealth_[node] = true;
+    }
+  }
+
+  // One routing computation per destination serves every cloud and VM.
+  for (AsId dst = 0; dst < world.num_ases(); ++dst) {
+    if (is_cloud.Test(dst)) continue;
+    if (options.dst_fraction < 1.0 && !rng.Bernoulli(options.dst_fraction)) continue;
+    AnnouncementSource source;
+    source.node = dst;
+    RouteComputation computation(world.full_graph, {source});
+    ProbeDestination(dst, computation, rng);
+  }
+}
+
+void TracerouteCampaign::ProbeDestination(AsId dst, const RouteComputation& computation,
+                                          Rng& rng) {
+  for (std::uint32_t c = 0; c < world_.clouds.size(); ++c) {
+    const CloudInstance& cloud = world_.clouds[c];
+    if (cloud.archetype.vm_locations == 0) continue;  // no measurable VMs this era
+    if (!computation.Route(cloud.id).HasRoute()) continue;
+    for (std::uint16_t vm = 0; vm < cloud.archetype.vm_locations; ++vm) {
+      std::vector<AsId> path = ChoosePath(computation, c, vm, rng);
+      if (path.empty()) continue;
+      Traceroute trace;
+      trace.cloud_index = c;
+      trace.vm = vm;
+      trace.dst_as = dst;
+      trace.dst = plan_.DestinationAddress(dst);
+      trace.true_path = std::move(path);
+      ExpandHops(trace, rng);
+      traces_.push_back(std::move(trace));
+    }
+  }
+}
+
+std::vector<AsId> TracerouteCampaign::ChoosePath(const RouteComputation& computation,
+                                                 std::uint32_t cloud_index, std::uint16_t vm,
+                                                 Rng& rng) const {
+  const AsGraph& graph = world_.full_graph;
+  AsId cloud = world_.clouds[cloud_index].id;
+  const auto& inactive = inactive_peers_[cloud_index];
+  const auto& late_vm = late_vm_peers_[cloud_index];
+  auto vm_half = static_cast<std::uint16_t>(
+      (world_.clouds[cloud_index].archetype.vm_locations + 1) / 2);
+  bool early_exit = !world_.clouds[cloud_index].archetype.wan_egress;
+  double deviation_prob =
+      early_exit ? options_.early_exit_deviation_prob : options_.wan_deviation_prob;
+
+  auto usable_first_hop = [&](AsId next) {
+    auto rel = graph.RelationshipBetween(cloud, next);
+    if (rel != Relationship::kPeer) return true;
+    if (inactive.contains(next)) return false;
+    return !(vm < vm_half && late_vm.contains(next));
+  };
+
+  // Walk the tied-best predecessor DAG from the cloud, but honour the
+  // campaign's realism knobs on the first hop: unusable peers are skipped,
+  // and with some probability the VM exits via a non-best neighbor
+  // (hot-potato / early-exit noise).
+  std::vector<AsId> path{cloud};
+  AsId cursor = cloud;
+  bool first = true;
+  while (true) {
+    const auto& preds = computation.Predecessors(cursor);
+    if (preds.empty()) break;  // reached the origin (destination AS)
+    AsId next = kInvalidAsId;
+    if (first) {
+      std::vector<AsId> usable;
+      for (AsId pred : preds) {
+        if (usable_first_hop(pred)) usable.push_back(pred);
+      }
+      bool deviate = rng.Bernoulli(deviation_prob) || usable.empty();
+      if (deviate) {
+        // Exit via any routed, usable neighbor (may be off the best path).
+        std::vector<AsId> candidates;
+        for (const Neighbor& nb : graph.NeighborsOf(cloud)) {
+          if (computation.Route(nb.id).HasRoute() && usable_first_hop(nb.id) &&
+              !computation.Predecessors(nb.id).empty()) {
+            candidates.push_back(nb.id);
+          } else if (computation.Route(nb.id).cls == RouteClass::kOrigin &&
+                     usable_first_hop(nb.id)) {
+            candidates.push_back(nb.id);  // destination is a direct neighbor
+          }
+        }
+        if (candidates.empty() && usable.empty()) return {};
+        if (!candidates.empty()) {
+          next = candidates[rng.UniformU64(candidates.size())];
+        }
+      }
+      if (next == kInvalidAsId) {
+        next = usable[rng.UniformU64(usable.size())];
+      }
+      first = false;
+    } else {
+      next = preds[rng.UniformU64(preds.size())];
+    }
+    path.push_back(next);
+    cursor = next;
+    if (path.size() > 64) return {};  // defensive: malformed DAG
+  }
+  return path;
+}
+
+void TracerouteCampaign::ExpandHops(Traceroute& trace, Rng& rng) const {
+  const std::vector<AsId>& path = trace.true_path;
+  AsId cloud = path.front();
+
+  auto push = [&](Ipv4Address addr, bool responds) {
+    bool responded = responds && !rng.Bernoulli(options_.hop_unresponsive_prob);
+    trace.hops.push_back({addr, responded});
+  };
+
+  // Cloud-internal segment (tunneling hides a share of these).
+  std::uint32_t internal = 1 + static_cast<std::uint32_t>(rng.UniformU64(2));
+  for (std::uint32_t i = 0; i < internal; ++i) {
+    push(plan_.InternalAddress(cloud, static_cast<std::uint32_t>(rng.UniformU64(200))),
+         !rng.Bernoulli(options_.cloud_hidden_prob));
+  }
+
+  // Each subsequent AS: its border interface on the inter-AS subnet, then a
+  // couple of internal routers.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    AsId prev = path[i - 1];
+    AsId node = path[i];
+    bool responds = !stealth_[node];
+    bool is_destination_as = (i + 1 == path.size());
+    // A stealth AS contributes exactly one silent hop — the §5 trap: it
+    // looks like a spurious unresponsive router, but it IS an intermediate
+    // AS, so bridging the gap infers a false adjacency.
+    if (!responds && !is_destination_as) {
+      trace.hops.push_back({plan_.BorderAddress(prev, node), false});
+      continue;
+    }
+    push(plan_.BorderAddress(prev, node), responds);
+    // Responsive transit ASes always expose at least one hop numbered from
+    // their own space; without it, subnet-ownership ambiguity at the
+    // borders would make adjacent ASes indistinguishable.
+    std::uint32_t inner =
+        is_destination_as ? 1 : 1 + static_cast<std::uint32_t>(rng.UniformU64(2));
+    for (std::uint32_t k = 0; k < inner; ++k) {
+      push(plan_.InternalAddress(node, static_cast<std::uint32_t>(rng.UniformU64(200))),
+           responds);
+    }
+  }
+
+  // The probed address itself.
+  bool dst_answers = !stealth_[path.back()] && rng.Bernoulli(0.85);
+  trace.hops.push_back({trace.dst, dst_answers});
+  trace.reached = dst_answers;
+}
+
+}  // namespace flatnet

@@ -1,0 +1,95 @@
+// Traceroute campaign simulation (§4.1).
+//
+// VMs inside each cloud probe one address in every destination AS. Paths
+// follow the ground-truth topology's policy routing (tied-best paths, with
+// per-VM tie-breaks standing in for IGP/hot-potato decisions); hop records
+// expose interface addresses with all the pathologies the paper fights:
+// IXP LAN addresses, subnets numbered from the other side, unresponsive
+// routers, clouds hiding their internal hops, and peers whose routes are
+// only available at PoPs far from any VM.
+#ifndef FLATNET_MEASURE_TRACEROUTE_H_
+#define FLATNET_MEASURE_TRACEROUTE_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/propagation.h"
+#include "measure/addressing.h"
+#include "topogen/world.h"
+
+namespace flatnet {
+
+struct Hop {
+  Ipv4Address addr;
+  bool responded = true;
+};
+
+struct Traceroute {
+  std::uint32_t cloud_index = 0;  // index into World::clouds
+  std::uint16_t vm = 0;
+  AsId dst_as = kInvalidAsId;
+  Ipv4Address dst;
+  bool reached = false;
+  std::vector<Hop> hops;        // after the VM, in travel order
+  std::vector<AsId> true_path;  // ground-truth AS path, cloud first
+};
+
+struct CampaignOptions {
+  // Fraction of destination ASes probed (1.0 = one probe per AS, the
+  // AS-level equivalent of "every routable prefix").
+  double dst_fraction = 1.0;
+  // Independent per-hop probe loss.
+  double hop_unresponsive_prob = 0.03;
+  // Clouds tunnel internal traffic; internal cloud hops vanish at this rate.
+  double cloud_hidden_prob = 0.4;
+  // Fraction of (non-cloud) ASes whose routers never answer — the source of
+  // the single-unknown-hop false inferences in §5.
+  double stealth_border_fraction = 0.07;
+  // Fraction of each cloud's peers whose routes are only usable from PoPs
+  // far from any VM (§5's structural false negatives).
+  double inactive_peer_fraction = 0.08;
+  // Fraction of the remaining peers only usable from the upper half of the
+  // VM index range — these are the neighbors that §5's "added VMs in
+  // additional locations" iteration uncovers.
+  double late_vm_peer_fraction = 0.30;
+  // Probability a WAN-routed cloud's VM takes a non-best exit.
+  double wan_deviation_prob = 0.05;
+  // Probability for early-exit clouds (Amazon): per-VM egress varies a lot.
+  double early_exit_deviation_prob = 0.30;
+  std::uint64_t seed = 42;
+};
+
+class TracerouteCampaign {
+ public:
+  TracerouteCampaign(const World& world, const AddressPlan& plan,
+                     const CampaignOptions& options = {});
+
+  const std::vector<Traceroute>& traces() const { return traces_; }
+  const CampaignOptions& options() const { return options_; }
+
+  // Ground-truth peers of a cloud that the campaign treated as unusable
+  // from every VM (for diagnostics).
+  const std::unordered_set<AsId>& InactivePeers(std::uint32_t cloud_index) const {
+    return inactive_peers_[cloud_index];
+  }
+
+ private:
+  void ProbeDestination(AsId dst, const RouteComputation& computation, Rng& rng);
+  std::vector<AsId> ChoosePath(const RouteComputation& computation, std::uint32_t cloud_index,
+                               std::uint16_t vm, Rng& rng) const;
+  void ExpandHops(Traceroute& trace, Rng& rng) const;
+
+  const World& world_;
+  const AddressPlan& plan_;
+  CampaignOptions options_;
+  std::vector<std::unordered_set<AsId>> inactive_peers_;  // per cloud
+  // Peers only usable from VM indices >= vm_locations/2, per cloud.
+  std::vector<std::unordered_set<AsId>> late_vm_peers_;
+  std::vector<bool> stealth_;  // per AS
+  std::vector<Traceroute> traces_;
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_MEASURE_TRACEROUTE_H_

@@ -1,0 +1,36 @@
+#include "measure/validation.h"
+
+namespace flatnet {
+
+double ValidationStats::Fdr() const {
+  std::size_t denom = false_positives + true_positives;
+  return denom == 0 ? 0.0 : static_cast<double>(false_positives) / static_cast<double>(denom);
+}
+
+double ValidationStats::Fnr() const {
+  std::size_t denom = false_negatives + true_positives;
+  return denom == 0 ? 0.0 : static_cast<double>(false_negatives) / static_cast<double>(denom);
+}
+
+ValidationStats ValidateNeighbors(const std::set<Asn>& inferred, const std::set<Asn>& truth) {
+  ValidationStats stats;
+  for (Asn asn : inferred) {
+    if (truth.contains(asn)) {
+      ++stats.true_positives;
+    } else {
+      ++stats.false_positives;
+    }
+  }
+  for (Asn asn : truth) {
+    if (!inferred.contains(asn)) ++stats.false_negatives;
+  }
+  return stats;
+}
+
+std::set<Asn> TrueNeighborAsns(const AsGraph& graph, AsId node) {
+  std::set<Asn> truth;
+  for (const Neighbor& nb : graph.NeighborsOf(node)) truth.insert(graph.AsnOf(nb.id));
+  return truth;
+}
+
+}  // namespace flatnet

@@ -1,0 +1,34 @@
+// Validation of inferred neighbor sets against ground truth (§5).
+//
+// In the paper, Microsoft and Google supplied the truth; here the generator
+// is the operator, so FDR/FNR are exactly measurable for every pipeline
+// stage.
+#ifndef FLATNET_MEASURE_VALIDATION_H_
+#define FLATNET_MEASURE_VALIDATION_H_
+
+#include <set>
+
+#include "asgraph/as_graph.h"
+
+namespace flatnet {
+
+struct ValidationStats {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+
+  // False discovery rate: FP / (FP + TP).
+  double Fdr() const;
+  // False negative rate: FN / (FN + TP).
+  double Fnr() const;
+};
+
+// `truth` is the full set of actual neighbor ASNs.
+ValidationStats ValidateNeighbors(const std::set<Asn>& inferred, const std::set<Asn>& truth);
+
+// Ground-truth neighbor ASNs of `node` in `graph`.
+std::set<Asn> TrueNeighborAsns(const AsGraph& graph, AsId node);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_MEASURE_VALIDATION_H_

@@ -1,0 +1,69 @@
+#include "net/ipv4.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace flatnet {
+
+std::optional<Ipv4Address> Ipv4Address::FromString(std::string_view s) {
+  auto parts = Split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (auto part : parts) {
+    auto octet = ParseU64(part);
+    if (!octet || *octet > 255) return std::nullopt;
+    value = (value << 8) | static_cast<std::uint32_t>(*octet);
+  }
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::ToString() const {
+  return StrFormat("%u.%u.%u.%u", (value_ >> 24) & 0xff, (value_ >> 16) & 0xff,
+                   (value_ >> 8) & 0xff, value_ & 0xff);
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Address address, std::uint8_t length) : length_(length) {
+  if (length > 32) throw InvalidArgument("Ipv4Prefix: length > 32");
+  std::uint32_t mask = length == 0 ? 0 : ~std::uint32_t{0} << (32 - length);
+  address_ = Ipv4Address(address.value() & mask);
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::FromString(std::string_view s) {
+  auto slash = s.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Address::FromString(s.substr(0, slash));
+  auto len = ParseU64(s.substr(slash + 1));
+  if (!addr || !len || *len > 32) return std::nullopt;
+  return Ipv4Prefix(*addr, static_cast<std::uint8_t>(*len));
+}
+
+std::uint32_t Ipv4Prefix::Mask() const {
+  return length_ == 0 ? 0 : ~std::uint32_t{0} << (32 - length_);
+}
+
+bool Ipv4Prefix::Contains(Ipv4Address addr) const {
+  return (addr.value() & Mask()) == address_.value();
+}
+
+bool Ipv4Prefix::Contains(const Ipv4Prefix& other) const {
+  return other.length_ >= length_ && Contains(other.address_);
+}
+
+Ipv4Address Ipv4Prefix::AddressAt(std::uint64_t i) const {
+  if (i >= Size()) throw InvalidArgument("Ipv4Prefix::AddressAt: index out of range");
+  return Ipv4Address(address_.value() + static_cast<std::uint32_t>(i));
+}
+
+std::pair<Ipv4Prefix, Ipv4Prefix> Ipv4Prefix::Split() const {
+  if (length_ >= 32) throw InvalidArgument("Ipv4Prefix::Split: cannot split a /32");
+  auto half = static_cast<std::uint8_t>(length_ + 1);
+  Ipv4Prefix lo(address_, half);
+  Ipv4Prefix hi(Ipv4Address(address_.value() | (std::uint32_t{1} << (32 - half))), half);
+  return {lo, hi};
+}
+
+std::string Ipv4Prefix::ToString() const {
+  return address_.ToString() + "/" + std::to_string(length_);
+}
+
+}  // namespace flatnet

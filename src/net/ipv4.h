@@ -1,0 +1,89 @@
+// IPv4 address and prefix value types.
+//
+// Addresses are stored host-order in a uint32 so comparisons and prefix
+// masks are single integer operations. Both types are regular (copyable,
+// comparable, hashable) per C.10/C.61.
+#ifndef FLATNET_NET_IPV4_H_
+#define FLATNET_NET_IPV4_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace flatnet {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) | d) {}
+
+  static std::optional<Ipv4Address> FromString(std::string_view s);
+
+  constexpr std::uint32_t value() const { return value_; }
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+
+  // Canonicalizes: host bits below `length` are zeroed. length must be <= 32.
+  Ipv4Prefix(Ipv4Address address, std::uint8_t length);
+
+  // Parses "a.b.c.d/len".
+  static std::optional<Ipv4Prefix> FromString(std::string_view s);
+
+  constexpr Ipv4Address address() const { return address_; }
+  constexpr std::uint8_t length() const { return length_; }
+
+  // Network mask for this prefix length (e.g. /24 -> 255.255.255.0).
+  std::uint32_t Mask() const;
+
+  bool Contains(Ipv4Address addr) const;
+  bool Contains(const Ipv4Prefix& other) const;
+
+  // Number of addresses covered (2^(32-length)).
+  std::uint64_t Size() const { return std::uint64_t{1} << (32 - length_); }
+
+  // The i-th address inside the prefix; i must be < Size().
+  Ipv4Address AddressAt(std::uint64_t i) const;
+
+  // Splits into the two /(length+1) halves; length must be < 32.
+  std::pair<Ipv4Prefix, Ipv4Prefix> Split() const;
+
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(const Ipv4Prefix&, const Ipv4Prefix&) = default;
+
+ private:
+  Ipv4Address address_;
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace flatnet
+
+template <>
+struct std::hash<flatnet::Ipv4Address> {
+  std::size_t operator()(flatnet::Ipv4Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<flatnet::Ipv4Prefix> {
+  std::size_t operator()(const flatnet::Ipv4Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}((std::uint64_t{p.address().value()} << 8) | p.length());
+  }
+};
+
+#endif  // FLATNET_NET_IPV4_H_

@@ -1,0 +1,24 @@
+#include "net/prefix_allocator.h"
+
+#include "util/error.h"
+
+namespace flatnet {
+
+PrefixAllocator::PrefixAllocator(Ipv4Prefix pool) : pool_(pool) {}
+
+std::optional<Ipv4Prefix> PrefixAllocator::Allocate(std::uint8_t length) {
+  if (length < pool_.length() || length > 32) {
+    throw InvalidArgument("PrefixAllocator::Allocate: length outside pool range");
+  }
+  std::uint64_t block = std::uint64_t{1} << (32 - length);
+  // Align the cursor up to the block size, then take the block.
+  std::uint64_t aligned = (cursor_ + block - 1) & ~(block - 1);
+  if (aligned + block > pool_.Size()) return std::nullopt;
+  cursor_ = aligned + block;
+  return Ipv4Prefix(Ipv4Address(pool_.address().value() + static_cast<std::uint32_t>(aligned)),
+                    length);
+}
+
+std::uint64_t PrefixAllocator::Remaining() const { return pool_.Size() - cursor_; }
+
+}  // namespace flatnet

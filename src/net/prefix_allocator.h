@@ -1,0 +1,38 @@
+// Carves disjoint prefixes out of address pools.
+//
+// The topology generator assigns every AS one or more routed prefixes plus
+// special-purpose blocks (IXP transfer LANs, private interconnect ranges).
+// The allocator hands out aligned, non-overlapping blocks in order.
+#ifndef FLATNET_NET_PREFIX_ALLOCATOR_H_
+#define FLATNET_NET_PREFIX_ALLOCATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace flatnet {
+
+class PrefixAllocator {
+ public:
+  // `pool` is the block the allocator may carve from.
+  explicit PrefixAllocator(Ipv4Prefix pool);
+
+  // Allocates the next aligned block of the requested length; nullopt when
+  // the pool is exhausted. `length` must be >= pool length and <= 32.
+  std::optional<Ipv4Prefix> Allocate(std::uint8_t length);
+
+  // Addresses remaining in the pool.
+  std::uint64_t Remaining() const;
+
+  const Ipv4Prefix& pool() const { return pool_; }
+
+ private:
+  Ipv4Prefix pool_;
+  std::uint64_t cursor_ = 0;  // offset of the next free address in the pool
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_NET_PREFIX_ALLOCATOR_H_

@@ -1,0 +1,116 @@
+// Binary radix trie keyed by IPv4 prefix, supporting exact insert and
+// longest-prefix match — the core of the Cymru-style IP-to-ASN resolver and
+// of the routed-prefix table the traceroute simulator consults.
+//
+// Nodes are stored in a flat vector (indices instead of pointers) for cache
+// locality and trivial copy/move semantics.
+#ifndef FLATNET_NET_PREFIX_TRIE_H_
+#define FLATNET_NET_PREFIX_TRIE_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace flatnet {
+
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.push_back(Node{}); }
+
+  // Inserts or overwrites the value at `prefix`. Returns true if the prefix
+  // was newly inserted, false if an existing value was replaced.
+  bool Insert(const Ipv4Prefix& prefix, T value) {
+    std::uint32_t node = 0;
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      unsigned bit = (prefix.address().value() >> (31 - depth)) & 1u;
+      std::uint32_t& child = nodes_[node].child[bit];
+      if (child == kNone) {
+        child = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.push_back(Node{});
+      }
+      node = nodes_[node].child[bit];
+    }
+    bool fresh = !nodes_[node].value.has_value();
+    nodes_[node].value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  // Exact-match lookup.
+  const T* Find(const Ipv4Prefix& prefix) const {
+    std::uint32_t node = 0;
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      unsigned bit = (prefix.address().value() >> (31 - depth)) & 1u;
+      std::uint32_t child = nodes_[node].child[bit];
+      if (child == kNone) return nullptr;
+      node = child;
+    }
+    return nodes_[node].value ? &*nodes_[node].value : nullptr;
+  }
+
+  // Longest-prefix match for an address; returns the matched prefix and a
+  // pointer to its value, or nullopt if nothing covers `addr`.
+  std::optional<std::pair<Ipv4Prefix, const T*>> LongestMatch(Ipv4Address addr) const {
+    std::uint32_t node = 0;
+    std::optional<std::pair<Ipv4Prefix, const T*>> best;
+    for (std::uint8_t depth = 0; depth <= 32; ++depth) {
+      if (nodes_[node].value) {
+        best = {Ipv4Prefix(addr, depth), &*nodes_[node].value};
+      }
+      if (depth == 32) break;
+      unsigned bit = (addr.value() >> (31 - depth)) & 1u;
+      std::uint32_t child = nodes_[node].child[bit];
+      if (child == kNone) break;
+      node = child;
+    }
+    return best;
+  }
+
+  // Value of the longest matching prefix, or nullptr.
+  const T* Lookup(Ipv4Address addr) const {
+    auto match = LongestMatch(addr);
+    return match ? match->second : nullptr;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Visits every stored (prefix, value) pair in address order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    VisitNode(0, 0, 0, fn);
+  }
+
+ private:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  struct Node {
+    std::uint32_t child[2] = {kNone, kNone};
+    std::optional<T> value;
+  };
+
+  template <typename Fn>
+  void VisitNode(std::uint32_t node, std::uint32_t bits, std::uint8_t depth, Fn&& fn) const {
+    if (nodes_[node].value) {
+      fn(Ipv4Prefix(Ipv4Address(bits), depth), *nodes_[node].value);
+    }
+    if (depth == 32) return;
+    if (nodes_[node].child[0] != kNone) {
+      VisitNode(nodes_[node].child[0], bits, depth + 1, fn);
+    }
+    if (nodes_[node].child[1] != kNone) {
+      VisitNode(nodes_[node].child[1], bits | (std::uint32_t{1} << (31 - depth)), depth + 1, fn);
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_NET_PREFIX_TRIE_H_

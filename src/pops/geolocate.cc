@@ -1,0 +1,123 @@
+#include "pops/geolocate.h"
+
+#include <algorithm>
+
+#include "geo/geo.h"
+
+namespace flatnet {
+namespace {
+
+// Speed of light in fiber: ~200 km per millisecond, round trip halves it.
+constexpr double kKmPerMsRtt = 100.0;
+
+}  // namespace
+
+PingMesh::PingMesh(const AddressPlan& plan, double icmp_filter_fraction, std::uint64_t seed)
+    : plan_(plan), filtered_(plan.world().num_ases()) {
+  Rng rng(seed);
+  for (AsId id = 0; id < plan.world().num_ases(); ++id) {
+    if (rng.Bernoulli(icmp_filter_fraction)) filtered_.Set(id);
+  }
+}
+
+std::optional<double> PingMesh::PingMs(const VantagePoint& vp, Ipv4Address target,
+                                       Rng& rng) const {
+  auto owner = plan_.OperatorOf(target);
+  auto city = plan_.CityOf(target);
+  if (!owner || !city || filtered_.Test(*owner)) return std::nullopt;
+  auto cities = WorldCities();
+  double km = DistanceKm(cities[vp.city].location, cities[*city].location);
+  // Propagation delay plus path stretch and queueing noise.
+  double rtt = km / kKmPerMsRtt * rng.UniformDouble(1.0, 1.25) + rng.UniformDouble(0.05, 0.4);
+  return rtt;
+}
+
+Geolocator::Geolocator(const World& world, const AddressPlan& plan, const PingMesh& mesh,
+                       const RdnsDatabase* rdns, std::uint64_t seed)
+    : world_(world), plan_(plan), mesh_(mesh), rdns_(rdns), rng_(seed) {
+  Rng rng(seed ^ 0x5eed);
+  auto cities = WorldCities();
+  vps_by_city_.resize(cities.size());
+
+  // Deploy probes the way RIPE Atlas covers the world: a couple per
+  // large-population market, fewer elsewhere, some cities dark. Hosts are
+  // drawn from the ASes homed in the city.
+  std::vector<std::vector<AsId>> ases_by_city(cities.size());
+  for (AsId id = 0; id < world.num_ases(); ++id) {
+    ases_by_city[world.home_city[id]].push_back(id);
+  }
+  for (CityIndex c = 0; c < cities.size(); ++c) {
+    if (ases_by_city[c].empty()) continue;
+    auto probes = static_cast<std::uint32_t>(
+        std::min<double>(4.0, 1.0 + cities[c].population_millions / 6.0));
+    if (rng.Bernoulli(0.1)) continue;  // Atlas-less city
+    for (std::uint32_t k = 0; k < probes; ++k) {
+      AsId host = ases_by_city[c][rng.UniformU64(ases_by_city[c].size())];
+      vps_by_city_[c].push_back(static_cast<std::uint32_t>(vps_.size()));
+      vps_.push_back({host, c});
+    }
+  }
+}
+
+std::vector<CityIndex> Geolocator::Candidates(Ipv4Address addr, AsId owner) const {
+  // PeeringDB facilities of the owning AS.
+  std::vector<CityIndex> candidates = world_.presence[owner];
+
+  // rDNS hint narrows the candidate set (Appendix D step 1).
+  if (rdns_ != nullptr) {
+    if (auto hostname = rdns_->Lookup(addr)) {
+      if (auto hint = ExtractLocationManual(*hostname)) {
+        std::vector<CityIndex> narrowed;
+        for (CityIndex c : candidates) {
+          if (c == *hint) narrowed.push_back(c);
+        }
+        if (!narrowed.empty()) return narrowed;
+        return {*hint};  // trust the hostname even off the facility list
+      }
+    }
+  }
+  return candidates;
+}
+
+std::optional<CityIndex> Geolocator::Locate(Ipv4Address addr, AsId owner) const {
+  for (CityIndex candidate : Candidates(addr, owner)) {
+    const auto& local_vps = vps_by_city_[candidate];
+    if (local_vps.empty()) continue;  // no probe within 40 km of the facility
+    const VantagePoint& vp = vps_[local_vps[rng_.UniformU64(local_vps.size())]];
+    auto rtt = mesh_.PingMs(vp, addr, rng_);
+    if (rtt && *rtt <= 1.0) return candidate;
+  }
+  return std::nullopt;
+}
+
+double GeolocationScore::Coverage() const {
+  return attempted == 0 ? 0.0 : static_cast<double>(answered) / attempted;
+}
+
+double GeolocationScore::Precision() const {
+  return answered == 0 ? 0.0 : static_cast<double>(correct) / answered;
+}
+
+GeolocationScore ScoreGeolocation(const World& world, const AddressPlan& plan,
+                                  const Geolocator& geolocator, std::size_t sample,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  GeolocationScore score;
+  const AsGraph& graph = world.full_graph;
+  std::size_t guard = 0;
+  while (score.attempted < sample && guard++ < sample * 20) {
+    AsId a = static_cast<AsId>(rng.UniformU64(world.num_ases()));
+    auto neighbors = graph.NeighborsOf(a);
+    if (neighbors.empty()) continue;
+    AsId b = neighbors[rng.UniformU64(neighbors.size())].id;
+    Ipv4Address addr = plan.BorderAddress(a, b);  // b's interface towards a
+    ++score.attempted;
+    auto located = geolocator.Locate(addr, b);
+    if (!located) continue;
+    ++score.answered;
+    if (auto truth = plan.CityOf(addr); truth && *truth == *located) ++score.correct;
+  }
+  return score;
+}
+
+}  // namespace flatnet

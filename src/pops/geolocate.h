@@ -1,0 +1,91 @@
+// Active IP geolocation (Appendix D).
+//
+// Reproduces the paper's RIPE-IPmap-style process:
+//   1. candidate <facility, city> locations for address X come from the
+//      owner AS's PeeringDB footprint (here: the world's presence lists),
+//      narrowed by rDNS location hints when a hostname exists;
+//   2. for each candidate city, pick a vantage point within 40 km hosted in
+//      an AS present at the facility or inside its customer cone (here: the
+//      probe mesh's per-city VPs);
+//   3. ping X; an RTT of at most 1 ms (≈100 km at the speed of light in
+//      fiber) pins X to the VP's city.
+// The method answers only when the RTT test passes, so it is conservative:
+// high precision, partial coverage.
+#ifndef FLATNET_POPS_GEOLOCATE_H_
+#define FLATNET_POPS_GEOLOCATE_H_
+
+#include <optional>
+#include <vector>
+
+#include "measure/addressing.h"
+#include "pops/rdns.h"
+#include "util/rng.h"
+
+namespace flatnet {
+
+struct VantagePoint {
+  AsId host_as = kInvalidAsId;
+  CityIndex city = 0;
+};
+
+// RTT oracle over the simulated physical topology: speed-of-light-in-fiber
+// great-circle latency between the VP's city and the target interface's
+// ground-truth city, plus queueing jitter. Targets whose operator filters
+// ICMP never answer.
+class PingMesh {
+ public:
+  PingMesh(const AddressPlan& plan, double icmp_filter_fraction, std::uint64_t seed);
+
+  // Milliseconds, or nullopt when the target does not answer pings.
+  std::optional<double> PingMs(const VantagePoint& vp, Ipv4Address target, Rng& rng) const;
+
+ private:
+  const AddressPlan& plan_;
+  Bitset filtered_;  // per AS: drops ICMP
+};
+
+class Geolocator {
+ public:
+  // `rdns` may be null (no hostname hints). VPs are deployed in access
+  // networks across the city database, mirroring the RIPE Atlas footprint:
+  // dense in well-connected markets, absent from some cities.
+  Geolocator(const World& world, const AddressPlan& plan, const PingMesh& mesh,
+             const RdnsDatabase* rdns, std::uint64_t seed);
+
+  // Geolocates `addr`, owned by `owner`. Returns the confirmed city or
+  // nullopt (no candidate confirmed — the conservative failure mode).
+  std::optional<CityIndex> Locate(Ipv4Address addr, AsId owner) const;
+
+  std::size_t vantage_point_count() const { return vps_.size(); }
+
+  // Candidate cities considered for (addr, owner) — exposed for tests.
+  std::vector<CityIndex> Candidates(Ipv4Address addr, AsId owner) const;
+
+ private:
+  const World& world_;
+  const AddressPlan& plan_;
+  const PingMesh& mesh_;
+  const RdnsDatabase* rdns_;
+  std::vector<VantagePoint> vps_;
+  // City -> indices into vps_.
+  std::vector<std::vector<std::uint32_t>> vps_by_city_;
+  mutable Rng rng_;
+};
+
+struct GeolocationScore {
+  std::size_t attempted = 0;
+  std::size_t answered = 0;  // pipeline produced a city
+  std::size_t correct = 0;   // and it matches ground truth
+  double Coverage() const;
+  double Precision() const;
+};
+
+// Runs the pipeline over a sample of border interfaces and scores it
+// against the address plan's ground truth.
+GeolocationScore ScoreGeolocation(const World& world, const AddressPlan& plan,
+                                  const Geolocator& geolocator, std::size_t sample,
+                                  std::uint64_t seed);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_POPS_GEOLOCATE_H_

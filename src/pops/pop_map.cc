@@ -1,0 +1,66 @@
+#include "pops/pop_map.h"
+
+#include <algorithm>
+
+namespace flatnet {
+
+std::vector<PopDeployment> BuildDeployments(const World& world) {
+  std::vector<PopDeployment> deployments;
+  for (const CloudInstance& cloud : world.clouds) {
+    if (!cloud.archetype.is_study_cloud) continue;
+    deployments.push_back(
+        {cloud.archetype.name, cloud.id, /*is_cloud=*/true, world.presence[cloud.id]});
+  }
+  for (AsId id : world.tiers.tier1) {
+    deployments.push_back({world.metadata.Get(id).name, id, /*is_cloud=*/false,
+                           world.presence[id]});
+  }
+  for (AsId id : world.tiers.tier2) {
+    deployments.push_back({world.metadata.Get(id).name, id, /*is_cloud=*/false,
+                           world.presence[id]});
+  }
+  return deployments;
+}
+
+std::set<CityIndex> CohortCities(const std::vector<PopDeployment>& deployments, bool clouds) {
+  std::set<CityIndex> cities;
+  for (const PopDeployment& d : deployments) {
+    if (d.is_cloud != clouds) continue;
+    cities.insert(d.cities.begin(), d.cities.end());
+  }
+  return cities;
+}
+
+CityPresenceSplit SplitCityPresence(const std::vector<PopDeployment>& deployments) {
+  std::set<CityIndex> cloud = CohortCities(deployments, true);
+  std::set<CityIndex> transit = CohortCities(deployments, false);
+  CityPresenceSplit split;
+  for (CityIndex c : cloud) {
+    if (transit.contains(c)) {
+      split.both.push_back(c);
+    } else {
+      split.cloud_only.push_back(c);
+    }
+  }
+  for (CityIndex c : transit) {
+    if (!cloud.contains(c)) split.transit_only.push_back(c);
+  }
+  return split;
+}
+
+std::vector<ProviderCoverage> PerProviderCoverage(const std::vector<PopDeployment>& deployments) {
+  std::vector<ProviderCoverage> rows;
+  rows.reserve(deployments.size());
+  for (const PopDeployment& d : deployments) {
+    ProviderCoverage row;
+    row.name = d.name;
+    row.is_cloud = d.is_cloud;
+    row.coverage_500km = PopulationCoverage(d.cities, 500.0).world;
+    row.coverage_700km = PopulationCoverage(d.cities, 700.0).world;
+    row.coverage_1000km = PopulationCoverage(d.cities, 1000.0).world;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace flatnet

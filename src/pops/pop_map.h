@@ -1,0 +1,53 @@
+// City-level PoP topology maps (§4.2 / §9).
+//
+// The paper consolidates provider network maps, PeeringDB, and rDNS into
+// per-network PoP city lists; here the lists come from the generated
+// world's presence footprints. This module groups them into the cloud and
+// transit cohorts that Figs 11/12 compare.
+#ifndef FLATNET_POPS_POP_MAP_H_
+#define FLATNET_POPS_POP_MAP_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "geo/population.h"
+#include "topogen/world.h"
+
+namespace flatnet {
+
+struct PopDeployment {
+  std::string name;
+  AsId id = kInvalidAsId;
+  bool is_cloud = false;
+  std::vector<CityIndex> cities;
+};
+
+// Deployments of the study clouds plus every Tier-1 and Tier-2 archetype.
+std::vector<PopDeployment> BuildDeployments(const World& world);
+
+// Union of PoP cities across a cohort.
+std::set<CityIndex> CohortCities(const std::vector<PopDeployment>& deployments, bool clouds);
+
+// Fig 11's categories: cities with only cloud PoPs, only transit PoPs, or
+// both.
+struct CityPresenceSplit {
+  std::vector<CityIndex> cloud_only;
+  std::vector<CityIndex> transit_only;
+  std::vector<CityIndex> both;
+};
+CityPresenceSplit SplitCityPresence(const std::vector<PopDeployment>& deployments);
+
+// Fig 12 rows: coverage per provider at each radius.
+struct ProviderCoverage {
+  std::string name;
+  bool is_cloud = false;
+  double coverage_500km = 0.0;
+  double coverage_700km = 0.0;
+  double coverage_1000km = 0.0;
+};
+std::vector<ProviderCoverage> PerProviderCoverage(const std::vector<PopDeployment>& deployments);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_POPS_POP_MAP_H_

@@ -1,0 +1,247 @@
+#include "pops/rdns.h"
+
+#include <algorithm>
+#include <cmath>
+#include <regex>
+#include <set>
+#include <unordered_map>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace flatnet {
+namespace {
+
+struct NamedProfile {
+  const char* name;
+  RdnsStyle style;
+  double coverage;
+  std::uint32_t hostnames;
+  const char* domain;
+};
+
+// Table 3 of the paper: PoP confirmation percentage and hostname counts.
+constexpr NamedProfile kNamedProfiles[] = {
+    {"NTT", RdnsStyle::kDashedPop, 1.00, 7166, "gin.ntt.example.net"},
+    {"Hurricane Electric", RdnsStyle::kDashedPop, 0.991, 5613, "core.he.example.net"},
+    {"AT&T", RdnsStyle::kCompact, 0.923, 11020, "ip.att.example.net"},
+    {"Tata", RdnsStyle::kDashedPop, 0.904, 5470, "if.tata.example.net"},
+    {"Google", RdnsStyle::kCompact, 0.892, 29833, "net.google.example.com"},
+    {"PCCW", RdnsStyle::kDashedPop, 0.855, 948, "pccw.example.net"},
+    {"Vodafone", RdnsStyle::kCompact, 0.839, 4618, "vf.example.net"},
+    {"Zayo", RdnsStyle::kDashedPop, 0.833, 2878, "zayo.example.com"},
+    {"Sprint", RdnsStyle::kDashedPop, 0.674, 2270, "sprintlink.example.net"},
+    {"Telxius", RdnsStyle::kCompact, 0.667, 628, "telxius.example.net"},
+    {"Telia", RdnsStyle::kDashedPop, 0.654, 10073, "telia.example.net"},
+    {"Microsoft", RdnsStyle::kCompact, 0.453, 7195, "ntwk.msn.example.net"},
+    {"Telecom Italia Sparkle", RdnsStyle::kDashedPop, 0.397, 2669, "seabone.example.net"},
+    {"Orange", RdnsStyle::kCompact, 0.267, 701, "opentransit.example.net"},
+    {"Amazon", RdnsStyle::kNone, 0.0, 0, ""},
+};
+
+std::string SanitizedToken(std::string_view token) {
+  std::string out;
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+RdnsProfile ProfileFor(const std::string& network_name) {
+  for (const NamedProfile& p : kNamedProfiles) {
+    if (network_name == p.name) {
+      return {p.style, p.coverage, p.hostnames, p.domain};
+    }
+  }
+  RdnsProfile fallback;
+  fallback.domain = AsciiLower(network_name) + ".example.net";
+  // Strip characters that never appear in DNS labels.
+  std::erase_if(fallback.domain, [](char c) { return c == ' ' || c == '&'; });
+  return fallback;
+}
+
+RdnsDatabase::RdnsDatabase(const World& world, const std::vector<PopDeployment>& deployments,
+                           std::uint64_t seed, const AddressPlan* plan) {
+  Rng rng(seed);
+  auto cities = WorldCities();
+  std::uint32_t router_counter = 0;
+
+  for (const PopDeployment& deployment : deployments) {
+    RdnsProfile profile = ProfileFor(deployment.name);
+    if (profile.style == RdnsStyle::kNone || deployment.cities.empty()) continue;
+
+    // The covered subset of PoPs (the paper confirms 73% of PoPs overall).
+    std::vector<CityIndex> covered = deployment.cities;
+    rng.Shuffle(covered);
+    auto covered_count = static_cast<std::size_t>(
+        std::round(profile.pop_coverage * static_cast<double>(covered.size())));
+    covered.resize(std::max<std::size_t>(covered_count, profile.pop_coverage > 0 ? 1 : 0));
+    if (covered.empty()) continue;
+    std::set<CityIndex> covered_set(covered.begin(), covered.end());
+
+    std::uint32_t emitted_border = 0;
+    if (plan != nullptr) {
+      // Real border interfaces first: the PTRs an operator actually
+      // publishes are the ones traceroutes see.
+      std::uint32_t border_budget = profile.hostname_count * 3 / 5;
+      for (const Neighbor& nb : world.full_graph.NeighborsOf(deployment.id)) {
+        if (emitted_border >= border_budget) break;
+        const LinkAddressing& link = plan->LinkInfo(deployment.id, nb.id);
+        if (!covered_set.contains(link.city)) continue;  // PoP without PTRs
+        std::string iata = AsciiLower(cities[link.city].iata);
+        std::uint32_t pop_index = 1 + static_cast<std::uint32_t>(rng.UniformU64(4));
+        std::string hostname;
+        if (profile.style == RdnsStyle::kDashedPop) {
+          hostname = StrFormat("ae-%u-%u.ear%u.%s%u.%s",
+                               static_cast<unsigned>(rng.UniformU64(16)),
+                               static_cast<unsigned>(rng.UniformU64(100)),
+                               static_cast<unsigned>(1 + rng.UniformU64(4)), iata.c_str(),
+                               pop_index, profile.domain.c_str());
+        } else {
+          hostname = StrFormat("%s%u-rtr-%u.%s", iata.c_str(), pop_index,
+                               static_cast<unsigned>(rng.UniformU64(32)),
+                               profile.domain.c_str());
+        }
+        RdnsEntry entry;
+        entry.addr = plan->BorderAddress(nb.id, deployment.id);
+        entry.hostname = std::move(hostname);
+        entry.owner = deployment.id;
+        entry.true_city = link.city;
+        entry.router_id = router_counter++;
+        if (by_addr_.contains(entry.addr.value())) continue;
+        by_addr_.emplace(entry.addr.value(), entries_.size());
+        entries_.push_back(std::move(entry));
+        ++emitted_border;
+      }
+    }
+
+    // Addresses: a dedicated slice near the head of the first prefix
+    // (probe destinations use offset 1; interface pools sit in the upper
+    // half — see AddressPlan).
+    const Ipv4Prefix& prefix = world.prefixes[deployment.id].front();
+    std::uint64_t base = 16;
+    std::uint64_t room = prefix.Size() / 4;
+
+    std::uint32_t emitted = emitted_border;
+    std::uint32_t per_router_counter = 0;
+    while (emitted < profile.hostname_count) {
+      CityIndex city = covered[rng.UniformU64(covered.size())];
+      std::string iata = AsciiLower(cities[city].iata);
+      std::uint32_t router_id = router_counter++;
+      std::uint32_t pop_index = 1 + static_cast<std::uint32_t>(rng.UniformU64(4));
+      std::string hostname;
+      if (profile.style == RdnsStyle::kDashedPop) {
+        hostname = StrFormat("ae-%u-%u.ear%u.%s%u.%s",
+                             static_cast<unsigned>(rng.UniformU64(16)),
+                             static_cast<unsigned>(rng.UniformU64(100)),
+                             static_cast<unsigned>(1 + rng.UniformU64(4)), iata.c_str(),
+                             pop_index, profile.domain.c_str());
+      } else {
+        hostname = StrFormat("%s%u-rtr-%u.%s", iata.c_str(), pop_index,
+                             static_cast<unsigned>(rng.UniformU64(32)), profile.domain.c_str());
+      }
+      // 1-3 interface addresses alias to this router.
+      auto interfaces = static_cast<std::uint32_t>(1 + rng.UniformU64(3));
+      for (std::uint32_t k = 0; k < interfaces && emitted < profile.hostname_count; ++k) {
+        RdnsEntry entry;
+        entry.addr = prefix.AddressAt(base + (per_router_counter++ % room));
+        entry.hostname = hostname;
+        entry.owner = deployment.id;
+        entry.true_city = city;
+        entry.router_id = router_id;
+        by_addr_.emplace(entry.addr.value(), entries_.size());
+        entries_.push_back(std::move(entry));
+        ++emitted;
+      }
+    }
+  }
+}
+
+std::optional<std::string> RdnsDatabase::Lookup(Ipv4Address addr) const {
+  if (auto it = by_addr_.find(addr.value()); it != by_addr_.end()) {
+    return entries_[it->second].hostname;
+  }
+  return std::nullopt;
+}
+
+std::vector<const RdnsEntry*> RdnsDatabase::EntriesOf(AsId owner) const {
+  std::vector<const RdnsEntry*> out;
+  for (const RdnsEntry& entry : entries_) {
+    if (entry.owner == owner) out.push_back(&entry);
+  }
+  return out;
+}
+
+std::size_t RdnsDatabase::ConfirmedPopCount(AsId owner) const {
+  std::set<CityIndex> confirmed;
+  for (const RdnsEntry& entry : entries_) {
+    if (entry.owner != owner) continue;
+    if (auto city = ExtractLocationManual(entry.hostname)) confirmed.insert(*city);
+  }
+  return confirmed.size();
+}
+
+std::optional<CityIndex> ExtractLocationManual(const std::string& hostname) {
+  for (std::string_view label : Split(hostname, '.')) {
+    for (std::string_view token : Split(label, '-')) {
+      std::string bare = SanitizedToken(token);
+      if (bare.size() != 3) continue;
+      if (auto city = CityByIata(bare)) return city;
+    }
+  }
+  return std::nullopt;
+}
+
+std::map<std::string, std::vector<Ipv4Address>> GroupAliases(
+    const std::vector<RdnsEntry>& entries) {
+  std::map<std::string, std::vector<Ipv4Address>> groups;
+  for (const RdnsEntry& entry : entries) groups[entry.hostname].push_back(entry.addr);
+  return groups;
+}
+
+std::optional<std::string> InferNamingRegex(const std::vector<std::string>& hostnames) {
+  // Mirrors the paper's experience: sc_hoiho needs enough alias groups to
+  // commit to a convention.
+  constexpr std::size_t kMinSamples = 8;
+  if (hostnames.size() < kMinSamples) return std::nullopt;
+
+  // Score each dot-field position by how often its (digit-stripped) leading
+  // dash token is a known airport code.
+  std::size_t best_pos = 0;
+  double best_score = 0.0;
+  for (std::size_t pos = 0; pos < 6; ++pos) {
+    std::size_t hits = 0;
+    std::size_t present = 0;
+    for (const std::string& hostname : hostnames) {
+      auto labels = Split(hostname, '.');
+      if (pos >= labels.size()) continue;
+      ++present;
+      std::string bare = SanitizedToken(Split(labels[pos], '-')[0]);
+      if (bare.size() == 3 && CityByIata(bare)) ++hits;
+    }
+    if (present == 0) continue;
+    double score = static_cast<double>(hits) / static_cast<double>(hostnames.size());
+    if (score > best_score) {
+      best_score = score;
+      best_pos = pos;
+    }
+  }
+  if (best_score < 0.8) return std::nullopt;
+
+  std::string regex = "^";
+  for (std::size_t i = 0; i < best_pos; ++i) regex += "[^.]+\\.";
+  regex += "([a-z]{3})[0-9]*(?:-[^.]*)?\\..*$";
+  return regex;
+}
+
+std::optional<CityIndex> ExtractWithRegex(const std::string& regex,
+                                          const std::string& hostname) {
+  std::regex re(regex);
+  std::smatch match;
+  if (!std::regex_match(hostname, match, re) || match.size() < 2) return std::nullopt;
+  return CityByIata(match[1].str());
+}
+
+}  // namespace flatnet

@@ -1,0 +1,95 @@
+// Reverse-DNS hostname generation and location extraction (§4.2).
+//
+// Router hostnames encode PoP locations as airport codes; the paper
+// extracts them with hand-written regexes and with sc_hoiho-learned naming
+// conventions. Both directions are reproduced here: a generator that emits
+// per-network hostname conventions over the world's PoP footprints (with
+// per-network coverage matching Table 3 — Amazon publishes no rDNS at all),
+// a manual token-based extractor, and a hoiho-style learner that infers a
+// network's naming template from examples and returns a regex.
+#ifndef FLATNET_POPS_RDNS_H_
+#define FLATNET_POPS_RDNS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "measure/addressing.h"
+#include "net/ipv4.h"
+#include "pops/pop_map.h"
+#include "topogen/world.h"
+
+namespace flatnet {
+
+enum class RdnsStyle {
+  kNone,       // no PTR records published (Amazon)
+  kDashedPop,  // ae-3-80.ear2.nyc1.gin.example.net
+  kCompact,    // nyc1-rtr-3.example.com
+};
+
+struct RdnsProfile {
+  RdnsStyle style = RdnsStyle::kDashedPop;
+  // Fraction of PoPs whose routers carry PTR records (Table 3's "% rDNS").
+  double pop_coverage = 0.73;
+  // Total router/interface hostnames to emit (Table 3's counts).
+  std::uint32_t hostname_count = 1000;
+  std::string domain;
+};
+
+// Table-3-derived profile for a named network (defaults for others).
+RdnsProfile ProfileFor(const std::string& network_name);
+
+struct RdnsEntry {
+  Ipv4Address addr;
+  std::string hostname;
+  AsId owner = kInvalidAsId;
+  CityIndex true_city = 0;     // ground truth for scoring extraction
+  std::uint32_t router_id = 0;  // interfaces of one router share this (alias groups)
+};
+
+class RdnsDatabase {
+ public:
+  // When `plan` is non-null, hostnames are attached to the networks' actual
+  // border interfaces first (so traceroute hops and geolocation candidates
+  // resolve), with synthetic internal routers filling the remaining
+  // per-network hostname budget.
+  RdnsDatabase(const World& world, const std::vector<PopDeployment>& deployments,
+               std::uint64_t seed, const AddressPlan* plan = nullptr);
+
+  const std::vector<RdnsEntry>& entries() const { return entries_; }
+  std::optional<std::string> Lookup(Ipv4Address addr) const;
+
+  // Entries belonging to one network.
+  std::vector<const RdnsEntry*> EntriesOf(AsId owner) const;
+
+  // PoP cities of `owner` confirmed by at least one hostname.
+  std::size_t ConfirmedPopCount(AsId owner) const;
+
+ private:
+  std::vector<RdnsEntry> entries_;
+  std::map<std::uint32_t, std::size_t> by_addr_;  // raw ip -> entry index
+};
+
+// Manual extraction: tokenize on '.'/'-', strip trailing digits, and match
+// tokens against the airport-code table.
+std::optional<CityIndex> ExtractLocationManual(const std::string& hostname);
+
+// MIDAR-style alias grouping: interfaces sharing a router (here, the same
+// hostname) collapse into one alias group. Returns hostname -> addresses.
+std::map<std::string, std::vector<Ipv4Address>> GroupAliases(
+    const std::vector<RdnsEntry>& entries);
+
+// sc_hoiho-style convention learning: finds the dot-field position holding
+// a location code across example hostnames (one per alias group) and
+// returns an extraction regex, or nullopt when no consistent convention
+// exists (mirrors the paper's "low number of alias groups" failures).
+std::optional<std::string> InferNamingRegex(const std::vector<std::string>& hostnames);
+
+// Applies a regex from InferNamingRegex.
+std::optional<CityIndex> ExtractWithRegex(const std::string& regex,
+                                          const std::string& hostname);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_POPS_RDNS_H_

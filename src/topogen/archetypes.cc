@@ -1,0 +1,147 @@
+#include "topogen/archetypes.h"
+
+#include <array>
+
+namespace flatnet {
+namespace {
+
+// §4.1: traceroute-augmented vs CAIDA-only peer counts; §6.3: Google peers
+// with 15 Tier-1s, Microsoft buys from 7; §6.2: Amazon has 20 providers,
+// Google 3 (Tata, GTT, Durand do Brasil). PoP counts from Table 3.
+const std::array kClouds2020 = {
+    CloudArchetype{.name = "Google", .asn = 15169, .peer_count = 7757,
+                   .bgp_visible_peers = 818, .tier1_providers = 2, .other_providers = 1,
+                   .tier1_peers = 15, .policy = PeeringPolicy::kOpen, .vm_locations = 12,
+                   .wan_egress = true, .pop_count = 56, .is_study_cloud = true},
+    CloudArchetype{.name = "Microsoft", .asn = 8075, .peer_count = 3580,
+                   .bgp_visible_peers = 315, .tier1_providers = 7, .other_providers = 0,
+                   .tier1_peers = 0, .policy = PeeringPolicy::kSelective, .vm_locations = 11,
+                   .wan_egress = true, .pop_count = 117, .is_study_cloud = true},
+    CloudArchetype{.name = "Amazon", .asn = 16509, .peer_count = 1389,
+                   .bgp_visible_peers = 333, .tier1_providers = 8, .other_providers = 12,
+                   .tier1_peers = 3, .policy = PeeringPolicy::kSelective, .vm_locations = 20,
+                   .wan_egress = false, .pop_count = 78, .is_study_cloud = true},
+    CloudArchetype{.name = "IBM", .asn = 36351, .peer_count = 3702,
+                   .bgp_visible_peers = 3027, .tier1_providers = 2, .other_providers = 2,
+                   .tier1_peers = 6, .policy = PeeringPolicy::kSelective, .vm_locations = 6,
+                   .wan_egress = true, .pop_count = 40, .is_study_cloud = true},
+    // Content hypergiant used for Fig 7d; not part of the four-cloud study.
+    // Facebook is not measured from inside (no VMs), so its analysis-
+    // topology footprint is whatever BGP sees — which for Facebook is a
+    // large share of its peering (it announces at route collectors
+    // worldwide).
+    CloudArchetype{.name = "Facebook", .asn = 32934, .peer_count = 4000,
+                   .bgp_visible_peers = 2300, .tier1_providers = 2, .other_providers = 1,
+                   .tier1_peers = 8, .policy = PeeringPolicy::kOpen, .vm_locations = 0,
+                   .wan_egress = true, .pop_count = 60, .is_study_cloud = false},
+};
+
+// 2015 era (§6.5): Google's footprint was already large (6,397 neighbors,
+// Appendix E); Amazon and Microsoft were far less interconnected (ranks 206
+// and 62 by hierarchy-free reachability); Microsoft additionally had no
+// usable traceroute dataset in 2015.
+const std::array kClouds2015 = {
+    CloudArchetype{.name = "Google", .asn = 15169, .peer_count = 6397,
+                   .bgp_visible_peers = 700, .tier1_providers = 3, .other_providers = 1,
+                   .tier1_peers = 12, .policy = PeeringPolicy::kOpen, .vm_locations = 12,
+                   .wan_egress = true, .pop_count = 40, .is_study_cloud = true},
+    CloudArchetype{.name = "Microsoft", .asn = 8075, .peer_count = 900,
+                   .bgp_visible_peers = 650, .tier1_providers = 7, .other_providers = 2,
+                   .tier1_peers = 0, .policy = PeeringPolicy::kSelective, .vm_locations = 0,
+                   .wan_egress = true, .pop_count = 60, .is_study_cloud = true},
+    CloudArchetype{.name = "Amazon", .asn = 16509, .peer_count = 450,
+                   .bgp_visible_peers = 200, .tier1_providers = 10, .other_providers = 10,
+                   .tier1_peers = 1, .policy = PeeringPolicy::kRestrictive, .vm_locations = 12,
+                   .wan_egress = false, .pop_count = 30, .is_study_cloud = true},
+    CloudArchetype{.name = "IBM", .asn = 36351, .peer_count = 2400,
+                   .bgp_visible_peers = 1900, .tier1_providers = 3, .other_providers = 2,
+                   .tier1_peers = 4, .policy = PeeringPolicy::kSelective, .vm_locations = 6,
+                   .wan_egress = true, .pop_count = 25, .is_study_cloud = true},
+    CloudArchetype{.name = "Facebook", .asn = 32934, .peer_count = 2200,
+                   .bgp_visible_peers = 1200, .tier1_providers = 3, .other_providers = 1,
+                   .tier1_peers = 5, .policy = PeeringPolicy::kOpen, .vm_locations = 0,
+                   .wan_egress = true, .pop_count = 35, .is_study_cloud = false},
+};
+
+// The clique. customer_share drives how many transit customers each Tier-1
+// attracts; edge_peers is peering outside the hierarchy. Level 3 is
+// customer-rich and edge-peered (top hierarchy-free reachability); Sprint
+// and Deutsche Telekom lean on the hierarchy (Appendix B's outliers).
+const std::array kTier1s = {
+    Tier1Archetype{"Level 3", 3356, 10.0, 6000, PeeringPolicy::kSelective, 95},
+    Tier1Archetype{"Cogent", 174, 7.0, 3800, PeeringPolicy::kSelective, 50},
+    Tier1Archetype{"Telia", 1299, 6.5, 3500, PeeringPolicy::kSelective, 121},
+    Tier1Archetype{"GTT", 3257, 5.5, 3000, PeeringPolicy::kSelective, 49},
+    Tier1Archetype{"NTT", 2914, 5.0, 2200, PeeringPolicy::kRestrictive, 49},
+    Tier1Archetype{"Zayo", 6461, 4.5, 2800, PeeringPolicy::kSelective, 36},
+    Tier1Archetype{"Tata", 6453, 4.0, 1800, PeeringPolicy::kRestrictive, 94},
+    Tier1Archetype{"AT&T", 7018, 3.0, 900, PeeringPolicy::kRestrictive, 39},
+    Tier1Archetype{"Verizon", 701, 3.0, 800, PeeringPolicy::kRestrictive, 40},
+    Tier1Archetype{"Orange", 5511, 2.0, 600, PeeringPolicy::kRestrictive, 30},
+    Tier1Archetype{"Telecom Italia Sparkle", 6762, 2.2, 750, PeeringPolicy::kRestrictive, 78},
+    Tier1Archetype{"Telxius", 12956, 1.8, 600, PeeringPolicy::kRestrictive, 60},
+    Tier1Archetype{"Vodafone", 1273, 2.5, 1000, PeeringPolicy::kRestrictive, 31},
+    Tier1Archetype{"KPN", 286, 1.5, 500, PeeringPolicy::kRestrictive, 25},
+    Tier1Archetype{"Deutsche Telekom", 3320, 0.9, 150, PeeringPolicy::kRestrictive, 30},
+    Tier1Archetype{"Sprint", 1239, 0.8, 120, PeeringPolicy::kRestrictive, 95},
+    Tier1Archetype{"Telefonica", 12389 + 700000, 1.2, 380, PeeringPolicy::kRestrictive, 28},
+};
+
+// The Tier-2 band (ProbLink's list, roughly). Hurricane Electric's open
+// policy and huge edge peering make it the #2 hierarchy-free network.
+const std::array kTier2s = {
+    Tier2Archetype{"Hurricane Electric", 6939, 8.0, 9000, 0.9, 1, PeeringPolicy::kOpen, 112},
+    Tier2Archetype{"PCCW", 3491, 4.0, 700, 0.8, 0, PeeringPolicy::kSelective, 69},
+    Tier2Archetype{"Liberty Global", 6830, 3.0, 600, 0.7, 0, PeeringPolicy::kSelective, 30},
+    Tier2Archetype{"Comcast", 7922, 2.5, 800, 0.8, 1, PeeringPolicy::kSelective, 35},
+    Tier2Archetype{"Telstra", 4637, 2.5, 400, 0.6, 1, PeeringPolicy::kSelective, 45},
+    Tier2Archetype{"Vocus", 4826, 2.0, 900, 0.7, 1, PeeringPolicy::kOpen, 25},
+    Tier2Archetype{"RETN", 9002, 2.2, 800, 0.6, 1, PeeringPolicy::kOpen, 40},
+    Tier2Archetype{"TELIN PT", 7713, 1.8, 850, 0.6, 2, PeeringPolicy::kOpen, 25},
+    Tier2Archetype{"Korea Telecom", 4766, 1.8, 300, 0.5, 2, PeeringPolicy::kSelective, 20},
+    Tier2Archetype{"KDDI", 2516, 1.5, 120, 0.4, 2, PeeringPolicy::kRestrictive, 25},
+    Tier2Archetype{"IIJ", 2497, 1.5, 250, 0.5, 2, PeeringPolicy::kSelective, 20},
+    Tier2Archetype{"British Telecom", 5400, 1.5, 200, 0.5, 2, PeeringPolicy::kRestrictive, 25},
+    Tier2Archetype{"Tele2", 1257, 1.3, 220, 0.5, 2, PeeringPolicy::kSelective, 20},
+    Tier2Archetype{"TDC", 3292, 1.2, 250, 0.5, 2, PeeringPolicy::kSelective, 18},
+    Tier2Archetype{"KCOM", 12390, 0.8, 60, 0.1, 3, PeeringPolicy::kRestrictive, 10},
+    Tier2Archetype{"CN Net", 4134, 2.0, 150, 0.4, 2, PeeringPolicy::kRestrictive, 25},
+    Tier2Archetype{"Fibrenoire", 22652, 0.9, 150, 0.4, 2, PeeringPolicy::kSelective, 12},
+    Tier2Archetype{"Stealth", 8002, 0.9, 250, 0.4, 2, PeeringPolicy::kOpen, 12},
+    Tier2Archetype{"PT", 2860, 1.0, 180, 0.4, 2, PeeringPolicy::kSelective, 15},
+    Tier2Archetype{"Spirit", 29076 + 500000, 0.8, 160, 0.3, 2, PeeringPolicy::kSelective, 12},
+    Tier2Archetype{"Internap", 14744, 0.8, 200, 0.4, 2, PeeringPolicy::kSelective, 15},
+    Tier2Archetype{"Easynet", 4589, 0.7, 120, 0.3, 2, PeeringPolicy::kSelective, 12},
+    Tier2Archetype{"FiberRing", 38930, 0.6, 140, 0.3, 2, PeeringPolicy::kOpen, 10},
+    Tier2Archetype{"Rostelecom", 12389, 2.2, 350, 0.5, 2, PeeringPolicy::kSelective, 30},
+};
+
+// Open-peering mid transits that surface in Table 1's lower half.
+const std::array kOpenTransits = {
+    OpenTransitArchetype{"SG.GS", 24482, 1800},
+    OpenTransitArchetype{"COLT", 8220, 1500},
+    OpenTransitArchetype{"G-Core Labs", 199524, 1400},
+    OpenTransitArchetype{"Core-Backbone", 33891, 1300},
+    OpenTransitArchetype{"WV FIBER", 19151, 1250},
+    OpenTransitArchetype{"Wikimedia", 14907, 1200},
+    OpenTransitArchetype{"Swisscom", 3303, 1100},
+    OpenTransitArchetype{"IPTP", 41095, 1000},
+    OpenTransitArchetype{"Init7", 13030, 950},
+    OpenTransitArchetype{"StackPath", 12989, 900},
+    OpenTransitArchetype{"MTS PJSC", 8359, 850},
+    OpenTransitArchetype{"iiNet", 4739, 800},
+    OpenTransitArchetype{"Bharti Airtel", 9498, 750},
+    OpenTransitArchetype{"Lightower Fiber", 46887, 700},
+    OpenTransitArchetype{"PJSC", 3216, 650},
+    OpenTransitArchetype{"Durand do Brasil", 22356, 600},
+};
+
+}  // namespace
+
+std::span<const CloudArchetype> DefaultClouds2020() { return kClouds2020; }
+std::span<const CloudArchetype> DefaultClouds2015() { return kClouds2015; }
+std::span<const Tier1Archetype> DefaultTier1s() { return kTier1s; }
+std::span<const Tier2Archetype> DefaultTier2s() { return kTier2s; }
+std::span<const OpenTransitArchetype> DefaultOpenTransits() { return kOpenTransits; }
+
+}  // namespace flatnet

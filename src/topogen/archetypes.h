@@ -1,0 +1,100 @@
+// Named network archetypes.
+//
+// The generator seeds the synthetic Internet with networks modeled on the
+// ones the paper reports on — the four cloud providers, the Tier-1 clique,
+// the Tier-2 band, and a handful of open-peering mid transits — so the
+// bench output prints recognizable rows. Parameters (peer counts, provider
+// counts, peering policies) come from the paper's §4.1/§6 numbers; every
+// other attribute is synthetic. These are archetypes, not measurements of
+// the real networks.
+#ifndef FLATNET_TOPOGEN_ARCHETYPES_H_
+#define FLATNET_TOPOGEN_ARCHETYPES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "asgraph/as_graph.h"
+
+namespace flatnet {
+
+enum class PeeringPolicy : std::uint8_t {
+  kOpen,        // peers with anyone at shared facilities
+  kSelective,   // peers case-by-case
+  kRestrictive  // rarely peers outside the clique
+};
+
+// One of the measured cloud providers (plus the Facebook-style content
+// hypergiant used in Fig 7d).
+struct CloudArchetype {
+  std::string name;
+  Asn asn = 0;
+  // Ground-truth peer count at paper scale (§4.1 traceroute-augmented
+  // numbers; the generator scales these with the topology fraction).
+  std::uint32_t peer_count = 0;
+  // Peers visible in BGP feeds at paper scale (§4.1 CAIDA-only numbers).
+  std::uint32_t bgp_visible_peers = 0;
+  // Transit providers: how many are Tier-1s, and how many other networks.
+  std::uint32_t tier1_providers = 0;
+  std::uint32_t other_providers = 0;
+  // Tier-1 ISPs this network peers with (Google peers with 15).
+  std::uint32_t tier1_peers = 0;
+  PeeringPolicy policy = PeeringPolicy::kSelective;
+  // Number of VM locations used for the §4.1 measurements.
+  std::uint32_t vm_locations = 0;
+  // False => early-exit routing (Amazon): tenant traffic egresses near the
+  // VM instead of riding the WAN to the best global exit.
+  bool wan_egress = true;
+  // Approximate PoP count for the §9 deployment analysis.
+  std::uint32_t pop_count = 0;
+  // Treated as one of "the four cloud providers" in the analyses (false
+  // for the Facebook archetype, which only appears in the leak study).
+  bool is_study_cloud = true;
+};
+
+// A Tier-1 clique member.
+struct Tier1Archetype {
+  std::string name;
+  Asn asn = 0;
+  // Relative pull when transit customers choose providers. Level 3's high
+  // share is what gives it the top hierarchy-free reachability; Sprint's
+  // and Deutsche Telekom's low shares reproduce the Appendix-B outliers.
+  double customer_share = 1.0;
+  // Edge peering outside the clique/Tier-2 band, at paper scale.
+  std::uint32_t edge_peers = 0;
+  PeeringPolicy policy = PeeringPolicy::kRestrictive;
+  std::uint32_t pop_count = 40;
+};
+
+// A Tier-2 (large transit) network.
+struct Tier2Archetype {
+  std::string name;
+  Asn asn = 0;
+  double customer_share = 1.0;
+  std::uint32_t edge_peers = 0;
+  // Fraction of the Tier-1 clique this network peers with (beyond its
+  // providers).
+  double tier1_peer_fraction = 0.3;
+  std::uint32_t tier1_provider_count = 2;
+  PeeringPolicy policy = PeeringPolicy::kSelective;
+  std::uint32_t pop_count = 30;
+};
+
+// Open-peering mid-size transit (the SG.GS / COLT / Core-Backbone class
+// that fills Table 1's lower half).
+struct OpenTransitArchetype {
+  std::string name;
+  Asn asn = 0;
+  std::uint32_t edge_peers = 0;  // at paper scale
+};
+
+std::span<const CloudArchetype> DefaultClouds2020();
+std::span<const CloudArchetype> DefaultClouds2015();
+std::span<const Tier1Archetype> DefaultTier1s();
+std::span<const Tier2Archetype> DefaultTier2s();
+std::span<const OpenTransitArchetype> DefaultOpenTransits();
+
+}  // namespace flatnet
+
+#endif  // FLATNET_TOPOGEN_ARCHETYPES_H_

@@ -1,0 +1,987 @@
+#include "topogen/generate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/prefix_allocator.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace flatnet {
+namespace {
+
+// Structural role during generation (finer than the reported AsType).
+enum class Category : std::uint8_t {
+  kTier1,
+  kTier2,
+  kCloud,
+  kOpenTransit,
+  kLargeTransit,
+  kMidTransit,
+  kAccess,
+  kContent,
+  kEnterprise,
+};
+
+bool IsTransitCategory(Category c) {
+  return c == Category::kTier1 || c == Category::kTier2 || c == Category::kOpenTransit ||
+         c == Category::kLargeTransit || c == Category::kMidTransit;
+}
+
+struct AsRecord {
+  Asn asn = 0;
+  std::string name;
+  Category category = Category::kEnterprise;
+  CityIndex home = 0;
+  double users = 0.0;
+  PeeringPolicy policy = PeeringPolicy::kRestrictive;
+};
+
+struct EdgeRecord {
+  AsId a = 0;  // provider side for p2c
+  AsId b = 0;
+  EdgeType type = EdgeType::kP2P;
+  bool visible = true;
+};
+
+// Weighted sampling over a fixed item set (cumulative sums + binary search).
+class WeightedPool {
+ public:
+  void Add(AsId id, double weight) {
+    if (weight <= 0.0) return;
+    items_.push_back(id);
+    total_ += weight;
+    cumulative_.push_back(total_);
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+  AsId Sample(Rng& rng) const {
+    double r = rng.UniformDouble() * total_;
+    auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), r);
+    std::size_t idx = static_cast<std::size_t>(it - cumulative_.begin());
+    if (idx >= items_.size()) idx = items_.size() - 1;
+    return items_[idx];
+  }
+
+ private:
+  std::vector<AsId> items_;
+  std::vector<double> cumulative_;
+  double total_ = 0.0;
+};
+
+// Hands out aligned blocks across several /8 pools.
+class MultiPoolAllocator {
+ public:
+  explicit MultiPoolAllocator(std::vector<Ipv4Prefix> pools) {
+    for (const Ipv4Prefix& pool : pools) allocators_.emplace_back(pool);
+  }
+
+  Ipv4Prefix Allocate(std::uint8_t length) {
+    for (PrefixAllocator& alloc : allocators_) {
+      if (auto prefix = alloc.Allocate(length)) return *prefix;
+    }
+    throw Error("MultiPoolAllocator: address pools exhausted");
+  }
+
+ private:
+  std::vector<PrefixAllocator> allocators_;
+};
+
+class Generator {
+ public:
+  explicit Generator(const GeneratorParams& params)
+      : params_(params), rng_(params.seed), cities_(WorldCities()) {}
+
+  World Run() {
+    CreateRecords();
+    AssignUsers();  // before cloud links: clouds target high-user eyeballs
+    BuildClique();
+    BuildTier2Links();
+    BuildTransitLinks();
+    BuildEdgeCustomerLinks();
+    BuildCloudLinks();
+    BuildHierarchyEdgePeering();
+    BuildIxpMesh();
+    AssignPrefixes();
+    return Assemble();
+  }
+
+ private:
+  // ---- record creation -------------------------------------------------
+
+  CityIndex SampleCity(const std::array<double, kContinentCount>& continent_mult) {
+    if (city_weights_scratch_.size() != cities_.size()) {
+      city_weights_scratch_.resize(cities_.size());
+    }
+    for (std::size_t i = 0; i < cities_.size(); ++i) {
+      city_weights_scratch_[i] = cities_[i].population_millions *
+                                 continent_mult[static_cast<std::size_t>(cities_[i].continent)];
+    }
+    return static_cast<CityIndex>(rng_.PickWeighted(city_weights_scratch_));
+  }
+
+  CityIndex SampleEdgeCity() {
+    // Edge ASes follow population with a modest bias to the developed-world
+    // markets where AS density is highest.
+    return SampleCity({1.2, 0.9, 1.4, 0.6, 1.0, 1.1, 0.8});
+  }
+
+  AsId AddRecord(AsRecord record) {
+    records_.push_back(std::move(record));
+    return static_cast<AsId>(records_.size() - 1);
+  }
+
+  void CreateRecords() {
+    std::uint32_t total = params_.total_ases;
+    auto count_of = [&](double fraction) {
+      return static_cast<std::uint32_t>(std::round(fraction * total));
+    };
+    std::uint32_t n_large = std::max<std::uint32_t>(10, count_of(params_.large_transit_fraction));
+    std::uint32_t n_mid_total = std::max<std::uint32_t>(40, count_of(params_.mid_transit_fraction));
+    std::uint32_t n_access = count_of(params_.access_fraction);
+    std::uint32_t n_content = count_of(params_.content_fraction);
+
+    for (const Tier1Archetype& t1 : params_.tier1s) {
+      AsId id = AddRecord({t1.asn, t1.name, Category::kTier1,
+                           SampleCity({1.3, 0.7, 1.3, 0.5, 0.9, 0.7, 0.6}), 0.0, t1.policy});
+      tier1_ids_.push_back(id);
+    }
+    for (const Tier2Archetype& t2 : params_.tier2s) {
+      AsId id = AddRecord({t2.asn, t2.name, Category::kTier2,
+                           SampleCity({1.2, 0.8, 1.2, 0.6, 1.0, 0.8, 0.7}), 0.0, t2.policy});
+      tier2_ids_.push_back(id);
+    }
+    for (const CloudArchetype& cloud : params_.clouds) {
+      AsId id = AddRecord({cloud.asn, cloud.name, Category::kCloud,
+                           SampleCity({1.6, 0.3, 1.2, 0.2, 1.0, 0.3, 0.5}), 0.0, cloud.policy});
+      cloud_ids_.push_back(id);
+    }
+    for (const OpenTransitArchetype& ot : params_.open_transits) {
+      // Durand do Brasil anchors the South-American region (Table 2's
+      // Amazon-reliance outlier); everything else lands by population.
+      CityIndex home = ot.name == "Durand do Brasil"
+                           ? *CityByIata("GRU")
+                           : SampleCity({1.1, 0.8, 1.3, 0.6, 1.0, 0.8, 0.7});
+      AsId id = AddRecord({ot.asn, ot.name, Category::kOpenTransit, home, 0.0,
+                           PeeringPolicy::kOpen});
+      open_transit_ids_.push_back(id);
+      if (ot.name == "Durand do Brasil") durand_ = id;
+    }
+    Asn next_asn = 100000;
+    for (std::uint32_t i = 0; i < n_large; ++i) {
+      AsId id = AddRecord({next_asn++, StrFormat("LargeTransit-%u", i), Category::kLargeTransit,
+                           SampleCity({1.0, 1.0, 1.0, 0.9, 1.0, 1.0, 0.9}), 0.0,
+                           PeeringPolicy::kSelective});
+      large_ids_.push_back(id);
+    }
+    std::uint32_t n_mid =
+        n_mid_total > open_transit_ids_.size()
+            ? n_mid_total - static_cast<std::uint32_t>(open_transit_ids_.size())
+            : 0;
+    for (std::uint32_t i = 0; i < n_mid; ++i) {
+      AsId id = AddRecord({next_asn++, StrFormat("MidTransit-%u", i), Category::kMidTransit,
+                           SampleEdgeCity(), 0.0,
+                           rng_.Bernoulli(0.3) ? PeeringPolicy::kOpen
+                                               : PeeringPolicy::kSelective});
+      mid_ids_.push_back(id);
+    }
+    for (std::uint32_t i = 0; i < n_access; ++i) {
+      AsId id = AddRecord({next_asn++, StrFormat("AccessNet-%u", i), Category::kAccess,
+                           SampleEdgeCity(), 0.0,
+                           rng_.Bernoulli(0.5) ? PeeringPolicy::kOpen
+                                               : PeeringPolicy::kSelective});
+      access_ids_.push_back(id);
+    }
+    for (std::uint32_t i = 0; i < n_content; ++i) {
+      AsId id = AddRecord({next_asn++, StrFormat("ContentNet-%u", i), Category::kContent,
+                           SampleEdgeCity(), 0.0, PeeringPolicy::kOpen});
+      content_ids_.push_back(id);
+    }
+    while (records_.size() < total) {
+      AsId id = AddRecord({next_asn++, StrFormat("Enterprise-%zu", enterprise_ids_.size()),
+                           Category::kEnterprise, SampleEdgeCity(), 0.0,
+                           PeeringPolicy::kRestrictive});
+      enterprise_ids_.push_back(id);
+    }
+  }
+
+  // ---- edge helpers ----------------------------------------------------
+
+  static std::uint64_t PairKey(AsId x, AsId y) {
+    if (x > y) std::swap(x, y);
+    return (std::uint64_t{x} << 32) | y;
+  }
+
+  bool HasEdge(AsId a, AsId b) const { return edge_keys_.contains(PairKey(a, b)); }
+
+  bool AddC2P(AsId provider, AsId customer) {
+    if (provider == customer) return false;
+    if (!edge_keys_.insert(PairKey(provider, customer)).second) return false;
+    edges_.push_back({provider, customer, EdgeType::kP2C, true});
+    provider_count_[customer]++;
+    return true;
+  }
+
+  bool AddP2P(AsId a, AsId b, bool visible) {
+    if (a == b) return false;
+    if (!edge_keys_.insert(PairKey(a, b)).second) return false;
+    edges_.push_back({a, b, EdgeType::kP2P, visible});
+    return true;
+  }
+
+  bool PeerLinkVisible(AsId a, AsId b) {
+    // BGP feeds see a p2p link when a monitor sits inside either endpoint's
+    // customer cone (§4.1: "good coverage of Tier-1 and Tier-2 ISPs").
+    // Tier-1/Tier-2 cones are huge, so any link touching them is almost
+    // always visible; links touching ordinary transits often are; pure
+    // edge-edge peering is the ~90% blind spot.
+    Category ca = records_[a].category;
+    Category cb = records_[b].category;
+    auto is_hierarchy = [](Category c) {
+      return c == Category::kTier1 || c == Category::kTier2;
+    };
+    auto is_transit = [](Category c) {
+      return c == Category::kLargeTransit || c == Category::kMidTransit ||
+             c == Category::kOpenTransit;
+    };
+    if (is_hierarchy(ca) || is_hierarchy(cb)) {
+      return rng_.Bernoulli(params_.transit_peer_visibility);
+    }
+    if (is_transit(ca) || is_transit(cb)) {
+      return rng_.Bernoulli(params_.mid_peer_visibility);
+    }
+    return rng_.Bernoulli(params_.edge_peer_visibility);
+  }
+
+  AsId Tier1ByName(std::string_view name) const {
+    for (AsId id : tier1_ids_) {
+      if (records_[id].name == name) return id;
+    }
+    throw InvalidArgument("Generator: unknown Tier-1 archetype " + std::string(name));
+  }
+
+  // ---- hierarchy construction -------------------------------------------
+
+  void BuildClique() {
+    for (std::size_t i = 0; i < tier1_ids_.size(); ++i) {
+      for (std::size_t j = i + 1; j < tier1_ids_.size(); ++j) {
+        AddP2P(tier1_ids_[i], tier1_ids_[j], /*visible=*/true);
+      }
+    }
+  }
+
+  WeightedPool Tier1Pool() const {
+    WeightedPool pool;
+    for (std::size_t i = 0; i < tier1_ids_.size(); ++i) {
+      pool.Add(tier1_ids_[i], params_.tier1s[i].customer_share);
+    }
+    return pool;
+  }
+
+  void BuildTier2Links() {
+    WeightedPool t1_pool = Tier1Pool();
+    for (std::size_t i = 0; i < tier2_ids_.size(); ++i) {
+      const Tier2Archetype& arch = params_.tier2s[i];
+      AsId id = tier2_ids_[i];
+      for (std::uint32_t k = 0; k < arch.tier1_provider_count; ++k) {
+        AddC2P(t1_pool.Sample(rng_), id);
+      }
+      for (std::size_t j = 0; j < tier1_ids_.size(); ++j) {
+        if (!HasEdge(id, tier1_ids_[j]) && rng_.Bernoulli(arch.tier1_peer_fraction)) {
+          AddP2P(id, tier1_ids_[j], /*visible=*/true);
+        }
+      }
+    }
+    // Tier-2 <-> Tier-2 peering mesh.
+    for (std::size_t i = 0; i < tier2_ids_.size(); ++i) {
+      for (std::size_t j = i + 1; j < tier2_ids_.size(); ++j) {
+        if (rng_.Bernoulli(0.5)) AddP2P(tier2_ids_[i], tier2_ids_[j], /*visible=*/true);
+      }
+    }
+  }
+
+  void BuildTransitLinks() {
+    WeightedPool t1_pool = Tier1Pool();
+    WeightedPool t2_pool;
+    for (std::size_t i = 0; i < tier2_ids_.size(); ++i) {
+      t2_pool.Add(tier2_ids_[i], params_.tier2s[i].customer_share);
+    }
+
+    // Open and large transits buy from the hierarchy.
+    for (AsId id : open_transit_ids_) {
+      std::uint32_t providers = 2 + static_cast<std::uint32_t>(rng_.Bernoulli(0.5));
+      for (std::uint32_t k = 0; k < providers; ++k) {
+        AddC2P(rng_.Bernoulli(0.6) ? t1_pool.Sample(rng_) : t2_pool.Sample(rng_), id);
+      }
+    }
+    for (AsId id : large_ids_) {
+      // National backbones multi-home to several Tier-1s — this is what
+      // gives the clique its huge customer cones.
+      std::uint32_t providers = 2 + static_cast<std::uint32_t>(rng_.UniformU64(2));
+      for (std::uint32_t k = 0; k < providers; ++k) {
+        AddC2P(rng_.Bernoulli(0.85) ? t1_pool.Sample(rng_) : t2_pool.Sample(rng_), id);
+      }
+      // Lognormal-ish attractiveness for downstream customer choice.
+      large_weight_[id] = std::exp(rng_.Normal(0.0, 0.8));
+    }
+
+    // Mid transits buy from large transits (same-continent bias), Tier-2s,
+    // and occasionally straight from a Tier-1.
+    for (AsId id : mid_ids_) {
+      std::uint32_t providers = 2 + static_cast<std::uint32_t>(rng_.Bernoulli(0.4));
+      for (std::uint32_t k = 0; k < providers; ++k) {
+        double r = rng_.UniformDouble();
+        if (r < 0.45 && !large_ids_.empty()) {
+          AddC2P(SampleLargeTransit(records_[id].home), id);
+        } else if (r < 0.70) {
+          AddC2P(t2_pool.Sample(rng_), id);
+        } else {
+          AddC2P(t1_pool.Sample(rng_), id);
+        }
+      }
+      mid_weight_[id] = std::exp(rng_.Normal(0.0, 0.7));
+    }
+    for (AsId id : open_transit_ids_) mid_weight_[id] = 3.0;  // open transits attract customers
+    if (durand_ != kInvalidAsId) mid_weight_[durand_] = 6.0;
+
+    // Transit-to-transit peering: route servers at the exchanges give every
+    // mid transit a respectable set of transit peers — this is what puts
+    // thousands of mid networks above the hierarchy-dependent Tier-1s in
+    // the Fig 3 scatter.
+    for (std::size_t i = 0; i < mid_ids_.size(); ++i) {
+      std::size_t peers = 8 + rng_.UniformU64(10);
+      for (std::size_t k = 0; k < peers; ++k) {
+        AsId other = mid_ids_[rng_.UniformU64(mid_ids_.size())];
+        if (other != mid_ids_[i]) {
+          AddP2P(mid_ids_[i], other, rng_.Bernoulli(params_.mid_peer_visibility));
+        }
+      }
+      // A few sessions with the big regional backbones, whose cones are
+      // what make a mid transit's hierarchy-free reach substantial.
+      for (AsId large : large_ids_) {
+        if (rng_.Bernoulli(0.08)) {
+          AddP2P(mid_ids_[i], large, rng_.Bernoulli(params_.mid_peer_visibility));
+        }
+      }
+    }
+    for (std::size_t i = 0; i < open_transit_ids_.size(); ++i) {
+      for (std::size_t j = i + 1; j < open_transit_ids_.size(); ++j) {
+        if (rng_.Bernoulli(0.5)) {
+          AddP2P(open_transit_ids_[i], open_transit_ids_[j],
+                 rng_.Bernoulli(params_.mid_peer_visibility));
+        }
+      }
+    }
+    // Open-peering transits meet most of the transit ecosystem at IXP route
+    // servers; this broad mesh is what lifts them into Table 1's top 20.
+    for (AsId open_id : open_transit_ids_) {
+      for (AsId mid : mid_ids_) {
+        if (rng_.Bernoulli(0.4)) {
+          AddP2P(open_id, mid, rng_.Bernoulli(params_.mid_peer_visibility));
+        }
+      }
+      for (AsId large : large_ids_) {
+        if (rng_.Bernoulli(0.5)) {
+          AddP2P(open_id, large, rng_.Bernoulli(params_.mid_peer_visibility));
+        }
+      }
+    }
+
+    // Customer-rich Tier-1s and open Tier-2s interconnect with most of the
+    // significant transit networks (settlement-free interconnection below
+    // the clique). This diversification is exactly what separates Level 3
+    // and Hurricane Electric from hierarchy-dependent Sprint / Deutsche
+    // Telekom in the paper's Fig 2 / Appendix B.
+    auto peer_with_transits = [&](AsId network, double mid_prob, double large_prob) {
+      for (AsId mid : mid_ids_) {
+        if (rng_.Bernoulli(mid_prob)) AddP2P(network, mid, PeerLinkVisible(network, mid));
+      }
+      for (AsId large : large_ids_) {
+        if (rng_.Bernoulli(large_prob)) AddP2P(network, large, PeerLinkVisible(network, large));
+      }
+    };
+    for (std::size_t i = 0; i < tier1_ids_.size(); ++i) {
+      double share = params_.tier1s[i].customer_share;
+      peer_with_transits(tier1_ids_[i], std::min(0.97, share / 10.0), std::min(0.97, share / 8.0));
+    }
+    for (std::size_t i = 0; i < tier2_ids_.size(); ++i) {
+      const Tier2Archetype& arch = params_.tier2s[i];
+      if (arch.policy == PeeringPolicy::kOpen) {
+        peer_with_transits(tier2_ids_[i], 0.7, 0.75);
+      } else {
+        peer_with_transits(tier2_ids_[i], arch.customer_share / 15.0,
+                           arch.customer_share / 12.0);
+      }
+    }
+  }
+
+  AsId SampleLargeTransit(CityIndex customer_home) {
+    // Same-continent large transits are 3x more attractive; Durand do
+    // Brasil dominates South America (10x) so the region's reachability
+    // funnels through it.
+    Continent home_continent = cities_[customer_home].continent;
+    double total = 0.0;
+    sample_weights_.clear();
+    sample_items_.clear();
+    auto add = [&](AsId id, double base) {
+      double w = base;
+      if (cities_[records_[id].home].continent == home_continent) w *= 3.0;
+      sample_items_.push_back(id);
+      total += w;
+      sample_weights_.push_back(total);
+    };
+    for (AsId id : large_ids_) add(id, large_weight_[id]);
+    if (durand_ != kInvalidAsId && home_continent == Continent::kSouthAmerica) {
+      add(durand_, 30.0);
+    }
+    double r = rng_.UniformDouble() * total;
+    auto it = std::lower_bound(sample_weights_.begin(), sample_weights_.end(), r);
+    std::size_t idx = static_cast<std::size_t>(it - sample_weights_.begin());
+    if (idx >= sample_items_.size()) idx = sample_items_.size() - 1;
+    return sample_items_[idx];
+  }
+
+  AsId SampleMidTransit(CityIndex customer_home) {
+    Continent home_continent = cities_[customer_home].continent;
+    double total = 0.0;
+    sample_weights_.clear();
+    sample_items_.clear();
+    auto add = [&](AsId id) {
+      double w = mid_weight_[id];
+      if (cities_[records_[id].home].continent == home_continent) {
+        w *= 3.0;
+        if (id == durand_ && home_continent == Continent::kSouthAmerica) w *= 25.0;
+      }
+      sample_items_.push_back(id);
+      total += w;
+      sample_weights_.push_back(total);
+    };
+    for (AsId id : mid_ids_) add(id);
+    for (AsId id : open_transit_ids_) add(id);
+    double r = rng_.UniformDouble() * total;
+    auto it = std::lower_bound(sample_weights_.begin(), sample_weights_.end(), r);
+    std::size_t idx = static_cast<std::size_t>(it - sample_weights_.begin());
+    if (idx >= sample_items_.size()) idx = sample_items_.size() - 1;
+    return sample_items_[idx];
+  }
+
+  // ---- edge networks -----------------------------------------------------
+
+  std::uint32_t SampleProviderCount() {
+    double r = rng_.UniformDouble();
+    if (r < params_.single_homed_fraction) return 1;
+    if (r < params_.single_homed_fraction + params_.dual_homed_fraction) return 2;
+    return 3;
+  }
+
+  void BuildEdgeCustomerLinks() {
+    WeightedPool t1_pool = Tier1Pool();
+    WeightedPool t2_pool;
+    for (std::size_t i = 0; i < tier2_ids_.size(); ++i) {
+      t2_pool.Add(tier2_ids_[i], params_.tier2s[i].customer_share);
+    }
+    WeightedPool hierarchy_pool;
+    for (std::size_t i = 0; i < tier1_ids_.size(); ++i) {
+      hierarchy_pool.Add(tier1_ids_[i], params_.tier1s[i].customer_share);
+    }
+    for (std::size_t i = 0; i < tier2_ids_.size(); ++i) {
+      hierarchy_pool.Add(tier2_ids_[i], params_.tier2s[i].customer_share);
+    }
+
+    auto attach = [&](AsId id, bool enterprise) {
+      std::uint32_t providers = SampleProviderCount();
+      if (enterprise && providers > 2) providers = 2;
+      for (std::uint32_t k = 0; k < providers; ++k) {
+        double r = rng_.UniformDouble();
+        if (r < params_.hierarchy_direct_fraction) {
+          AddC2P(hierarchy_pool.Sample(rng_), id);
+        } else if (enterprise && r < params_.hierarchy_direct_fraction + 0.35 &&
+                   !access_ids_.empty()) {
+          // Enterprises often buy from a regional access ISP.
+          AddC2P(access_ids_[rng_.UniformU64(access_ids_.size())], id);
+        } else if (rng_.Bernoulli(0.75)) {
+          AddC2P(SampleMidTransit(records_[id].home), id);
+        } else {
+          AddC2P(SampleLargeTransit(records_[id].home), id);
+        }
+      }
+    };
+
+    for (AsId id : access_ids_) attach(id, /*enterprise=*/false);
+    for (AsId id : content_ids_) attach(id, /*enterprise=*/false);
+    for (AsId id : enterprise_ids_) attach(id, /*enterprise=*/true);
+  }
+
+  // ---- clouds --------------------------------------------------------------
+
+  void BuildCloudLinks() {
+    WeightedPool t2_pool;
+    for (std::size_t i = 0; i < tier2_ids_.size(); ++i) {
+      t2_pool.Add(tier2_ids_[i], params_.tier2s[i].customer_share);
+    }
+
+    for (std::size_t c = 0; c < params_.clouds.size(); ++c) {
+      const CloudArchetype& arch = params_.clouds[c];
+      AsId cloud = cloud_ids_[c];
+
+      // Transit providers. Google's are pinned to the paper's trio (Tata,
+      // GTT, Durand do Brasil §6.2); others sample by market share.
+      if (arch.name == "Google") {
+        AddC2P(Tier1ByName("Tata"), cloud);
+        AddC2P(Tier1ByName("GTT"), cloud);
+        if (durand_ != kInvalidAsId) AddC2P(durand_, cloud);
+      } else {
+        WeightedPool t1_pool = Tier1Pool();
+        for (std::uint32_t k = 0; k < arch.tier1_providers; ++k) {
+          AddC2P(t1_pool.Sample(rng_), cloud);
+        }
+        for (std::uint32_t k = 0; k < arch.other_providers; ++k) {
+          AsId provider = kInvalidAsId;
+          do {
+            double r = rng_.UniformDouble();
+            if (r < 0.4) {
+              provider = t2_pool.Sample(rng_);
+            } else if (r < 0.8 && !large_ids_.empty()) {
+              provider = large_ids_[rng_.UniformU64(large_ids_.size())];
+            } else {
+              provider = SampleMidTransit(records_[cloud].home);
+            }
+            // Durand do Brasil is reserved as Amazon's *peer* (Table 2's
+            // reliance outlier) and Google's provider.
+          } while (arch.name == "Amazon" && provider == durand_);
+          AddC2P(provider, cloud);
+        }
+      }
+
+      // Peers. Assemble the ground-truth peer list, then mark the §4.1
+      // BGP-visible subset.
+      std::vector<AsId> peers;
+      std::unordered_set<AsId> chosen;
+      auto try_peer = [&](AsId other) {
+        if (other == cloud || HasEdge(cloud, other) || chosen.contains(other)) return false;
+        chosen.insert(other);
+        peers.push_back(other);
+        return true;
+      };
+
+      // Tier-1 peers (Google peers with most of the clique).
+      std::vector<std::uint32_t> t1_order = rng_.SampleWithoutReplacement(
+          static_cast<std::uint32_t>(tier1_ids_.size()),
+          std::min<std::uint32_t>(arch.tier1_peers,
+                                  static_cast<std::uint32_t>(tier1_ids_.size())));
+      for (std::uint32_t idx : t1_order) try_peer(tier1_ids_[idx]);
+
+      bool open = arch.policy == PeeringPolicy::kOpen;
+      double t2_prob = open ? 0.8 : 0.35;
+      double big_prob = open ? 0.95 : 0.8;
+      for (AsId id : tier2_ids_) {
+        if (rng_.Bernoulli(t2_prob)) try_peer(id);
+      }
+      for (AsId id : open_transit_ids_) try_peer(id);
+      for (AsId id : large_ids_) {
+        if (rng_.Bernoulli(big_prob)) try_peer(id);
+      }
+
+      std::uint32_t target = params_.Scaled(arch.peer_count);
+      // Fill the remainder from mid transits, then the edge (access-heavy,
+      // weighted later by users via IXP presence; uniform here).
+      std::vector<AsId> fill;
+      fill.insert(fill.end(), mid_ids_.begin(), mid_ids_.end());
+      rng_.Shuffle(fill);
+      double mid_fraction = open ? 0.95 : 0.85;
+      std::size_t mid_take = static_cast<std::size_t>(fill.size() * mid_fraction);
+      for (std::size_t i = 0; i < mid_take && peers.size() < target; ++i) try_peer(fill[i]);
+
+      // Edge peering targets the networks that source traffic: eyeballs in
+      // proportion to their users (the paper's performance motivation),
+      // content networks, and the occasional enterprise.
+      WeightedPool edge_pool;
+      for (AsId id : access_ids_) edge_pool.Add(id, 1.0 + records_[id].users / 2.0e5);
+      for (AsId id : content_ids_) edge_pool.Add(id, 2.0);
+      for (AsId id : enterprise_ids_) edge_pool.Add(id, 0.12);
+      std::uint32_t guard = 0;
+      while (peers.size() < target && guard++ < target * 40) {
+        try_peer(edge_pool.Sample(rng_));
+      }
+
+      // Visibility: links to the hierarchy are always in BGP; the §4.1
+      // visible-peer count fixes the rate for the rest.
+      std::uint32_t visible_target = params_.Scaled(arch.bgp_visible_peers);
+      std::size_t big_links = 0;
+      for (AsId peer : peers) {
+        Category cat = records_[peer].category;
+        if (cat == Category::kTier1 || cat == Category::kTier2) ++big_links;
+      }
+      double rest = static_cast<double>(peers.size() - big_links);
+      double rate = rest > 0 ? std::clamp((static_cast<double>(visible_target) -
+                                           static_cast<double>(big_links)) / rest,
+                                          0.0, 1.0)
+                             : 0.0;
+      for (AsId peer : peers) {
+        Category cat = records_[peer].category;
+        bool visible = (cat == Category::kTier1 || cat == Category::kTier2)
+                           ? true
+                           : rng_.Bernoulli(rate);
+        AddP2P(cloud, peer, visible);
+      }
+
+      // Amazon peers with Durand do Brasil rather than buying from it —
+      // the Table 2 reliance outlier.
+      if (arch.name == "Amazon" && durand_ != kInvalidAsId && !HasEdge(cloud, durand_)) {
+        AddP2P(cloud, durand_, /*visible=*/true);
+      }
+    }
+  }
+
+  // ---- hierarchy edge peering ------------------------------------------
+
+  void SampleEdgePeers(AsId network, std::uint32_t target, bool open_policy) {
+    std::uint32_t added = 0;
+    std::uint32_t attempts = 0;
+    std::uint32_t max_attempts = target * 4 + 16;
+    while (added < target && attempts++ < max_attempts) {
+      double r = rng_.UniformDouble();
+      AsId other;
+      if (r < 0.40 && !access_ids_.empty()) {
+        other = access_ids_[rng_.UniformU64(access_ids_.size())];
+      } else if (r < 0.55 && !content_ids_.empty()) {
+        other = content_ids_[rng_.UniformU64(content_ids_.size())];
+      } else if (r < 0.90 && !mid_ids_.empty()) {
+        other = mid_ids_[rng_.UniformU64(mid_ids_.size())];
+      } else if (!enterprise_ids_.empty()) {
+        other = enterprise_ids_[rng_.UniformU64(enterprise_ids_.size())];
+      } else {
+        continue;
+      }
+      if (!open_policy && records_[other].policy == PeeringPolicy::kRestrictive) continue;
+      if (AddP2P(network, other, PeerLinkVisible(network, other))) ++added;
+    }
+  }
+
+  void BuildHierarchyEdgePeering() {
+    for (std::size_t i = 0; i < tier1_ids_.size(); ++i) {
+      SampleEdgePeers(tier1_ids_[i], params_.Scaled(params_.tier1s[i].edge_peers),
+                      params_.tier1s[i].policy == PeeringPolicy::kOpen);
+    }
+    for (std::size_t i = 0; i < tier2_ids_.size(); ++i) {
+      SampleEdgePeers(tier2_ids_[i], params_.Scaled(params_.tier2s[i].edge_peers),
+                      params_.tier2s[i].policy == PeeringPolicy::kOpen);
+    }
+    for (std::size_t i = 0; i < open_transit_ids_.size(); ++i) {
+      SampleEdgePeers(open_transit_ids_[i], params_.Scaled(params_.open_transits[i].edge_peers),
+                      /*open_policy=*/true);
+    }
+  }
+
+  // ---- IXP mesh ----------------------------------------------------------
+
+  double IxpJoinProbability(Category cat) const {
+    switch (cat) {
+      case Category::kMidTransit: return 0.35;
+      case Category::kOpenTransit: return 0.6;
+      case Category::kLargeTransit: return 0.3;
+      case Category::kTier2: return 0.3;
+      case Category::kContent: return 0.40;
+      case Category::kAccess: return 0.25;
+      case Category::kEnterprise: return 0.03;
+      default: return 0.0;  // tier1/clouds handled via explicit peer lists
+    }
+  }
+
+  void BuildIxpMesh() {
+    std::uint32_t ixp_count = params_.ixp_count != 0
+                                  ? params_.ixp_count
+                                  : std::max<std::uint32_t>(8, params_.total_ases / 140);
+    // Eligible members grouped by continent for locality.
+    std::vector<std::vector<AsId>> by_continent(kContinentCount);
+    for (AsId id = 0; id < records_.size(); ++id) {
+      if (IxpJoinProbability(records_[id].category) > 0.0) {
+        by_continent[static_cast<std::size_t>(cities_[records_[id].home].continent)].push_back(id);
+      }
+    }
+
+    for (std::uint32_t x = 0; x < ixp_count; ++x) {
+      IxpInstance ixp;
+      ixp.name = StrFormat("IX-%u", x);
+      ixp.ixp_asn = 900000 + x;
+      ixp.city = SampleCity({1.4, 0.7, 1.6, 0.5, 1.1, 0.6, 0.8});
+      ixp.lan_in_bgp = rng_.Bernoulli(0.25);
+      auto continent = static_cast<std::size_t>(cities_[ixp.city].continent);
+      const auto& eligible = by_continent[continent];
+      if (eligible.size() < 4) continue;
+      // Membership: a slice of the continent's eligible ASes.
+      double slice = rng_.UniformDouble(0.05, 0.22);
+      auto member_target = static_cast<std::uint32_t>(eligible.size() * slice);
+      member_target = std::max<std::uint32_t>(member_target, 4);
+      // Physical exchanges do not grow with the AS count; without a cap the
+      // mesh goes super-linear at paper scale (the largest real IXPs have a
+      // few hundred members with open sessions).
+      member_target = std::min<std::uint32_t>(member_target, 350);
+      std::vector<std::uint32_t> picks = rng_.SampleWithoutReplacement(
+          static_cast<std::uint32_t>(eligible.size()),
+          std::min<std::uint32_t>(member_target, static_cast<std::uint32_t>(eligible.size())));
+      for (std::uint32_t p : picks) {
+        AsId id = eligible[p];
+        if (rng_.Bernoulli(IxpJoinProbability(records_[id].category) * 2.0)) {
+          ixp.members.push_back(id);
+        }
+      }
+      if (ixp.members.size() < 3) continue;
+
+      // Peering over the fabric: each member picks co-members; openness of
+      // both sides gates the session.
+      std::size_t m = ixp.members.size();
+      for (AsId member : ixp.members) {
+        double base = records_[member].policy == PeeringPolicy::kOpen ? 0.30 : 0.10;
+        auto k = static_cast<std::size_t>(
+            std::min<double>(25.0, base * static_cast<double>(m) *
+                                        params_.ixp_member_peer_fraction * 2.0));
+        for (std::size_t t = 0; t < k; ++t) {
+          AsId other = ixp.members[rng_.UniformU64(m)];
+          if (other == member) continue;
+          if (records_[other].policy == PeeringPolicy::kRestrictive) continue;
+          AddP2P(member, other, PeerLinkVisible(member, other));
+        }
+      }
+      ixps_.push_back(std::move(ixp));
+    }
+  }
+
+  // ---- attributes ---------------------------------------------------------
+
+  void AssignUsers() {
+    // Heavy-tailed eyeball populations over access ASes (APNIC-style). The
+    // ad-based estimator only observes ~70% of eyeball networks; the rest
+    // keep users == 0 and are reported as "transit" by the §4.3 rule.
+    double total_users = 4.0e9 * static_cast<double>(params_.total_ases) /
+                         static_cast<double>(params_.paper_total);
+    std::vector<AsId> shuffled = access_ids_;
+    rng_.Shuffle(shuffled);
+    auto observed = static_cast<std::size_t>(shuffled.size() * 0.70);
+    std::vector<double> weights(observed);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < observed; ++i) {
+      weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), 0.85);
+      sum += weights[i];
+    }
+    for (std::size_t i = 0; i < observed; ++i) {
+      records_[shuffled[i]].users = total_users * weights[i] / sum;
+    }
+    // Some transit networks also serve end users (classified "access" by
+    // the §4.3 rule, but structurally still transit).
+    for (AsId id : mid_ids_) {
+      if (rng_.Bernoulli(0.2)) records_[id].users = rng_.UniformDouble(1e3, 2e5);
+    }
+    for (AsId id : tier2_ids_) {
+      if (rng_.Bernoulli(0.4)) records_[id].users = rng_.UniformDouble(1e4, 5e6);
+    }
+  }
+
+  void AssignPrefixes() {
+    std::vector<Ipv4Prefix> pools;
+    for (std::uint8_t octet : {1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12, 13, 14, 15, 16, 17, 18,
+                               23, 24, 27, 28, 30, 31, 36, 37, 39, 41, 42, 45, 46, 49}) {
+      pools.emplace_back(Ipv4Address(octet, 0, 0, 0), 8);
+    }
+    MultiPoolAllocator alloc(std::move(pools));
+    prefixes_.resize(records_.size());
+    for (AsId id = 0; id < records_.size(); ++id) {
+      switch (records_[id].category) {
+        case Category::kTier1:
+        case Category::kTier2:
+          prefixes_[id].push_back(alloc.Allocate(14));
+          prefixes_[id].push_back(alloc.Allocate(16));
+          break;
+        case Category::kCloud:
+          prefixes_[id].push_back(alloc.Allocate(13));
+          prefixes_[id].push_back(alloc.Allocate(15));
+          prefixes_[id].push_back(alloc.Allocate(16));
+          break;
+        case Category::kOpenTransit:
+        case Category::kLargeTransit:
+          prefixes_[id].push_back(alloc.Allocate(16));
+          break;
+        case Category::kMidTransit:
+          prefixes_[id].push_back(alloc.Allocate(18));
+          break;
+        case Category::kAccess:
+          prefixes_[id].push_back(alloc.Allocate(19));
+          break;
+        case Category::kContent:
+          prefixes_[id].push_back(alloc.Allocate(21));
+          break;
+        case Category::kEnterprise:
+          prefixes_[id].push_back(alloc.Allocate(22));
+          break;
+      }
+    }
+    // IXP transfer LANs from the classic "not announced" pool.
+    PrefixAllocator ixp_alloc(Ipv4Prefix(Ipv4Address(193, 238, 0, 0), 15));
+    for (IxpInstance& ixp : ixps_) {
+      if (auto lan = ixp_alloc.Allocate(22)) {
+        ixp.lan = *lan;
+      } else {
+        ixp.lan = alloc.Allocate(22);
+      }
+    }
+  }
+
+  std::vector<CityIndex> SamplePresence(CityIndex home, std::uint32_t count,
+                                        const std::array<double, kContinentCount>& mult,
+                                        bool include_china) {
+    std::vector<CityIndex> cities{home};
+    std::unordered_set<CityIndex> seen{home};
+    if (include_china) {
+      for (std::string_view iata : {"PVG", "PEK"}) {
+        if (auto c = CityByIata(iata); c && seen.insert(*c).second) cities.push_back(*c);
+      }
+    }
+    std::uint32_t guard = 0;
+    while (cities.size() < count && guard++ < count * 20) {
+      CityIndex c = SampleCity(mult);
+      if (include_china == false) {
+        // The paper finds transit providers absent from Shanghai/Beijing.
+        if (cities_[c].iata == "PVG" || cities_[c].iata == "PEK") continue;
+      }
+      if (seen.insert(c).second) cities.push_back(c);
+    }
+    return cities;
+  }
+
+  World Assemble() {
+    World world;
+    world.params = params_;
+
+    AsGraphBuilder full_builder;
+    AsGraphBuilder bgp_builder;
+    for (const AsRecord& rec : records_) {
+      full_builder.AddAs(rec.asn);
+      bgp_builder.AddAs(rec.asn);
+    }
+    for (const EdgeRecord& e : edges_) {
+      Asn a = records_[e.a].asn;
+      Asn b = records_[e.b].asn;
+      full_builder.AddEdge(a, b, e.type);
+      if (e.visible) bgp_builder.AddEdge(a, b, e.type);
+    }
+    world.full_graph = std::move(full_builder).Build();
+    world.bgp_graph = std::move(bgp_builder).Build();
+
+    // Both graphs registered every AS in the same order: ids must align.
+    for (AsId id = 0; id < records_.size(); ++id) {
+      if (world.full_graph.AsnOf(id) != records_[id].asn ||
+          world.bgp_graph.AsnOf(id) != records_[id].asn) {
+        throw Error("GenerateWorld: AsId spaces diverged between graphs");
+      }
+    }
+
+    world.metadata = AsMetadata(records_.size());
+    for (AsId id = 0; id < records_.size(); ++id) {
+      AsInfo& info = world.metadata.GetMutable(id);
+      info.name = records_[id].name;
+      info.users = records_[id].users;
+      switch (records_[id].category) {
+        case Category::kCloud:
+          info.type = records_[id].name == "Facebook" ? AsType::kContent : AsType::kCloud;
+          break;
+        case Category::kContent:
+          info.type = AsType::kContent;
+          break;
+        case Category::kAccess:
+          // §4.3: a transit/access AS counts as "access" only when APNIC
+          // sees users in it.
+          info.type = records_[id].users > 0 ? AsType::kAccess : AsType::kTransit;
+          break;
+        case Category::kEnterprise:
+          info.type = AsType::kEnterprise;
+          break;
+        default:
+          info.type = ReclassifyWithUsers(AsType::kTransit, records_[id].users);
+          break;
+      }
+    }
+
+    std::vector<Asn> t1_asns;
+    std::vector<Asn> t2_asns;
+    for (AsId id : tier1_ids_) t1_asns.push_back(records_[id].asn);
+    for (AsId id : tier2_ids_) t2_asns.push_back(records_[id].asn);
+    world.tiers = MakeTierSets(world.full_graph, t1_asns, t2_asns);
+
+    for (std::size_t c = 0; c < params_.clouds.size(); ++c) {
+      world.clouds.push_back({params_.clouds[c], cloud_ids_[c]});
+    }
+    world.ixps = std::move(ixps_);
+
+    world.home_city.resize(records_.size());
+    world.presence.resize(records_.size());
+    for (AsId id = 0; id < records_.size(); ++id) {
+      world.home_city[id] = records_[id].home;
+      world.presence[id] = {records_[id].home};
+    }
+    for (std::size_t i = 0; i < tier1_ids_.size(); ++i) {
+      world.presence[tier1_ids_[i]] =
+          SamplePresence(records_[tier1_ids_[i]].home, params_.tier1s[i].pop_count,
+                         {1.2, 0.9, 1.2, 0.7, 0.9, 0.8, 0.8}, /*include_china=*/false);
+    }
+    for (std::size_t i = 0; i < tier2_ids_.size(); ++i) {
+      world.presence[tier2_ids_[i]] =
+          SamplePresence(records_[tier2_ids_[i]].home, params_.tier2s[i].pop_count,
+                         {1.2, 0.8, 1.2, 0.7, 1.0, 0.8, 0.8}, /*include_china=*/false);
+    }
+    for (std::size_t c = 0; c < cloud_ids_.size(); ++c) {
+      world.presence[cloud_ids_[c]] =
+          SamplePresence(records_[cloud_ids_[c]].home, params_.clouds[c].pop_count,
+                         {1.6, 0.4, 1.6, 0.25, 1.2, 0.4, 0.8}, /*include_china=*/true);
+    }
+
+    world.prefixes = std::move(prefixes_);
+    return world;
+  }
+
+  const GeneratorParams& params_;
+  Rng rng_;
+  std::span<const City> cities_;
+
+  std::vector<AsRecord> records_;
+  std::vector<EdgeRecord> edges_;
+  std::unordered_set<std::uint64_t> edge_keys_;
+  std::unordered_map<AsId, std::uint32_t> provider_count_;
+  std::unordered_map<AsId, double> large_weight_;
+  std::unordered_map<AsId, double> mid_weight_;
+
+  std::vector<AsId> tier1_ids_;
+  std::vector<AsId> tier2_ids_;
+  std::vector<AsId> cloud_ids_;
+  std::vector<AsId> open_transit_ids_;
+  std::vector<AsId> large_ids_;
+  std::vector<AsId> mid_ids_;
+  std::vector<AsId> access_ids_;
+  std::vector<AsId> content_ids_;
+  std::vector<AsId> enterprise_ids_;
+  AsId durand_ = kInvalidAsId;
+
+  std::vector<IxpInstance> ixps_;
+  std::vector<std::vector<Ipv4Prefix>> prefixes_;
+
+  // Scratch buffers.
+  std::vector<double> city_weights_scratch_;
+  std::vector<double> sample_weights_;
+  std::vector<AsId> sample_items_;
+};
+
+}  // namespace
+
+World GenerateWorld(const GeneratorParams& params) {
+  if (params.total_ases < 200) {
+    throw InvalidArgument("GenerateWorld: total_ases must be at least 200");
+  }
+  Generator generator(params);
+  return generator.Run();
+}
+
+}  // namespace flatnet

@@ -1,0 +1,23 @@
+// Synthetic Internet generation.
+//
+// Substitute for the CAIDA AS-relationship datasets and for the cloud
+// providers' (unobservable) true neighbor sets: builds a ground-truth
+// AS-level topology whose aggregate shape matches the paper's inputs — a
+// Tier-1 clique, a Tier-2 band, regional and mid transit layers, eyeball /
+// content / enterprise edge ASes, IXP-driven peering meshes, and the five
+// named hypergiants with their §4.1 peer counts — plus the BGP-visible
+// subset that plays the role of the public feeds.
+#ifndef FLATNET_TOPOGEN_GENERATE_H_
+#define FLATNET_TOPOGEN_GENERATE_H_
+
+#include "topogen/params.h"
+#include "topogen/world.h"
+
+namespace flatnet {
+
+// Deterministic for a fixed parameter set (params.seed drives everything).
+World GenerateWorld(const GeneratorParams& params);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_TOPOGEN_GENERATE_H_

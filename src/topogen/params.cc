@@ -1,0 +1,53 @@
+#include "topogen/params.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/env.h"
+
+namespace flatnet {
+
+std::uint32_t GeneratorParams::Scaled(std::uint32_t paper_count) const {
+  double fraction = static_cast<double>(total_ases) / static_cast<double>(paper_total);
+  return std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::round(paper_count * fraction)));
+}
+
+GeneratorParams GeneratorParams::Era2020(std::uint32_t total_override) {
+  GeneratorParams p;
+  p.seed = 20200901;
+  p.paper_total = 69999;
+  p.total_ases = total_override != 0 ? total_override : ScaledCount(p.paper_total, 3000);
+  p.clouds.assign(DefaultClouds2020().begin(), DefaultClouds2020().end());
+  p.tier1s.assign(DefaultTier1s().begin(), DefaultTier1s().end());
+  p.tier2s.assign(DefaultTier2s().begin(), DefaultTier2s().end());
+  p.open_transits.assign(DefaultOpenTransits().begin(), DefaultOpenTransits().end());
+  return p;
+}
+
+GeneratorParams GeneratorParams::Era2015(std::uint32_t total_override) {
+  GeneratorParams p;
+  p.seed = 20150901;
+  p.paper_total = 51801;
+  p.total_ases = total_override != 0 ? total_override : ScaledCount(p.paper_total, 2200);
+  p.clouds.assign(DefaultClouds2015().begin(), DefaultClouds2015().end());
+  p.tier1s.assign(DefaultTier1s().begin(), DefaultTier1s().end());
+  p.tier2s.assign(DefaultTier2s().begin(), DefaultTier2s().end());
+  p.open_transits.assign(DefaultOpenTransits().begin(), DefaultOpenTransits().end());
+  // 2015: flatter Internet not yet fully formed — thinner edge peering and
+  // fewer IXP-driven meshes (§6.5 shows 5-6% lower reachability overall).
+  p.edge_peer_visibility = 0.06;
+  p.ixp_member_peer_fraction = 0.35;
+  for (Tier2Archetype& t2 : p.tier2s) {
+    t2.edge_peers = static_cast<std::uint32_t>(t2.edge_peers * 0.6);
+  }
+  for (Tier1Archetype& t1 : p.tier1s) {
+    t1.edge_peers = static_cast<std::uint32_t>(t1.edge_peers * 0.7);
+  }
+  for (OpenTransitArchetype& ot : p.open_transits) {
+    ot.edge_peers = static_cast<std::uint32_t>(ot.edge_peers * 0.5);
+  }
+  return p;
+}
+
+}  // namespace flatnet

@@ -1,0 +1,62 @@
+// Generator parameters and era presets.
+#ifndef FLATNET_TOPOGEN_PARAMS_H_
+#define FLATNET_TOPOGEN_PARAMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "topogen/archetypes.h"
+
+namespace flatnet {
+
+struct GeneratorParams {
+  std::uint64_t seed = 20200901;
+
+  // Total AS count after scaling (era presets apply FLATNET_SCALE).
+  std::uint32_t total_ases = 0;
+  // The paper-scale total this topology is a scale model of; peer targets
+  // and other absolute counts are multiplied by total_ases / paper_total.
+  std::uint32_t paper_total = 69999;
+
+  // Category sizes as fractions of total (remainder becomes enterprise).
+  double large_transit_fraction = 0.0045;
+  double mid_transit_fraction = 0.030;
+  double access_fraction = 0.62;
+  double content_fraction = 0.10;
+
+  // Provider-selection weights per customer category (see generate.cc).
+  // Multihoming: P(1 provider)=p1, P(2)=p2, remainder 3.
+  double single_homed_fraction = 0.45;
+  double dual_homed_fraction = 0.40;
+  // Fraction of access/enterprise networks buying directly from the
+  // hierarchy (Tier-1/Tier-2) — these become hierarchy-free-unreachable
+  // when single-homed.
+  double hierarchy_direct_fraction = 0.18;
+
+  // IXP-driven flattening mesh.
+  std::uint32_t ixp_count = 0;           // 0 = derive from total_ases
+  double ixp_member_peer_fraction = 0.5; // see generate.cc policy matrix
+
+  // Visibility model: probability that a p2p link is present in BGP feeds.
+  double transit_peer_visibility = 0.85;  // both endpoints transit networks
+  double mid_peer_visibility = 0.60;      // at least one mid transit
+  double edge_peer_visibility = 0.08;     // edge-edge (the ~90% blind spot)
+
+  // Era rosters.
+  std::vector<CloudArchetype> clouds;
+  std::vector<Tier1Archetype> tier1s;
+  std::vector<Tier2Archetype> tier2s;
+  std::vector<OpenTransitArchetype> open_transits;
+
+  // Scale helper: converts a paper-scale count into this topology's scale.
+  std::uint32_t Scaled(std::uint32_t paper_count) const;
+
+  // Presets. `total_override` forces an AS count; 0 applies FLATNET_SCALE
+  // to the era's paper-scale total (69,999 for 2020; 51,801 for 2015).
+  static GeneratorParams Era2020(std::uint32_t total_override = 0);
+  static GeneratorParams Era2015(std::uint32_t total_override = 0);
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_TOPOGEN_PARAMS_H_

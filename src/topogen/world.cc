@@ -1,0 +1,28 @@
+#include "topogen/world.h"
+
+#include "util/error.h"
+
+namespace flatnet {
+
+const CloudInstance& World::Cloud(const std::string& name) const {
+  for (const CloudInstance& cloud : clouds) {
+    if (cloud.archetype.name == name) return cloud;
+  }
+  throw InvalidArgument("World::Cloud: unknown cloud '" + name + "'");
+}
+
+std::vector<AsId> World::StudyCloudIds() const {
+  std::vector<AsId> ids;
+  for (const CloudInstance& cloud : clouds) {
+    if (cloud.archetype.is_study_cloud) ids.push_back(cloud.id);
+  }
+  return ids;
+}
+
+std::vector<double> World::UserArray() const {
+  std::vector<double> users(num_ases(), 0.0);
+  for (AsId id = 0; id < users.size(); ++id) users[id] = metadata.Get(id).users;
+  return users;
+}
+
+}  // namespace flatnet

@@ -1,0 +1,90 @@
+#include "util/bitset.h"
+
+#include "util/error.h"
+
+namespace flatnet {
+
+Bitset::Bitset(std::size_t size, bool value) { Resize(size, value); }
+
+void Bitset::Resize(std::size_t size, bool value) {
+  size_ = size;
+  words_.assign((size + 63) / 64, value ? ~std::uint64_t{0} : 0);
+  if (value) ClearTail();
+}
+
+void Bitset::SetAll() {
+  for (auto& w : words_) w = ~std::uint64_t{0};
+  ClearTail();
+}
+
+void Bitset::ResetAll() {
+  for (auto& w : words_) w = 0;
+}
+
+void Bitset::ClearTail() {
+  std::size_t tail = size_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+}
+
+std::size_t Bitset::Count() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
+  return total;
+}
+
+bool Bitset::Any() const {
+  for (std::uint64_t w : words_) {
+    if (w) return true;
+  }
+  return false;
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+  if (size_ != other.size_) throw InvalidArgument("Bitset: size mismatch in |=");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+  if (size_ != other.size_) throw InvalidArgument("Bitset: size mismatch in &=");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator-=(const Bitset& other) {
+  if (size_ != other.size_) throw InvalidArgument("Bitset: size mismatch in -=");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+Bitset Bitset::operator~() const {
+  Bitset out(*this);
+  for (auto& w : out.words_) w = ~w;
+  out.ClearTail();
+  return out;
+}
+
+bool Bitset::operator==(const Bitset& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+bool Bitset::IsSubsetOf(const Bitset& other) const {
+  if (size_ != other.size_) throw InvalidArgument("Bitset: size mismatch in IsSubsetOf");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+std::size_t Bitset::CountAnd(const Bitset& other) const {
+  if (size_ != other.size_) throw InvalidArgument("Bitset: size mismatch in CountAnd");
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+}  // namespace flatnet

@@ -1,0 +1,77 @@
+// Dynamic bitset tuned for the graph algorithms: reachable-AS sets,
+// exclusion masks, and customer-cone membership. std::vector<bool> is too
+// slow for popcounts and set algebra; this wraps raw 64-bit words.
+#ifndef FLATNET_UTIL_BITSET_H_
+#define FLATNET_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flatnet {
+
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t size, bool value = false);
+
+  void Resize(std::size_t size, bool value = false);
+
+  std::size_t size() const { return size_; }
+
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void Set(std::size_t i) { words_[i >> 6] |= (std::uint64_t{1} << (i & 63)); }
+  void Reset(std::size_t i) { words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63)); }
+  void Assign(std::size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Reset(i);
+    }
+  }
+
+  void SetAll();
+  void ResetAll();
+
+  std::size_t Count() const;
+  bool Any() const;
+  bool None() const { return !Any(); }
+
+  // Set algebra; operands must have equal size.
+  Bitset& operator|=(const Bitset& other);
+  Bitset& operator&=(const Bitset& other);
+  Bitset& operator-=(const Bitset& other);  // set difference
+  Bitset operator~() const;
+
+  bool operator==(const Bitset& other) const;
+
+  // True if *this is a subset of `other`.
+  bool IsSubsetOf(const Bitset& other) const;
+
+  std::size_t CountAnd(const Bitset& other) const;
+
+  // Calls fn(index) for every set bit, ascending.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+        fn(w * 64 + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  void ClearTail();
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_UTIL_BITSET_H_

@@ -1,0 +1,46 @@
+#include "util/env.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace flatnet {
+
+std::optional<std::string> GetEnv(const std::string& name) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || value[0] == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+const ScaleConfig& GetScaleConfig() {
+  static const ScaleConfig config = [] {
+    ScaleConfig c;
+    auto env = GetEnv("FLATNET_SCALE");
+    if (!env) return c;
+    std::string v = AsciiLower(*env);
+    if (v == "full" || v == "paper") {
+      c.topology_fraction = 1.0;
+      c.trial_fraction = 1.0;
+      c.source = "FLATNET_SCALE=" + v;
+    } else if (auto mult = ParseDouble(v); mult && *mult > 0) {
+      c.topology_fraction *= *mult;
+      c.trial_fraction *= *mult;
+      c.source = "FLATNET_SCALE=" + v;
+    }
+    return c;
+  }();
+  return config;
+}
+
+std::uint32_t ScaledCount(std::uint32_t paper_count, std::uint32_t floor) {
+  double scaled = std::round(paper_count * GetScaleConfig().topology_fraction);
+  return std::max(floor, static_cast<std::uint32_t>(scaled));
+}
+
+std::uint32_t ScaledTrials(std::uint32_t paper_trials, std::uint32_t floor) {
+  double scaled = std::round(paper_trials * GetScaleConfig().trial_fraction);
+  return std::max(floor, static_cast<std::uint32_t>(scaled));
+}
+
+}  // namespace flatnet

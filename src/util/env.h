@@ -1,0 +1,43 @@
+// Experiment scale configuration.
+//
+// The paper's topologies have ~52k (2015) and ~70k (2020) ASes. A full
+// per-AS reachability sweep over 70k origins is minutes of CPU; benches run
+// in CI-sized containers, so the default scale shrinks the synthetic
+// Internet while preserving its structural ratios. Set FLATNET_SCALE=full
+// (or =paper) to run at paper-scale counts, or FLATNET_SCALE=<float> for a
+// custom multiplier of the default.
+#ifndef FLATNET_UTIL_ENV_H_
+#define FLATNET_UTIL_ENV_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace flatnet {
+
+struct ScaleConfig {
+  // Multiplier applied to AS counts relative to the paper (1.0 == paper
+  // scale, i.e. ~70k ASes in the 2020 era).
+  double topology_fraction = 0.18;
+  // Multiplier applied to simulation counts (e.g. the paper's 5000 leak
+  // trials per configuration).
+  double trial_fraction = 0.10;
+  // Human-readable origin of the setting, for bench headers.
+  std::string source = "default";
+};
+
+// Reads FLATNET_SCALE once per process (first call wins).
+const ScaleConfig& GetScaleConfig();
+
+// Convenience: rounds `paper_count * topology_fraction`, minimum `floor`.
+std::uint32_t ScaledCount(std::uint32_t paper_count, std::uint32_t floor = 1);
+
+// Convenience: rounds `paper_trials * trial_fraction`, minimum `floor`.
+std::uint32_t ScaledTrials(std::uint32_t paper_trials, std::uint32_t floor = 1);
+
+// Reads an environment variable, if set and non-empty.
+std::optional<std::string> GetEnv(const std::string& name);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_UTIL_ENV_H_

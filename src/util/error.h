@@ -1,0 +1,36 @@
+// Exception hierarchy for flatnet.
+//
+// The library reports unrecoverable misuse (bad arguments, malformed input
+// data) with exceptions; expected runtime conditions (lookup misses, empty
+// results) use std::optional or empty containers instead.
+#ifndef FLATNET_UTIL_ERROR_H_
+#define FLATNET_UTIL_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace flatnet {
+
+// Base class for all errors thrown by flatnet.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Malformed external input: a CAIDA file line that does not parse, an IP
+// address string with bad syntax, etc.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+// API misuse: out-of-range AS id, inconsistent arguments, operations on a
+// graph that has not been finalized.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_UTIL_ERROR_H_

@@ -1,0 +1,154 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace flatnet {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+std::uint64_t Rng::NextU64() {
+  // xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformU64(std::uint64_t bound) {
+  if (bound == 0) throw InvalidArgument("Rng::UniformU64: bound must be > 0");
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw InvalidArgument("Rng::UniformInt: lo > hi");
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? NextU64() : UniformU64(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * z;
+}
+
+std::uint64_t Rng::Zipf(std::uint64_t n, double s) {
+  if (n == 0) throw InvalidArgument("Rng::Zipf: n must be > 0");
+  // Rejection-inversion sampling (Hormann & Derflinger) works for any n
+  // without precomputing the harmonic sum.
+  if (n == 1) return 1;
+  const double b = std::pow(2.0, 1.0 - s);
+  while (true) {
+    double u = UniformDouble();
+    double v = UniformDouble();
+    double x = std::floor(std::pow(u, -1.0 / (s - 1.0 + 1e-12)));
+    if (s == 1.0) x = std::floor(std::exp(u * std::log(static_cast<double>(n))));
+    if (x < 1.0 || x > static_cast<double>(n)) continue;
+    double t = std::pow(1.0 + 1.0 / x, s - 1.0 + 1e-12);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<std::uint64_t>(x);
+    }
+  }
+}
+
+double Rng::PowerLaw(double xmin, double xmax, double alpha) {
+  if (!(xmin > 0) || !(xmax > xmin) || !(alpha > 1.0)) {
+    throw InvalidArgument("Rng::PowerLaw: require 0 < xmin < xmax, alpha > 1");
+  }
+  // Inverse CDF of truncated Pareto.
+  double u = UniformDouble();
+  double a1 = 1.0 - alpha;
+  double lo = std::pow(xmin, a1);
+  double hi = std::pow(xmax, a1);
+  return std::pow(lo + u * (hi - lo), 1.0 / a1);
+}
+
+double Rng::Exponential(double mean) {
+  double u = UniformDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+std::vector<std::uint32_t> Rng::SampleWithoutReplacement(std::uint32_t n, std::uint32_t k) {
+  if (k > n) throw InvalidArgument("Rng::SampleWithoutReplacement: k > n");
+  // Partial Fisher-Yates over an index vector; O(n) space, O(n + k) time.
+  std::vector<std::uint32_t> idx(n);
+  for (std::uint32_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    std::uint32_t j = i + static_cast<std::uint32_t>(UniformU64(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+std::size_t Rng::PickWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw InvalidArgument("Rng::PickWeighted: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw InvalidArgument("Rng::PickWeighted: all weights zero");
+  double r = UniformDouble() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // numeric edge: land on the last positive bin
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace flatnet

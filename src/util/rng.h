@@ -1,0 +1,81 @@
+// Deterministic pseudo-random generation.
+//
+// All stochastic pieces of flatnet (topology generation, traceroute loss,
+// leak-simulation sampling) draw from this generator so that a fixed seed
+// reproduces an experiment bit-for-bit. The core is xoshiro256**, seeded via
+// splitmix64, which is fast, high quality, and stable across platforms
+// (unlike std::mt19937 distributions, whose outputs are not portable).
+#ifndef FLATNET_UTIL_RNG_H_
+#define FLATNET_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace flatnet {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Raw 64 random bits.
+  std::uint64_t NextU64();
+
+  // Uniform in [0, bound). `bound` must be > 0. Uses Lemire rejection
+  // sampling so the result is unbiased.
+  std::uint64_t UniformU64(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Standard normal via Box-Muller (no state caching; two calls per draw).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  // Zipf-distributed rank in [1, n] with exponent `s` (> 0). Used for
+  // heavy-tailed degree targets and eyeball populations. Implemented by
+  // inverse-CDF over precomputed weights for modest n, rejection otherwise.
+  std::uint64_t Zipf(std::uint64_t n, double s);
+
+  // Power-law distributed continuous sample on [xmin, xmax] with exponent
+  // alpha > 1 (density ~ x^-alpha).
+  double PowerLaw(double xmin, double xmax, double alpha);
+
+  // Exponential with the given mean.
+  double Exponential(double mean);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(UniformU64(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Draws k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::uint32_t> SampleWithoutReplacement(std::uint32_t n, std::uint32_t k);
+
+  // Picks an index proportionally to non-negative weights. At least one
+  // weight must be positive.
+  std::size_t PickWeighted(const std::vector<double>& weights);
+
+  // Forks an independent stream; child sequences do not overlap in practice
+  // because the child is re-seeded through splitmix64.
+  Rng Fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_UTIL_RNG_H_

@@ -1,0 +1,125 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace flatnet {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo) || bins == 0) throw InvalidArgument("Histogram: bad range or bin count");
+  counts_.assign(bins, 0.0);
+}
+
+void Histogram::Add(double x, double weight) {
+  double t = (x - lo_) / (hi_ - lo_);
+  auto bins = static_cast<double>(counts_.size());
+  auto idx = static_cast<std::int64_t>(std::floor(t * bins));
+  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  if (samples_.empty()) throw InvalidArgument("EmpiricalCdf: empty sample set");
+  std::sort(samples_.begin(), samples_.end());
+}
+
+double EmpiricalCdf::At(double x) const {
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(samples_.size())));
+  if (rank == 0) rank = 1;
+  return samples_[rank - 1];
+}
+
+double EmpiricalCdf::min() const { return samples_.front(); }
+double EmpiricalCdf::max() const { return samples_.back(); }
+
+std::string EmpiricalCdf::Render(double lo, double hi, int points) const {
+  std::string out;
+  for (int i = 0; i < points; ++i) {
+    double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out += StrFormat("  x=%8.3f  cdf=%.4f\n", x, At(x));
+  }
+  return out;
+}
+
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size()) throw InvalidArgument("PearsonCorrelation: size mismatch");
+  std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = std::accumulate(x.begin(), x.end(), 0.0) / static_cast<double>(n);
+  double my = std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0 || syy <= 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+std::vector<double> AverageRanks(const std::vector<double>& v) {
+  std::size_t n = v.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size()) throw InvalidArgument("SpearmanCorrelation: size mismatch");
+  if (x.size() < 2) return 0.0;
+  return PearsonCorrelation(AverageRanks(x), AverageRanks(y));
+}
+
+}  // namespace flatnet

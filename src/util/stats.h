@@ -1,0 +1,88 @@
+// Summary statistics, histograms, and empirical CDFs for report generation.
+#ifndef FLATNET_UTIL_STATS_H_
+#define FLATNET_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flatnet {
+
+// Streaming mean/variance/min/max (Welford's algorithm).
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Fixed-width histogram over [lo, hi); samples outside are clamped into the
+// first/last bin so totals are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x, double weight = 1.0);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+// Empirical CDF built from a sample set; supports quantiles and evaluation
+// at fixed points (used to print the paper's CDF figures as text series).
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  // Fraction of samples <= x.
+  double At(double x) const;
+
+  // q in [0,1]; nearest-rank quantile.
+  double Quantile(double q) const;
+
+  std::size_t size() const { return samples_.size(); }
+  double min() const;
+  double max() const;
+
+  // Renders "x=v cdf=f" rows at `points` evenly spaced x values across
+  // [lo, hi], one per line, for plot-free inspection.
+  std::string Render(double lo, double hi, int points) const;
+
+ private:
+  std::vector<double> samples_;  // sorted
+};
+
+// Pearson correlation of two equal-length series; returns 0 for degenerate
+// (constant) inputs.
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y);
+
+// Spearman rank correlation (average ranks for ties).
+double SpearmanCorrelation(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_UTIL_STATS_H_

@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for bench reports.
+#ifndef FLATNET_UTIL_STOPWATCH_H_
+#define FLATNET_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace flatnet {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_UTIL_STOPWATCH_H_

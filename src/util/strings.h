@@ -1,0 +1,45 @@
+// Small string utilities used by the parsers and report writers.
+#ifndef FLATNET_UTIL_STRINGS_H_
+#define FLATNET_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flatnet {
+
+// Splits `s` on `sep`, keeping empty fields ("a||b" -> {"a","","b"}).
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+// Splits `s` on any run of whitespace, dropping empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view s);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+// Strict unsigned/signed/double parsers: the whole string must be consumed.
+std::optional<std::uint64_t> ParseU64(std::string_view s);
+std::optional<std::int64_t> ParseI64(std::string_view s);
+std::optional<double> ParseDouble(std::string_view s);
+
+// Lower-cases ASCII characters.
+std::string AsciiLower(std::string_view s);
+
+// True if `s` starts with / ends with the given piece.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Formats `value` with thousands separators, e.g. 69488 -> "69,488".
+std::string WithCommas(std::uint64_t value);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace flatnet
+
+#endif  // FLATNET_UTIL_STRINGS_H_

@@ -1,0 +1,80 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace flatnet {
+
+void TextTable::AddColumn(std::string header, Align align) {
+  columns_.push_back(Column{std::move(header), align});
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw InvalidArgument("TextTable::AddRow: cell count does not match column count");
+  }
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TextTable::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].header.size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto print_cell = [&](const std::string& text, std::size_t c) {
+    std::size_t pad = widths[c] - text.size();
+    if (columns_[c].align == Align::kRight) {
+      os << std::string(pad, ' ') << text;
+    } else {
+      os << text << std::string(pad, ' ');
+    }
+  };
+  auto print_rule = [&] {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << (c == 0 ? "+-" : "-+-") << std::string(widths[c], '-');
+    }
+    os << "-+\n";
+  };
+
+  print_rule();
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c == 0 ? "| " : " | ");
+    print_cell(columns_[c].header, c);
+  }
+  os << " |\n";
+  print_rule();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      print_rule();
+      continue;
+    }
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      print_cell(row.cells[c], c);
+    }
+    os << " |\n";
+  }
+  print_rule();
+}
+
+void TextTable::Print(std::FILE* file) const {
+  std::string rendered = ToString();
+  std::fputs(rendered.c_str(), file);
+}
+
+std::string TextTable::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace flatnet

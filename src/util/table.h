@@ -1,0 +1,47 @@
+// Fixed-width ASCII table writer for the experiment reports. The benches
+// print the paper's tables as text; this keeps column alignment consistent.
+#ifndef FLATNET_UTIL_TABLE_H_
+#define FLATNET_UTIL_TABLE_H_
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flatnet {
+
+class TextTable {
+ public:
+  enum class Align { kLeft, kRight };
+
+  // Declares a column. Width grows automatically to fit cell contents.
+  void AddColumn(std::string header, Align align = Align::kLeft);
+
+  // Appends a row; cell count must equal the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  // Appends a horizontal separator row.
+  void AddSeparator();
+
+  void Print(std::ostream& os) const;
+  // stdio convenience for the printf-based report binaries.
+  void Print(std::FILE* file) const;
+  std::string ToString() const;
+
+ private:
+  struct Column {
+    std::string header;
+    Align align;
+  };
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_UTIL_TABLE_H_

@@ -1,0 +1,57 @@
+// Minimal work-stealing-free thread pool with a parallel_for helper.
+//
+// Full-Internet sweeps (hierarchy-free reachability for every AS) are
+// embarrassingly parallel over origins; the pool sizes itself to the
+// hardware and degrades gracefully to inline execution on 1-core hosts.
+#ifndef FLATNET_UTIL_THREAD_POOL_H_
+#define FLATNET_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace flatnet {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  // Enqueues a task; tasks must not throw (std::terminate otherwise).
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  // Runs fn(i) for i in [begin, end), partitioned into contiguous chunks
+  // across the pool, and blocks until complete. Runs inline when the pool
+  // has no workers or the range is tiny.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_UTIL_THREAD_POOL_H_

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "asgraph/as_graph.h"
+#include "asgraph/as2org.h"
+#include "asgraph/caida.h"
+#include "asgraph/cone.h"
+#include "asgraph/metadata.h"
+#include "asgraph/tiers.h"
+#include "util/error.h"
+
+namespace flatnet {
+namespace {
+
+AsGraph SmallGraph() {
+  // 1 and 2 are providers; 1-2 peer; 3,4 are customers of 1; 5 customer of 3.
+  AsGraphBuilder builder;
+  builder.AddEdge(1, 2, EdgeType::kP2P);
+  builder.AddEdge(1, 3, EdgeType::kP2C);
+  builder.AddEdge(1, 4, EdgeType::kP2C);
+  builder.AddEdge(3, 5, EdgeType::kP2C);
+  builder.AddEdge(2, 4, EdgeType::kP2C);
+  return std::move(builder).Build();
+}
+
+TEST(AsGraphBuilder, RegistersAsesOnce) {
+  AsGraphBuilder builder;
+  AsId a = builder.AddAs(100);
+  AsId b = builder.AddAs(100);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(builder.num_ases(), 1u);
+}
+
+TEST(AsGraphBuilder, RejectsSelfLoopAndConflicts) {
+  AsGraphBuilder builder;
+  EXPECT_THROW(builder.AddEdge(1, 1, EdgeType::kP2P), InvalidArgument);
+  builder.AddEdge(1, 2, EdgeType::kP2C);
+  builder.AddEdge(1, 2, EdgeType::kP2C);  // identical duplicate: fine
+  EXPECT_THROW(builder.AddEdge(2, 1, EdgeType::kP2C), InvalidArgument);  // reversed
+  EXPECT_THROW(builder.AddEdge(1, 2, EdgeType::kP2P), InvalidArgument);  // retyped
+  EXPECT_EQ(builder.num_edges(), 1u);
+}
+
+TEST(AsGraphBuilder, AddEdgeIfAbsent) {
+  AsGraphBuilder builder;
+  EXPECT_TRUE(builder.AddEdgeIfAbsent(1, 2, EdgeType::kP2C));
+  EXPECT_FALSE(builder.AddEdgeIfAbsent(1, 2, EdgeType::kP2P));
+  EXPECT_FALSE(builder.AddEdgeIfAbsent(2, 1, EdgeType::kP2P));
+  EXPECT_TRUE(builder.HasEdge(1, 2));
+  EXPECT_TRUE(builder.HasEdge(2, 1));
+  EXPECT_FALSE(builder.HasEdge(1, 3));
+}
+
+TEST(AsGraph, AdjacencyGroups) {
+  AsGraph graph = SmallGraph();
+  ASSERT_EQ(graph.num_ases(), 5u);
+  ASSERT_EQ(graph.num_edges(), 5u);
+  AsId as1 = *graph.IdOf(1);
+  EXPECT_EQ(graph.CustomerCount(as1), 2u);
+  EXPECT_EQ(graph.PeerCount(as1), 1u);
+  EXPECT_EQ(graph.ProviderCount(as1), 0u);
+  AsId as4 = *graph.IdOf(4);
+  EXPECT_EQ(graph.ProviderCount(as4), 2u);
+  EXPECT_EQ(graph.Degree(as4), 2u);
+  EXPECT_FALSE(graph.IdOf(99).has_value());
+}
+
+TEST(AsGraph, RelationshipBetween) {
+  AsGraph graph = SmallGraph();
+  AsId as1 = *graph.IdOf(1);
+  AsId as2 = *graph.IdOf(2);
+  AsId as3 = *graph.IdOf(3);
+  AsId as5 = *graph.IdOf(5);
+  EXPECT_EQ(graph.RelationshipBetween(as1, as2), Relationship::kPeer);
+  EXPECT_EQ(graph.RelationshipBetween(as1, as3), Relationship::kCustomer);
+  EXPECT_EQ(graph.RelationshipBetween(as3, as1), Relationship::kProvider);
+  EXPECT_EQ(graph.RelationshipBetween(as1, as5), std::nullopt);
+}
+
+TEST(AsGraph, EdgeListRoundTrip) {
+  AsGraph graph = SmallGraph();
+  auto edges = graph.EdgeList();
+  EXPECT_EQ(edges.size(), graph.num_edges());
+  // p2c orientation preserved: provider first.
+  bool found = false;
+  for (const auto& e : edges) {
+    if (e.a == 3 && e.b == 5) {
+      EXPECT_EQ(e.type, EdgeType::kP2C);
+      found = true;
+    }
+    EXPECT_FALSE(e.a == 5 && e.b == 3);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Caida, ParsesSerial1AndSerial2) {
+  const char* text =
+      "# comment line\n"
+      "1|2|0\n"
+      "1|3|-1\n"
+      "2|4|-1|bgp\n"
+      "\n";
+  AsGraph graph = ParseCaidaRelationships(text);
+  EXPECT_EQ(graph.num_ases(), 4u);
+  EXPECT_EQ(graph.num_edges(), 3u);
+  EXPECT_EQ(graph.RelationshipBetween(*graph.IdOf(1), *graph.IdOf(2)), Relationship::kPeer);
+  EXPECT_EQ(graph.RelationshipBetween(*graph.IdOf(2), *graph.IdOf(4)), Relationship::kCustomer);
+}
+
+TEST(Caida, RejectsMalformedLines) {
+  EXPECT_THROW(ParseCaidaRelationships("1|2\n"), ParseError);
+  EXPECT_THROW(ParseCaidaRelationships("1|2|5\n"), ParseError);
+  EXPECT_THROW(ParseCaidaRelationships("x|2|0\n"), ParseError);
+  EXPECT_THROW(ParseCaidaRelationships("1|2|0|x|y\n"), ParseError);
+}
+
+TEST(Caida, WriteReadRoundTrip) {
+  AsGraph graph = SmallGraph();
+  for (CaidaFormat format : {CaidaFormat::kSerial1, CaidaFormat::kSerial2}) {
+    std::string text = FormatCaidaRelationships(graph, format);
+    AsGraph reparsed = ParseCaidaRelationships(text);
+    EXPECT_EQ(reparsed.num_ases(), graph.num_ases());
+    EXPECT_EQ(reparsed.num_edges(), graph.num_edges());
+    for (const auto& e : graph.EdgeList()) {
+      AsId a = *reparsed.IdOf(e.a);
+      AsId b = *reparsed.IdOf(e.b);
+      auto rel = reparsed.RelationshipBetween(a, b);
+      ASSERT_TRUE(rel.has_value());
+      if (e.type == EdgeType::kP2P) {
+        EXPECT_EQ(*rel, Relationship::kPeer);
+      } else {
+        EXPECT_EQ(*rel, Relationship::kCustomer);
+      }
+    }
+  }
+}
+
+TEST(Cone, MembershipAndSizes) {
+  AsGraph graph = SmallGraph();
+  AsId as1 = *graph.IdOf(1);
+  Bitset cone = CustomerCone(graph, as1);
+  // 1's cone: {1, 3, 4, 5}.
+  EXPECT_EQ(cone.Count(), 4u);
+  EXPECT_TRUE(cone.Test(*graph.IdOf(5)));
+  EXPECT_FALSE(cone.Test(*graph.IdOf(2)));
+
+  auto sizes = CustomerConeSizes(graph);
+  EXPECT_EQ(sizes[as1], 4u);
+  EXPECT_EQ(sizes[*graph.IdOf(2)], 2u);   // {2, 4}
+  EXPECT_EQ(sizes[*graph.IdOf(3)], 2u);   // {3, 5}
+  EXPECT_EQ(sizes[*graph.IdOf(5)], 1u);   // stub
+}
+
+TEST(Cone, DegreesMatchDefinition) {
+  AsGraph graph = SmallGraph();
+  auto transit = TransitDegrees(graph);
+  auto node = NodeDegrees(graph);
+  AsId as1 = *graph.IdOf(1);
+  EXPECT_EQ(transit[as1], 2u);  // two customers, no providers
+  EXPECT_EQ(node[as1], 3u);
+  AsId as4 = *graph.IdOf(4);
+  EXPECT_EQ(transit[as4], 2u);  // two providers
+}
+
+TEST(Tiers, InfersCliqueOnConstructedTopology) {
+  AsGraphBuilder builder;
+  // Clique of 3 providerless ASes {1,2,3} with big cones; AS 10 is a large
+  // transit buying from all of them; stubs hang off everyone.
+  builder.AddEdge(1, 2, EdgeType::kP2P);
+  builder.AddEdge(1, 3, EdgeType::kP2P);
+  builder.AddEdge(2, 3, EdgeType::kP2P);
+  for (Asn t1 : {1, 2, 3}) builder.AddEdge(t1, 10, EdgeType::kP2C);
+  Asn next = 100;
+  for (Asn t1 : {1, 2, 3}) {
+    for (int i = 0; i < 5; ++i) builder.AddEdge(t1, next++, EdgeType::kP2C);
+  }
+  for (int i = 0; i < 8; ++i) builder.AddEdge(10, next++, EdgeType::kP2C);
+  AsGraph graph = std::move(builder).Build();
+
+  TierInferenceOptions options;
+  options.tier2_count = 1;
+  TierSets tiers = InferTierSets(graph, options);
+  ASSERT_EQ(tiers.tier1.size(), 3u);
+  for (AsId id : tiers.tier1) {
+    Asn asn = graph.AsnOf(id);
+    EXPECT_TRUE(asn == 1 || asn == 2 || asn == 3);
+  }
+  ASSERT_EQ(tiers.tier2.size(), 1u);
+  EXPECT_EQ(graph.AsnOf(tiers.tier2[0]), 10u);
+  EXPECT_EQ(tiers.HierarchyMask().Count(), 4u);
+}
+
+TEST(Tiers, MakeTierSetsIgnoresUnknownAndOverlap) {
+  AsGraph graph = SmallGraph();
+  TierSets tiers = MakeTierSets(graph, {1, 999}, {1, 2});
+  EXPECT_EQ(tiers.tier1.size(), 1u);
+  EXPECT_EQ(tiers.tier2.size(), 1u);  // AS1 excluded from tier2 (tier1 wins)
+  EXPECT_EQ(graph.AsnOf(tiers.tier2[0]), 2u);
+}
+
+TEST(Metadata, TypeCountsAndReclassification) {
+  AsMetadata metadata(3);
+  metadata.GetMutable(0).type = AsType::kCloud;
+  metadata.GetMutable(1).type = AsType::kAccess;
+  metadata.GetMutable(1).users = 1000;
+  metadata.GetMutable(2).type = AsType::kTransit;
+  auto counts = metadata.TypeCounts();
+  EXPECT_EQ(counts[static_cast<std::size_t>(AsType::kCloud)], 1u);
+  EXPECT_DOUBLE_EQ(metadata.TotalUsers(), 1000.0);
+
+  EXPECT_EQ(ReclassifyWithUsers(AsType::kTransit, 5.0), AsType::kAccess);
+  EXPECT_EQ(ReclassifyWithUsers(AsType::kTransit, 0.0), AsType::kTransit);
+  EXPECT_EQ(ReclassifyWithUsers(AsType::kContent, 5.0), AsType::kContent);
+}
+
+
+TEST(As2Org, ParsesOrgsAndSiblings) {
+  const char* text =
+      "# format:org_id|changed|org_name|country|source\n"
+      "ORG-G|20200101|Example Search Org|US|ARIN\n"
+      "ORG-X|20200101|Other Org|DE|RIPE\n"
+      "# format:aut|changed|aut_name|org_id|opaque_id|source\n"
+      "15169|20200101|GOOGLE|ORG-G||ARIN\n"
+      "36040|20200101|YOUTUBE|ORG-G||ARIN\n"
+      "3320|20200101|DTAG|ORG-X||RIPE\n";
+  OrgMap map = ParseAs2Org(text);
+  EXPECT_EQ(map.organization_count(), 2u);
+  EXPECT_EQ(map.mapped_as_count(), 3u);
+  ASSERT_NE(map.OrgOf(15169), nullptr);
+  EXPECT_EQ(map.OrgOf(15169)->name, "Example Search Org");
+  EXPECT_EQ(map.OrgIdOf(36040), "ORG-G");
+  EXPECT_FALSE(map.OrgIdOf(99999).has_value());
+
+  auto siblings = map.SiblingsOf(15169);
+  std::sort(siblings.begin(), siblings.end());
+  EXPECT_EQ(siblings, (std::vector<Asn>{15169, 36040}));
+  EXPECT_EQ(map.SiblingsOf(424242), (std::vector<Asn>{424242}));
+}
+
+TEST(As2Org, RejectsMalformed) {
+  EXPECT_THROW(ParseAs2Org("15169|x|y|z|w|v\n"), ParseError);  // record before header
+  EXPECT_THROW(ParseAs2Org("# format:aut|...\nnot_an_asn|a|b|c|d|e\n"), ParseError);
+  EXPECT_THROW(ParseAs2Org("# format:org|...\nshort|fields\n"), ParseError);
+}
+
+TEST(As2Type, ParsesAndApplies) {
+  const char* text =
+      "# format: as|source|type\n"
+      "10|CAIDA_class|Transit/Access\n"
+      "20|CAIDA_class|Content\n"
+      "30|CAIDA_class|Enterprise\n";
+  auto types = ParseAs2Type(text);
+  EXPECT_EQ(types.at(10), AsType::kTransit);
+  EXPECT_EQ(types.at(20), AsType::kContent);
+  EXPECT_EQ(types.at(30), AsType::kEnterprise);
+  EXPECT_THROW(ParseAs2Type("10|x|Mystery\n"), ParseError);
+
+  AsGraphBuilder builder;
+  builder.AddEdge(10, 20, EdgeType::kP2C);
+  builder.AddEdge(10, 30, EdgeType::kP2C);
+  AsGraph graph = std::move(builder).Build();
+  AsMetadata metadata(graph.num_ases());
+  metadata.GetMutable(*graph.IdOf(10)).users = 5000;  // transit with users -> access
+  ApplyTypes(graph, types, metadata);
+  EXPECT_EQ(metadata.Get(*graph.IdOf(10)).type, AsType::kAccess);
+  EXPECT_EQ(metadata.Get(*graph.IdOf(20)).type, AsType::kContent);
+  EXPECT_EQ(metadata.Get(*graph.IdOf(30)).type, AsType::kEnterprise);
+}
+
+}  // namespace
+}  // namespace flatnet

@@ -1,0 +1,175 @@
+// Event-driven BGP engine: unit behaviour, dynamics, and cross-validation
+// against the closed-form phase engine.
+#include <gtest/gtest.h>
+
+#include "bgp/event_engine.h"
+#include "bgp/paths.h"
+#include "bgp/propagation.h"
+#include "bgp/reachability.h"
+#include "topogen/generate.h"
+#include "util/error.h"
+
+namespace flatnet {
+namespace {
+
+TEST(EventEngine, OriginationReachesValleyFreeSet) {
+  // o=1 peers 2; 2's customer 3; 3's customer 4; plus 5--3 peer (5 must NOT
+  // hear the route: peer after peer).
+  AsGraphBuilder builder;
+  builder.AddEdge(1, 2, EdgeType::kP2P);
+  builder.AddEdge(2, 3, EdgeType::kP2C);
+  builder.AddEdge(3, 4, EdgeType::kP2C);
+  builder.AddEdge(5, 3, EdgeType::kP2P);
+  AsGraph graph = std::move(builder).Build();
+
+  EventBgpEngine engine(graph);
+  engine.Originate(*graph.IdOf(1));
+  EXPECT_TRUE(engine.BestRoute(*graph.IdOf(2)).has_value());
+  EXPECT_TRUE(engine.BestRoute(*graph.IdOf(3)).has_value());
+  EXPECT_TRUE(engine.BestRoute(*graph.IdOf(4)).has_value());
+  EXPECT_FALSE(engine.BestRoute(*graph.IdOf(5)).has_value());
+  EXPECT_EQ(engine.ReachedCount(), 3u);
+  EXPECT_EQ(engine.BestRoute(*graph.IdOf(4))->Length(), 3);
+  EXPECT_THROW(engine.Originate(*graph.IdOf(2)), InvalidArgument);
+}
+
+TEST(EventEngine, WithdrawClearsEveryRib) {
+  AsGraphBuilder builder;
+  builder.AddEdge(2, 1, EdgeType::kP2C);
+  builder.AddEdge(3, 2, EdgeType::kP2C);
+  builder.AddEdge(3, 4, EdgeType::kP2C);
+  AsGraph graph = std::move(builder).Build();
+  EventBgpEngine engine(graph);
+  engine.Originate(*graph.IdOf(1));
+  EXPECT_EQ(engine.ReachedCount(), 3u);
+  engine.WithdrawOrigin();
+  EXPECT_EQ(engine.ReachedCount(), 0u);
+  for (Asn asn : {2, 3, 4}) {
+    EXPECT_FALSE(engine.BestRoute(*graph.IdOf(asn)).has_value()) << asn;
+  }
+}
+
+TEST(EventEngine, FailoverToBackupPath) {
+  // 4 multihomes to providers 2 and 3, both customers of... both reach the
+  // origin 1 (their mutual customer). Failing the preferred link reroutes.
+  AsGraphBuilder builder;
+  builder.AddEdge(2, 1, EdgeType::kP2C);
+  builder.AddEdge(3, 1, EdgeType::kP2C);
+  builder.AddEdge(2, 4, EdgeType::kP2C);
+  builder.AddEdge(3, 4, EdgeType::kP2C);
+  AsGraph graph = std::move(builder).Build();
+  EventBgpEngine engine(graph);
+  engine.Originate(*graph.IdOf(1));
+
+  auto before = engine.BestRoute(*graph.IdOf(4));
+  ASSERT_TRUE(before.has_value());
+  ASSERT_EQ(before->path.size(), 2u);
+  AsId first_hop = before->path.front();
+
+  engine.FailLink(*graph.IdOf(4), first_hop);
+  auto after = engine.BestRoute(*graph.IdOf(4));
+  ASSERT_TRUE(after.has_value());
+  EXPECT_NE(after->path.front(), first_hop);
+  EXPECT_EQ(after->path.size(), 2u);
+
+  // Failing the backup too disconnects 4.
+  engine.FailLink(*graph.IdOf(4), after->path.front());
+  EXPECT_FALSE(engine.BestRoute(*graph.IdOf(4)).has_value());
+  EXPECT_THROW(engine.FailLink(*graph.IdOf(1), *graph.IdOf(4)), InvalidArgument);
+}
+
+TEST(EventEngine, FailedLinkStaysDownForLaterEvents) {
+  AsGraphBuilder builder;
+  builder.AddEdge(2, 1, EdgeType::kP2C);
+  builder.AddEdge(2, 3, EdgeType::kP2C);
+  AsGraph graph = std::move(builder).Build();
+  EventBgpEngine engine(graph);
+  engine.FailLink(*graph.IdOf(2), *graph.IdOf(3));
+  engine.Originate(*graph.IdOf(1));
+  EXPECT_TRUE(engine.BestRoute(*graph.IdOf(2)).has_value());
+  EXPECT_FALSE(engine.BestRoute(*graph.IdOf(3)).has_value());
+}
+
+class EventEnginePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventEnginePropertyTest, AgreesWithPhaseEngine) {
+  GeneratorParams params = GeneratorParams::Era2020(900);
+  params.seed = GetParam();
+  World world = GenerateWorld(params);
+  Rng rng(GetParam() ^ 0xe1e);
+
+  for (int trial = 0; trial < 4; ++trial) {
+    AsId origin = static_cast<AsId>(rng.UniformU64(world.num_ases()));
+    EventBgpEngine event_engine(world.full_graph);
+    event_engine.Originate(origin);
+
+    AnnouncementSource source{.node = origin};
+    RouteComputation phase(world.full_graph, {source});
+
+    for (AsId node = 0; node < world.num_ases(); ++node) {
+      if (node == origin) continue;
+      const auto& event_best = event_engine.BestRoute(node);
+      const RouteEntry& phase_best = phase.Route(node);
+      ASSERT_EQ(event_best.has_value(), phase_best.HasRoute())
+          << "node " << node << " origin " << origin;
+      if (!event_best) continue;
+      EXPECT_EQ(event_best->cls, phase_best.cls) << "node " << node;
+      EXPECT_EQ(event_best->Length(), phase_best.length) << "node " << node;
+      // The event engine's single path must be one of the phase engine's
+      // tied-best paths.
+      AsPath full_path{node};
+      full_path.insert(full_path.end(), event_best->path.begin(), event_best->path.end());
+      EXPECT_TRUE(IsBestPath(phase, full_path)) << "node " << node;
+    }
+  }
+}
+
+TEST_P(EventEnginePropertyTest, FailLinkMatchesRecomputedTopology) {
+  GeneratorParams params = GeneratorParams::Era2020(700);
+  params.seed = GetParam() ^ 0xfa11;
+  World world = GenerateWorld(params);
+  Rng rng(GetParam());
+
+  AsId origin = world.Cloud("Google").id;
+  EventBgpEngine engine(world.full_graph);
+  engine.Originate(origin);
+
+  // Fail a handful of random links of the origin, then compare the final
+  // state against a fresh phase computation on the pruned topology.
+  auto neighbors = world.full_graph.NeighborsOf(origin);
+  std::vector<std::pair<Asn, Asn>> failed;
+  for (int i = 0; i < 5 && i < static_cast<int>(neighbors.size()); ++i) {
+    AsId nb = neighbors[rng.UniformU64(neighbors.size())].id;
+    engine.FailLink(origin, nb);
+    failed.push_back({world.full_graph.AsnOf(origin), world.full_graph.AsnOf(nb)});
+  }
+
+  // Rebuild the graph without the failed links.
+  AsGraphBuilder builder;
+  for (AsId id = 0; id < world.num_ases(); ++id) builder.AddAs(world.full_graph.AsnOf(id));
+  for (const auto& e : world.full_graph.EdgeList()) {
+    bool down = false;
+    for (auto [a, b] : failed) {
+      if ((e.a == a && e.b == b) || (e.a == b && e.b == a)) down = true;
+    }
+    if (!down) builder.AddEdge(e.a, e.b, e.type);
+  }
+  AsGraph pruned = std::move(builder).Build();
+  AnnouncementSource source{.node = origin};
+  RouteComputation phase(pruned, {source});
+
+  for (AsId node = 0; node < world.num_ases(); ++node) {
+    if (node == origin) continue;
+    const auto& event_best = engine.BestRoute(node);
+    const RouteEntry& phase_best = phase.Route(node);
+    ASSERT_EQ(event_best.has_value(), phase_best.HasRoute()) << "node " << node;
+    if (!event_best) continue;
+    EXPECT_EQ(event_best->cls, phase_best.cls) << "node " << node;
+    EXPECT_EQ(event_best->Length(), phase_best.length) << "node " << node;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventEnginePropertyTest, ::testing::Values(5, 17, 23));
+
+}  // namespace
+}  // namespace flatnet

@@ -1,0 +1,193 @@
+// Route collectors + Gao relationship inference: the upstream pipeline that
+// produces CAIDA-style datasets from observed AS paths.
+#include <gtest/gtest.h>
+
+#include "bgp/asrank.h"
+#include "bgp/gao.h"
+#include "bgp/monitors.h"
+#include "topogen/generate.h"
+#include "util/error.h"
+
+namespace flatnet {
+namespace {
+
+TEST(Monitors, CollectsMonitorFirstPaths) {
+  // o=1 has provider 2; 2 has provider 3 (the monitor).
+  AsGraphBuilder builder;
+  builder.AddEdge(2, 1, EdgeType::kP2C);
+  builder.AddEdge(3, 2, EdgeType::kP2C);
+  AsGraph graph = std::move(builder).Build();
+  RibDump dump = CollectRibs(graph, {*graph.IdOf(3)});
+  // Origins 1 and 2 produce paths at the monitor.
+  ASSERT_EQ(dump.paths.size(), 2u);
+  for (const AsPath& path : dump.paths) {
+    EXPECT_EQ(path.front(), *graph.IdOf(3));
+  }
+  EXPECT_EQ(dump.origins_sampled, graph.num_ases());
+  EXPECT_THROW(CollectRibs(graph, {}), InvalidArgument);
+}
+
+TEST(Monitors, DefaultPlacementIsDeduplicated) {
+  GeneratorParams params = GeneratorParams::Era2020(800);
+  World world = GenerateWorld(params);
+  auto monitors = DefaultMonitorPlacement(world.full_graph, 20, 3);
+  EXPECT_GE(monitors.size(), 10u);
+  EXPECT_LE(monitors.size(), 20u);
+  for (std::size_t i = 1; i < monitors.size(); ++i) {
+    EXPECT_LT(monitors[i - 1], monitors[i]);  // sorted, unique
+  }
+}
+
+TEST(Gao, RecoversSimpleHierarchy) {
+  // Clique {1,2} on top (with enough customers that degree identifies them
+  // as the apex, as in the real Internet); 3 and 4 buy from both; 5 buys
+  // from 3; 3--4 peer.
+  AsGraphBuilder builder;
+  builder.AddEdge(1, 2, EdgeType::kP2P);
+  builder.AddEdge(1, 3, EdgeType::kP2C);
+  builder.AddEdge(2, 3, EdgeType::kP2C);
+  builder.AddEdge(1, 4, EdgeType::kP2C);
+  builder.AddEdge(2, 4, EdgeType::kP2C);
+  builder.AddEdge(3, 5, EdgeType::kP2C);
+  builder.AddEdge(3, 4, EdgeType::kP2P);
+  for (Asn stub = 100; stub < 110; ++stub) {
+    builder.AddEdge(1, stub, EdgeType::kP2C);
+    builder.AddEdge(2, stub + 100, EdgeType::kP2C);
+  }
+  AsGraph graph = std::move(builder).Build();
+
+  // Monitors at the edge see full uphill chains.
+  RibDump dump = CollectRibs(graph, {*graph.IdOf(5), *graph.IdOf(4)});
+  GaoResult result = InferRelationshipsGao(dump, graph);
+
+  EXPECT_GT(result.observed_edges, 3u);
+  EXPECT_GT(result.EdgeAccuracy(), 0.7);
+  // The provider-customer chain 3 -> 5 must be typed correctly: 5's only
+  // routes climb through 3.
+  auto inferred_rel = result.inferred.RelationshipBetween(*result.inferred.IdOf(3),
+                                                          *result.inferred.IdOf(5));
+  ASSERT_TRUE(inferred_rel.has_value());
+  EXPECT_EQ(*inferred_rel, Relationship::kCustomer);
+}
+
+TEST(Gao, GeneratedWorldC2pAccuracyHighAndPeerCoverageLow) {
+  GeneratorParams params = GeneratorParams::Era2020(1500);
+  params.seed = 99;
+  World world = GenerateWorld(params);
+  auto monitors = DefaultMonitorPlacement(world.full_graph, 24, 5);
+  RibCollectionOptions options;
+  options.origin_fraction = 0.5;
+  RibDump dump = CollectRibs(world.full_graph, monitors, options);
+  GaoResult result = InferRelationshipsGao(dump, world.full_graph);
+
+  // The paper's premise: relationship inference works well on what it sees
+  // (§4.1: "high success rate identifying c2p links")...
+  EXPECT_GT(result.P2cAccuracy(), 0.85);
+  // ...while apex peering is Gao's classic weakness (why ProbLink exists).
+  EXPECT_LT(result.P2pAccuracy(), 0.6);
+  // ...but most edge peering never appears on any monitor's best path
+  // (§4.1: feeds "miss nearly all edge peer links").
+  std::size_t total_p2p_truth = 0;
+  for (const auto& e : world.full_graph.EdgeList()) total_p2p_truth += e.type == EdgeType::kP2P;
+  EXPECT_GT(result.missing_p2p, total_p2p_truth / 2);
+  // c2p coverage is far better than p2p coverage.
+  std::size_t total_p2c_truth = world.full_graph.num_edges() - total_p2p_truth;
+  double p2c_coverage =
+      1.0 - static_cast<double>(result.missing_p2c) / static_cast<double>(total_p2c_truth);
+  double p2p_coverage =
+      1.0 - static_cast<double>(result.missing_p2p) / static_cast<double>(total_p2p_truth);
+  EXPECT_GT(p2c_coverage, p2p_coverage + 0.2);
+}
+
+TEST(Gao, MoreMonitorsSeeMoreEdges) {
+  GeneratorParams params = GeneratorParams::Era2020(1000);
+  World world = GenerateWorld(params);
+  RibCollectionOptions options;
+  options.origin_fraction = 0.4;
+  options.seed = 11;
+  RibDump few = CollectRibs(world.full_graph,
+                            DefaultMonitorPlacement(world.full_graph, 4, 1), options);
+  RibDump many = CollectRibs(world.full_graph,
+                             DefaultMonitorPlacement(world.full_graph, 32, 1), options);
+  GaoResult few_result = InferRelationshipsGao(few, world.full_graph);
+  GaoResult many_result = InferRelationshipsGao(many, world.full_graph);
+  EXPECT_GT(many_result.observed_edges, few_result.observed_edges);
+}
+
+
+TEST(AsRank, ImprovesPeeringClassificationOverGao) {
+  GeneratorParams params = GeneratorParams::Era2020(1500);
+  params.seed = 99;
+  World world = GenerateWorld(params);
+  auto monitors = DefaultMonitorPlacement(world.full_graph, 24, 5);
+  RibCollectionOptions options;
+  options.origin_fraction = 0.5;
+  RibDump dump = CollectRibs(world.full_graph, monitors, options);
+
+  GaoResult gao = InferRelationshipsGao(dump, world.full_graph);
+  GaoResult asrank = InferRelationshipsAsRank(dump, world.full_graph);
+
+  // Same observed universe, better typing — the §2.3 lineage. (The full
+  // fix for apex peering required ProbLink-class learning; the clique +
+  // default-peering refinement must still move the needle.)
+  EXPECT_EQ(asrank.observed_edges, gao.observed_edges);
+  EXPECT_GT(asrank.P2pAccuracy(), gao.P2pAccuracy());
+  EXPECT_GE(asrank.EdgeAccuracy(), gao.EdgeAccuracy());
+  EXPECT_GT(asrank.P2cAccuracy(), 0.8);
+}
+
+TEST(AsRank, CliquePairsTypedAsPeers) {
+  GeneratorParams params = GeneratorParams::Era2020(2500);
+  params.seed = 7;
+  World world = GenerateWorld(params);
+  auto monitors = DefaultMonitorPlacement(world.full_graph, 48, 5);
+  RibCollectionOptions options;
+  options.origin_fraction = 0.5;
+  RibDump dump = CollectRibs(world.full_graph, monitors, options);
+  GaoResult asrank = InferRelationshipsAsRank(dump, world.full_graph);
+  GaoResult gao = InferRelationshipsGao(dump, world.full_graph);
+
+  // Observed Tier-1 clique links must come out p2p.
+  std::size_t checked = 0;
+  std::size_t typed_peer = 0;
+  for (std::size_t i = 0; i < world.tiers.tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < world.tiers.tier1.size(); ++j) {
+      Asn a = world.full_graph.AsnOf(world.tiers.tier1[i]);
+      Asn b = world.full_graph.AsnOf(world.tiers.tier1[j]);
+      auto ia = asrank.inferred.IdOf(a);
+      auto ib = asrank.inferred.IdOf(b);
+      if (!ia || !ib) continue;
+      auto rel = asrank.inferred.RelationshipBetween(*ia, *ib);
+      if (!rel) continue;
+      ++checked;
+      if (*rel == Relationship::kPeer) ++typed_peer;
+    }
+  }
+  EXPECT_GT(checked, 20u);
+  // Monitors rarely observe every clique link, so the inferred clique can
+  // miss members whose mutual links then fall back to vote typing; a solid
+  // minority typed p2p already beats Gao, which types essentially all of
+  // them p2c.
+  double asrank_share = static_cast<double>(typed_peer) / static_cast<double>(checked);
+  EXPECT_GT(asrank_share, 0.2);
+  std::size_t gao_peer = 0, gao_checked = 0;
+  for (std::size_t i = 0; i < world.tiers.tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < world.tiers.tier1.size(); ++j) {
+      Asn a = world.full_graph.AsnOf(world.tiers.tier1[i]);
+      Asn b = world.full_graph.AsnOf(world.tiers.tier1[j]);
+      auto ia = gao.inferred.IdOf(a);
+      auto ib = gao.inferred.IdOf(b);
+      if (!ia || !ib) continue;
+      auto rel = gao.inferred.RelationshipBetween(*ia, *ib);
+      if (!rel) continue;
+      ++gao_checked;
+      if (*rel == Relationship::kPeer) ++gao_peer;
+    }
+  }
+  double gao_share =
+      gao_checked ? static_cast<double>(gao_peer) / static_cast<double>(gao_checked) : 0.0;
+  EXPECT_GT(asrank_share, gao_share);
+}
+
+}  // namespace
+}  // namespace flatnet

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/cities.h"
+#include "geo/geo.h"
+#include "geo/population.h"
+
+namespace flatnet {
+namespace {
+
+TEST(Geo, HaversineKnownDistances) {
+  GeoPoint nyc{40.7, -74.0};
+  GeoPoint london{51.5, -0.1};
+  // NYC <-> London great-circle distance is ~5,570 km.
+  EXPECT_NEAR(DistanceKm(nyc, london), 5570.0, 60.0);
+  EXPECT_DOUBLE_EQ(DistanceKm(nyc, nyc), 0.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(DistanceKm(nyc, london), DistanceKm(london, nyc));
+}
+
+TEST(Geo, AntipodalIsHalfCircumference) {
+  GeoPoint a{0.0, 0.0};
+  GeoPoint b{0.0, 180.0};
+  EXPECT_NEAR(DistanceKm(a, b), 6371.0 * 3.14159265, 5.0);
+}
+
+TEST(Cities, DatabaseIsWellFormed) {
+  auto cities = WorldCities();
+  EXPECT_GT(cities.size(), 100u);
+  std::set<std::string> iatas;
+  for (const City& city : cities) {
+    EXPECT_EQ(city.iata.size(), 3u) << city.name;
+    EXPECT_GE(city.location.lat_deg, -90.0);
+    EXPECT_LE(city.location.lat_deg, 90.0);
+    EXPECT_GE(city.location.lon_deg, -180.0);
+    EXPECT_LE(city.location.lon_deg, 180.0);
+    EXPECT_GT(city.population_millions, 0.0) << city.name;
+    EXPECT_TRUE(iatas.insert(std::string(city.iata)).second)
+        << "duplicate IATA " << city.iata;
+  }
+}
+
+TEST(Cities, IataLookup) {
+  auto nyc = CityByIata("NYC");
+  ASSERT_TRUE(nyc.has_value());
+  EXPECT_EQ(WorldCities()[*nyc].name, "New York");
+  EXPECT_EQ(CityByIata("nyc"), nyc);  // case-insensitive
+  EXPECT_FALSE(CityByIata("ZZZ").has_value());
+}
+
+TEST(Cities, EveryContinentRepresented) {
+  std::set<Continent> seen;
+  for (const City& city : WorldCities()) seen.insert(city.continent);
+  EXPECT_EQ(seen.size(), kContinentCount);
+}
+
+TEST(Population, CoverageMonotonicInRadius) {
+  std::vector<CityIndex> pops{*CityByIata("LHR"), *CityByIata("NYC"), *CityByIata("SIN")};
+  double prev = 0.0;
+  for (double radius : {100.0, 500.0, 1000.0, 3000.0, 20000.0}) {
+    CoverageResult cov = PopulationCoverage(pops, radius);
+    EXPECT_GE(cov.world, prev);
+    prev = cov.world;
+    for (double f : cov.per_continent) {
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0);
+    }
+  }
+  // A planet-sized radius covers everyone.
+  EXPECT_DOUBLE_EQ(PopulationCoverage(pops, 21000.0).world, 1.0);
+}
+
+TEST(Population, EmptyDeploymentCoversNothing) {
+  CoverageResult cov = PopulationCoverage({}, 1000.0);
+  EXPECT_DOUBLE_EQ(cov.world, 0.0);
+}
+
+TEST(Population, ContinentTotalsSumToWorld) {
+  auto totals = ContinentPopulations();
+  double sum = 0;
+  for (double t : totals) sum += t;
+  EXPECT_NEAR(sum, TotalCityPopulationMillions(), 1e-9);
+}
+
+TEST(Population, LocalRadiusCoversOwnContinentOnly) {
+  std::vector<CityIndex> pops{*CityByIata("LHR")};
+  CoverageResult cov = PopulationCoverage(pops, 500.0);
+  EXPECT_GT(cov.per_continent[static_cast<std::size_t>(Continent::kEurope)], 0.0);
+  EXPECT_DOUBLE_EQ(cov.per_continent[static_cast<std::size_t>(Continent::kOceania)], 0.0);
+  EXPECT_DOUBLE_EQ(cov.per_continent[static_cast<std::size_t>(Continent::kSouthAmerica)], 0.0);
+}
+
+}  // namespace
+}  // namespace flatnet

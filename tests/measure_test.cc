@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "measure/addressing.h"
+#include "measure/inference.h"
+#include "measure/ip2as.h"
+#include "measure/trace_io.h"
+#include "measure/traceroute.h"
+#include "measure/validation.h"
+#include "topogen/generate.h"
+#include "util/error.h"
+
+namespace flatnet {
+namespace {
+
+class MeasureTest : public ::testing::Test {
+ protected:
+  static const World& world() {
+    static const World w = [] {
+      GeneratorParams params = GeneratorParams::Era2020(1500);
+      params.seed = 77;
+      return GenerateWorld(params);
+    }();
+    return w;
+  }
+  static const AddressPlan& plan() {
+    static const AddressPlan p(world(), 123);
+    return p;
+  }
+};
+
+TEST_F(MeasureTest, BorderAddressesExistForEveryLink) {
+  const World& w = world();
+  for (AsId a = 0; a < w.num_ases(); ++a) {
+    for (const Neighbor& nb : w.full_graph.NeighborsOf(a)) {
+      Ipv4Address forward = plan().BorderAddress(a, nb.id);
+      Ipv4Address reverse = plan().BorderAddress(nb.id, a);
+      EXPECT_NE(forward.value(), 0u);
+      EXPECT_NE(reverse.value(), 0u);
+      // Ground truth knows the operator of each border interface.
+      EXPECT_EQ(plan().OperatorOf(forward), nb.id);
+      EXPECT_EQ(plan().OperatorOf(reverse), a);
+      break;  // one neighbor per AS keeps this test fast
+    }
+  }
+  EXPECT_THROW(plan().BorderAddress(0, 0), InvalidArgument);
+}
+
+TEST_F(MeasureTest, InternalAndDestinationAddressesResolveToOwner) {
+  const World& w = world();
+  for (AsId id = 0; id < w.num_ases(); id += 97) {
+    EXPECT_EQ(plan().OperatorOf(plan().InternalAddress(id, 3)), id);
+    EXPECT_EQ(plan().OperatorOf(plan().DestinationAddress(id)), id);
+  }
+}
+
+TEST_F(MeasureTest, CymruResolvesAnnouncedSpaceOnly) {
+  const World& w = world();
+  CymruResolver cymru(w);
+  // Announced prefix: resolves to the origin ASN.
+  EXPECT_EQ(cymru.Resolve(plan().DestinationAddress(50)), w.full_graph.AsnOf(50));
+  // Unannounced IXP LAN: unresolvable unless the LAN is in BGP, in which
+  // case it (mis)resolves to the IXP's management AS.
+  for (const IxpInstance& ixp : w.ixps) {
+    auto result = cymru.Resolve(ixp.lan.AddressAt(5));
+    if (ixp.lan_in_bgp) {
+      ASSERT_TRUE(result.has_value());
+      EXPECT_EQ(*result, ixp.ixp_asn);
+    } else {
+      EXPECT_FALSE(result.has_value());
+    }
+  }
+}
+
+TEST_F(MeasureTest, PeeringDbResolvesLanInterfacesToMembers) {
+  const World& w = world();
+  PeeringDbResolver pdb(w, plan(), /*record_coverage=*/1.0, /*wrong_record_fraction=*/0.0,
+                        /*seed=*/1);
+  std::size_t checked = 0;
+  for (AsId a = 0; a < w.num_ases() && checked < 50; ++a) {
+    for (const Neighbor& nb : w.full_graph.Peers(a)) {
+      if (nb.id < a) continue;
+      if (plan().LinkInfo(a, nb.id).medium != LinkMedium::kIxpLan) continue;
+      EXPECT_EQ(pdb.Resolve(plan().BorderAddress(a, nb.id)), w.full_graph.AsnOf(nb.id));
+      ++checked;
+      break;
+    }
+  }
+  EXPECT_GT(checked, 10u);
+  // Non-LAN addresses are unknown to PeeringDB.
+  EXPECT_FALSE(pdb.Resolve(plan().DestinationAddress(3)).has_value());
+}
+
+TEST_F(MeasureTest, WhoisResolvesLansToIxpOrg) {
+  const World& w = world();
+  WhoisResolver whois(w, /*stale_fraction=*/0.0, /*seed=*/2);
+  for (const IxpInstance& ixp : w.ixps) {
+    EXPECT_EQ(whois.Resolve(ixp.lan.AddressAt(9)), ixp.ixp_asn);
+  }
+  EXPECT_EQ(whois.Resolve(plan().DestinationAddress(7)), w.full_graph.AsnOf(7));
+}
+
+class CampaignTest : public MeasureTest {
+ protected:
+  static const TracerouteCampaign& campaign() {
+    static const TracerouteCampaign c = [] {
+      CampaignOptions options;
+      options.dst_fraction = 0.25;
+      options.seed = 9;
+      return TracerouteCampaign(world(), plan(), options);
+    }();
+    return c;
+  }
+};
+
+TEST_F(CampaignTest, TruePathsAreValidWalks) {
+  const World& w = world();
+  std::size_t checked = 0;
+  for (const Traceroute& trace : campaign().traces()) {
+    ASSERT_GE(trace.true_path.size(), 2u);
+    EXPECT_EQ(trace.true_path.front(), w.clouds[trace.cloud_index].id);
+    EXPECT_EQ(trace.true_path.back(), trace.dst_as);
+    for (std::size_t i = 0; i + 1 < trace.true_path.size(); ++i) {
+      EXPECT_TRUE(w.full_graph
+                      .RelationshipBetween(trace.true_path[i], trace.true_path[i + 1])
+                      .has_value());
+    }
+    if (++checked >= 500) break;
+  }
+  EXPECT_GT(campaign().traces().size(), 1000u);
+}
+
+TEST_F(CampaignTest, HopsEndAtProbedAddress) {
+  for (std::size_t i = 0; i < 200 && i < campaign().traces().size(); ++i) {
+    const Traceroute& trace = campaign().traces()[i];
+    ASSERT_FALSE(trace.hops.empty());
+    EXPECT_EQ(trace.hops.back().addr, trace.dst);
+    EXPECT_EQ(trace.reached, trace.hops.back().responded);
+  }
+}
+
+TEST_F(CampaignTest, VmCountsFollowArchetypes) {
+  const World& w = world();
+  std::vector<std::set<std::uint16_t>> vms(w.clouds.size());
+  for (const Traceroute& trace : campaign().traces()) {
+    vms[trace.cloud_index].insert(trace.vm);
+  }
+  for (std::uint32_t c = 0; c < w.clouds.size(); ++c) {
+    if (w.clouds[c].archetype.vm_locations == 0) {
+      EXPECT_TRUE(vms[c].empty());
+    } else {
+      EXPECT_EQ(vms[c].size(), w.clouds[c].archetype.vm_locations);
+    }
+  }
+}
+
+TEST_F(CampaignTest, InferenceFindsMostlyTrueNeighbors) {
+  const World& w = world();
+  CymruResolver cymru(w);
+  PeeringDbResolver pdb(w, plan(), 0.9, 0.05, 11);
+  WhoisResolver whois(w, 0.03, 12);
+  NeighborInference inference(&cymru, &pdb, &whois);
+
+  for (std::uint32_t c = 0; c < w.clouds.size(); ++c) {
+    const CloudInstance& cloud = w.clouds[c];
+    if (cloud.archetype.vm_locations == 0) continue;
+    auto inferred = inference.InferNeighbors(campaign().traces(), c, cloud.archetype.asn,
+                                             cloud.archetype.vm_locations,
+                                             InferenceRules::ForStage(MethodologyStage::kV3Final));
+    auto truth = TrueNeighborAsns(w.full_graph, cloud.id);
+    ValidationStats stats = ValidateNeighbors(inferred, truth);
+    EXPECT_GT(stats.true_positives, 10u) << cloud.archetype.name;
+    EXPECT_LT(stats.Fdr(), 0.30) << cloud.archetype.name;
+    EXPECT_LT(stats.Fnr(), 0.60) << cloud.archetype.name;
+  }
+}
+
+TEST_F(CampaignTest, V0HasMoreFalsePositivesThanFinal) {
+  const World& w = world();
+  CymruResolver cymru(w);
+  PeeringDbResolver pdb(w, plan(), 0.9, 0.05, 11);
+  WhoisResolver whois(w, 0.03, 12);
+  NeighborInference inference(&cymru, &pdb, &whois);
+
+  std::size_t fp_v0 = 0, fp_v3 = 0;
+  for (std::uint32_t c = 0; c < w.clouds.size(); ++c) {
+    const CloudInstance& cloud = w.clouds[c];
+    if (cloud.archetype.vm_locations == 0) continue;
+    auto truth = TrueNeighborAsns(w.full_graph, cloud.id);
+    auto v0 = inference.InferNeighbors(campaign().traces(), c, cloud.archetype.asn,
+                                       cloud.archetype.vm_locations,
+                                       InferenceRules::ForStage(MethodologyStage::kV0Initial));
+    auto v3 = inference.InferNeighbors(campaign().traces(), c, cloud.archetype.asn,
+                                       cloud.archetype.vm_locations,
+                                       InferenceRules::ForStage(MethodologyStage::kV3Final));
+    fp_v0 += ValidateNeighbors(v0, truth).false_positives;
+    fp_v3 += ValidateNeighbors(v3, truth).false_positives;
+  }
+  EXPECT_GT(fp_v0, fp_v3);
+}
+
+TEST(Inference, GapRulesOnCraftedTraces) {
+  // A hand-built world is overkill here; exercise the gap logic with a tiny
+  // generated world and synthetic traces.
+  GeneratorParams params = GeneratorParams::Era2020(400);
+  World w = GenerateWorld(params);
+  AddressPlan plan(w, 5);
+  CymruResolver cymru(w);
+  PeeringDbResolver pdb(w, plan, 1.0, 0.0, 1);
+  WhoisResolver whois(w, 0.0, 2);
+  NeighborInference inference(&cymru, &pdb, &whois);
+
+  AsId cloud = w.clouds[0].id;
+  Asn cloud_asn = w.clouds[0].archetype.asn;
+  const Neighbor& nb = w.full_graph.NeighborsOf(cloud)[0];
+  AsId far = 42 == cloud || 42 == nb.id ? 43 : 42;
+
+  auto make_trace = [&](std::vector<Hop> hops) {
+    Traceroute t;
+    t.cloud_index = 0;
+    t.vm = 0;
+    t.dst_as = far;
+    t.hops = std::move(hops);
+    return t;
+  };
+
+  // Direct adjacency: cloud hop then neighbor-owned hop.
+  Traceroute direct = make_trace({{plan.InternalAddress(cloud, 1), true},
+                                  {plan.InternalAddress(nb.id, 1), true}});
+  // One silent hop, then a hop owned by `far`.
+  Traceroute gapped = make_trace({{plan.InternalAddress(cloud, 1), true},
+                                  {plan.InternalAddress(nb.id, 2), false},
+                                  {plan.InternalAddress(far, 1), true}});
+  std::vector<Traceroute> traces{direct, gapped};
+
+  InferenceRules v0 = InferenceRules::ForStage(MethodologyStage::kV0Initial);
+  v0.vm_fraction = 1.0;
+  auto neighbors_v0 = inference.InferNeighbors(traces, 0, cloud_asn, 1, v0);
+  EXPECT_TRUE(neighbors_v0.contains(w.full_graph.AsnOf(nb.id)));
+  EXPECT_TRUE(neighbors_v0.contains(w.full_graph.AsnOf(far)))
+      << "v0 bridges single unknown hops";
+
+  InferenceRules v3 = InferenceRules::ForStage(MethodologyStage::kV3Final);
+  auto neighbors_v3 = inference.InferNeighbors(traces, 0, cloud_asn, 1, v3);
+  EXPECT_TRUE(neighbors_v3.contains(w.full_graph.AsnOf(nb.id)));
+  EXPECT_FALSE(neighbors_v3.contains(w.full_graph.AsnOf(far)))
+      << "final rules discard unresponsive gaps";
+}
+
+TEST(Validation, RatesComputedCorrectly) {
+  std::set<Asn> inferred{1, 2, 3, 4};
+  std::set<Asn> truth{2, 3, 4, 5, 6};
+  ValidationStats stats = ValidateNeighbors(inferred, truth);
+  EXPECT_EQ(stats.true_positives, 3u);
+  EXPECT_EQ(stats.false_positives, 1u);
+  EXPECT_EQ(stats.false_negatives, 2u);
+  EXPECT_DOUBLE_EQ(stats.Fdr(), 0.25);
+  EXPECT_DOUBLE_EQ(stats.Fnr(), 0.4);
+  ValidationStats empty = ValidateNeighbors({}, {});
+  EXPECT_DOUBLE_EQ(empty.Fdr(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Fnr(), 0.0);
+}
+
+
+TEST_F(CampaignTest, TraceDumpRoundTrip) {
+  const World& w = world();
+  std::vector<Traceroute> sample(campaign().traces().begin(),
+                                 campaign().traces().begin() +
+                                     std::min<std::size_t>(campaign().traces().size(), 200));
+  std::string text = FormatTraceroutes(sample, w.full_graph);
+  std::vector<Traceroute> reloaded = ParseTraceroutes(text, w.full_graph);
+  ASSERT_EQ(reloaded.size(), sample.size());
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    EXPECT_EQ(reloaded[i].cloud_index, sample[i].cloud_index);
+    EXPECT_EQ(reloaded[i].vm, sample[i].vm);
+    EXPECT_EQ(reloaded[i].dst_as, sample[i].dst_as);
+    EXPECT_EQ(reloaded[i].dst, sample[i].dst);
+    EXPECT_EQ(reloaded[i].reached, sample[i].reached);
+    EXPECT_EQ(reloaded[i].true_path, sample[i].true_path);
+    ASSERT_EQ(reloaded[i].hops.size(), sample[i].hops.size());
+    for (std::size_t h = 0; h < sample[i].hops.size(); ++h) {
+      EXPECT_EQ(reloaded[i].hops[h].addr, sample[i].hops[h].addr);
+      EXPECT_EQ(reloaded[i].hops[h].responded, sample[i].hops[h].responded);
+    }
+  }
+}
+
+TEST_F(CampaignTest, InferenceIdenticalOnReloadedTraces) {
+  // The §6.5 retrospective re-runs the pipeline on a stored dataset; the
+  // dump must be lossless for inference purposes.
+  const World& w = world();
+  CymruResolver cymru(w);
+  PeeringDbResolver pdb(w, plan(), 0.9, 0.05, 11);
+  WhoisResolver whois(w, 0.03, 12);
+  NeighborInference inference(&cymru, &pdb, &whois);
+  std::string text = FormatTraceroutes(campaign().traces(), w.full_graph);
+  std::vector<Traceroute> reloaded = ParseTraceroutes(text, w.full_graph);
+  InferenceRules rules = InferenceRules::ForStage(MethodologyStage::kV3Final);
+  for (std::uint32_t c = 0; c < w.clouds.size(); ++c) {
+    if (w.clouds[c].archetype.vm_locations == 0) continue;
+    auto original = inference.InferNeighbors(campaign().traces(), c,
+                                             w.clouds[c].archetype.asn,
+                                             w.clouds[c].archetype.vm_locations, rules);
+    auto again = inference.InferNeighbors(reloaded, c, w.clouds[c].archetype.asn,
+                                          w.clouds[c].archetype.vm_locations, rules);
+    EXPECT_EQ(original, again) << w.clouds[c].archetype.name;
+  }
+}
+
+TEST(TraceIo, RejectsMalformedDumps) {
+  GeneratorParams params = GeneratorParams::Era2020(300);
+  World w = GenerateWorld(params);
+  EXPECT_THROW(ParseTraceroutes("H 1.2.3.4 1\n", w.full_graph), ParseError);   // H before T
+  EXPECT_THROW(ParseTraceroutes("T 0 0 1 1.2.3.4\n", w.full_graph), ParseError);  // short T
+  EXPECT_THROW(ParseTraceroutes("X who knows\n", w.full_graph), ParseError);
+  // AS number outside the topology.
+  EXPECT_THROW(ParseTraceroutes("T 0 0 424242 1.2.3.4 1\n", w.full_graph), ParseError);
+  EXPECT_TRUE(ParseTraceroutes("# just a comment\n", w.full_graph).empty());
+}
+
+}  // namespace
+}  // namespace flatnet

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "net/ipv4.h"
+#include "net/prefix_allocator.h"
+#include "net/prefix_trie.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace flatnet {
+namespace {
+
+TEST(Ipv4Address, ParseFormatRoundTrip) {
+  auto addr = Ipv4Address::FromString("192.168.1.200");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->ToString(), "192.168.1.200");
+  EXPECT_EQ(addr->value(), 0xc0a801c8u);
+}
+
+TEST(Ipv4Address, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::FromString("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::FromString("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::FromString("1.2.3.256").has_value());
+  EXPECT_FALSE(Ipv4Address::FromString("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::FromString("").has_value());
+}
+
+TEST(Ipv4Address, OctetConstructorAndOrdering) {
+  Ipv4Address a(10, 0, 0, 1);
+  Ipv4Address b(10, 0, 0, 2);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.ToString(), "10.0.0.1");
+}
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+  Ipv4Prefix p(Ipv4Address(10, 1, 2, 3), 16);
+  EXPECT_EQ(p.ToString(), "10.1.0.0/16");
+  EXPECT_EQ(p.Size(), 65536u);
+}
+
+TEST(Ipv4Prefix, ParseAndContains) {
+  auto p = Ipv4Prefix::FromString("172.16.0.0/12");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->Contains(Ipv4Address(172, 20, 5, 5)));
+  EXPECT_FALSE(p->Contains(Ipv4Address(172, 32, 0, 0)));
+  auto inner = Ipv4Prefix::FromString("172.16.4.0/24");
+  EXPECT_TRUE(p->Contains(*inner));
+  EXPECT_FALSE(inner->Contains(*p));
+  EXPECT_FALSE(Ipv4Prefix::FromString("172.16.0.0/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::FromString("172.16.0.0").has_value());
+}
+
+TEST(Ipv4Prefix, SplitHalves) {
+  Ipv4Prefix p(Ipv4Address(10, 0, 0, 0), 8);
+  auto [lo, hi] = p.Split();
+  EXPECT_EQ(lo.ToString(), "10.0.0.0/9");
+  EXPECT_EQ(hi.ToString(), "10.128.0.0/9");
+  EXPECT_THROW(Ipv4Prefix(Ipv4Address(1, 1, 1, 1), 32).Split(), InvalidArgument);
+}
+
+TEST(Ipv4Prefix, AddressAtBounds) {
+  Ipv4Prefix p(Ipv4Address(10, 0, 0, 0), 30);
+  EXPECT_EQ(p.AddressAt(3).ToString(), "10.0.0.3");
+  EXPECT_THROW(p.AddressAt(4), InvalidArgument);
+}
+
+TEST(Ipv4Prefix, ZeroLengthCoversEverything) {
+  Ipv4Prefix all(Ipv4Address(0), 0);
+  EXPECT_TRUE(all.Contains(Ipv4Address(255, 255, 255, 255)));
+  EXPECT_EQ(all.Mask(), 0u);
+}
+
+TEST(PrefixTrie, ExactAndLongestMatch) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.Insert(*Ipv4Prefix::FromString("10.0.0.0/8"), 1));
+  EXPECT_TRUE(trie.Insert(*Ipv4Prefix::FromString("10.1.0.0/16"), 2));
+  EXPECT_FALSE(trie.Insert(*Ipv4Prefix::FromString("10.1.0.0/16"), 3));  // overwrite
+  EXPECT_EQ(trie.size(), 2u);
+
+  EXPECT_EQ(*trie.Find(*Ipv4Prefix::FromString("10.1.0.0/16")), 3);
+  EXPECT_EQ(trie.Find(*Ipv4Prefix::FromString("10.2.0.0/16")), nullptr);
+
+  EXPECT_EQ(*trie.Lookup(Ipv4Address(10, 1, 2, 3)), 3);
+  EXPECT_EQ(*trie.Lookup(Ipv4Address(10, 9, 9, 9)), 1);
+  EXPECT_EQ(trie.Lookup(Ipv4Address(11, 0, 0, 1)), nullptr);
+
+  auto match = trie.LongestMatch(Ipv4Address(10, 1, 2, 3));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first.length(), 16);
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesAll) {
+  PrefixTrie<int> trie;
+  trie.Insert(Ipv4Prefix(Ipv4Address(0), 0), 99);
+  EXPECT_EQ(*trie.Lookup(Ipv4Address(1, 2, 3, 4)), 99);
+}
+
+TEST(PrefixTrie, HostRoutes) {
+  PrefixTrie<int> trie;
+  trie.Insert(*Ipv4Prefix::FromString("1.2.3.4/32"), 7);
+  EXPECT_EQ(*trie.Lookup(Ipv4Address(1, 2, 3, 4)), 7);
+  EXPECT_EQ(trie.Lookup(Ipv4Address(1, 2, 3, 5)), nullptr);
+}
+
+// Property: trie longest-prefix match agrees with a linear scan.
+class PrefixTriePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixTriePropertyTest, MatchesLinearScan) {
+  Rng rng(GetParam());
+  PrefixTrie<std::size_t> trie;
+  std::vector<Ipv4Prefix> prefixes;
+  for (std::size_t i = 0; i < 300; ++i) {
+    auto length = static_cast<std::uint8_t>(8 + rng.UniformU64(17));
+    Ipv4Prefix prefix(Ipv4Address(static_cast<std::uint32_t>(rng.NextU64())), length);
+    if (trie.Insert(prefix, prefixes.size())) prefixes.push_back(prefix);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    Ipv4Address addr(static_cast<std::uint32_t>(rng.NextU64()));
+    const std::size_t* got = trie.Lookup(addr);
+    // Linear scan for the longest covering prefix.
+    int best_len = -1;
+    std::size_t best_idx = 0;
+    for (std::size_t p = 0; p < prefixes.size(); ++p) {
+      if (prefixes[p].Contains(addr) && prefixes[p].length() > best_len) {
+        best_len = prefixes[p].length();
+        best_idx = p;
+      }
+    }
+    if (best_len < 0) {
+      EXPECT_EQ(got, nullptr);
+    } else {
+      ASSERT_NE(got, nullptr);
+      // Same length; ties are impossible since equal-prefix inserts dedupe.
+      EXPECT_EQ(prefixes[*got].length(), prefixes[best_idx].length());
+      EXPECT_TRUE(prefixes[*got].Contains(addr));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixTriePropertyTest, ::testing::Values(1, 7, 21, 303));
+
+TEST(PrefixTrie, ForEachVisitsAllInOrder) {
+  PrefixTrie<int> trie;
+  trie.Insert(*Ipv4Prefix::FromString("20.0.0.0/8"), 1);
+  trie.Insert(*Ipv4Prefix::FromString("10.0.0.0/8"), 2);
+  trie.Insert(*Ipv4Prefix::FromString("10.5.0.0/16"), 3);
+  std::vector<std::string> seen;
+  trie.ForEach([&](const Ipv4Prefix& p, int) { seen.push_back(p.ToString()); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "10.0.0.0/8");
+  EXPECT_EQ(seen[1], "10.5.0.0/16");
+  EXPECT_EQ(seen[2], "20.0.0.0/8");
+}
+
+TEST(PrefixAllocator, DisjointAlignedBlocks) {
+  PrefixAllocator alloc(*Ipv4Prefix::FromString("10.0.0.0/8"));
+  auto a = alloc.Allocate(16);
+  auto b = alloc.Allocate(24);
+  auto c = alloc.Allocate(16);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->ToString(), "10.0.0.0/16");
+  EXPECT_EQ(b->ToString(), "10.1.0.0/24");
+  // /16 alignment forces a skip past the partially-used 10.1/16.
+  EXPECT_EQ(c->ToString(), "10.2.0.0/16");
+  EXPECT_FALSE(a->Contains(*b));
+  EXPECT_FALSE(b->Contains(*c));
+}
+
+TEST(PrefixAllocator, ExhaustsPool) {
+  PrefixAllocator alloc(*Ipv4Prefix::FromString("10.0.0.0/30"));
+  EXPECT_TRUE(alloc.Allocate(31).has_value());
+  EXPECT_TRUE(alloc.Allocate(31).has_value());
+  EXPECT_FALSE(alloc.Allocate(31).has_value());
+  EXPECT_EQ(alloc.Remaining(), 0u);
+  EXPECT_THROW(alloc.Allocate(8), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace flatnet

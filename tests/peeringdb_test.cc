@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/peeringdb.h"
+#include "measure/ip2as.h"
+#include "topogen/generate.h"
+#include "util/error.h"
+
+namespace flatnet {
+namespace {
+
+class PeeringDbTest : public ::testing::Test {
+ protected:
+  static const World& world() {
+    static const World w = [] {
+      GeneratorParams params = GeneratorParams::Era2020(1000);
+      params.seed = 31;
+      return GenerateWorld(params);
+    }();
+    return w;
+  }
+  static const AddressPlan& plan() {
+    static const AddressPlan p(world(), 77);
+    return p;
+  }
+  static const PeeringDbSnapshot& snapshot() {
+    static const PeeringDbSnapshot s =
+        PeeringDbSnapshot::FromWorld(world(), plan(), /*record_coverage=*/1.0, 5);
+    return s;
+  }
+};
+
+TEST_F(PeeringDbTest, ContainsTheRegistries) {
+  EXPECT_GT(snapshot().nets().size(), world().num_ases() / 2);
+  EXPECT_EQ(snapshot().ixes().size(), world().ixps.size());
+  EXPECT_GT(snapshot().netixlans().size(), 100u);
+  EXPECT_GT(snapshot().facilities().size(), 20u);
+  EXPECT_GT(snapshot().netfacs().size(), snapshot().facilities().size());
+}
+
+TEST_F(PeeringDbTest, NamedNetworksCarryPolicy) {
+  const PdbNet* google = snapshot().NetOf(15169);
+  ASSERT_NE(google, nullptr);
+  EXPECT_EQ(google->name, "Google");
+  EXPECT_EQ(google->policy, "Open");
+  EXPECT_EQ(snapshot().NetOf(424242424), nullptr);
+}
+
+TEST_F(PeeringDbTest, LanResolutionMatchesResolver) {
+  // With full record coverage the snapshot must resolve every LAN border
+  // interface exactly like the in-memory PeeringDbResolver.
+  PeeringDbResolver resolver(world(), plan(), 1.0, 0.0, 5);
+  const AsGraph& graph = world().full_graph;
+  std::size_t checked = 0;
+  for (AsId a = 0; a < graph.num_ases() && checked < 200; ++a) {
+    for (const Neighbor& nb : graph.Peers(a)) {
+      if (nb.id < a) continue;
+      if (plan().LinkInfo(a, nb.id).medium != LinkMedium::kIxpLan) continue;
+      Ipv4Address addr = plan().BorderAddress(a, nb.id);
+      EXPECT_EQ(snapshot().ResolveLanAddress(addr), graph.AsnOf(nb.id));
+      ++checked;
+      break;
+    }
+  }
+  EXPECT_GT(checked, 50u);
+  EXPECT_FALSE(snapshot().ResolveLanAddress(Ipv4Address(203, 0, 113, 7)).has_value());
+}
+
+TEST_F(PeeringDbTest, FacilityCitiesMatchPresence) {
+  AsId google = world().Cloud("Google").id;
+  auto cities = snapshot().FacilityCitiesOf(world().full_graph.AsnOf(google));
+  EXPECT_EQ(cities.size(), world().presence[google].size());
+  auto world_cities = WorldCities();
+  for (CityIndex c : world().presence[google]) {
+    EXPECT_NE(std::find(cities.begin(), cities.end(), std::string(world_cities[c].name)),
+              cities.end());
+  }
+}
+
+TEST_F(PeeringDbTest, JsonRoundTripIsLossless) {
+  std::string text = snapshot().Dump();
+  PeeringDbSnapshot reloaded = PeeringDbSnapshot::Parse(text);
+  EXPECT_EQ(reloaded.nets().size(), snapshot().nets().size());
+  EXPECT_EQ(reloaded.ixes().size(), snapshot().ixes().size());
+  EXPECT_EQ(reloaded.netixlans().size(), snapshot().netixlans().size());
+  EXPECT_EQ(reloaded.facilities().size(), snapshot().facilities().size());
+  EXPECT_EQ(reloaded.netfacs().size(), snapshot().netfacs().size());
+  // Indexes rebuilt: lookups still work.
+  const PdbNetIxLan& port = snapshot().netixlans().front();
+  EXPECT_EQ(reloaded.ResolveLanAddress(port.ipaddr4), port.asn);
+  // Byte-stable second dump (std::map ordering).
+  EXPECT_EQ(reloaded.Dump(), text);
+}
+
+TEST(PeeringDb, RejectsMalformedDocuments) {
+  EXPECT_THROW(PeeringDbSnapshot::Parse("{}"), InvalidArgument);
+  EXPECT_THROW(PeeringDbSnapshot::Parse("not json"), ParseError);
+  EXPECT_THROW(
+      PeeringDbSnapshot::Parse(
+          R"({"net":{"data":[{"asn":1,"name":"x","policy_general":"Open"}]},
+              "ix":{"data":[]},
+              "netixlan":{"data":[{"asn":1,"ix_id":1,"ipaddr4":"not-an-ip"}]},
+              "fac":{"data":[]},"netfac":{"data":[]}})"),
+      ParseError);
+}
+
+}  // namespace
+}  // namespace flatnet

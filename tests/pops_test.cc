@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pops/pop_map.h"
+#include "pops/geolocate.h"
+#include "pops/rdns.h"
+#include "topogen/generate.h"
+
+namespace flatnet {
+namespace {
+
+class PopsTest : public ::testing::Test {
+ protected:
+  static const World& world() {
+    static const World w = [] {
+      GeneratorParams params = GeneratorParams::Era2020(1200);
+      return GenerateWorld(params);
+    }();
+    return w;
+  }
+  static const std::vector<PopDeployment>& deployments() {
+    static const std::vector<PopDeployment> d = BuildDeployments(world());
+    return d;
+  }
+};
+
+TEST_F(PopsTest, DeploymentsCoverCloudsAndTiers) {
+  std::size_t clouds = 0, transits = 0;
+  for (const PopDeployment& d : deployments()) {
+    EXPECT_FALSE(d.cities.empty()) << d.name;
+    d.is_cloud ? ++clouds : ++transits;
+  }
+  EXPECT_EQ(clouds, 4u);  // the study clouds; Facebook is not deployed here
+  EXPECT_EQ(transits, world().tiers.tier1.size() + world().tiers.tier2.size());
+}
+
+TEST_F(PopsTest, SplitPartitionsCities) {
+  CityPresenceSplit split = SplitCityPresence(deployments());
+  std::set<CityIndex> cloud = CohortCities(deployments(), true);
+  std::set<CityIndex> transit = CohortCities(deployments(), false);
+  EXPECT_EQ(split.both.size() + split.cloud_only.size(), cloud.size());
+  EXPECT_EQ(split.both.size() + split.transit_only.size(), transit.size());
+  for (CityIndex c : split.cloud_only) EXPECT_FALSE(transit.contains(c));
+  for (CityIndex c : split.transit_only) EXPECT_FALSE(cloud.contains(c));
+}
+
+TEST_F(PopsTest, CoverageRowsAreOrderedByRadius) {
+  for (const ProviderCoverage& row : PerProviderCoverage(deployments())) {
+    EXPECT_LE(row.coverage_500km, row.coverage_700km) << row.name;
+    EXPECT_LE(row.coverage_700km, row.coverage_1000km) << row.name;
+    EXPECT_GT(row.coverage_1000km, 0.0) << row.name;
+  }
+}
+
+TEST(RdnsProfile, NamedNetworksMatchTable3) {
+  EXPECT_EQ(ProfileFor("Amazon").style, RdnsStyle::kNone);
+  EXPECT_EQ(ProfileFor("Amazon").hostname_count, 0u);
+  EXPECT_DOUBLE_EQ(ProfileFor("NTT").pop_coverage, 1.0);
+  EXPECT_EQ(ProfileFor("Google").hostname_count, 29833u);
+  EXPECT_NEAR(ProfileFor("Microsoft").pop_coverage, 0.453, 1e-9);
+  // Unknown networks fall back to the paper's overall 73%.
+  RdnsProfile other = ProfileFor("SomeNet");
+  EXPECT_NEAR(other.pop_coverage, 0.73, 1e-9);
+  EXPECT_EQ(other.domain, "somenet.example.net");
+}
+
+class RdnsTest : public PopsTest {
+ protected:
+  static const RdnsDatabase& rdns() {
+    static const RdnsDatabase db(world(), deployments(), 99);
+    return db;
+  }
+};
+
+TEST_F(RdnsTest, AmazonHasNoEntries) {
+  AsId amazon = world().Cloud("Amazon").id;
+  EXPECT_TRUE(rdns().EntriesOf(amazon).empty());
+  EXPECT_EQ(rdns().ConfirmedPopCount(amazon), 0u);
+}
+
+TEST_F(RdnsTest, LookupRoundTrip) {
+  ASSERT_FALSE(rdns().entries().empty());
+  const RdnsEntry& entry = rdns().entries().front();
+  auto hostname = rdns().Lookup(entry.addr);
+  ASSERT_TRUE(hostname.has_value());
+  EXPECT_EQ(*hostname, entry.hostname);
+  EXPECT_FALSE(rdns().Lookup(Ipv4Address(203, 0, 113, 1)).has_value());
+}
+
+TEST_F(RdnsTest, ManualExtractionRecoversTrueCity) {
+  std::size_t correct = 0, total = 0;
+  for (const RdnsEntry& entry : rdns().entries()) {
+    auto city = ExtractLocationManual(entry.hostname);
+    ASSERT_TRUE(city.has_value()) << entry.hostname;
+    correct += (*city == entry.true_city);
+    if (++total >= 2000) break;
+  }
+  // IATA codes embed unambiguously; extraction is exact.
+  EXPECT_EQ(correct, total);
+}
+
+TEST_F(RdnsTest, AliasGroupsShareRouters) {
+  auto groups = GroupAliases(rdns().entries());
+  EXPECT_FALSE(groups.empty());
+  std::size_t multi = 0;
+  for (const auto& [hostname, addrs] : groups) {
+    EXPECT_GE(addrs.size(), 1u);
+    if (addrs.size() > 1) ++multi;
+  }
+  EXPECT_GT(multi, 0u);  // MIDAR-style aliasing exists
+}
+
+TEST_F(RdnsTest, HoihoLearnsConventionsAndAgreesWithManual) {
+  AsId ntt = kInvalidAsId;
+  for (const PopDeployment& d : deployments()) {
+    if (d.name == "NTT") ntt = d.id;
+  }
+  ASSERT_NE(ntt, kInvalidAsId);
+  std::vector<std::string> samples;
+  for (const RdnsEntry* entry : rdns().EntriesOf(ntt)) samples.push_back(entry->hostname);
+  ASSERT_GT(samples.size(), 100u);
+  auto regex = InferNamingRegex(samples);
+  ASSERT_TRUE(regex.has_value());
+  for (std::size_t i = 0; i < samples.size(); i += 53) {
+    EXPECT_EQ(ExtractWithRegex(*regex, samples[i]), ExtractLocationManual(samples[i]))
+        << samples[i];
+  }
+}
+
+TEST(Rdns, HoihoRefusesWithTooFewSamples) {
+  std::vector<std::string> few{"ae-1-2.ear1.nyc1.gin.example.net"};
+  EXPECT_FALSE(InferNamingRegex(few).has_value());
+  std::vector<std::string> garbage(20, "router.example.net");
+  EXPECT_FALSE(InferNamingRegex(garbage).has_value());
+}
+
+TEST(Rdns, ManualExtractionIgnoresNonLocationTokens) {
+  EXPECT_FALSE(ExtractLocationManual("core-1.example.net").has_value());
+  auto nyc = ExtractLocationManual("ae-0-11.ear2.nyc3.gin.example.net");
+  ASSERT_TRUE(nyc.has_value());
+  EXPECT_EQ(WorldCities()[*nyc].name, "New York");
+}
+
+
+class GeolocateTest : public PopsTest {
+ protected:
+  static const AddressPlan& plan() {
+    static const AddressPlan p(world(), 0xfee1);
+    return p;
+  }
+  static const PingMesh& mesh() {
+    static const PingMesh m(plan(), /*icmp_filter_fraction=*/0.0, 3);
+    return m;
+  }
+};
+
+TEST_F(GeolocateTest, PingRttScalesWithDistance) {
+  Rng rng(1);
+  AsId target = world().tiers.tier1[0];
+  Ipv4Address addr = plan().InternalAddress(target, 1);
+  auto truth_city = plan().CityOf(addr);
+  ASSERT_TRUE(truth_city.has_value());
+
+  VantagePoint local{0, *truth_city};
+  auto local_rtt = mesh().PingMs(local, addr, rng);
+  ASSERT_TRUE(local_rtt.has_value());
+  EXPECT_LT(*local_rtt, 1.0);  // same city: sub-millisecond
+
+  // A far-away VP sees a much larger RTT.
+  auto cities = WorldCities();
+  CityIndex far = 0;
+  double best = 0;
+  for (CityIndex c = 0; c < cities.size(); ++c) {
+    double d = DistanceKm(cities[c].location, cities[*truth_city].location);
+    if (d > best) {
+      best = d;
+      far = c;
+    }
+  }
+  VantagePoint remote{0, far};
+  auto remote_rtt = mesh().PingMs(remote, addr, rng);
+  ASSERT_TRUE(remote_rtt.has_value());
+  EXPECT_GT(*remote_rtt, 50.0);
+}
+
+TEST_F(GeolocateTest, IcmpFilteredTargetsNeverAnswer) {
+  PingMesh filtered(plan(), /*icmp_filter_fraction=*/1.0, 4);
+  Rng rng(2);
+  VantagePoint vp{0, 0};
+  EXPECT_FALSE(filtered.PingMs(vp, plan().InternalAddress(5, 1), rng).has_value());
+}
+
+TEST_F(GeolocateTest, LocatedAnswersAreCorrect) {
+  Geolocator geolocator(world(), plan(), mesh(), nullptr, 7);
+  EXPECT_GT(geolocator.vantage_point_count(), 50u);
+  GeolocationScore score = ScoreGeolocation(world(), plan(), geolocator, 500, 9);
+  EXPECT_EQ(score.attempted, 500u);
+  EXPECT_GT(score.answered, 50u);
+  // The 1 ms RTT gate makes answers essentially always correct.
+  EXPECT_GT(score.Precision(), 0.95);
+  EXPECT_LT(score.Coverage(), 1.0);
+}
+
+TEST_F(GeolocateTest, RdnsHintNarrowsCandidates) {
+  RdnsDatabase rdns_with_plan(world(), deployments(), 99, &plan());
+  Geolocator geolocator(world(), plan(), mesh(), &rdns_with_plan, 7);
+  // Find a border interface of a deployment network that carries a PTR.
+  for (const RdnsEntry& entry : rdns_with_plan.entries()) {
+    auto owner = plan().OperatorOf(entry.addr);
+    if (!owner) continue;
+    auto candidates = geolocator.Candidates(entry.addr, *owner);
+    ASSERT_EQ(candidates.size(), 1u);   // the hint pins a single city
+    EXPECT_EQ(candidates[0], entry.true_city);
+    return;
+  }
+  FAIL() << "no rDNS-covered border interface found";
+}
+
+}  // namespace
+}  // namespace flatnet

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/prefix_trie.h"
+#include "topogen/generate.h"
+#include "util/error.h"
+
+namespace flatnet {
+namespace {
+
+class WorldTest : public ::testing::Test {
+ protected:
+  static const World& world() {
+    static const World w = [] {
+      GeneratorParams params = GeneratorParams::Era2020(2500);
+      return GenerateWorld(params);
+    }();
+    return w;
+  }
+};
+
+TEST_F(WorldTest, IdSpacesAligned) {
+  const World& w = world();
+  ASSERT_EQ(w.full_graph.num_ases(), w.bgp_graph.num_ases());
+  for (AsId id = 0; id < w.num_ases(); ++id) {
+    EXPECT_EQ(w.full_graph.AsnOf(id), w.bgp_graph.AsnOf(id));
+  }
+  EXPECT_EQ(w.metadata.size(), w.num_ases());
+  EXPECT_EQ(w.home_city.size(), w.num_ases());
+  EXPECT_EQ(w.prefixes.size(), w.num_ases());
+}
+
+TEST_F(WorldTest, RequestedSize) { EXPECT_EQ(world().num_ases(), 2500u); }
+
+TEST_F(WorldTest, BgpGraphIsSubsetOfFullGraph) {
+  const World& w = world();
+  EXPECT_LT(w.bgp_graph.num_edges(), w.full_graph.num_edges());
+  for (const AsGraph::Edge& e : w.bgp_graph.EdgeList()) {
+    AsId a = *w.full_graph.IdOf(e.a);
+    AsId b = *w.full_graph.IdOf(e.b);
+    auto rel = w.full_graph.RelationshipBetween(a, b);
+    ASSERT_TRUE(rel.has_value()) << e.a << "-" << e.b;
+    if (e.type == EdgeType::kP2P) {
+      EXPECT_EQ(*rel, Relationship::kPeer);
+    } else {
+      EXPECT_EQ(*rel, Relationship::kCustomer);
+    }
+  }
+}
+
+TEST_F(WorldTest, AllC2pEdgesVisibleInBgp) {
+  // BGP feeds have near-complete c2p coverage (§4.1); the generator keeps
+  // every c2p link visible.
+  const World& w = world();
+  std::size_t full_c2p = 0, bgp_c2p = 0;
+  for (const auto& e : w.full_graph.EdgeList()) full_c2p += e.type == EdgeType::kP2C;
+  for (const auto& e : w.bgp_graph.EdgeList()) bgp_c2p += e.type == EdgeType::kP2C;
+  EXPECT_EQ(full_c2p, bgp_c2p);
+}
+
+TEST_F(WorldTest, Tier1CliqueIsCompleteAndProviderless) {
+  const World& w = world();
+  EXPECT_GE(w.tiers.tier1.size(), 15u);
+  for (AsId a : w.tiers.tier1) {
+    EXPECT_TRUE(w.full_graph.Providers(a).empty())
+        << "Tier-1 " << w.metadata.Get(a).name << " has a provider";
+    for (AsId b : w.tiers.tier1) {
+      if (a == b) continue;
+      EXPECT_EQ(w.full_graph.RelationshipBetween(a, b), Relationship::kPeer);
+    }
+  }
+}
+
+TEST_F(WorldTest, EveryNonCliqueAsHasAProviderOrIsProviderFreeTier2) {
+  const World& w = world();
+  // PCCW and Liberty Global model the paper's provider-free non-Tier-1s;
+  // everything else below the clique must buy transit (connectivity).
+  for (AsId id = 0; id < w.num_ases(); ++id) {
+    if (w.tiers.tier1_mask.Test(id)) continue;
+    const std::string& name = w.metadata.Get(id).name;
+    if (name == "PCCW" || name == "Liberty Global") continue;
+    EXPECT_FALSE(w.full_graph.Providers(id).empty()) << "AS " << name << " is providerless";
+  }
+}
+
+TEST_F(WorldTest, CloudPeerCountsNearArchetypeTargets) {
+  const World& w = world();
+  for (const CloudInstance& cloud : w.clouds) {
+    std::size_t peers = w.full_graph.PeerCount(cloud.id);
+    std::uint32_t target = w.params.Scaled(cloud.archetype.peer_count);
+    EXPECT_GE(peers, static_cast<std::size_t>(target) * 7 / 10)
+        << cloud.archetype.name << " target " << target;
+    EXPECT_LE(peers, static_cast<std::size_t>(target) * 13 / 10 + 30)
+        << cloud.archetype.name << " target " << target;
+  }
+}
+
+TEST_F(WorldTest, CloudBgpVisibilityMatchesArchetype) {
+  const World& w = world();
+  for (const CloudInstance& cloud : w.clouds) {
+    std::size_t truth = w.full_graph.PeerCount(cloud.id);
+    std::size_t visible = w.bgp_graph.PeerCount(cloud.id);
+    EXPECT_LT(visible, truth) << cloud.archetype.name;
+    // Open-policy clouds hide ~90% of their peers from BGP feeds.
+    if (cloud.archetype.name == "Google") {
+      EXPECT_LT(static_cast<double>(visible) / truth, 0.35);
+    }
+    if (cloud.archetype.name == "IBM") {
+      EXPECT_GT(static_cast<double>(visible) / truth, 0.5);
+    }
+  }
+}
+
+TEST_F(WorldTest, GoogleProvidersMatchPaper) {
+  const World& w = world();
+  AsId google = w.Cloud("Google").id;
+  std::set<std::string> providers;
+  for (const Neighbor& nb : w.full_graph.Providers(google)) {
+    providers.insert(w.metadata.Get(nb.id).name);
+  }
+  EXPECT_EQ(providers, (std::set<std::string>{"Tata", "GTT", "Durand do Brasil"}));
+  // Amazon peers with Durand instead of buying from it (Table 2 setup).
+  AsId amazon = w.Cloud("Amazon").id;
+  AsId durand = kInvalidAsId;
+  for (AsId id = 0; id < w.num_ases(); ++id) {
+    if (w.metadata.Get(id).name == "Durand do Brasil") durand = id;
+  }
+  ASSERT_NE(durand, kInvalidAsId);
+  EXPECT_EQ(w.full_graph.RelationshipBetween(amazon, durand), Relationship::kPeer);
+}
+
+TEST_F(WorldTest, PrefixesAreDisjoint) {
+  const World& w = world();
+  PrefixTrie<AsId> trie;
+  for (AsId id = 0; id < w.num_ases(); ++id) {
+    ASSERT_FALSE(w.prefixes[id].empty());
+    for (const Ipv4Prefix& prefix : w.prefixes[id]) {
+      EXPECT_TRUE(trie.Insert(prefix, id)) << "duplicate prefix " << prefix.ToString();
+    }
+  }
+  // No prefix nests inside another AS's prefix.
+  for (AsId id = 0; id < w.num_ases(); ++id) {
+    for (const Ipv4Prefix& prefix : w.prefixes[id]) {
+      auto match = trie.LongestMatch(prefix.AddressAt(0));
+      ASSERT_TRUE(match.has_value());
+      EXPECT_EQ(*match->second, id) << prefix.ToString();
+    }
+  }
+}
+
+TEST_F(WorldTest, UsersConcentrateOnAccessNetworks) {
+  const World& w = world();
+  double access_users = 0, other_users = 0;
+  for (AsId id = 0; id < w.num_ases(); ++id) {
+    const AsInfo& info = w.metadata.Get(id);
+    if (info.type == AsType::kAccess) {
+      access_users += info.users;
+    } else {
+      other_users += info.users;
+    }
+  }
+  EXPECT_GT(access_users, 10 * other_users);
+  EXPECT_GT(w.metadata.TotalUsers(), 0.0);
+}
+
+TEST_F(WorldTest, IxpsHaveMembersAndLans) {
+  const World& w = world();
+  EXPECT_GT(w.ixps.size(), 4u);
+  std::size_t announced = 0;
+  for (const IxpInstance& ixp : w.ixps) {
+    EXPECT_GE(ixp.members.size(), 3u);
+    EXPECT_GE(ixp.lan.length(), 20);
+    announced += ixp.lan_in_bgp;
+  }
+  // A minority of LANs are announced into BGP (the §5 Cymru trap).
+  EXPECT_GT(announced, 0u);
+  EXPECT_LT(announced, w.ixps.size());
+}
+
+TEST_F(WorldTest, CloudPresenceIncludesChinaButTransitDoesNot) {
+  const World& w = world();
+  auto has_city = [&](AsId id, std::string_view iata) {
+    for (CityIndex c : w.presence[id]) {
+      if (WorldCities()[c].iata == iata) return true;
+    }
+    return false;
+  };
+  bool any_cloud_china = false;
+  for (const CloudInstance& cloud : w.clouds) {
+    if (has_city(cloud.id, "PVG") || has_city(cloud.id, "PEK")) any_cloud_china = true;
+  }
+  EXPECT_TRUE(any_cloud_china);
+  for (AsId t1 : w.tiers.tier1) {
+    EXPECT_FALSE(has_city(t1, "PVG")) << w.metadata.Get(t1).name;
+    EXPECT_FALSE(has_city(t1, "PEK")) << w.metadata.Get(t1).name;
+  }
+}
+
+TEST(Generator, DeterministicForFixedSeed) {
+  GeneratorParams params = GeneratorParams::Era2020(800);
+  World a = GenerateWorld(params);
+  World b = GenerateWorld(params);
+  EXPECT_EQ(a.full_graph.num_edges(), b.full_graph.num_edges());
+  EXPECT_EQ(a.bgp_graph.num_edges(), b.bgp_graph.num_edges());
+  auto ea = a.full_graph.EdgeList();
+  auto eb = b.full_graph.EdgeList();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].a, eb[i].a);
+    EXPECT_EQ(ea[i].b, eb[i].b);
+    EXPECT_EQ(ea[i].type, eb[i].type);
+  }
+}
+
+TEST(Generator, SeedChangesTopology) {
+  GeneratorParams params = GeneratorParams::Era2020(800);
+  World a = GenerateWorld(params);
+  params.seed ^= 0xdeadbeef;
+  World b = GenerateWorld(params);
+  EXPECT_NE(a.full_graph.num_edges(), b.full_graph.num_edges());
+}
+
+TEST(Generator, RejectsTinyWorlds) {
+  GeneratorParams params = GeneratorParams::Era2020(100);
+  EXPECT_THROW(GenerateWorld(params), InvalidArgument);
+}
+
+TEST(Generator, Era2015IsSmallerAndLessPeered) {
+  World w2015 = GenerateWorld(GeneratorParams::Era2015(1800));
+  World w2020 = GenerateWorld(GeneratorParams::Era2020(2500));
+  EXPECT_LT(w2015.num_ases(), w2020.num_ases());
+  // Amazon's 2015 footprint is a fraction of its 2020 one (per §6.5).
+  double ratio2015 = static_cast<double>(w2015.full_graph.PeerCount(w2015.Cloud("Amazon").id)) /
+                     w2015.num_ases();
+  double ratio2020 = static_cast<double>(w2020.full_graph.PeerCount(w2020.Cloud("Amazon").id)) /
+                     w2020.num_ases();
+  EXPECT_LT(ratio2015, ratio2020);
+  // Microsoft had no usable VMs in the 2015 dataset.
+  EXPECT_EQ(w2015.Cloud("Microsoft").archetype.vm_locations, 0u);
+}
+
+}  // namespace
+}  // namespace flatnet

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/bitset.h"
+#include "util/env.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace flatnet {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = Split("a||b|", '|');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(Strings, ParseU64Strict) {
+  EXPECT_EQ(ParseU64("123"), 123u);
+  EXPECT_EQ(ParseU64("0"), 0u);
+  EXPECT_FALSE(ParseU64("12a").has_value());
+  EXPECT_FALSE(ParseU64("").has_value());
+  EXPECT_FALSE(ParseU64("-1").has_value());
+  EXPECT_FALSE(ParseU64(" 1").has_value());
+}
+
+TEST(Strings, ParseI64AndDouble) {
+  EXPECT_EQ(ParseI64("-1"), -1);
+  EXPECT_EQ(ParseI64("42"), 42);
+  EXPECT_FALSE(ParseI64("4.2").has_value());
+  EXPECT_DOUBLE_EQ(*ParseDouble("2.5"), 2.5);
+  EXPECT_FALSE(ParseDouble("x").has_value());
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(1000), "1,000");
+  EXPECT_EQ(WithCommas(69488), "69,488");
+  EXPECT_EQ(WithCommas(1234567890), "1,234,567,890");
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f%%", 12.345), "12.35%");
+}
+
+TEST(Strings, StartsEndsJoinLower) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(AsciiLower("AbC"), "abc");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformU64(17), 17u);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    std::int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_THROW(rng.UniformU64(0), InvalidArgument);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(99);
+  std::vector<int> counts(10, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.UniformU64(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / 10, 500);
+  }
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(2);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits, 3000, 200);
+}
+
+TEST(Rng, ZipfHeavyTail) {
+  Rng rng(3);
+  std::size_t ones = 0;
+  for (int i = 0; i < 5000; ++i) {
+    std::uint64_t v = rng.Zipf(1000, 1.5);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 1000u);
+    if (v == 1) ++ones;
+  }
+  // Rank 1 dominates a Zipf(1.5) distribution.
+  EXPECT_GT(ones, 1500u);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(4);
+  auto sample = rng.SampleWithoutReplacement(100, 50);
+  ASSERT_EQ(sample.size(), 50u);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(std::adjacent_find(sample.begin(), sample.end()), sample.end());
+  EXPECT_THROW(rng.SampleWithoutReplacement(3, 4), InvalidArgument);
+}
+
+TEST(Rng, PickWeightedRespectsWeights) {
+  Rng rng(5);
+  std::vector<double> weights{0.0, 9.0, 1.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.PickWeighted(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], counts[2] * 5);
+  EXPECT_THROW(rng.PickWeighted({0.0, 0.0}), InvalidArgument);
+}
+
+TEST(Rng, PowerLawWithinRange) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.PowerLaw(1.0, 100.0, 2.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(Stats, OnlineStatsMatchesClosedForm) {
+  OnlineStats stats;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 1.25);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 10.0);
+}
+
+TEST(Stats, HistogramClampsOutliers) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-5.0);
+  h.Add(15.0);
+  h.Add(5.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(5), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgument);
+}
+
+TEST(Stats, EmpiricalCdf) {
+  EmpiricalCdf cdf({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.At(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.At(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.At(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 4.0);
+  EXPECT_THROW(EmpiricalCdf({}), InvalidArgument);
+}
+
+TEST(Stats, Correlations) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> z{5, 4, 3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+  std::vector<double> constant{1, 1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, constant), 0.0);
+}
+
+TEST(Bitset, BasicOps) {
+  Bitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.Count(), 0u);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Reset(64);
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(Bitset, SetAllRespectsTail) {
+  Bitset b(70, true);
+  EXPECT_EQ(b.Count(), 70u);
+  Bitset inverted = ~b;
+  EXPECT_EQ(inverted.Count(), 0u);
+}
+
+TEST(Bitset, Algebra) {
+  Bitset a(100), b(100);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  Bitset u = a;
+  u |= b;
+  EXPECT_EQ(u.Count(), 3u);
+  Bitset i = a;
+  i &= b;
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Test(2));
+  Bitset d = a;
+  d -= b;
+  EXPECT_EQ(d.Count(), 1u);
+  EXPECT_TRUE(d.Test(1));
+  EXPECT_TRUE(i.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_EQ(a.CountAnd(b), 1u);
+  Bitset other(50);
+  EXPECT_THROW(a |= other, InvalidArgument);
+}
+
+TEST(Bitset, ForEachSetAscending) {
+  Bitset b(200);
+  std::vector<std::size_t> expected{3, 70, 64, 199};
+  for (auto i : expected) b.Set(i);
+  std::sort(expected.begin(), expected.end());
+  std::vector<std::size_t> seen;
+  b.ForEachSet([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable table;
+  table.AddColumn("name");
+  table.AddColumn("count", TextTable::Align::kRight);
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "1000"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1000"), std::string::npos);
+  // Every line has equal width.
+  auto lines = Split(out, '\n');
+  std::size_t width = lines[0].size();
+  for (auto line : lines) {
+    if (!line.empty()) EXPECT_EQ(line.size(), width);
+  }
+  EXPECT_THROW(table.AddRow({"too", "many", "cells"}), InvalidArgument);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, InlineWhenSingleThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  int sum = 0;
+  pool.ParallelFor(0, 10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(Env, ScaledCountsHaveFloor) {
+  EXPECT_GE(ScaledCount(10, 5), 5u);
+  EXPECT_GE(ScaledTrials(1, 1), 1u);
+}
+
+class RngSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedTest, ForkIndependence) {
+  Rng parent(GetParam());
+  Rng child = parent.Fork();
+  // Child stream should not mirror the parent stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextU64() == child.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedTest, ::testing::Values(1, 2, 42, 1337, 99999));
+
+}  // namespace
+}  // namespace flatnet

@@ -1,0 +1,84 @@
+// flatnet_gen: generate a synthetic Internet and write it out as a
+// CAIDA-format AS-relationship file plus metadata sidecar (loadable by
+// flatnet_reach / flatnet_leaksim / LoadInternet, and by any external tool
+// that speaks the CAIDA serial-1 format).
+//
+// Usage: flatnet_gen [--era 2015|2020] [--ases N] [--seed S]
+//                    [--truth] <output-stem>
+//   --truth  exports the ground-truth topology instead of the measured
+//            (BGP + inferred cloud neighbors) analysis topology.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/serialize.h"
+#include "core/study.h"
+#include "util/strings.h"
+
+using namespace flatnet;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: flatnet_gen [--era 2015|2020] [--ases N] [--seed S] [--truth] "
+               "<output-stem>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string era = "2020";
+  std::uint32_t ases = 0;
+  std::uint64_t seed = 0;
+  bool use_truth = false;
+  std::string stem;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--era") {
+      const char* v = next();
+      if (!v || (std::strcmp(v, "2015") != 0 && std::strcmp(v, "2020") != 0)) return Usage();
+      era = v;
+    } else if (arg == "--ases") {
+      const char* v = next();
+      auto parsed = v ? ParseU64(v) : std::nullopt;
+      if (!parsed) return Usage();
+      ases = static_cast<std::uint32_t>(*parsed);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      auto parsed = v ? ParseU64(v) : std::nullopt;
+      if (!parsed) return Usage();
+      seed = *parsed;
+    } else if (arg == "--truth") {
+      use_truth = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      stem = arg;
+    }
+  }
+  if (stem.empty()) return Usage();
+
+  StudyOptions options;
+  options.generator =
+      era == "2015" ? GeneratorParams::Era2015(ases) : GeneratorParams::Era2020(ases);
+  if (seed != 0) options.generator.seed = seed;
+  options.campaign.seed = options.generator.seed ^ 0xca3;
+
+  std::fprintf(stderr, "generating %s-era Internet (%u ASes, seed %llu)...\n", era.c_str(),
+               options.generator.total_ases,
+               static_cast<unsigned long long>(options.generator.seed));
+  Study study(options);
+  const Internet& internet = use_truth ? study.truth() : study.internet();
+  SaveInternet(internet, stem);
+  std::printf("wrote %s.as-rel.txt (%zu ASes, %zu edges) and %s.meta.tsv [%s topology]\n",
+              stem.c_str(), internet.num_ases(), internet.graph().num_edges(), stem.c_str(),
+              use_truth ? "ground-truth" : "measured");
+  return 0;
+}
