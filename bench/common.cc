@@ -1,10 +1,16 @@
 #include "common.h"
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 
 #include "core/serialize.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/env.h"
 #include "util/stopwatch.h"
@@ -16,17 +22,43 @@ namespace {
 int g_failures = 0;
 int g_checks = 0;
 
+bool EnvFlag(const char* name) {
+  auto value = GetEnv(name);
+  if (!value) return false;
+  std::string v = AsciiLower(*value);
+  return v == "1" || v == "true" || v == "on" || v == "yes";
+}
+
 std::string CacheStem(const char* era, std::uint32_t total_ases) {
   std::filesystem::create_directories("flatnet_cache");
   return StrFormat("flatnet_cache/%s-n%u", era, total_ases);
 }
 
+// Size and age of the cache's relationship file, for provenance logs.
+void DescribeCacheFile(const std::string& path, std::uintmax_t* size, double* age_seconds) {
+  std::error_code ec;
+  *size = std::filesystem::file_size(path, ec);
+  if (ec) *size = 0;
+  auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) {
+    *age_seconds = 0.0;
+    return;
+  }
+  *age_seconds =
+      std::chrono::duration<double>(std::filesystem::file_time_type::clock::now() - mtime)
+          .count();
+  if (*age_seconds < 0.0) *age_seconds = 0.0;
+}
+
 std::unique_ptr<Study> BuildStudy(bool era2020) {
+  obs::TraceSpan span("bench.build_study");
   StudyOptions options;
   options.generator = era2020 ? GeneratorParams::Era2020() : GeneratorParams::Era2015();
   options.campaign.seed = options.generator.seed ^ 0xca3;
   Stopwatch sw;
   auto study = std::make_unique<Study>(options);
+  obs::GetHistogram("bench.build_seconds", {1.0, 5.0, 15.0, 60.0, 300.0})
+      .Observe(sw.ElapsedSeconds());
   std::fprintf(stderr, "[bench] built %s study: %zu ASes, %zu traces, %.1fs\n",
                era2020 ? "2020" : "2015", study->world().num_ases(),
                study->campaign().traces().size(), sw.ElapsedSeconds());
@@ -39,20 +71,60 @@ const Internet& CachedInternet(bool era2020) {
   auto& slot = era2020 ? cached2020 : cached2015;
   if (slot) return *slot;
 
+  const char* era = era2020 ? "era2020" : "era2015";
   GeneratorParams params = era2020 ? GeneratorParams::Era2020() : GeneratorParams::Era2015();
-  std::string stem = CacheStem(era2020 ? "era2020" : "era2015", params.total_ases);
+  std::string stem = CacheStem(era, params.total_ases);
+  std::string rel_file = stem + ".as-rel.txt";
   if (InternetCacheExists(stem)) {
     Stopwatch sw;
-    slot = std::make_unique<Internet>(LoadInternet(stem));
-    std::fprintf(stderr, "[bench] loaded %s from cache (%s) in %.1fs\n",
-                 era2020 ? "2020" : "2015", stem.c_str(), sw.ElapsedSeconds());
-    return *slot;
+    std::uintmax_t size = 0;
+    double age_seconds = 0.0;
+    DescribeCacheFile(rel_file, &size, &age_seconds);
+    try {
+      auto loaded = std::make_unique<Internet>(LoadInternet(stem));
+      // A truncated file can still parse as a smaller-but-valid topology;
+      // the stem encodes the expected AS count, so verify it round-trips.
+      if (loaded->num_ases() != params.total_ases) {
+        throw Error(StrFormat("cache %s: expected %u ASes, loaded %zu", stem.c_str(),
+                              params.total_ases, loaded->num_ases()));
+      }
+      slot = std::move(loaded);
+      obs::GetCounter("cache.hit").Increment();
+      obs::Log(obs::LogLevel::kInfo, "bench", "cache.load")
+          .Kv("key", stem)
+          .Kv("file", rel_file)
+          .Kv("bytes", static_cast<std::uint64_t>(size))
+          .Kv("age_s", age_seconds)
+          .Kv("result", "hit")
+          .Kv("load_s", sw.ElapsedSeconds());
+      return *slot;
+    } catch (const Error& e) {
+      // A corrupt or truncated cache entry is not fatal: drop it and
+      // rebuild from the generator.
+      obs::GetCounter("cache.corrupt").Increment();
+      obs::Log(obs::LogLevel::kWarn, "bench", "cache.corrupt")
+          .Kv("key", stem)
+          .Kv("file", rel_file)
+          .Kv("bytes", static_cast<std::uint64_t>(size))
+          .Kv("error", e.what());
+    }
+  } else {
+    obs::Log(obs::LogLevel::kInfo, "bench", "cache.load")
+        .Kv("key", stem)
+        .Kv("file", rel_file)
+        .Kv("result", "miss");
   }
+  obs::GetCounter("cache.miss").Increment();
   auto study = BuildStudy(era2020);
   slot = std::make_unique<Internet>(study->internet());
   SaveInternet(*slot, stem);
-  std::fprintf(stderr, "[bench] cached %s topology at %s\n", era2020 ? "2020" : "2015",
-               stem.c_str());
+  std::uintmax_t size = 0;
+  double age_seconds = 0.0;
+  DescribeCacheFile(rel_file, &size, &age_seconds);
+  obs::Log(obs::LogLevel::kInfo, "bench", "cache.store")
+      .Kv("key", stem)
+      .Kv("file", rel_file)
+      .Kv("bytes", static_cast<std::uint64_t>(size));
   return *slot;
 }
 
@@ -94,7 +166,10 @@ void PrintHeader(const std::string& title, const std::string& paper_ref) {
 
 bool Expect(bool ok, const std::string& claim) {
   ++g_checks;
-  if (!ok) ++g_failures;
+  if (!ok) {
+    ++g_failures;
+    obs::Log(obs::LogLevel::kWarn, "bench", "expect.fail").Kv("claim", claim);
+  }
   std::printf("EXPECT [%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
   return ok;
 }
@@ -104,6 +179,21 @@ int ExpectFailures() { return g_failures; }
 void PrintSummary() {
   std::printf("----------------------------------------------------------------\n");
   std::printf("expectations: %d checked, %d failed\n", g_checks, g_failures);
+
+  if (auto path = GetEnv("FLATNET_METRICS_OUT")) {
+    obs::WriteMetricsFile(*path);
+    std::fprintf(stderr, "[bench] wrote metrics to %s\n", path->c_str());
+  }
+  if (obs::LogEnabled(obs::LogLevel::kDebug)) {
+    std::fprintf(stderr, "[bench] trace span summary:\n");
+    obs::SpanSummaryTable().Print(stderr);
+  }
+  if (g_failures > 0 && EnvFlag("FLATNET_EXPECT_STRICT")) {
+    std::fprintf(stderr, "[bench] FLATNET_EXPECT_STRICT: %d EXPECT failure(s), exiting 1\n",
+                 g_failures);
+    std::fflush(stdout);
+    std::exit(1);
+  }
 }
 
 std::string NameOf(const Internet& internet, AsId id) {

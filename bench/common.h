@@ -35,12 +35,17 @@ void PrintHeader(const std::string& title, const std::string& paper_ref);
 // Prints "EXPECT [PASS|FAIL] <claim>" and records the outcome; returns ok.
 bool Expect(bool ok, const std::string& claim);
 
-// Number of EXPECT failures so far (bench exit code stays 0 — an absolute
-// mismatch against the paper is a reportable result, not a crash — but the
-// summary line makes failures visible).
+// Number of EXPECT failures so far (by default the bench exit code stays
+// 0 — an absolute mismatch against the paper is a reportable result, not a
+// crash — but the summary line makes failures visible; set
+// FLATNET_EXPECT_STRICT=1 to make PrintSummary exit nonzero instead, for
+// CI gating).
 int ExpectFailures();
 
-// Prints the closing summary line.
+// Prints the closing summary line. When FLATNET_METRICS_OUT is set, also
+// writes the obs metrics snapshot (counters, histograms, trace spans)
+// there as JSON. Under FLATNET_EXPECT_STRICT=1 the process exits with
+// status 1 if any EXPECT failed.
 void PrintSummary();
 
 // Display name for an AS (archetype name, or "AS<asn>").

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace flatnet {
@@ -107,6 +108,8 @@ void EventBgpEngine::AnnounceFrom(AsId node) {
 }
 
 void EventBgpEngine::Reselect(AsId node) {
+  static obs::Counter& reselects = obs::GetCounter("event_engine.reselects");
+  reselects.Increment();
   std::optional<RibRoute> previous = best_[node];
   AsId previous_via = best_via_[node];
   if (node == origin_) return;  // the origin always prefers its own prefix
@@ -137,10 +140,12 @@ void EventBgpEngine::Reselect(AsId node) {
 }
 
 void EventBgpEngine::Process() {
+  std::uint64_t processed = 0;
   while (!queue_.empty()) {
     Message message = std::move(queue_.front());
     queue_.pop_front();
     ++messages_;
+    ++processed;
     AsId node = message.receiver;
     if (LinkDown(message.sender, node)) continue;  // lost on the wire
     if (message.route) {
@@ -156,6 +161,8 @@ void EventBgpEngine::Process() {
     }
     Reselect(node);
   }
+  static obs::Counter& messages = obs::GetCounter("event_engine.messages");
+  messages.Increment(processed);
 }
 
 std::size_t EventBgpEngine::ReachedCount() const {

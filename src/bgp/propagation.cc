@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace flatnet {
@@ -11,6 +13,21 @@ const char* kClassNames[] = {"origin", "customer", "peer", "provider", "none"};
 
 bool SourceAllows(const AnnouncementSource& source, AsId neighbor) {
   return !source.allowed_neighbors || source.allowed_neighbors->Test(neighbor);
+}
+
+// Registered once; the per-phase loops accumulate into locals and flush
+// with a single relaxed increment per phase, so sweeps that run thousands
+// of computations across the thread pool never contend on these lines.
+struct PropagationCounters {
+  obs::Counter& runs = obs::GetCounter("propagation.runs");
+  obs::Counter& customer_relax = obs::GetCounter("propagation.customer.relax_ops");
+  obs::Counter& peer_scan = obs::GetCounter("propagation.peer.scan_ops");
+  obs::Counter& provider_relax = obs::GetCounter("propagation.provider.relax_ops");
+};
+
+PropagationCounters& Counters() {
+  static PropagationCounters counters;
+  return counters;
 }
 
 }  // namespace
@@ -42,6 +59,8 @@ RouteComputation::RouteComputation(const AsGraph& graph,
     entries_[s.node].source_mask = static_cast<std::uint8_t>(1u << i);
   }
 
+  obs::TraceSpan span("bgp.propagation");
+  Counters().runs.Increment();
   RunCustomerPhase(sources, options);
   RunPeerPhase(sources, options);
   RunProviderPhase(sources, options);
@@ -84,10 +103,13 @@ bool RouteComputation::Filtered(AsId receiver, AsId sender,
 
 void RouteComputation::RunCustomerPhase(const std::vector<AnnouncementSource>& sources,
                                         const PropagationOptions& options) {
+  obs::TraceSpan span("bgp.propagation.customer_phase");
+  std::uint64_t relax_ops = 0;
   // dist/preds/mask live directly in entries_/preds_ : a node reached here
   // has customer class, the best possible for a non-origin.
   buckets_.clear();
   auto relax = [&](AsId node, PathLength len, AsId pred, std::uint8_t mask) {
+    ++relax_ops;
     if (is_source_.Test(node)) return;
     RouteEntry& e = entries_[node];
     if (e.cls == RouteClass::kCustomer && e.length == len) {
@@ -127,10 +149,13 @@ void RouteComputation::RunCustomerPhase(const std::vector<AnnouncementSource>& s
       }
     }
   }
+  Counters().customer_relax.Increment(relax_ops);
 }
 
 void RouteComputation::RunPeerPhase(const std::vector<AnnouncementSource>& sources,
                                     const PropagationOptions& options) {
+  obs::TraceSpan span("bgp.propagation.peer_phase");
+  std::uint64_t scan_ops = 0;
   std::size_t n = graph_->num_ases();
   for (AsId node = 0; node < n; ++node) {
     if (entries_[node].HasRoute()) continue;  // customer route or source
@@ -139,6 +164,7 @@ void RouteComputation::RunPeerPhase(const std::vector<AnnouncementSource>& sourc
     std::vector<AsId> best_preds;
     std::uint8_t mask = 0;
     for (const Neighbor& nb : graph_->Peers(node)) {
+      ++scan_ops;
       PathLength candidate = kInfLength;
       std::uint8_t nb_mask = 0;
       if (is_source_.Test(nb.id)) {
@@ -173,10 +199,13 @@ void RouteComputation::RunPeerPhase(const std::vector<AnnouncementSource>& sourc
       preds_[node] = std::move(best_preds);
     }
   }
+  Counters().peer_scan.Increment(scan_ops);
 }
 
 void RouteComputation::RunProviderPhase(const std::vector<AnnouncementSource>& sources,
                                         const PropagationOptions& options) {
+  obs::TraceSpan span("bgp.propagation.provider_phase");
+  std::uint64_t relax_ops = 0;
   std::size_t n = graph_->num_ases();
   // Provider-phase distances are tracked separately: entries_ still holds
   // the (preferred) customer/peer routes, which must not be overwritten.
@@ -185,6 +214,7 @@ void RouteComputation::RunProviderPhase(const std::vector<AnnouncementSource>& s
   buckets_.clear();
 
   auto relax = [&](AsId node, PathLength len, AsId pred, std::uint8_t m) {
+    ++relax_ops;
     // Nodes that already selected a better class never adopt provider routes.
     if (is_source_.Test(node) || entries_[node].HasRoute()) return;
     if (dist[node] == len) {
@@ -240,6 +270,7 @@ void RouteComputation::RunProviderPhase(const std::vector<AnnouncementSource>& s
       entries_[node].source_mask = mask[node];
     }
   }
+  Counters().provider_relax.Increment(relax_ops);
 }
 
 Bitset RouteComputation::ReachedSet() const {

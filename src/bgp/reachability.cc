@@ -1,8 +1,24 @@
 #include "bgp/reachability.h"
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace flatnet {
+namespace {
+
+// Compute() runs tens of thousands of times per sweep; instrumentation is
+// two relaxed increments per call, flushed after the BFS finishes.
+struct ReachabilityCounters {
+  obs::Counter& computes = obs::GetCounter("reachability.computes");
+  obs::Counter& nodes_reached = obs::GetCounter("reachability.nodes_reached");
+};
+
+ReachabilityCounters& Counters() {
+  static ReachabilityCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 ReachabilityEngine::ReachabilityEngine(const AsGraph& graph)
     : graph_(graph),
@@ -43,13 +59,15 @@ Bitset ReachabilityEngine::Compute(AsId origin, const Bitset* excluded) {
   for (std::size_t head = 0; head < up_count; ++head) {
     AsId node = queue_[head];
     for (const Neighbor& nb : graph_.Peers(node)) {
-      if (blocked(nb.id) || up_epoch_[nb.id] == epoch_ || down_epoch_[nb.id] == epoch_) continue;
+      if (blocked(nb.id) || up_epoch_[nb.id] == epoch_ || down_epoch_[nb.id] == epoch_)
+        continue;
       down_epoch_[nb.id] = epoch_;
       reached.Set(nb.id);
       queue_.push_back(nb.id);
     }
     for (const Neighbor& nb : graph_.Customers(node)) {
-      if (blocked(nb.id) || up_epoch_[nb.id] == epoch_ || down_epoch_[nb.id] == epoch_) continue;
+      if (blocked(nb.id) || up_epoch_[nb.id] == epoch_ || down_epoch_[nb.id] == epoch_)
+        continue;
       down_epoch_[nb.id] = epoch_;
       reached.Set(nb.id);
       queue_.push_back(nb.id);
@@ -58,12 +76,15 @@ Bitset ReachabilityEngine::Compute(AsId origin, const Bitset* excluded) {
   for (std::size_t head = up_count; head < queue_.size(); ++head) {
     AsId node = queue_[head];
     for (const Neighbor& nb : graph_.Customers(node)) {
-      if (blocked(nb.id) || up_epoch_[nb.id] == epoch_ || down_epoch_[nb.id] == epoch_) continue;
+      if (blocked(nb.id) || up_epoch_[nb.id] == epoch_ || down_epoch_[nb.id] == epoch_)
+        continue;
       down_epoch_[nb.id] = epoch_;
       reached.Set(nb.id);
       queue_.push_back(nb.id);
     }
   }
+  Counters().computes.Increment();
+  Counters().nodes_reached.Increment(queue_.size());
   return reached;
 }
 

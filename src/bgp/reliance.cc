@@ -1,5 +1,7 @@
 #include "bgp/reliance.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace flatnet {
@@ -8,6 +10,9 @@ RelianceResult ComputeReliance(const RouteComputation& computation) {
   if (computation.num_sources() != 1) {
     throw InvalidArgument("ComputeReliance: requires a single-origin computation");
   }
+  obs::TraceSpan span("bgp.reliance");
+  static obs::Counter& computes = obs::GetCounter("reliance.computes");
+  computes.Increment();
   std::size_t n = computation.graph().num_ases();
   const std::vector<AsId>& order = computation.NodesByLength();
 

@@ -1,0 +1,169 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "util/env.h"
+#include "util/strings.h"
+
+namespace flatnet::obs {
+namespace {
+
+constexpr int kLevelCount = 6;
+const char* kLevelNames[kLevelCount] = {"trace", "debug", "info", "warn", "error", "off"};
+const char* kLevelTags[kLevelCount] = {"T", "D", "I", "W", "E", "-"};
+
+LogLevel EnvLogLevel() {
+  static const LogLevel level = [] {
+    auto env = GetEnv("FLATNET_LOG");
+    if (!env) return LogLevel::kInfo;
+    if (auto parsed = ParseLogLevel(*env)) return *parsed;
+    std::fprintf(stderr, "[flatnet] ignoring unrecognized FLATNET_LOG=%s\n", env->c_str());
+    return LogLevel::kInfo;
+  }();
+  return level;
+}
+
+// -1 == no programmatic override.
+std::atomic<int> g_level_override{-1};
+
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& TestSink() {
+  static LogSink sink;
+  return sink;
+}
+
+std::FILE* LogFile() {
+  static std::FILE* file = []() -> std::FILE* {
+    auto path = GetEnv("FLATNET_LOG_FILE");
+    if (!path) return nullptr;
+    std::FILE* f = std::fopen(path->c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[flatnet] cannot open FLATNET_LOG_FILE=%s\n", path->c_str());
+    }
+    return f;
+  }();
+  return file;
+}
+
+double UptimeSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool NeedsQuoting(std::string_view value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (c == ' ' || c == '"' || c == '\\' || c == '=' || c == '\n' || c == '\t') return true;
+  }
+  return false;
+}
+
+void AppendValue(std::string& out, std::string_view value) {
+  if (!NeedsQuoting(value)) {
+    out.append(value);
+    return;
+  }
+  out.push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\n': out.append("\\n"); break;
+      case '\t': out.append("\\t"); break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+const char* ToString(LogLevel level) {
+  auto index = static_cast<int>(level);
+  if (index < 0 || index >= kLevelCount) return "?";
+  return kLevelNames[index];
+}
+
+std::optional<LogLevel> ParseLogLevel(std::string_view text) {
+  std::string lower = AsciiLower(text);
+  for (int i = 0; i < kLevelCount; ++i) {
+    if (lower == kLevelNames[i]) return static_cast<LogLevel>(i);
+  }
+  if (lower == "warning") return LogLevel::kWarn;
+  if (lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+LogLevel GetLogLevel() {
+  int override = g_level_override.load(std::memory_order_relaxed);
+  if (override >= 0) return static_cast<LogLevel>(override);
+  return EnvLogLevel();
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level_override.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void SetLogSinkForTest(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  TestSink() = std::move(sink);
+}
+
+LogLine::LogLine(LogLevel level, std::string_view component, std::string_view event)
+    : enabled_(LogEnabled(level) && level < LogLevel::kOff), level_(level) {
+  if (!enabled_) return;
+  line_ = StrFormat("[%10.3f] %s ", UptimeSeconds(),
+                    kLevelTags[static_cast<int>(level)]);
+  line_.append(component);
+  line_.push_back(' ');
+  line_.append(event);
+}
+
+LogLine& LogLine::Kv(std::string_view key, std::string_view value) {
+  if (!enabled_) return *this;
+  line_.push_back(' ');
+  line_.append(key);
+  line_.push_back('=');
+  AppendValue(line_, value);
+  return *this;
+}
+
+LogLine& LogLine::Kv(std::string_view key, double value) {
+  if (!enabled_) return *this;
+  return Kv(key, std::string_view(StrFormat("%.6g", value)));
+}
+
+LogLine& LogLine::Kv(std::string_view key, std::uint64_t value) {
+  if (!enabled_) return *this;
+  return Kv(key, std::string_view(StrFormat("%llu", static_cast<unsigned long long>(value))));
+}
+
+LogLine& LogLine::Kv(std::string_view key, std::int64_t value) {
+  if (!enabled_) return *this;
+  return Kv(key, std::string_view(StrFormat("%lld", static_cast<long long>(value))));
+}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (TestSink()) {
+    TestSink()(level_, line_);
+    return;
+  }
+  line_.push_back('\n');
+  std::fwrite(line_.data(), 1, line_.size(), stderr);
+  if (std::FILE* file = LogFile()) {
+    std::fwrite(line_.data(), 1, line_.size(), file);
+    std::fflush(file);
+  }
+}
+
+}  // namespace flatnet::obs

@@ -1,0 +1,90 @@
+// Leveled, structured key=value logging.
+//
+// Log lines carry a component, an event name, and typed key=value pairs:
+//
+//   obs::Log(obs::LogLevel::kInfo, "bench", "cache.load")
+//       .Kv("key", stem).Kv("result", "hit").Kv("bytes", size);
+//
+// renders as
+//
+//   [12.034] I bench cache.load key=era2020-n12600 result=hit bytes=48213
+//
+// The threshold is read once from FLATNET_LOG (trace|debug|info|warn|error|
+// off; default info — the same first-call-wins pattern as FLATNET_SCALE in
+// util/env.h) and can be overridden programmatically (tools expose a
+// --log-level flag). Lines below the threshold cost one branch. Sinks are
+// thread-safe: stderr always, plus an optional append-mode file named by
+// FLATNET_LOG_FILE.
+#ifndef FLATNET_OBS_LOG_H_
+#define FLATNET_OBS_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace flatnet::obs {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* ToString(LogLevel level);
+
+// Accepts the names above plus "warning" and "none"; case-insensitive.
+std::optional<LogLevel> ParseLogLevel(std::string_view text);
+
+// Current threshold: programmatic override if set, else FLATNET_LOG, else
+// info.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+inline bool LogEnabled(LogLevel level) { return level >= GetLogLevel(); }
+
+// Replaces the stderr/file sinks with `sink` (tests capture lines this
+// way); pass nullptr to restore the defaults.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+void SetLogSinkForTest(LogSink sink);
+
+// One structured log line, emitted on destruction. When the level is below
+// the threshold, construction records nothing and Kv() is a no-op.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component, std::string_view event);
+  ~LogLine();
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  LogLine& Kv(std::string_view key, std::string_view value);
+  LogLine& Kv(std::string_view key, const char* value) {
+    return Kv(key, std::string_view(value));
+  }
+  LogLine& Kv(std::string_view key, const std::string& value) {
+    return Kv(key, std::string_view(value));
+  }
+  LogLine& Kv(std::string_view key, bool value) {
+    return Kv(key, value ? std::string_view("true") : std::string_view("false"));
+  }
+  LogLine& Kv(std::string_view key, double value);
+  LogLine& Kv(std::string_view key, std::uint64_t value);
+  LogLine& Kv(std::string_view key, std::int64_t value);
+  LogLine& Kv(std::string_view key, int value) {
+    return Kv(key, static_cast<std::int64_t>(value));
+  }
+  LogLine& Kv(std::string_view key, unsigned value) {
+    return Kv(key, static_cast<std::uint64_t>(value));
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::string line_;
+};
+
+inline LogLine Log(LogLevel level, std::string_view component, std::string_view event) {
+  return LogLine(level, component, event);
+}
+
+}  // namespace flatnet::obs
+
+#endif  // FLATNET_OBS_LOG_H_

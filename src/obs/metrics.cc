@@ -1,0 +1,232 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/log.h"
+#include "obs/trace.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace flatnet::obs {
+
+void Gauge::SetMax(std::int64_t v) {
+  std::int64_t current = value_.load(std::memory_order_relaxed);
+  while (v > current &&
+         !value_.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::Observe(double v) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + v, std::memory_order_relaxed)) {
+  }
+}
+
+// std::map keeps snapshot key order deterministic, matching util/json.h.
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* instance = new Impl;  // leaked: metrics outlive static dtors
+  return *instance;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.counters.find(name);
+  if (it != state.counters.end()) return *it->second;
+  if (state.gauges.count(name) || state.histograms.count(name)) {
+    throw InvalidArgument("GetCounter: '" + name + "' registered as another kind");
+  }
+  auto& slot = state.counters[name];
+  slot.reset(new Counter(name));
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.gauges.find(name);
+  if (it != state.gauges.end()) return *it->second;
+  if (state.counters.count(name) || state.histograms.count(name)) {
+    throw InvalidArgument("GetGauge: '" + name + "' registered as another kind");
+  }
+  auto& slot = state.gauges[name];
+  slot.reset(new Gauge(name));
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name, std::vector<double> bounds) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.histograms.find(name);
+  if (it != state.histograms.end()) return *it->second;
+  if (state.counters.count(name) || state.gauges.count(name)) {
+    throw InvalidArgument("GetHistogram: '" + name + "' registered as another kind");
+  }
+  if (bounds.empty() || !std::is_sorted(bounds.begin(), bounds.end()) ||
+      std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end()) {
+    throw InvalidArgument("GetHistogram: bounds must be ascending and unique");
+  }
+  auto& slot = state.histograms[name];
+  slot.reset(new Histogram(name, std::move(bounds)));
+  return *slot;
+}
+
+Json MetricsRegistry::Snapshot() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  Json counters = Json::MakeObject();
+  for (const auto& [name, counter] : state.counters) {
+    counters[name] = Json(counter->value());
+  }
+  Json gauges = Json::MakeObject();
+  for (const auto& [name, gauge] : state.gauges) {
+    gauges[name] = Json(gauge->value());
+  }
+  Json histograms = Json::MakeObject();
+  for (const auto& [name, histogram] : state.histograms) {
+    Json bounds = Json::MakeArray();
+    for (double b : histogram->bounds()) bounds.Append(Json(b));
+    Json buckets = Json::MakeArray();
+    for (std::size_t i = 0; i <= histogram->bounds().size(); ++i) {
+      buckets.Append(Json(histogram->bucket_count(i)));
+    }
+    Json entry = Json::MakeObject();
+    entry["bounds"] = std::move(bounds);
+    entry["counts"] = std::move(buckets);
+    entry["count"] = Json(histogram->count());
+    entry["sum"] = Json(histogram->sum());
+    histograms[name] = std::move(entry);
+  }
+  Json snapshot = Json::MakeObject();
+  snapshot["counters"] = std::move(counters);
+  snapshot["gauges"] = std::move(gauges);
+  snapshot["histograms"] = std::move(histograms);
+  return snapshot;
+}
+
+void MetricsRegistry::ResetForTest() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto& [name, counter] : state.counters) {
+    counter->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, gauge] : state.gauges) {
+    gauge->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, histogram] : state.histograms) {
+    for (auto& bucket : histogram->buckets_) bucket.store(0, std::memory_order_relaxed);
+    histogram->count_.store(0, std::memory_order_relaxed);
+    histogram->sum_.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+Counter& GetCounter(const std::string& name) {
+  return MetricsRegistry::Default().GetCounter(name);
+}
+
+Gauge& GetGauge(const std::string& name) {
+  return MetricsRegistry::Default().GetGauge(name);
+}
+
+Histogram& GetHistogram(const std::string& name, std::vector<double> bounds) {
+  return MetricsRegistry::Default().GetHistogram(name, std::move(bounds));
+}
+
+void RegisterCoreMetrics() {
+  for (const char* name : {
+           "propagation.runs",
+           "propagation.customer.relax_ops",
+           "propagation.peer.scan_ops",
+           "propagation.provider.relax_ops",
+           "reachability.computes",
+           "reachability.nodes_reached",
+           "reliance.computes",
+           "event_engine.messages",
+           "event_engine.reselects",
+           "cache.hit",
+           "cache.miss",
+           "cache.corrupt",
+           "thread_pool.tasks_submitted",
+           "thread_pool.tasks_executed",
+       }) {
+    GetCounter(name);
+  }
+  for (const char* name : {
+           "thread_pool.queue_depth",
+           "thread_pool.peak_queue_depth",
+           "thread_pool.threads",
+       }) {
+    GetGauge(name);
+  }
+  GetHistogram("bench.build_seconds", {1.0, 5.0, 15.0, 60.0, 300.0});
+  for (const char* name : {
+           "bgp.propagation",
+           "bgp.propagation.customer_phase",
+           "bgp.propagation.peer_phase",
+           "bgp.propagation.provider_phase",
+           "bgp.reliance",
+           "bench.build_study",
+           "topogen.generate",
+       }) {
+    PreRegisterSpan(name);
+  }
+}
+
+Json ObservabilitySnapshot() {
+  RegisterCoreMetrics();
+
+  // Fold the process-wide thread-pool stats (util-level atomics; util
+  // cannot depend on obs) into the registry before snapshotting.
+  ThreadPoolStats stats = GlobalThreadPoolStats();
+  GetGauge("thread_pool.queue_depth").Set(stats.queue_depth);
+  GetGauge("thread_pool.peak_queue_depth").Set(stats.peak_queue_depth);
+  GetGauge("thread_pool.threads").Set(stats.threads);
+  Counter& submitted = GetCounter("thread_pool.tasks_submitted");
+  if (stats.tasks_submitted > submitted.value()) {
+    submitted.Increment(stats.tasks_submitted - submitted.value());
+  }
+  Counter& executed = GetCounter("thread_pool.tasks_executed");
+  if (stats.tasks_executed > executed.value()) {
+    executed.Increment(stats.tasks_executed - executed.value());
+  }
+
+  Json snapshot = MetricsRegistry::Default().Snapshot();
+  snapshot["spans"] = SnapshotSpans();
+  return snapshot;
+}
+
+bool WriteMetricsFile(const std::string& path) {
+  std::ofstream out(path);
+  if (out) out << ObservabilitySnapshot().Dump(2) << '\n';
+  if (!out) {
+    Log(LogLevel::kWarn, "obs", "metrics.write_failed").Kv("path", path);
+    return false;
+  }
+  Log(LogLevel::kDebug, "obs", "metrics.written").Kv("path", path);
+  return true;
+}
+
+}  // namespace flatnet::obs

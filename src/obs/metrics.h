@@ -1,0 +1,127 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms.
+//
+// Registration (GetCounter / GetGauge / GetHistogram) takes a mutex once;
+// callers keep the returned reference, and every hot-path update is a
+// single relaxed atomic operation — safe from any thread, including the
+// ThreadPool workers. Metric objects live for the process lifetime.
+//
+// Naming convention: dot-separated lowercase path, subsystem first —
+// "propagation.customer.relax_ops", "cache.hit", "thread_pool.queue_depth".
+//
+// Snapshot() renders everything (plus trace-span aggregates and the
+// thread-pool stats from util/thread_pool.h) as a util/json.h value;
+// WriteMetricsFile dumps it to disk. Tools expose this via --metrics-out,
+// and the bench harness via FLATNET_METRICS_OUT.
+#ifndef FLATNET_OBS_METRICS_H_
+#define FLATNET_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace flatnet::obs {
+
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  // Raises the gauge to `v` if above the current value (lock-free CAS).
+  void SetMax(std::int64_t v);
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Fixed upper-bound buckets plus an implicit overflow bucket: a sample v
+// lands in the first bucket with v <= bounds[i], or in the overflow bucket
+// when v exceeds every bound. Tracks total count and sum as well.
+class Histogram {
+ public:
+  void Observe(double v);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // i in [0, bounds().size()]; the last index is the overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds);
+  std::string name_;
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Default();
+
+  // Returns the existing metric or registers a new one. Throws
+  // InvalidArgument when `name` is already registered as a different kind.
+  // GetHistogram requires ascending unique bounds; a re-registration keeps
+  // the original bounds.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {...}} for this
+  // registry only; ObservabilitySnapshot() below adds spans and pool stats.
+  Json Snapshot() const;
+
+  // Zeroes every value (metrics stay registered). Tests only.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// Shorthands on the default registry.
+Counter& GetCounter(const std::string& name);
+Gauge& GetGauge(const std::string& name);
+Histogram& GetHistogram(const std::string& name, std::vector<double> bounds);
+
+// Registers the well-known flatnet metric and span names so a snapshot
+// contains them (at zero) even on code paths that never touched them —
+// metrics files stay mechanically comparable across runs and tools.
+void RegisterCoreMetrics();
+
+// Full snapshot: default-registry metrics + trace-span aggregates
+// ("spans") + thread-pool stats folded into gauges/counters. Calls
+// RegisterCoreMetrics() first.
+Json ObservabilitySnapshot();
+
+// Writes ObservabilitySnapshot() pretty-printed to `path`; logs (warn) and
+// returns false on I/O failure.
+bool WriteMetricsFile(const std::string& path);
+
+}  // namespace flatnet::obs
+
+#endif  // FLATNET_OBS_METRICS_H_

@@ -1,0 +1,125 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/log.h"
+#include "util/strings.h"
+
+namespace flatnet::obs {
+namespace {
+
+thread_local TraceSpan* t_current_span = nullptr;
+
+std::mutex& StatsMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, SpanStats>& Stats() {
+  static auto* stats = new std::map<std::string, SpanStats>;  // leaked: outlives static dtors
+  return *stats;
+}
+
+std::string ThreadIdString() {
+  std::ostringstream os;
+  os << std::this_thread::get_id();
+  return os.str();
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(std::string_view name) : name_(name), parent_(t_current_span) {
+  if (parent_ != nullptr) parent_->self_.Pause();
+  t_current_span = this;
+}
+
+TraceSpan::~TraceSpan() {
+  double total = total_.ElapsedSeconds();
+  double self = std::min(self_.ElapsedSeconds(), total);
+  t_current_span = parent_;
+  if (parent_ != nullptr) parent_->self_.Resume();
+  {
+    std::lock_guard<std::mutex> lock(StatsMutex());
+    SpanStats& stats = Stats()[name_];
+    if (stats.count == 0) {
+      stats.min_seconds = total;
+      stats.max_seconds = total;
+    } else {
+      stats.min_seconds = std::min(stats.min_seconds, total);
+      stats.max_seconds = std::max(stats.max_seconds, total);
+    }
+    ++stats.count;
+    stats.total_seconds += total;
+    stats.self_seconds += self;
+  }
+  if (LogEnabled(LogLevel::kTrace)) {
+    Log(LogLevel::kTrace, "trace", "span")
+        .Kv("name", name_)
+        .Kv("wall_ms", total * 1e3)
+        .Kv("self_ms", self * 1e3)
+        .Kv("thread", ThreadIdString())
+        .Kv("parent", parent_ != nullptr ? parent_->name() : std::string("-"));
+  }
+}
+
+std::map<std::string, SpanStats> SpanStatsSnapshot() {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  return Stats();
+}
+
+void PreRegisterSpan(const std::string& name) {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  Stats()[name];
+}
+
+Json SnapshotSpans() {
+  Json spans = Json::MakeObject();
+  for (const auto& [name, stats] : SpanStatsSnapshot()) {
+    Json entry = Json::MakeObject();
+    entry["count"] = Json(stats.count);
+    entry["total_s"] = Json(stats.total_seconds);
+    entry["self_s"] = Json(stats.self_seconds);
+    entry["min_s"] = Json(stats.min_seconds);
+    entry["max_s"] = Json(stats.max_seconds);
+    spans[name] = std::move(entry);
+  }
+  return spans;
+}
+
+TextTable SpanSummaryTable() {
+  auto snapshot = SpanStatsSnapshot();
+  std::vector<const std::pair<const std::string, SpanStats>*> order;
+  order.reserve(snapshot.size());
+  for (const auto& entry : snapshot) order.push_back(&entry);
+  std::sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
+    return a->second.total_seconds > b->second.total_seconds;
+  });
+
+  TextTable table;
+  table.AddColumn("span");
+  table.AddColumn("count", TextTable::Align::kRight);
+  table.AddColumn("total s", TextTable::Align::kRight);
+  table.AddColumn("self s", TextTable::Align::kRight);
+  table.AddColumn("mean ms", TextTable::Align::kRight);
+  table.AddColumn("max ms", TextTable::Align::kRight);
+  for (const auto* entry : order) {
+    const SpanStats& stats = entry->second;
+    double mean_ms =
+        stats.count == 0 ? 0.0 : stats.total_seconds * 1e3 / static_cast<double>(stats.count);
+    table.AddRow({entry->first, WithCommas(stats.count),
+                  StrFormat("%.3f", stats.total_seconds), StrFormat("%.3f", stats.self_seconds),
+                  StrFormat("%.3f", mean_ms), StrFormat("%.3f", stats.max_seconds * 1e3)});
+  }
+  return table;
+}
+
+void ResetSpanStatsForTest() {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  Stats().clear();
+}
+
+}  // namespace flatnet::obs

@@ -1,0 +1,75 @@
+// RAII scoped trace spans with per-name aggregate statistics.
+//
+//   void RunCustomerPhase(...) {
+//     TraceSpan span("bgp.propagation.customer_phase");
+//     ...
+//   }
+//
+// Each span measures wall time plus self time (wall time minus enclosed
+// child spans, via Stopwatch::Pause/Resume on a thread-local span stack).
+// On destruction the span folds into a process-wide aggregate keyed by
+// name — count, total, self, min, max — and, at trace log level, emits a
+// structured line with its duration, thread id, and parent span.
+//
+// SpanSummaryTable() renders the aggregates as a flame-style util/table.h
+// table sorted by total time; SnapshotSpans() exports them as JSON for the
+// metrics file (obs/metrics.h).
+#ifndef FLATNET_OBS_TRACE_H_
+#define FLATNET_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace flatnet::obs {
+
+struct SpanStats {
+  std::uint64_t count = 0;
+  double total_seconds = 0.0;
+  double self_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  TraceSpan* parent_;
+  Stopwatch total_;
+  Stopwatch self_;  // paused while a child span is open
+};
+
+// Aggregates for every span name seen so far, keyed by name.
+std::map<std::string, SpanStats> SpanStatsSnapshot();
+
+// Ensures `name` appears in snapshots even if no span ran yet.
+void PreRegisterSpan(const std::string& name);
+
+// {"<name>": {"count": n, "total_s": t, "self_s": s, "min_s": lo,
+//  "max_s": hi}, ...}
+Json SnapshotSpans();
+
+// Columns: span, count, total s, self s, mean ms, max ms — sorted by
+// descending total time.
+TextTable SpanSummaryTable();
+
+// Clears all aggregates. Tests only.
+void ResetSpanStatsForTest();
+
+}  // namespace flatnet::obs
+
+#endif  // FLATNET_OBS_TRACE_H_

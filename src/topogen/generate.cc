@@ -6,6 +6,8 @@
 #include <unordered_set>
 
 #include "net/prefix_allocator.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -25,11 +27,6 @@ enum class Category : std::uint8_t {
   kContent,
   kEnterprise,
 };
-
-bool IsTransitCategory(Category c) {
-  return c == Category::kTier1 || c == Category::kTier2 || c == Category::kOpenTransit ||
-         c == Category::kLargeTransit || c == Category::kMidTransit;
-}
 
 struct AsRecord {
   Asn asn = 0;
@@ -98,20 +95,34 @@ class Generator {
       : params_(params), rng_(params.seed), cities_(WorldCities()) {}
 
   World Run() {
-    CreateRecords();
-    AssignUsers();  // before cloud links: clouds target high-user eyeballs
-    BuildClique();
-    BuildTier2Links();
-    BuildTransitLinks();
-    BuildEdgeCustomerLinks();
-    BuildCloudLinks();
-    BuildHierarchyEdgePeering();
-    BuildIxpMesh();
-    AssignPrefixes();
-    return Assemble();
+    obs::TraceSpan span("topogen.generate");
+    Stage("create_records", [&] { CreateRecords(); });
+    // Users before cloud links: clouds target high-user eyeballs.
+    Stage("assign_users", [&] { AssignUsers(); });
+    Stage("clique", [&] { BuildClique(); });
+    Stage("tier2_links", [&] { BuildTier2Links(); });
+    Stage("transit_links", [&] { BuildTransitLinks(); });
+    Stage("edge_customer_links", [&] { BuildEdgeCustomerLinks(); });
+    Stage("cloud_links", [&] { BuildCloudLinks(); });
+    Stage("hierarchy_edge_peering", [&] { BuildHierarchyEdgePeering(); });
+    Stage("ixp_mesh", [&] { BuildIxpMesh(); });
+    Stage("assign_prefixes", [&] { AssignPrefixes(); });
+    World world = Assemble();
+    obs::Log(obs::LogLevel::kDebug, "topogen", "generated")
+        .Kv("ases", records_.size())
+        .Kv("edges", edges_.size())
+        .Kv("ixps", world.ixps.size())
+        .Kv("seed", params_.seed);
+    return world;
   }
 
  private:
+  template <typename Fn>
+  void Stage(const char* name, Fn&& fn) {
+    obs::TraceSpan span(std::string("topogen.") + name);
+    fn();
+  }
+
   // ---- record creation -------------------------------------------------
 
   CityIndex SampleCity(const std::array<double, kContinentCount>& continent_mult) {
@@ -141,8 +152,10 @@ class Generator {
     auto count_of = [&](double fraction) {
       return static_cast<std::uint32_t>(std::round(fraction * total));
     };
-    std::uint32_t n_large = std::max<std::uint32_t>(10, count_of(params_.large_transit_fraction));
-    std::uint32_t n_mid_total = std::max<std::uint32_t>(40, count_of(params_.mid_transit_fraction));
+    std::uint32_t n_large =
+        std::max<std::uint32_t>(10, count_of(params_.large_transit_fraction));
+    std::uint32_t n_mid_total =
+        std::max<std::uint32_t>(40, count_of(params_.mid_transit_fraction));
     std::uint32_t n_access = count_of(params_.access_fraction);
     std::uint32_t n_content = count_of(params_.content_fraction);
 
@@ -407,7 +420,8 @@ class Generator {
     };
     for (std::size_t i = 0; i < tier1_ids_.size(); ++i) {
       double share = params_.tier1s[i].customer_share;
-      peer_with_transits(tier1_ids_[i], std::min(0.97, share / 10.0), std::min(0.97, share / 8.0));
+      peer_with_transits(tier1_ids_[i], std::min(0.97, share / 10.0),
+                         std::min(0.97, share / 8.0));
     }
     for (std::size_t i = 0; i < tier2_ids_.size(); ++i) {
       const Tier2Archetype& arch = params_.tier2s[i];
@@ -701,7 +715,8 @@ class Generator {
     std::vector<std::vector<AsId>> by_continent(kContinentCount);
     for (AsId id = 0; id < records_.size(); ++id) {
       if (IxpJoinProbability(records_[id].category) > 0.0) {
-        by_continent[static_cast<std::size_t>(cities_[records_[id].home].continent)].push_back(id);
+        by_continent[static_cast<std::size_t>(cities_[records_[id].home].continent)]
+            .push_back(id);
       }
     }
 

@@ -1,4 +1,8 @@
-// Wall-clock stopwatch for bench reports.
+// Wall-clock stopwatch for bench reports and trace spans.
+//
+// Supports pause/resume accumulation: a paused stopwatch freezes its
+// elapsed time until resumed. Trace spans (obs/trace.h) use this to
+// measure self time excluding children.
 #ifndef FLATNET_UTIL_STOPWATCH_H_
 #define FLATNET_UTIL_STOPWATCH_H_
 
@@ -10,17 +14,42 @@ class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
 
-  void Restart() { start_ = Clock::now(); }
+  void Restart() {
+    accumulated_ = Duration::zero();
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  // Freezes the elapsed time; no-op when already paused.
+  void Pause() {
+    if (!running_) return;
+    accumulated_ += Clock::now() - start_;
+    running_ = false;
+  }
+
+  // Continues accumulating; no-op when already running.
+  void Resume() {
+    if (running_) return;
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  bool running() const { return running_; }
 
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    Duration total = accumulated_;
+    if (running_) total += Clock::now() - start_;
+    return std::chrono::duration<double>(total).count();
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
   using Clock = std::chrono::steady_clock;
+  using Duration = Clock::duration;
   Clock::time_point start_;
+  Duration accumulated_ = Duration::zero();
+  bool running_ = true;
 };
 
 }  // namespace flatnet

@@ -3,6 +3,42 @@
 #include <algorithm>
 
 namespace flatnet {
+namespace {
+
+// Hot-path counters are relaxed atomics; queue_depth counts tasks from
+// submission until completion (inline-executed tasks included), so a
+// settled pool reads depth 0.
+std::atomic<std::uint64_t> g_tasks_submitted{0};
+std::atomic<std::uint64_t> g_tasks_executed{0};
+std::atomic<std::int64_t> g_queue_depth{0};
+std::atomic<std::int64_t> g_peak_queue_depth{0};
+std::atomic<std::int64_t> g_threads{0};
+
+void NoteSubmitted() {
+  g_tasks_submitted.fetch_add(1, std::memory_order_relaxed);
+  std::int64_t depth = g_queue_depth.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::int64_t peak = g_peak_queue_depth.load(std::memory_order_relaxed);
+  while (depth > peak &&
+         !g_peak_queue_depth.compare_exchange_weak(peak, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void NoteExecuted() {
+  g_tasks_executed.fetch_add(1, std::memory_order_relaxed);
+  g_queue_depth.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ThreadPoolStats GlobalThreadPoolStats() {
+  ThreadPoolStats stats;
+  stats.tasks_submitted = g_tasks_submitted.load(std::memory_order_relaxed);
+  stats.tasks_executed = g_tasks_executed.load(std::memory_order_relaxed);
+  stats.queue_depth = g_queue_depth.load(std::memory_order_relaxed);
+  stats.peak_queue_depth = g_peak_queue_depth.load(std::memory_order_relaxed);
+  stats.threads = g_threads.load(std::memory_order_relaxed);
+  return stats;
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -14,6 +50,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  g_threads.fetch_add(static_cast<std::int64_t>(workers_.size()), std::memory_order_relaxed);
 }
 
 ThreadPool::~ThreadPool() {
@@ -23,11 +60,14 @@ ThreadPool::~ThreadPool() {
   }
   task_available_.notify_all();
   for (std::thread& t : workers_) t.join();
+  g_threads.fetch_sub(static_cast<std::int64_t>(workers_.size()), std::memory_order_relaxed);
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  NoteSubmitted();
   if (workers_.empty()) {
     task();
+    NoteExecuted();
     return;
   }
   {
@@ -76,6 +116,7 @@ void ThreadPool::WorkerLoop() {
       tasks_.pop();
     }
     task();
+    NoteExecuted();
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();

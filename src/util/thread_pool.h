@@ -9,6 +9,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -16,6 +17,19 @@
 #include <vector>
 
 namespace flatnet {
+
+// Process-wide instrumentation aggregated across every live pool (plain
+// atomics here; obs/metrics.h folds these into its registry at snapshot
+// time, keeping util free of an obs dependency).
+struct ThreadPoolStats {
+  std::uint64_t tasks_submitted = 0;
+  std::uint64_t tasks_executed = 0;
+  std::int64_t queue_depth = 0;       // tasks submitted but not yet finished
+  std::int64_t peak_queue_depth = 0;  // high-water mark of queue_depth
+  std::int64_t threads = 0;           // workers across live pools
+};
+
+ThreadPoolStats GlobalThreadPoolStats();
 
 class ThreadPool {
  public:

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/error.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace flatnet::obs {
+namespace {
+
+// Captures emitted lines and restores the default sink + level on exit.
+class LogCapture {
+ public:
+  LogCapture() {
+    SetLogSinkForTest([this](LogLevel level, const std::string& line) {
+      levels.push_back(level);
+      lines.push_back(line);
+    });
+  }
+  ~LogCapture() {
+    SetLogSinkForTest(nullptr);
+    SetLogLevel(LogLevel::kInfo);
+  }
+  std::vector<LogLevel> levels;
+  std::vector<std::string> lines;
+};
+
+TEST(Log, LevelFiltering) {
+  LogCapture capture;
+  SetLogLevel(LogLevel::kWarn);
+  Log(LogLevel::kInfo, "test", "dropped").Kv("k", 1);
+  Log(LogLevel::kDebug, "test", "dropped_too");
+  ASSERT_TRUE(capture.lines.empty());
+  Log(LogLevel::kWarn, "test", "kept");
+  Log(LogLevel::kError, "test", "kept_too");
+  ASSERT_EQ(capture.lines.size(), 2u);
+  EXPECT_EQ(capture.levels[0], LogLevel::kWarn);
+  EXPECT_EQ(capture.levels[1], LogLevel::kError);
+  SetLogLevel(LogLevel::kOff);
+  Log(LogLevel::kError, "test", "silenced");
+  EXPECT_EQ(capture.lines.size(), 2u);
+}
+
+TEST(Log, StructuredKeyValueFormatting) {
+  LogCapture capture;
+  SetLogLevel(LogLevel::kDebug);
+  Log(LogLevel::kInfo, "comp", "event")
+      .Kv("str", "plain")
+      .Kv("quoted", "has space")
+      .Kv("num", std::uint64_t{42})
+      .Kv("neg", std::int64_t{-7})
+      .Kv("frac", 2.5)
+      .Kv("flag", true);
+  ASSERT_EQ(capture.lines.size(), 1u);
+  const std::string& line = capture.lines[0];
+  EXPECT_NE(line.find(" I comp event "), std::string::npos);
+  EXPECT_NE(line.find("str=plain"), std::string::npos);
+  EXPECT_NE(line.find("quoted=\"has space\""), std::string::npos);
+  EXPECT_NE(line.find("num=42"), std::string::npos);
+  EXPECT_NE(line.find("neg=-7"), std::string::npos);
+  EXPECT_NE(line.find("frac=2.5"), std::string::npos);
+  EXPECT_NE(line.find("flag=true"), std::string::npos);
+}
+
+TEST(Log, ParseLogLevelNames) {
+  EXPECT_EQ(ParseLogLevel("trace"), LogLevel::kTrace);
+  EXPECT_EQ(ParseLogLevel("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("Info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("none"), LogLevel::kOff);
+  EXPECT_FALSE(ParseLogLevel("loud").has_value());
+  EXPECT_STREQ(ToString(LogLevel::kWarn), "warn");
+}
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  Counter& counter = GetCounter("test.basics.counter");
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(4);
+  EXPECT_EQ(counter.value(), 5u);
+  // Re-registration returns the same object.
+  EXPECT_EQ(&GetCounter("test.basics.counter"), &counter);
+
+  Gauge& gauge = GetGauge("test.basics.gauge");
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.SetMax(5);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.SetMax(12);
+  EXPECT_EQ(gauge.value(), 12);
+}
+
+TEST(Metrics, KindConflictsThrow) {
+  GetCounter("test.conflict.name");
+  EXPECT_THROW(GetGauge("test.conflict.name"), InvalidArgument);
+  EXPECT_THROW(GetHistogram("test.conflict.name", {1.0}), InvalidArgument);
+  EXPECT_THROW(GetHistogram("test.conflict.hist", {3.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(GetHistogram("test.conflict.hist", {}), InvalidArgument);
+}
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  Histogram& h = GetHistogram("test.hist.bounds", {1.0, 2.0, 5.0});
+  // v <= bound lands in that bucket; above every bound -> overflow.
+  h.Observe(0.5);   // bucket 0
+  h.Observe(1.0);   // bucket 0 (inclusive upper bound)
+  h.Observe(1.5);   // bucket 1
+  h.Observe(2.0);   // bucket 1
+  h.Observe(5.0);   // bucket 2
+  h.Observe(100.0); // overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 100.0);
+}
+
+TEST(Metrics, ConcurrentUpdatesFromThreadPool) {
+  Counter& counter = GetCounter("test.concurrent.counter");
+  Histogram& h = GetHistogram("test.concurrent.hist", {10.0, 100.0, 1000.0});
+  ThreadPool pool(4);
+  constexpr std::size_t kOps = 10000;
+  pool.ParallelFor(0, kOps, [&](std::size_t i) {
+    counter.Increment();
+    h.Observe(static_cast<double>(i % 2000));
+  });
+  EXPECT_EQ(counter.value(), kOps);
+  EXPECT_EQ(h.count(), kOps);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i <= h.bounds().size(); ++i) bucket_total += h.bucket_count(i);
+  EXPECT_EQ(bucket_total, kOps);
+}
+
+TEST(Metrics, SnapshotJsonRoundTrip) {
+  GetCounter("test.roundtrip.counter").Increment(3);
+  GetGauge("test.roundtrip.gauge").Set(-5);
+  Histogram& h = GetHistogram("test.roundtrip.hist", {1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(50.0);
+
+  Json parsed = Json::Parse(MetricsRegistry::Default().Snapshot().Dump(2));
+  EXPECT_EQ(parsed.At("counters").At("test.roundtrip.counter").AsU64(), 3u);
+  EXPECT_DOUBLE_EQ(parsed.At("gauges").At("test.roundtrip.gauge").AsNumber(), -5.0);
+  const Json& hist = parsed.At("histograms").At("test.roundtrip.hist");
+  EXPECT_EQ(hist.At("count").AsU64(), 2u);
+  EXPECT_DOUBLE_EQ(hist.At("sum").AsNumber(), 50.5);
+  EXPECT_EQ(hist.At("counts").size(), 3u);
+  EXPECT_EQ(hist.At("counts")[0].AsU64(), 1u);
+  EXPECT_EQ(hist.At("counts")[2].AsU64(), 1u);
+  EXPECT_EQ(hist.At("bounds").size(), 2u);
+}
+
+TEST(Metrics, ObservabilitySnapshotContainsCoreNames) {
+  Json snapshot = ObservabilitySnapshot();
+  EXPECT_TRUE(snapshot.At("counters").Contains("propagation.customer.relax_ops"));
+  EXPECT_TRUE(snapshot.At("counters").Contains("cache.hit"));
+  EXPECT_TRUE(snapshot.At("counters").Contains("cache.miss"));
+  EXPECT_TRUE(snapshot.At("gauges").Contains("thread_pool.queue_depth"));
+  EXPECT_TRUE(snapshot.At("gauges").Contains("thread_pool.threads"));
+  EXPECT_TRUE(snapshot.At("spans").Contains("bgp.propagation.customer_phase"));
+}
+
+TEST(Trace, SpanNestingTracksSelfTime) {
+  ResetSpanStatsForTest();
+  {
+    TraceSpan outer("test.span.outer");
+    Stopwatch busy;
+    while (busy.ElapsedMillis() < 5) {
+    }
+    {
+      TraceSpan inner("test.span.inner");
+      Stopwatch inner_busy;
+      while (inner_busy.ElapsedMillis() < 10) {
+      }
+    }
+  }
+  auto stats = SpanStatsSnapshot();
+  ASSERT_EQ(stats.count("test.span.outer"), 1u);
+  ASSERT_EQ(stats.count("test.span.inner"), 1u);
+  const SpanStats& outer = stats["test.span.outer"];
+  const SpanStats& inner = stats["test.span.inner"];
+  EXPECT_EQ(outer.count, 1u);
+  EXPECT_EQ(inner.count, 1u);
+  // Outer wall time covers the inner span; outer self time excludes it.
+  EXPECT_GE(outer.total_seconds, inner.total_seconds);
+  EXPECT_GE(inner.total_seconds, 0.010 * 0.5);
+  EXPECT_LT(outer.self_seconds, outer.total_seconds - inner.total_seconds * 0.5);
+  EXPECT_LE(outer.min_seconds, outer.max_seconds);
+}
+
+TEST(Trace, AggregatesAcrossRepeatsAndThreads) {
+  ResetSpanStatsForTest();
+  ThreadPool pool(4);
+  pool.ParallelFor(0, 64, [&](std::size_t) { TraceSpan span("test.span.repeat"); });
+  auto stats = SpanStatsSnapshot();
+  ASSERT_EQ(stats.count("test.span.repeat"), 1u);
+  EXPECT_EQ(stats["test.span.repeat"].count, 64u);
+}
+
+TEST(Trace, SnapshotAndSummaryTable) {
+  ResetSpanStatsForTest();
+  PreRegisterSpan("test.span.preregistered");
+  { TraceSpan span("test.span.ran"); }
+  Json spans = Json::Parse(SnapshotSpans().Dump());
+  EXPECT_TRUE(spans.Contains("test.span.preregistered"));
+  EXPECT_EQ(spans.At("test.span.preregistered").At("count").AsU64(), 0u);
+  EXPECT_EQ(spans.At("test.span.ran").At("count").AsU64(), 1u);
+  std::string table = SpanSummaryTable().ToString();
+  EXPECT_NE(table.find("test.span.ran"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flatnet::obs

@@ -9,6 +9,7 @@
 #include "util/error.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/stopwatch.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -269,9 +270,62 @@ TEST(Table, RendersAlignedColumns) {
   auto lines = Split(out, '\n');
   std::size_t width = lines[0].size();
   for (auto line : lines) {
-    if (!line.empty()) EXPECT_EQ(line.size(), width);
+    if (!line.empty()) {
+      EXPECT_EQ(line.size(), width);
+    }
   }
   EXPECT_THROW(table.AddRow({"too", "many", "cells"}), InvalidArgument);
+}
+
+TEST(Stopwatch, PauseFreezesElapsedTime) {
+  Stopwatch sw;
+  sw.Pause();
+  EXPECT_FALSE(sw.running());
+  double frozen = sw.ElapsedSeconds();
+  Stopwatch busy;
+  while (busy.ElapsedMillis() < 5) {
+  }
+  // While paused, elapsed time is exactly the accumulated value.
+  EXPECT_DOUBLE_EQ(sw.ElapsedSeconds(), frozen);
+  sw.Pause();  // idempotent
+  EXPECT_DOUBLE_EQ(sw.ElapsedSeconds(), frozen);
+}
+
+TEST(Stopwatch, ResumeAccumulates) {
+  Stopwatch sw;
+  Stopwatch wall;
+  while (wall.ElapsedMillis() < 2) {
+  }
+  sw.Pause();
+  double first = sw.ElapsedSeconds();
+  EXPECT_GT(first, 0.0);
+  sw.Resume();
+  EXPECT_TRUE(sw.running());
+  sw.Resume();  // idempotent
+  Stopwatch busy;
+  while (busy.ElapsedMillis() < 2) {
+  }
+  // Accumulates across the pause: strictly more than the first segment.
+  EXPECT_GT(sw.ElapsedSeconds(), first);
+  sw.Restart();
+  EXPECT_TRUE(sw.running());
+  EXPECT_LT(sw.ElapsedSeconds(), first + 2.0);
+}
+
+TEST(ThreadPool, GlobalStatsCountTasks) {
+  ThreadPoolStats before = GlobalThreadPoolStats();
+  {
+    ThreadPool pool(4);
+    EXPECT_GE(GlobalThreadPoolStats().threads, before.threads + 4);
+    pool.ParallelFor(0, 100, [](std::size_t) {});
+  }
+  ThreadPoolStats after = GlobalThreadPoolStats();
+  EXPECT_GT(after.tasks_submitted, before.tasks_submitted);
+  EXPECT_GT(after.tasks_executed, before.tasks_executed);
+  EXPECT_EQ(after.tasks_submitted - before.tasks_submitted,
+            after.tasks_executed - before.tasks_executed);
+  EXPECT_GT(after.peak_queue_depth, 0);
+  EXPECT_EQ(after.threads, before.threads);
 }
 
 TEST(ThreadPool, ParallelForCoversRange) {

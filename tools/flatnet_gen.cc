@@ -13,6 +13,8 @@
 
 #include "core/serialize.h"
 #include "core/study.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 using namespace flatnet;
@@ -22,7 +24,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: flatnet_gen [--era 2015|2020] [--ases N] [--seed S] [--truth] "
-               "<output-stem>\n");
+               "[--log-level <level>] [--metrics-out <file>] <output-stem>\n");
   return 2;
 }
 
@@ -34,6 +36,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0;
   bool use_truth = false;
   std::string stem;
+  std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -41,7 +44,16 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return nullptr;
       return argv[++i];
     };
-    if (arg == "--era") {
+    if (arg == "--log-level") {
+      const char* v = next();
+      auto level = v ? obs::ParseLogLevel(v) : std::nullopt;
+      if (!level) return Usage();
+      obs::SetLogLevel(*level);
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return Usage();
+      metrics_out = v;
+    } else if (arg == "--era") {
       const char* v = next();
       if (!v || (std::strcmp(v, "2015") != 0 && std::strcmp(v, "2020") != 0)) return Usage();
       era = v;
@@ -80,5 +92,6 @@ int main(int argc, char** argv) {
   std::printf("wrote %s.as-rel.txt (%zu ASes, %zu edges) and %s.meta.tsv [%s topology]\n",
               stem.c_str(), internet.num_ases(), internet.graph().num_edges(), stem.c_str(),
               use_truth ? "ground-truth" : "measured");
+  if (!metrics_out.empty()) obs::WriteMetricsFile(metrics_out);
   return 0;
 }

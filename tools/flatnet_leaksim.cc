@@ -10,6 +10,8 @@
 
 #include "core/leak_scenarios.h"
 #include "core/serialize.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 using namespace flatnet;
@@ -20,7 +22,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: flatnet_leaksim <stem> --victim <asn> [--trials N] [--seed S]\n"
                "                       [--lock none|t1|t1t2|global] [--hierarchy-only]\n"
-               "                       [--pre-erratum]\n");
+               "                       [--pre-erratum] [--log-level <level>]\n"
+               "                       [--metrics-out <file>]\n");
   return 2;
 }
 
@@ -28,6 +31,7 @@ int Usage() {
 
 int main(int argc, char** argv) {
   std::string stem;
+  std::string metrics_out;
   std::uint64_t victim_asn = 0;
   std::size_t trials = 500;
   std::uint64_t seed = 1;
@@ -38,7 +42,16 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
-    if (arg == "--victim") {
+    if (arg == "--log-level") {
+      const char* v = next();
+      auto level = v ? obs::ParseLogLevel(v) : std::nullopt;
+      if (!level) return Usage();
+      obs::SetLogLevel(*level);
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return Usage();
+      metrics_out = v;
+    } else if (arg == "--victim") {
       const char* v = next();
       auto parsed = v ? ParseU64(v) : std::nullopt;
       if (!parsed) return Usage();
@@ -80,12 +93,17 @@ int main(int argc, char** argv) {
   if (stem.empty() || victim_asn == 0) return Usage();
   if (hierarchy_only) scenario = LeakScenario::kAnnounceHierarchyOnly;
 
+  auto finish = [&](int code) {
+    if (!metrics_out.empty()) obs::WriteMetricsFile(metrics_out);
+    return code;
+  };
+
   Internet internet = LoadInternet(stem);
   auto victim = internet.graph().IdOf(static_cast<Asn>(victim_asn));
   if (!victim) {
     std::fprintf(stderr, "AS%llu not present in the topology\n",
                  static_cast<unsigned long long>(victim_asn));
-    return 1;
+    return finish(1);
   }
 
   LeakTrialSeries series = RunLeakScenario(internet, *victim, scenario, trials, seed,
@@ -93,7 +111,7 @@ int main(int argc, char** argv) {
   std::vector<double> f = series.fraction_ases_detoured;
   if (f.empty()) {
     std::fprintf(stderr, "no valid leak trials (victim unreachable?)\n");
-    return 1;
+    return finish(1);
   }
   std::sort(f.begin(), f.end());
   double mean = std::accumulate(f.begin(), f.end(), 0.0) / static_cast<double>(f.size());
@@ -105,5 +123,5 @@ int main(int argc, char** argv) {
               f.size());
   std::printf("ASes detoured: mean %.2f%%  median %.2f%%  p90 %.2f%%  p99 %.2f%%  max %.2f%%\n",
               100 * mean, 100 * q(0.5), 100 * q(0.9), 100 * q(0.99), 100 * f.back());
-  return 0;
+  return finish(0);
 }

@@ -19,6 +19,8 @@
 #include "asgraph/tiers.h"
 #include "core/reachability_analysis.h"
 #include "core/serialize.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -28,7 +30,9 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: flatnet_reach (<stem> | --rel <caida-file>) (--asn <asn> | --top N)\n");
+               "usage: flatnet_reach (<stem> | --rel <caida-file>) (--asn <asn> | --top N)\n"
+               "                     [--log-level trace|debug|info|warn|error|off]\n"
+               "                     [--metrics-out <file>]\n");
   return 2;
 }
 
@@ -37,6 +41,7 @@ int Usage() {
 int main(int argc, char** argv) {
   std::string stem;
   std::string rel_file;
+  std::string metrics_out;
   std::uint64_t asn = 0;
   std::uint64_t top = 0;
 
@@ -47,6 +52,15 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       rel_file = v;
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      auto level = v ? obs::ParseLogLevel(v) : std::nullopt;
+      if (!level) return Usage();
+      obs::SetLogLevel(*level);
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return Usage();
+      metrics_out = v;
     } else if (arg == "--asn") {
       const char* v = next();
       auto parsed = v ? ParseU64(v) : std::nullopt;
@@ -64,6 +78,11 @@ int main(int argc, char** argv) {
     }
   }
   if ((stem.empty() == rel_file.empty()) || (asn == 0 && top == 0)) return Usage();
+
+  auto finish = [&](int code) {
+    if (!metrics_out.empty()) obs::WriteMetricsFile(metrics_out);
+    return code;
+  };
 
   Internet internet;
   if (!stem.empty()) {
@@ -84,7 +103,7 @@ int main(int argc, char** argv) {
     if (!id) {
       std::fprintf(stderr, "AS%llu not present in the topology\n",
                    static_cast<unsigned long long>(asn));
-      return 1;
+      return finish(1);
     }
     ReachabilitySummary r = AnalyzeReachability(internet, *id);
     double denom = static_cast<double>(internet.num_ases() - 1);
@@ -96,7 +115,7 @@ int main(int argc, char** argv) {
                 WithCommas(r.tier1_free).c_str(), 100 * r.tier1_free / denom);
     std::printf("  hierarchy-free reach(o, I\\Po\\T1\\T2):  %s (%.1f%%)\n",
                 WithCommas(r.hierarchy_free).c_str(), 100 * r.hierarchy_free / denom);
-    return 0;
+    return finish(0);
   }
 
   std::vector<std::uint32_t> sweep = HierarchyFreeSweep(internet);
@@ -115,5 +134,5 @@ int main(int argc, char** argv) {
                   internet.NameOf(id), WithCommas(sweep[id])});
   }
   table.Print(stdout);
-  return 0;
+  return finish(0);
 }
