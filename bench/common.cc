@@ -1,5 +1,7 @@
 #include "common.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -32,6 +34,28 @@ bool EnvFlag(const char* name) {
 std::string CacheStem(const char* era, std::uint32_t total_ases) {
   std::filesystem::create_directories("flatnet_cache");
   return StrFormat("flatnet_cache/%s-n%u", era, total_ases);
+}
+
+// Atomically publishes the topology cache: writes both files to a
+// pid-unique `<stem>.tmp<pid>` sibling and renames them into place, so
+// parallel benches under `ctest -j` can never observe (or co-author) a
+// half-written cache. Rename failures are non-fatal — the cache is an
+// optimization — and a racing reader that still catches a stale pairing
+// falls back to the corrupt-rebuild path below.
+void SaveInternetAtomic(const Internet& internet, const std::string& stem) {
+  std::string tmp_stem = StrFormat("%s.tmp%d", stem.c_str(), static_cast<int>(::getpid()));
+  SaveInternet(internet, tmp_stem);
+  std::error_code ec;
+  for (const char* suffix : {".meta.tsv", ".as-rel.txt"}) {
+    std::filesystem::rename(tmp_stem + suffix, stem + suffix, ec);
+    if (ec) {
+      obs::Log(obs::LogLevel::kWarn, "bench", "cache.store_failed")
+          .Kv("from", tmp_stem + suffix)
+          .Kv("to", stem + suffix)
+          .Kv("error", ec.message());
+      std::filesystem::remove(tmp_stem + suffix, ec);
+    }
+  }
 }
 
 // Size and age of the cache's relationship file, for provenance logs.
@@ -117,7 +141,7 @@ const Internet& CachedInternet(bool era2020) {
   obs::GetCounter("cache.miss").Increment();
   auto study = BuildStudy(era2020);
   slot = std::make_unique<Internet>(study->internet());
-  SaveInternet(*slot, stem);
+  SaveInternetAtomic(*slot, stem);
   std::uintmax_t size = 0;
   double age_seconds = 0.0;
   DescribeCacheFile(rel_file, &size, &age_seconds);

@@ -24,8 +24,9 @@ RouteClass ClassOf(Relationship sender_rel_from_receiver) {
 
 }  // namespace
 
-EventBgpEngine::EventBgpEngine(const AsGraph& graph)
+EventBgpEngine::EventBgpEngine(const AsGraph& graph, const PropagationOptions& options)
     : graph_(graph),
+      options_(options),
       adj_in_(graph.num_ases()),
       best_(graph.num_ases()),
       best_via_(graph.num_ases(), kInvalidAsId) {}
@@ -33,6 +34,9 @@ EventBgpEngine::EventBgpEngine(const AsGraph& graph)
 void EventBgpEngine::Originate(AsId origin) {
   if (origin_ != kInvalidAsId) throw InvalidArgument("EventBgpEngine: already originated");
   if (origin >= graph_.num_ases()) throw InvalidArgument("EventBgpEngine: bad origin");
+  if (options_.excluded != nullptr && options_.excluded->Test(origin)) {
+    throw InvalidArgument("EventBgpEngine: origin is in the excluded set");
+  }
   origin_ = origin;
   RibRoute own;
   own.cls = RouteClass::kOrigin;
@@ -43,8 +47,16 @@ void EventBgpEngine::Originate(AsId origin) {
 
 void EventBgpEngine::WithdrawOrigin() {
   if (origin_ == kInvalidAsId) throw InvalidArgument("EventBgpEngine: nothing originated");
-  best_[origin_] = std::nullopt;
-  AnnounceFrom(origin_);
+  AsId origin = origin_;
+  // Clear origin state *before* processing: the withdrawing AS is a regular
+  // network again (a later Originate must not see a stale origin), and
+  // Reselect must no longer pin its empty route. Its Adj-RIB-In is
+  // necessarily empty — every route for the prefix ends at the origin, so
+  // loop prevention rejected any announcement towards it.
+  origin_ = kInvalidAsId;
+  best_[origin] = std::nullopt;
+  best_via_[origin] = kInvalidAsId;
+  AnnounceFrom(origin);
   Process();
 }
 
@@ -64,6 +76,10 @@ void EventBgpEngine::FailLink(AsId a, AsId b) {
 bool EventBgpEngine::LinkDown(AsId a, AsId b) const {
   auto it = failed_links_.find(PairKey(a, b));
   return it != failed_links_.end() && it->second;
+}
+
+bool EventBgpEngine::Filtered(AsId receiver, AsId sender) const {
+  return IsEdgeFiltered(options_, receiver, sender);
 }
 
 bool EventBgpEngine::Better(AsId node, AsId via_a, const RibRoute& a, AsId via_b,
@@ -149,8 +165,11 @@ void EventBgpEngine::Process() {
     AsId node = message.receiver;
     if (LinkDown(message.sender, node)) continue;  // lost on the wire
     if (message.route) {
-      // Loop prevention: reject paths containing the receiver.
-      if (std::find(message.route->path.begin(), message.route->path.end(), node) !=
+      // Defensive filtering (exclusion / peer lock) and loop prevention:
+      // a rejected announcement invalidates whatever the sender last
+      // supplied, exactly like a withdraw.
+      if (Filtered(node, message.sender) ||
+          std::find(message.route->path.begin(), message.route->path.end(), node) !=
           message.route->path.end()) {
         adj_in_[node].erase(message.sender);
       } else {

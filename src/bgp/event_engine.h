@@ -36,13 +36,20 @@ struct RibRoute {
 
 class EventBgpEngine {
  public:
-  explicit EventBgpEngine(const AsGraph& graph);
+  // `options` applies the same defensive filtering the phase engine honors
+  // (exclusion sets and peer locking, evaluated per received message via
+  // IsEdgeFiltered). Any Bitsets the options point at must outlive the
+  // engine; the default is unfiltered propagation.
+  explicit EventBgpEngine(const AsGraph& graph, const PropagationOptions& options = {});
 
   // Originates the prefix at `origin` and processes messages to
-  // convergence. May be called once per engine instance.
+  // convergence. Only one prefix may be live at a time; after
+  // WithdrawOrigin() the engine may originate again (same or other AS).
   void Originate(AsId origin);
 
-  // Withdraws the origin's announcement and processes to convergence.
+  // Withdraws the origin's announcement and processes to convergence. The
+  // withdrawing AS becomes a regular network again, so a later Originate
+  // is legal.
   void WithdrawOrigin();
 
   // Fails the (a, b) link in both directions: routes learned over it are
@@ -68,6 +75,8 @@ class EventBgpEngine {
   };
 
   void Enqueue(AsId sender, AsId receiver, const std::optional<RibRoute>& route);
+  // True when `receiver` must drop a route announced by `sender`.
+  bool Filtered(AsId receiver, AsId sender) const;
   void Process();
   // Re-selects `node`'s best route; announces the delta when it changed.
   void Reselect(AsId node);
@@ -77,6 +86,7 @@ class EventBgpEngine {
   bool Better(AsId node, AsId via_a, const RibRoute& a, AsId via_b, const RibRoute& b) const;
 
   const AsGraph& graph_;
+  PropagationOptions options_;
   AsId origin_ = kInvalidAsId;
   // adj_in_[node]: routes most recently announced by each neighbor.
   std::vector<std::unordered_map<AsId, RibRoute>> adj_in_;

@@ -75,6 +75,26 @@ struct PropagationOptions {
   const Bitset* lock_filtered_senders = nullptr;
 };
 
+// True when `receiver` must discard an announcement arriving from `sender`
+// under `options` (exclusion or peer-lock filter). This predicate is the
+// single definition of the filtering semantics: both the phase engine
+// (propagation.cc) and the message-level engine (event_engine.cc) apply it
+// edge-by-edge, so the differential oracle in src/check compares the two
+// *propagation* implementations rather than two copies of this test.
+inline bool IsEdgeFiltered(const PropagationOptions& options, AsId receiver, AsId sender) {
+  if (options.excluded != nullptr && options.excluded->Test(receiver)) return true;
+  if (options.peer_locked != nullptr && options.peer_locked->Test(receiver)) {
+    if (options.lock_mode == PeerLockMode::kFull) {
+      return sender != options.protected_origin;
+    }
+    // Pre-erratum: the lock only drops announcements arriving directly from
+    // a filtered sender (the misconfigured AS); relayed copies slip through.
+    return options.lock_filtered_senders != nullptr &&
+           options.lock_filtered_senders->Test(sender);
+  }
+  return false;
+}
+
 }  // namespace flatnet
 
 #endif  // FLATNET_BGP_POLICY_H_

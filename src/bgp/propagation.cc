@@ -88,17 +88,7 @@ RouteComputation::RouteComputation(const AsGraph& graph,
 
 bool RouteComputation::Filtered(AsId receiver, AsId sender,
                                 const PropagationOptions& options) const {
-  if (options.excluded != nullptr && options.excluded->Test(receiver)) return true;
-  if (options.peer_locked != nullptr && options.peer_locked->Test(receiver)) {
-    if (options.lock_mode == PeerLockMode::kFull) {
-      return sender != options.protected_origin;
-    }
-    // Pre-erratum: the lock only drops announcements arriving directly from
-    // a filtered sender (the misconfigured AS); relayed copies slip through.
-    return options.lock_filtered_senders != nullptr &&
-           options.lock_filtered_senders->Test(sender);
-  }
-  return false;
+  return IsEdgeFiltered(options, receiver, sender);
 }
 
 void RouteComputation::RunCustomerPhase(const std::vector<AnnouncementSource>& sources,

@@ -84,7 +84,9 @@ Bitset ReachabilityEngine::Compute(AsId origin, const Bitset* excluded) {
     }
   }
   Counters().computes.Increment();
-  Counters().nodes_reached.Increment(queue_.size());
+  // Destinations only, matching Count(): the queue holds every reached node
+  // exactly once, origin included.
+  Counters().nodes_reached.Increment(queue_.size() - 1);
   return reached;
 }
 

@@ -1,0 +1,170 @@
+#include "check/diff.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "bgp/event_engine.h"
+#include "bgp/paths.h"
+#include "bgp/propagation.h"
+#include "bgp/reachability.h"
+#include "check/invariants.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace flatnet::check {
+namespace {
+
+const char* RouteLabel(const RouteEntry& entry) {
+  return entry.HasRoute() ? ToString(entry.cls) : "unreachable";
+}
+
+// Draws `want` distinct ids from [0, n), never `origin`, into a Bitset.
+Bitset DrawDistinct(Rng& rng, std::size_t n, AsId origin, std::size_t want) {
+  Bitset drawn(n);
+  std::size_t cap = n > 1 ? n - 1 : 0;
+  want = std::min(want, cap);
+  std::size_t have = 0;
+  while (have < want) {
+    auto candidate = static_cast<AsId>(rng.UniformU64(n));
+    if (candidate == origin || drawn.Test(candidate)) continue;
+    drawn.Set(candidate);
+    ++have;
+  }
+  return drawn;
+}
+
+DiffReport Fail(std::string oracle, std::string detail, const AsGraph& graph,
+                AsId node = kInvalidAsId) {
+  DiffReport report;
+  report.ok = false;
+  report.oracle = std::move(oracle);
+  report.detail = std::move(detail);
+  report.first_mismatch = node;
+  if (node != kInvalidAsId) report.first_mismatch_asn = graph.AsnOf(node);
+  return report;
+}
+
+}  // namespace
+
+const char* ToString(LockSetup setup) {
+  switch (setup) {
+    case LockSetup::kNone: return "none";
+    case LockSetup::kFull: return "full";
+    case LockSetup::kDirectOnly: return "direct";
+  }
+  return "?";
+}
+
+std::optional<LockSetup> ParseLockSetup(std::string_view text) {
+  if (text == "none") return LockSetup::kNone;
+  if (text == "full") return LockSetup::kFull;
+  if (text == "direct") return LockSetup::kDirectOnly;
+  return std::nullopt;
+}
+
+std::string DiffReport::Summary() const {
+  if (ok) return "ok";
+  std::string where = first_mismatch == kInvalidAsId
+                          ? std::string("-")
+                          : StrFormat("AS%u (id %u)", first_mismatch_asn, first_mismatch);
+  return StrFormat("oracle=%s at %s: %s", oracle.c_str(), where.c_str(), detail.c_str());
+}
+
+DiffReport RunDiffCase(const AsGraph& graph, const DiffCaseConfig& config) {
+  std::size_t n = graph.num_ases();
+  if (n == 0) return Fail("config", "empty graph", graph);
+  Rng rng(config.case_seed);
+  auto origin = static_cast<AsId>(rng.UniformU64(n));
+
+  Bitset excluded = DrawDistinct(rng, n, origin, config.excluded_count);
+  Bitset locked;
+  Bitset filtered_senders;
+  PropagationOptions options;
+  if (config.excluded_count > 0) options.excluded = &excluded;
+  if (config.lock != LockSetup::kNone) {
+    locked = DrawDistinct(rng, n, origin, config.locked_count);
+    options.peer_locked = &locked;
+    options.protected_origin = origin;
+    options.lock_mode =
+        config.lock == LockSetup::kFull ? PeerLockMode::kFull : PeerLockMode::kDirectOnly;
+    if (config.lock == LockSetup::kDirectOnly) {
+      filtered_senders = DrawDistinct(rng, n, origin, config.filtered_sender_count);
+      options.lock_filtered_senders = &filtered_senders;
+    }
+  }
+
+  std::vector<AnnouncementSource> sources{AnnouncementSource{.node = origin}};
+  RouteComputation phase(graph, sources, options);
+
+  if (auto failure = CheckRouteInvariants(phase, sources)) {
+    return Fail("invariant", *failure, graph);
+  }
+
+  // Oracle 1: the message-passing engine must converge to the phase
+  // engine's class and length at every node, and its single selected path
+  // must be one of the phase engine's tied-best paths.
+  EventBgpEngine event(graph, options);
+  event.Originate(origin);
+  for (AsId node = 0; node < n; ++node) {
+    if (node == origin) continue;
+    const std::optional<RibRoute>& event_best = event.BestRoute(node);
+    const RouteEntry& phase_best = phase.Route(node);
+    if (event_best.has_value() != phase_best.HasRoute()) {
+      return Fail("event.reach",
+                  StrFormat("phase=%s event=%s", RouteLabel(phase_best),
+                            event_best ? ToString(event_best->cls) : "unreachable"),
+                  graph, node);
+    }
+    if (!event_best) continue;
+    if (event_best->cls != phase_best.cls) {
+      return Fail("event.class",
+                  StrFormat("phase=%s event=%s", ToString(phase_best.cls),
+                            ToString(event_best->cls)),
+                  graph, node);
+    }
+    if (event_best->Length() != phase_best.length) {
+      return Fail("event.length",
+                  StrFormat("phase=%u event=%u", static_cast<unsigned>(phase_best.length),
+                            static_cast<unsigned>(event_best->Length())),
+                  graph, node);
+    }
+    AsPath full_path{node};
+    full_path.insert(full_path.end(), event_best->path.begin(), event_best->path.end());
+    if (!IsBestPath(phase, full_path)) {
+      return Fail("event.path", "selected path is not in the phase engine's tied-best set",
+                  graph, node);
+    }
+  }
+  if (event.ReachedCount() != phase.ReachedCount()) {
+    return Fail("event.count",
+                StrFormat("phase=%zu event=%zu", phase.ReachedCount(), event.ReachedCount()),
+                graph);
+  }
+
+  // Oracle 2: the two-state BFS (which cannot model peer locking) must
+  // produce exactly the phase engine's reached set.
+  if (config.lock == LockSetup::kNone) {
+    const Bitset* excluded_ptr = config.excluded_count > 0 ? &excluded : nullptr;
+    Bitset bfs = ReachableSet(graph, origin, excluded_ptr);
+    Bitset phase_set = phase.ReachedSet();
+    if (!(bfs == phase_set)) {
+      for (AsId node = 0; node < n; ++node) {
+        if (bfs.Test(node) != phase_set.Test(node)) {
+          return Fail("reachability.set",
+                      StrFormat("phase=%s bfs=%s", phase_set.Test(node) ? "reached" : "not",
+                                bfs.Test(node) ? "reached" : "not"),
+                      graph, node);
+        }
+      }
+    }
+    std::size_t bfs_count = ReachableCount(graph, origin, excluded_ptr);
+    if (bfs_count != phase.ReachedCount()) {
+      return Fail("reachability.count",
+                  StrFormat("phase=%zu bfs=%zu", phase.ReachedCount(), bfs_count), graph);
+    }
+  }
+
+  return DiffReport{};
+}
+
+}  // namespace flatnet::check

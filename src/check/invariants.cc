@@ -1,0 +1,233 @@
+#include "check/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "bgp/reliance.h"
+#include "util/strings.h"
+
+namespace flatnet::check {
+namespace {
+
+std::string NodeLabel(const RouteComputation& computation, AsId node) {
+  return StrFormat("AS%u (id %u)", computation.graph().AsnOf(node), node);
+}
+
+}  // namespace
+
+std::optional<std::string> CheckValleyFreeDag(const RouteComputation& computation) {
+  const AsGraph& graph = computation.graph();
+  std::vector<AsId> preds_sorted;
+  for (AsId node = 0; node < graph.num_ases(); ++node) {
+    const RouteEntry& entry = computation.Route(node);
+    const std::vector<AsId>& preds = computation.Predecessors(node);
+    if (!entry.HasRoute() || entry.cls == RouteClass::kOrigin) {
+      if (!preds.empty()) {
+        return StrFormat("%s: %s node has %zu predecessors",
+                         NodeLabel(computation, node).c_str(), ToString(entry.cls),
+                         preds.size());
+      }
+      continue;
+    }
+    if (preds.empty()) {
+      return NodeLabel(computation, node) + ": routed node has no predecessors";
+    }
+    preds_sorted.assign(preds.begin(), preds.end());
+    std::sort(preds_sorted.begin(), preds_sorted.end());
+    if (std::adjacent_find(preds_sorted.begin(), preds_sorted.end()) != preds_sorted.end()) {
+      return NodeLabel(computation, node) + ": duplicate predecessor";
+    }
+    Relationship expected_rel;
+    switch (entry.cls) {
+      case RouteClass::kCustomer: expected_rel = Relationship::kCustomer; break;
+      case RouteClass::kPeer: expected_rel = Relationship::kPeer; break;
+      case RouteClass::kProvider: expected_rel = Relationship::kProvider; break;
+      default: return NodeLabel(computation, node) + ": unexpected route class";
+    }
+    for (AsId pred : preds) {
+      auto rel = graph.RelationshipBetween(node, pred);
+      if (!rel.has_value()) {
+        return StrFormat("%s: predecessor %s is not adjacent",
+                         NodeLabel(computation, node).c_str(),
+                         NodeLabel(computation, pred).c_str());
+      }
+      if (*rel != expected_rel) {
+        return StrFormat("%s: %s route learned over a %s edge from %s",
+                         NodeLabel(computation, node).c_str(), ToString(entry.cls),
+                         ToString(*rel), NodeLabel(computation, pred).c_str());
+      }
+      const RouteEntry& pred_entry = computation.Route(pred);
+      if (!pred_entry.HasRoute()) {
+        return StrFormat("%s: predecessor %s has no route",
+                         NodeLabel(computation, node).c_str(),
+                         NodeLabel(computation, pred).c_str());
+      }
+      // Valley-free export: a route crossing a customer->provider or peer
+      // edge must be customer-learned (or originated) at the exporter.
+      if (entry.cls != RouteClass::kProvider && pred_entry.cls != RouteClass::kOrigin &&
+          pred_entry.cls != RouteClass::kCustomer) {
+        return StrFormat("%s: %s exported a %s-learned route over a %s edge (valley)",
+                         NodeLabel(computation, node).c_str(),
+                         NodeLabel(computation, pred).c_str(), ToString(pred_entry.cls),
+                         ToString(entry.cls));
+      }
+      if (static_cast<PathLength>(pred_entry.length + 1) != entry.length) {
+        return StrFormat("%s: length %u but predecessor %s has length %u",
+                         NodeLabel(computation, node).c_str(),
+                         static_cast<unsigned>(entry.length),
+                         NodeLabel(computation, pred).c_str(),
+                         static_cast<unsigned>(pred_entry.length));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> CheckOrderByLength(const RouteComputation& computation) {
+  const AsGraph& graph = computation.graph();
+  const std::vector<AsId>& order = computation.NodesByLength();
+  std::size_t routed = 0;
+  for (AsId node = 0; node < graph.num_ases(); ++node) {
+    if (computation.Route(node).HasRoute()) ++routed;
+  }
+  if (order.size() != routed) {
+    return StrFormat("order has %zu nodes but %zu hold routes", order.size(), routed);
+  }
+  Bitset seen(graph.num_ases());
+  PathLength previous = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    AsId node = order[i];
+    if (node >= graph.num_ases()) return StrFormat("order[%zu]: id %u out of range", i, node);
+    if (seen.Test(node)) {
+      return NodeLabel(computation, node) + ": appears twice in NodesByLength";
+    }
+    seen.Set(node);
+    const RouteEntry& entry = computation.Route(node);
+    if (!entry.HasRoute()) {
+      return NodeLabel(computation, node) + ": in NodesByLength without a route";
+    }
+    if (i > 0 && entry.length < previous) {
+      return StrFormat("order[%zu] %s: length %u after length %u", i,
+                       NodeLabel(computation, node).c_str(),
+                       static_cast<unsigned>(entry.length), static_cast<unsigned>(previous));
+    }
+    previous = entry.length;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> CheckSourceMasks(const RouteComputation& computation,
+                                            const std::vector<AnnouncementSource>& sources) {
+  const AsGraph& graph = computation.graph();
+  if (sources.size() != computation.num_sources()) {
+    return StrFormat("computation has %zu sources, caller supplied %zu",
+                     computation.num_sources(), sources.size());
+  }
+  Bitset is_source(graph.num_ases());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    AsId node = sources[i].node;
+    is_source.Set(node);
+    const RouteEntry& entry = computation.Route(node);
+    auto expected = static_cast<std::uint8_t>(1u << i);
+    if (entry.cls != RouteClass::kOrigin || entry.source_mask != expected) {
+      return StrFormat("source %zu %s: cls=%s mask=%u, want origin mask=%u", i,
+                       NodeLabel(computation, node).c_str(), ToString(entry.cls),
+                       static_cast<unsigned>(entry.source_mask),
+                       static_cast<unsigned>(expected));
+    }
+  }
+  for (AsId node = 0; node < graph.num_ases(); ++node) {
+    if (is_source.Test(node)) continue;
+    const RouteEntry& entry = computation.Route(node);
+    if (!entry.HasRoute()) {
+      if (entry.source_mask != 0) {
+        return NodeLabel(computation, node) + ": unreachable node with nonzero source mask";
+      }
+      continue;
+    }
+    std::uint8_t expected = 0;
+    for (AsId pred : computation.Predecessors(node)) {
+      expected |= computation.Route(pred).source_mask;
+    }
+    if (entry.source_mask != expected || expected == 0) {
+      return StrFormat("%s: mask %u but predecessors union to %u",
+                       NodeLabel(computation, node).c_str(),
+                       static_cast<unsigned>(entry.source_mask),
+                       static_cast<unsigned>(expected));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> CheckRelianceConservation(const RouteComputation& computation) {
+  if (computation.num_sources() != 1) {
+    return std::string("reliance conservation requires a single-source computation");
+  }
+  const AsGraph& graph = computation.graph();
+  RelianceResult reliance = ComputeReliance(computation);
+
+  // sigma conservation over the predecessor DAG. Path counts grow
+  // combinatorially, so compare with a relative tolerance once they leave
+  // exact double range.
+  for (AsId node : computation.NodesByLength()) {
+    const std::vector<AsId>& preds = computation.Predecessors(node);
+    double sigma = reliance.path_counts[node];
+    if (preds.empty()) {
+      if (sigma != 1.0) {
+        return StrFormat("%s: origin sigma = %g, want 1", NodeLabel(computation, node).c_str(),
+                         sigma);
+      }
+      continue;
+    }
+    double expected = 0.0;
+    for (AsId pred : preds) expected += reliance.path_counts[pred];
+    if (std::abs(sigma - expected) > 1e-9 * std::max(1.0, expected)) {
+      return StrFormat("%s: sigma %g != sum over predecessors %g",
+                       NodeLabel(computation, node).c_str(), sigma, expected);
+    }
+  }
+
+  // Mass balance: total non-self reliance equals the expected number of
+  // intermediate ASes across all destinations' tied-best paths. E[len] is
+  // recomputed here with an independent DP over the DAG.
+  std::vector<double> expected_len(graph.num_ases(), 0.0);
+  double reliance_mass = 0.0;
+  double expected_intermediates = 0.0;
+  for (AsId node : computation.NodesByLength()) {
+    const std::vector<AsId>& preds = computation.Predecessors(node);
+    if (preds.empty()) continue;
+    double acc = 0.0;
+    for (AsId pred : preds) acc += reliance.path_counts[pred] * (expected_len[pred] + 1.0);
+    expected_len[node] = acc / reliance.path_counts[node];
+    reliance_mass += reliance.reliance[node] - 1.0;
+    expected_intermediates += expected_len[node] - 1.0;
+  }
+  if (std::abs(reliance_mass - expected_intermediates) >
+      1e-6 * std::max(1.0, std::abs(expected_intermediates))) {
+    return StrFormat("reliance mass %g != expected intermediates %g", reliance_mass,
+                     expected_intermediates);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> CheckRouteInvariants(
+    const RouteComputation& computation, const std::vector<AnnouncementSource>& sources) {
+  if (auto failure = CheckValleyFreeDag(computation)) {
+    return "valley_free: " + *failure;
+  }
+  if (auto failure = CheckOrderByLength(computation)) {
+    return "order_by_length: " + *failure;
+  }
+  if (auto failure = CheckSourceMasks(computation, sources)) {
+    return "source_masks: " + *failure;
+  }
+  if (computation.num_sources() == 1) {
+    if (auto failure = CheckRelianceConservation(computation)) {
+      return "reliance_conservation: " + *failure;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace flatnet::check

@@ -4,6 +4,7 @@
 #ifndef FLATNET_UTIL_BITSET_H_
 #define FLATNET_UTIL_BITSET_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -19,11 +20,21 @@ class Bitset {
 
   std::size_t size() const { return size_; }
 
+  // Index bounds are checked in debug builds only (the sanitizer CI job
+  // runs with assertions on); release builds keep the unchecked hot path —
+  // an out-of-range index is undefined behaviour there.
   bool Test(std::size_t i) const {
+    assert(i < size_ && "Bitset::Test: index out of range");
     return (words_[i >> 6] >> (i & 63)) & 1u;
   }
-  void Set(std::size_t i) { words_[i >> 6] |= (std::uint64_t{1} << (i & 63)); }
-  void Reset(std::size_t i) { words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63)); }
+  void Set(std::size_t i) {
+    assert(i < size_ && "Bitset::Set: index out of range");
+    words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+  }
+  void Reset(std::size_t i) {
+    assert(i < size_ && "Bitset::Reset: index out of range");
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
   void Assign(std::size_t i, bool value) {
     if (value) {
       Set(i);

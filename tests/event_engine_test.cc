@@ -78,6 +78,65 @@ TEST(EventEngine, FailoverToBackupPath) {
   EXPECT_THROW(engine.FailLink(*graph.IdOf(1), *graph.IdOf(4)), InvalidArgument);
 }
 
+TEST(EventEngine, WithdrawThenReoriginate) {
+  // Withdrawing must fully clear origin state: a second origination (same
+  // or different AS) behaves exactly like a fresh engine.
+  AsGraphBuilder builder;
+  builder.AddEdge(2, 1, EdgeType::kP2C);
+  builder.AddEdge(3, 2, EdgeType::kP2C);
+  builder.AddEdge(3, 4, EdgeType::kP2C);
+  AsGraph graph = std::move(builder).Build();
+  EventBgpEngine engine(graph);
+
+  engine.Originate(*graph.IdOf(1));
+  EXPECT_EQ(engine.ReachedCount(), 3u);
+  engine.WithdrawOrigin();
+  EXPECT_EQ(engine.ReachedCount(), 0u);
+  EXPECT_THROW(engine.WithdrawOrigin(), InvalidArgument);
+
+  // Re-originate at the same AS.
+  engine.Originate(*graph.IdOf(1));
+  EXPECT_EQ(engine.ReachedCount(), 3u);
+  EXPECT_EQ(engine.BestRoute(*graph.IdOf(4))->Length(), 3);
+
+  // Withdraw again and originate from a different AS; stale state from the
+  // first prefix must not leak into the new one.
+  engine.WithdrawOrigin();
+  EXPECT_EQ(engine.ReachedCount(), 0u);
+  engine.Originate(*graph.IdOf(4));
+  EXPECT_EQ(engine.ReachedCount(), 3u);
+  ASSERT_TRUE(engine.BestRoute(*graph.IdOf(1)).has_value());
+  EXPECT_EQ(engine.BestRoute(*graph.IdOf(1))->Length(), 3);
+  ASSERT_TRUE(engine.BestRoute(*graph.IdOf(4)).has_value());
+  EXPECT_EQ(engine.BestRoute(*graph.IdOf(4))->cls, RouteClass::kOrigin);
+}
+
+TEST(EventEngine, ExcludedAndLockedNodesFilterLikePhaseEngine) {
+  // 1 -> provider 2 -> provider 3; 2 also peers 4. Excluding 2 cuts
+  // everything beyond the origin's own links.
+  AsGraphBuilder builder;
+  builder.AddEdge(2, 1, EdgeType::kP2C);
+  builder.AddEdge(3, 2, EdgeType::kP2C);
+  builder.AddEdge(2, 4, EdgeType::kP2P);
+  AsGraph graph = std::move(builder).Build();
+
+  Bitset excluded(graph.num_ases());
+  excluded.Set(*graph.IdOf(2));
+  PropagationOptions options;
+  options.excluded = &excluded;
+  EventBgpEngine engine(graph, options);
+  engine.Originate(*graph.IdOf(1));
+  EXPECT_FALSE(engine.BestRoute(*graph.IdOf(2)).has_value());
+  EXPECT_FALSE(engine.BestRoute(*graph.IdOf(3)).has_value());
+  EXPECT_FALSE(engine.BestRoute(*graph.IdOf(4)).has_value());
+  EXPECT_EQ(engine.ReachedCount(), 0u);
+
+  EventBgpEngine excluded_origin(graph, options);
+  excluded.Reset(*graph.IdOf(2));
+  excluded.Set(*graph.IdOf(1));
+  EXPECT_THROW(excluded_origin.Originate(*graph.IdOf(1)), InvalidArgument);
+}
+
 TEST(EventEngine, FailedLinkStaysDownForLaterEvents) {
   AsGraphBuilder builder;
   builder.AddEdge(2, 1, EdgeType::kP2C);

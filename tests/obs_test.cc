@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "asgraph/as_graph.h"
+#include "bgp/reachability.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -159,6 +161,25 @@ TEST(Metrics, SnapshotJsonRoundTrip) {
   EXPECT_EQ(hist.At("counts")[0].AsU64(), 1u);
   EXPECT_EQ(hist.At("counts")[2].AsU64(), 1u);
   EXPECT_EQ(hist.At("bounds").size(), 2u);
+}
+
+TEST(Metrics, ReachabilityNodesReachedMatchesCount) {
+  // The nodes_reached counter counts destinations only, exactly like
+  // ReachabilityEngine::Count (the origin is not a reached node).
+  flatnet::AsGraphBuilder builder;
+  builder.AddEdge(2, 1, flatnet::EdgeType::kP2C);
+  builder.AddEdge(3, 2, flatnet::EdgeType::kP2C);
+  builder.AddEdge(3, 4, flatnet::EdgeType::kP2C);
+  builder.AddEdge(5, 4, flatnet::EdgeType::kP2P);
+  flatnet::AsGraph graph = std::move(builder).Build();
+
+  Counter& nodes_reached = GetCounter("reachability.nodes_reached");
+  flatnet::ReachabilityEngine engine(graph);
+  for (flatnet::Asn origin : {1u, 4u, 5u}) {
+    std::uint64_t before = nodes_reached.value();
+    std::size_t count = engine.Count(*graph.IdOf(origin));
+    EXPECT_EQ(nodes_reached.value() - before, count) << "origin AS" << origin;
+  }
 }
 
 TEST(Metrics, ObservabilitySnapshotContainsCoreNames) {
