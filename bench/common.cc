@@ -1,7 +1,5 @@
 #include "common.h"
 
-#include <unistd.h>
-
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -34,28 +32,6 @@ bool EnvFlag(const char* name) {
 std::string CacheStem(const char* era, std::uint32_t total_ases) {
   std::filesystem::create_directories("flatnet_cache");
   return StrFormat("flatnet_cache/%s-n%u", era, total_ases);
-}
-
-// Atomically publishes the topology cache: writes both files to a
-// pid-unique `<stem>.tmp<pid>` sibling and renames them into place, so
-// parallel benches under `ctest -j` can never observe (or co-author) a
-// half-written cache. Rename failures are non-fatal — the cache is an
-// optimization — and a racing reader that still catches a stale pairing
-// falls back to the corrupt-rebuild path below.
-void SaveInternetAtomic(const Internet& internet, const std::string& stem) {
-  std::string tmp_stem = StrFormat("%s.tmp%d", stem.c_str(), static_cast<int>(::getpid()));
-  SaveInternet(internet, tmp_stem);
-  std::error_code ec;
-  for (const char* suffix : {".meta.tsv", ".as-rel.txt"}) {
-    std::filesystem::rename(tmp_stem + suffix, stem + suffix, ec);
-    if (ec) {
-      obs::Log(obs::LogLevel::kWarn, "bench", "cache.store_failed")
-          .Kv("from", tmp_stem + suffix)
-          .Kv("to", stem + suffix)
-          .Kv("error", ec.message());
-      std::filesystem::remove(tmp_stem + suffix, ec);
-    }
-  }
 }
 
 // Size and age of the cache's relationship file, for provenance logs.
@@ -141,14 +117,24 @@ const Internet& CachedInternet(bool era2020) {
   obs::GetCounter("cache.miss").Increment();
   auto study = BuildStudy(era2020);
   slot = std::make_unique<Internet>(study->internet());
-  SaveInternetAtomic(*slot, stem);
-  std::uintmax_t size = 0;
-  double age_seconds = 0.0;
-  DescribeCacheFile(rel_file, &size, &age_seconds);
-  obs::Log(obs::LogLevel::kInfo, "bench", "cache.store")
-      .Kv("key", stem)
-      .Kv("file", rel_file)
-      .Kv("bytes", static_cast<std::uint64_t>(size));
+  // SaveInternet publishes atomically (tmp + rename); a store failure is
+  // non-fatal here — the cache is an optimization — and a racing reader
+  // that catches a stale rel/meta pairing falls back to the corrupt-rebuild
+  // path above.
+  try {
+    SaveInternet(*slot, stem);
+    std::uintmax_t size = 0;
+    double age_seconds = 0.0;
+    DescribeCacheFile(rel_file, &size, &age_seconds);
+    obs::Log(obs::LogLevel::kInfo, "bench", "cache.store")
+        .Kv("key", stem)
+        .Kv("file", rel_file)
+        .Kv("bytes", static_cast<std::uint64_t>(size));
+  } catch (const Error& e) {
+    obs::Log(obs::LogLevel::kWarn, "bench", "cache.store_failed")
+        .Kv("key", stem)
+        .Kv("error", e.what());
+  }
   return *slot;
 }
 

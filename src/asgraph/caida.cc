@@ -45,7 +45,13 @@ AsGraph LoadCaidaFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw Error("LoadCaidaFile: cannot open " + path);
   AsGraphBuilder builder;
-  ReadCaidaRelationships(in, builder);
+  try {
+    ReadCaidaRelationships(in, builder);
+  } catch (const ParseError& e) {
+    // The stream parser only knows line numbers; prefix the path so a
+    // corrupt on-disk cache names the exact file to inspect.
+    throw ParseError(path + ": " + e.what());
+  }
   return std::move(builder).Build();
 }
 

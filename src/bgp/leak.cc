@@ -19,6 +19,7 @@ LeakExperiment::LeakExperiment(const AsGraph& graph, AsId victim, LeakConfig con
   victim_source.node = victim_;
   victim_source.allowed_neighbors = config_.victim_export;
   PropagationOptions options;
+  options.cancel = config_.cancel;
   if (config_.peer_locked && config_.lock_mode == PeerLockMode::kFull) {
     // Only full locking constrains legitimate propagation; the pre-erratum
     // filter acts on the leaker alone (no leaker exists in the baseline).
@@ -49,6 +50,7 @@ std::optional<LeakOutcome> LeakExperiment::Run(AsId leaker) const {
   // The leak exports to every neighbor: no allowed_neighbors restriction.
 
   PropagationOptions options;
+  options.cancel = config_.cancel;
   Bitset leaker_mask;
   if (config_.peer_locked) {
     options.peer_locked = &*config_.peer_locked;

@@ -42,6 +42,9 @@ struct LeakConfig {
   // (under-)filtering for the ablation study.
   PeerLockMode lock_mode = PeerLockMode::kFull;
   LeakModel model = LeakModel::kReannounce;
+  // Polled between propagation phases (see PropagationOptions::cancel);
+  // must outlive the experiment when set.
+  const CancelToken* cancel = nullptr;
 };
 
 struct LeakOutcome {

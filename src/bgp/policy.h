@@ -14,6 +14,7 @@
 
 #include "asgraph/as_graph.h"
 #include "util/bitset.h"
+#include "util/cancel.h"
 
 namespace flatnet {
 
@@ -73,6 +74,12 @@ struct PropagationOptions {
   PeerLockMode lock_mode = PeerLockMode::kFull;
   // kDirectOnly: the senders a locking AS refuses (the leakers).
   const Bitset* lock_filtered_senders = nullptr;
+
+  // When set, the propagation engines poll this token at phase boundaries
+  // and abandon the computation with CancelledError once it expires —
+  // request deadlines and shutdown drains in long-lived services (serve/)
+  // ride on this.
+  const CancelToken* cancel = nullptr;
 };
 
 // True when `receiver` must discard an announcement arriving from `sender`

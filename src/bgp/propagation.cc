@@ -61,8 +61,11 @@ RouteComputation::RouteComputation(const AsGraph& graph,
 
   obs::TraceSpan span("bgp.propagation");
   Counters().runs.Increment();
+  ThrowIfCancelled(options.cancel, "bgp.propagation.customer_phase");
   RunCustomerPhase(sources, options);
+  ThrowIfCancelled(options.cancel, "bgp.propagation.peer_phase");
   RunPeerPhase(sources, options);
+  ThrowIfCancelled(options.cancel, "bgp.propagation.provider_phase");
   RunProviderPhase(sources, options);
 
   // Topological order of the predecessor DAG: ascending best length.

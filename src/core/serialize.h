@@ -14,12 +14,14 @@
 
 namespace flatnet {
 
-// Writes `<stem>.as-rel.txt` and `<stem>.meta.tsv`. Throws Error on I/O
-// failure.
+// Writes `<stem>.as-rel.txt` and `<stem>.meta.tsv`. The pair is published
+// atomically — written to a pid-unique tmp sibling and renamed into place —
+// so concurrent writers of the same stem never produce a torn file. Throws
+// Error on I/O failure (tmp files are cleaned up).
 void SaveInternet(const Internet& internet, const std::string& stem);
 
 // Loads a pair written by SaveInternet. Throws Error if either file is
-// missing or malformed.
+// missing or malformed; parse errors name the offending file and line.
 Internet LoadInternet(const std::string& stem);
 
 // True when both files exist.

@@ -171,6 +171,13 @@ void RegisterCoreMetrics() {
            "cache.corrupt",
            "thread_pool.tasks_submitted",
            "thread_pool.tasks_executed",
+           "serve.requests",
+           "serve.errors",
+           "serve.overloaded",
+           "serve.deadline_exceeded",
+           "serve.cache.hit",
+           "serve.cache.miss",
+           "serve.cache.eviction",
        }) {
     GetCounter(name);
   }
@@ -178,10 +185,21 @@ void RegisterCoreMetrics() {
            "thread_pool.queue_depth",
            "thread_pool.peak_queue_depth",
            "thread_pool.threads",
+           "serve.inflight",
+           "serve.cache.bytes",
+           "serve.cache.entries",
        }) {
     GetGauge(name);
   }
   GetHistogram("bench.build_seconds", {1.0, 5.0, 15.0, 60.0, 300.0});
+  for (const char* name : {
+           "serve.reach.latency_ms",
+           "serve.reliance.latency_ms",
+           "serve.leak.latency_ms",
+           "serve.status.latency_ms",
+       }) {
+    GetHistogram(name, {0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0});
+  }
   for (const char* name : {
            "bgp.propagation",
            "bgp.propagation.customer_phase",

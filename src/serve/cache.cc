@@ -1,0 +1,95 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "obs/metrics.h"
+
+namespace flatnet::serve {
+namespace {
+
+// Registered once; relaxed increments on the hot path.
+struct CacheCounters {
+  obs::Counter& hit = obs::GetCounter("serve.cache.hit");
+  obs::Counter& miss = obs::GetCounter("serve.cache.miss");
+  obs::Counter& eviction = obs::GetCounter("serve.cache.eviction");
+};
+
+CacheCounters& Counters() {
+  static CacheCounters counters;
+  return counters;
+}
+
+// Approximate per-entry bookkeeping overhead (list node + index slot).
+constexpr std::size_t kEntryOverhead = 96;
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity_bytes, std::size_t num_shards)
+    : shard_capacity_(
+          std::max<std::size_t>(1, capacity_bytes / std::max<std::size_t>(1, num_shards))),
+      shards_(std::max<std::size_t>(1, num_shards)) {}
+
+std::size_t ResultCache::EntryCost(const Entry& entry) {
+  return entry.key.size() + entry.value.size() + kEntryOverhead;
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string_view>{}(key) % shards_.size()];
+}
+
+std::optional<std::string> ResultCache::Get(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(std::string_view(key));
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    Counters().miss.Increment();
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  Counters().hit.Increment();
+  return it->second->value;
+}
+
+void ResultCache::Put(const std::string& key, const std::string& value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(std::string_view(key));
+  if (it != shard.index.end()) {
+    shard.bytes -= EntryCost(*it->second);
+    it->second->value = value;
+    shard.bytes += EntryCost(*it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, value});
+    auto node = shard.lru.begin();
+    shard.index.emplace(std::string_view(node->key), node);
+    shard.bytes += EntryCost(*node);
+  }
+  while (shard.bytes > shard_capacity_ && !shard.lru.empty()) {
+    const Entry& cold = shard.lru.back();
+    shard.bytes -= EntryCost(cold);
+    shard.index.erase(std::string_view(cold.key));
+    shard.lru.pop_back();
+    ++shard.evictions;
+    Counters().eviction.Increment();
+  }
+}
+
+CacheStats ResultCache::Stats() const {
+  CacheStats stats;
+  stats.capacity_bytes = static_cast<std::uint64_t>(shard_capacity_) * shards_.size();
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.entries += shard.lru.size();
+    stats.bytes += shard.bytes;
+  }
+  return stats;
+}
+
+}  // namespace flatnet::serve

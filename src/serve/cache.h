@@ -1,0 +1,76 @@
+// Sharded byte-budget LRU cache for serialized query results.
+//
+// Keys are the canonical strings from protocol.h CacheKey; values are the
+// compact `result` JSON payloads, stored verbatim so a hit reproduces the
+// cold response byte-for-byte. The store is sharded by key hash so the
+// dispatcher's worker threads do not serialize on one mutex; each shard
+// holds an intrusive LRU list with its own slice of the byte budget and
+// evicts from the cold end until it fits. Hits, misses, and evictions feed
+// both the shard-local tallies (surfaced by the `status` op) and the obs
+// counters serve.cache.{hit,miss,eviction}.
+#ifndef FLATNET_SERVE_CACHE_H_
+#define FLATNET_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace flatnet::serve {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t capacity_bytes = 0;
+};
+
+class ResultCache {
+ public:
+  // `capacity_bytes` is split evenly across shards; an entry larger than
+  // its shard's slice is simply not stored.
+  explicit ResultCache(std::size_t capacity_bytes, std::size_t num_shards = 8);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Returns the cached value and marks it most-recently-used.
+  std::optional<std::string> Get(const std::string& key);
+
+  // Inserts or refreshes `key`, evicting cold entries to fit the budget.
+  void Put(const std::string& key, const std::string& value);
+
+  CacheStats Stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    // Views into the list entries' keys; list nodes are address-stable.
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  static std::size_t EntryCost(const Entry& entry);
+  Shard& ShardFor(const std::string& key);
+
+  std::size_t shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace flatnet::serve
+
+#endif  // FLATNET_SERVE_CACHE_H_

@@ -1,0 +1,352 @@
+#include "serve/dispatcher.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "bgp/propagation.h"
+#include "bgp/reliance.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "util/strings.h"
+
+namespace flatnet::serve {
+namespace {
+
+struct ServeCounters {
+  obs::Counter& requests = obs::GetCounter("serve.requests");
+  obs::Counter& errors = obs::GetCounter("serve.errors");
+  obs::Counter& overloaded = obs::GetCounter("serve.overloaded");
+  obs::Counter& deadline_exceeded = obs::GetCounter("serve.deadline_exceeded");
+  obs::Gauge& inflight = obs::GetGauge("serve.inflight");
+};
+
+ServeCounters& Counters() {
+  static ServeCounters counters;
+  return counters;
+}
+
+obs::Histogram& LatencyHistogram(QueryKind kind) {
+  static const std::vector<double> bounds{0.1,  0.3,   1.0,   3.0,    10.0,
+                                          30.0, 100.0, 300.0, 1000.0, 3000.0};
+  static obs::Histogram* histograms[] = {
+      &obs::GetHistogram("serve.reach.latency_ms", bounds),
+      &obs::GetHistogram("serve.reliance.latency_ms", bounds),
+      &obs::GetHistogram("serve.leak.latency_ms", bounds),
+      &obs::GetHistogram("serve.status.latency_ms", bounds),
+  };
+  return *histograms[static_cast<std::size_t>(kind)];
+}
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(const Internet& internet, const DispatcherOptions& options)
+    : internet_(internet),
+      options_(options),
+      cache_(options.cache_bytes),
+      pool_(options.threads),
+      start_time_(std::chrono::steady_clock::now()) {
+  users_.reserve(internet.num_ases());
+  for (AsId id = 0; id < internet.num_ases(); ++id) {
+    users_.push_back(internet.metadata().Get(id).users);
+  }
+}
+
+AsId Dispatcher::ResolveAsn(Asn asn, const char* field) const {
+  auto id = internet_.graph().IdOf(asn);
+  if (!id) {
+    throw ProtocolError(ErrorCode::kUnknownAsn,
+                        StrFormat("%s AS%u is not in the topology", field, asn));
+  }
+  return *id;
+}
+
+Bitset Dispatcher::ResolveAsnList(const std::vector<Asn>& asns) const {
+  Bitset mask(internet_.num_ases());
+  for (Asn asn : asns) mask.Set(ResolveAsn(asn, "listed"));
+  return mask;
+}
+
+void Dispatcher::Handle(const std::string& line, std::function<void(std::string)> done) {
+  Counters().requests.Increment();
+  auto t0 = std::chrono::steady_clock::now();
+
+  Json doc;
+  try {
+    doc = Json::Parse(line);
+  } catch (const ParseError& e) {
+    Counters().errors.Increment();
+    done(ErrorResponse(Json(), ErrorCode::kBadRequest,
+                       std::string("malformed JSON: ") + e.what()));
+    return;
+  }
+  Json id = doc.type() == Json::Type::kObject ? doc.Get("id") : Json();
+
+  Request request;
+  try {
+    request = RequestFromJson(doc);
+  } catch (const ProtocolError& e) {
+    Counters().errors.Increment();
+    done(ErrorResponse(id, e.code(), e.what()));
+    return;
+  }
+
+  if (request.kind == QueryKind::kStatus) {
+    done(OkResponse(id, StatusResult(), false));
+    LatencyHistogram(QueryKind::kStatus).Observe(MillisSince(t0));
+    return;
+  }
+
+  std::string key = CacheKey(request);
+  if (auto hit = cache_.Get(key)) {
+    done(OkResponse(id, *hit, true));
+    LatencyHistogram(request.kind).Observe(MillisSince(t0));
+    return;
+  }
+
+  // The deadline clock starts at admission, so time spent queued behind
+  // other queries counts against the request's budget.
+  std::int64_t deadline_ms =
+      request.deadline_ms > 0 ? request.deadline_ms : options_.default_deadline_ms;
+  std::shared_ptr<CancelToken> token;
+  if (deadline_ms > 0) {
+    token = std::make_shared<CancelToken>(std::chrono::steady_clock::now() +
+                                          std::chrono::milliseconds(deadline_ms));
+  }
+
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  Counters().inflight.Set(inflight_.load(std::memory_order_relaxed));
+  // `done` and `id` are captured by copy: if admission rejects the job, the
+  // originals are still live for the overload response below.
+  auto job = [this, request, id, key, token, done, t0] {
+    std::string response;
+    try {
+      std::string result = Execute(request, token.get());
+      cache_.Put(key, result);
+      response = OkResponse(id, result, false);
+    } catch (const CancelledError&) {
+      Counters().deadline_exceeded.Increment();
+      Counters().errors.Increment();
+      response = ErrorResponse(id, ErrorCode::kDeadlineExceeded,
+                               "query abandoned past its deadline");
+    } catch (const ProtocolError& e) {
+      Counters().errors.Increment();
+      response = ErrorResponse(id, e.code(), e.what());
+    } catch (const Error& e) {
+      Counters().errors.Increment();
+      obs::Log(obs::LogLevel::kError, "serve", "query.internal_error")
+          .Kv("op", ToString(request.kind))
+          .Kv("error", e.what());
+      response = ErrorResponse(id, ErrorCode::kInternal, e.what());
+    }
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    Counters().inflight.Set(inflight_.load(std::memory_order_relaxed));
+    LatencyHistogram(request.kind).Observe(MillisSince(t0));
+    done(response);
+  };
+  if (!pool_.TrySubmit(std::move(job), options_.max_inflight)) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    Counters().inflight.Set(inflight_.load(std::memory_order_relaxed));
+    Counters().overloaded.Increment();
+    Counters().errors.Increment();
+    done(ErrorResponse(id, ErrorCode::kOverloaded,
+                       StrFormat("at the admission high-water mark (%zu queries in flight)",
+                                 options_.max_inflight)));
+  }
+}
+
+std::string Dispatcher::HandleSync(const std::string& line) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string response;
+  bool ready = false;
+  Handle(line, [&](std::string r) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      response = std::move(r);
+      ready = true;
+    }
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return ready; });
+  return response;
+}
+
+void Dispatcher::Drain() { pool_.Wait(); }
+
+std::string Dispatcher::Execute(const Request& request, const CancelToken* cancel) const {
+  switch (request.kind) {
+    case QueryKind::kReach: return ExecuteReach(request, cancel);
+    case QueryKind::kReliance: return ExecuteReliance(request, cancel);
+    case QueryKind::kLeak: return ExecuteLeak(request, cancel);
+    case QueryKind::kStatus: break;
+  }
+  throw ProtocolError(ErrorCode::kInternal, "unreachable op");
+}
+
+std::string Dispatcher::ExecuteReach(const Request& request, const CancelToken* cancel) const {
+  AsId origin = ResolveAsn(request.origin, "origin");
+  std::size_t n = internet_.num_ases();
+
+  Bitset excluded(n);
+  switch (request.mode) {
+    case ReachMode::kFull: break;
+    case ReachMode::kProviderFree: excluded = internet_.ProviderFreeExclusion(origin); break;
+    case ReachMode::kTier1Free: excluded = internet_.Tier1FreeExclusion(origin); break;
+    case ReachMode::kHierarchyFree:
+      excluded = internet_.HierarchyFreeExclusion(origin);
+      break;
+  }
+  for (Asn asn : request.excluded) {
+    AsId id = ResolveAsn(asn, "excluded");
+    if (id == origin) {
+      throw ProtocolError(ErrorCode::kBadRequest, "the origin cannot be excluded");
+    }
+    excluded.Set(id);
+  }
+
+  PropagationOptions options;
+  options.cancel = cancel;
+  if (excluded.Any()) options.excluded = &excluded;
+  Bitset locked;
+  if (!request.peer_locked.empty()) {
+    // Peer locking protects the origin's prefix: locked ASes accept it only
+    // directly from the origin (kFull). kDirectOnly names no refused
+    // senders in a reach query, so it degenerates to unfiltered — accepted
+    // for symmetry with leak, where it models the pre-erratum semantics.
+    locked = ResolveAsnList(request.peer_locked);
+    options.peer_locked = &locked;
+    options.protected_origin = origin;
+    options.lock_mode = request.lock_mode;
+  }
+
+  AnnouncementSource source;
+  source.node = origin;
+  RouteComputation computation(internet_.graph(), {source}, options);
+  std::size_t reachable = computation.ReachedCount();
+
+  std::size_t denominator = n > 0 ? n - 1 : 0;
+  Json result = Json::MakeObject();
+  result["denominator"] = static_cast<std::uint64_t>(denominator);
+  result["excluded"] = static_cast<std::uint64_t>(excluded.Count());
+  result["fraction"] = denominator > 0
+                           ? static_cast<double>(reachable) / static_cast<double>(denominator)
+                           : 0.0;
+  result["mode"] = ToString(request.mode);
+  result["origin"] = request.origin;
+  result["reachable"] = static_cast<std::uint64_t>(reachable);
+  return result.Dump();
+}
+
+std::string Dispatcher::ExecuteReliance(const Request& request,
+                                        const CancelToken* cancel) const {
+  AsId origin = ResolveAsn(request.origin, "origin");
+
+  PropagationOptions options;
+  options.cancel = cancel;
+  AnnouncementSource source;
+  source.node = origin;
+  RouteComputation computation(internet_.graph(), {source}, options);
+  ThrowIfCancelled(cancel, "serve.reliance");
+  RelianceResult reliance = ComputeReliance(computation);
+
+  // Rank every AS with nonzero reliance; ties broken by ascending ASN so
+  // the payload is deterministic.
+  struct Ranked {
+    double value;
+    Asn asn;
+    AsId id;
+  };
+  std::vector<Ranked> ranked;
+  for (AsId id = 0; id < internet_.num_ases(); ++id) {
+    if (reliance.reliance[id] > 0.0 && id != origin) {
+      ranked.push_back({reliance.reliance[id], internet_.graph().AsnOf(id), id});
+    }
+  }
+  std::size_t k = std::min(request.top_k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(k),
+                    ranked.end(), [](const Ranked& a, const Ranked& b) {
+                      if (a.value != b.value) return a.value > b.value;
+                      return a.asn < b.asn;
+                    });
+  ranked.resize(k);
+
+  Json top = Json::MakeArray();
+  for (const Ranked& r : ranked) {
+    Json entry = Json::MakeObject();
+    entry["asn"] = r.asn;
+    entry["name"] = internet_.NameOf(r.id);
+    entry["reliance"] = r.value;
+    top.Append(std::move(entry));
+  }
+  Json result = Json::MakeObject();
+  result["k"] = static_cast<std::uint64_t>(request.top_k);
+  result["origin"] = request.origin;
+  result["top"] = std::move(top);
+  return result.Dump();
+}
+
+std::string Dispatcher::ExecuteLeak(const Request& request, const CancelToken* cancel) const {
+  AsId victim = ResolveAsn(request.victim, "victim");
+  AsId leaker = ResolveAsn(request.leaker, "leaker");
+
+  LeakConfig config;
+  config.lock_mode = request.lock_mode;
+  config.model = request.model;
+  config.cancel = cancel;
+  if (!request.peer_locked.empty()) {
+    config.peer_locked = ResolveAsnList(request.peer_locked);
+  }
+  LeakExperiment experiment(internet_.graph(), victim, std::move(config),
+                            users_.empty() ? nullptr : &users_);
+  std::optional<LeakOutcome> outcome = experiment.Run(leaker);
+  if (!outcome) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "leaker holds no route to the victim (nothing to leak)");
+  }
+
+  Json result = Json::MakeObject();
+  result["detoured"] = static_cast<std::uint64_t>(outcome->detoured_count);
+  result["fraction_ases"] = outcome->fraction_ases_detoured;
+  result["fraction_users"] = outcome->fraction_users_detoured;
+  result["leaker"] = request.leaker;
+  result["model"] = request.model == LeakModel::kReannounce ? "reannounce" : "originate";
+  result["victim"] = request.victim;
+  return result.Dump();
+}
+
+std::string Dispatcher::StatusResult() {
+  CacheStats stats = cache_.Stats();
+  obs::GetGauge("serve.cache.bytes").Set(static_cast<std::int64_t>(stats.bytes));
+  obs::GetGauge("serve.cache.entries").Set(static_cast<std::int64_t>(stats.entries));
+  Counters().inflight.Set(inflight_.load(std::memory_order_relaxed));
+
+  Json cache = Json::MakeObject();
+  cache["bytes"] = stats.bytes;
+  cache["capacity_bytes"] = stats.capacity_bytes;
+  cache["entries"] = stats.entries;
+  cache["evictions"] = stats.evictions;
+  cache["hits"] = stats.hits;
+  cache["misses"] = stats.misses;
+
+  Json result = Json::MakeObject();
+  result["cache"] = std::move(cache);
+  result["inflight"] = static_cast<std::int64_t>(inflight());
+  result["metrics"] = obs::ObservabilitySnapshot();
+  result["num_ases"] = static_cast<std::uint64_t>(internet_.num_ases());
+  result["num_edges"] = static_cast<std::uint64_t>(internet_.graph().num_edges());
+  result["threads"] = static_cast<std::uint64_t>(pool_.thread_count());
+  result["uptime_s"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time_).count();
+  return result.Dump();
+}
+
+}  // namespace flatnet::serve

@@ -1,0 +1,92 @@
+// Query execution with admission control for the resident service.
+//
+// The dispatcher owns the shared immutable Internet, the result cache, and
+// a ThreadPool. One request flows: parse → status answered inline → cache
+// probe (hit returns the stored payload verbatim) → bounded admission
+// (structured `overloaded` error past the high-water mark, so the service
+// sheds load instead of queueing without bound) → execution on a pool
+// thread under a per-request CancelToken whose deadline covers queue wait
+// as well as compute (the propagation engines poll it between phases and
+// abandon expired work with `deadline_exceeded`).
+//
+// Instrumentation: per-endpoint latency histograms
+// (serve.<op>.latency_ms), request/error/overload counters, an inflight
+// gauge, and the cache counters from cache.h.
+#ifndef FLATNET_SERVE_DISPATCHER_H_
+#define FLATNET_SERVE_DISPATCHER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/internet.h"
+#include "serve/cache.h"
+#include "serve/protocol.h"
+#include "util/thread_pool.h"
+
+namespace flatnet::serve {
+
+struct DispatcherOptions {
+  // Worker threads for query execution; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  // Admission high-water mark: queries queued or running. At the mark, new
+  // queries (cache hits and status excepted) are rejected as `overloaded`.
+  std::size_t max_inflight = 64;
+  // Result-cache byte budget.
+  std::size_t cache_bytes = 64 * 1024 * 1024;
+  // Deadline applied when a request does not carry `deadline_ms`; 0 = none.
+  std::int64_t default_deadline_ms = 0;
+};
+
+class Dispatcher {
+ public:
+  // `internet` must outlive the dispatcher; queries only read it.
+  Dispatcher(const Internet& internet, const DispatcherOptions& options);
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  // Handles one request line. `done` receives exactly one response line
+  // (no trailing newline) — inline for parse errors, cache hits, status,
+  // and overload rejections; on a pool thread for computed queries. `done`
+  // must be thread-safe against other responses on the same connection.
+  void Handle(const std::string& line, std::function<void(std::string)> done);
+
+  // Convenience for tests and the loadgen verifier: blocks until the
+  // response is ready.
+  std::string HandleSync(const std::string& line);
+
+  // Waits until every admitted query has finished (shutdown drain).
+  void Drain();
+
+  CacheStats cache_stats() const { return cache_.Stats(); }
+  std::int64_t inflight() const { return inflight_.load(std::memory_order_relaxed); }
+  const Internet& internet() const { return internet_; }
+
+ private:
+  // Runs one parsed query; returns the compact `result` JSON. Throws
+  // ProtocolError / CancelledError on failure.
+  std::string Execute(const Request& request, const CancelToken* cancel) const;
+  std::string ExecuteReach(const Request& request, const CancelToken* cancel) const;
+  std::string ExecuteReliance(const Request& request, const CancelToken* cancel) const;
+  std::string ExecuteLeak(const Request& request, const CancelToken* cancel) const;
+  std::string StatusResult();
+
+  AsId ResolveAsn(Asn asn, const char* field) const;
+  Bitset ResolveAsnList(const std::vector<Asn>& asns) const;
+
+  const Internet& internet_;
+  DispatcherOptions options_;
+  ResultCache cache_;
+  ThreadPool pool_;
+  std::vector<double> users_;  // per-AS populations for leak weighting
+  std::atomic<std::int64_t> inflight_{0};
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace flatnet::serve
+
+#endif  // FLATNET_SERVE_DISPATCHER_H_

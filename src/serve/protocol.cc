@@ -1,0 +1,334 @@
+#include "serve/protocol.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace flatnet::serve {
+namespace {
+
+Asn AsnField(const Json& value, const char* key) {
+  std::uint64_t raw;
+  try {
+    raw = value.AsU64();
+  } catch (const Error&) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        StrFormat("'%s' must be a non-negative integer ASN", key));
+  }
+  if (raw == 0 || raw > 0xffffffffULL) {
+    throw ProtocolError(ErrorCode::kBadRequest, StrFormat("'%s' is out of ASN range", key));
+  }
+  return static_cast<Asn>(raw);
+}
+
+std::vector<Asn> AsnListField(const Json& value, const char* key) {
+  if (value.type() != Json::Type::kArray) {
+    throw ProtocolError(ErrorCode::kBadRequest, StrFormat("'%s' must be an array", key));
+  }
+  std::vector<Asn> asns;
+  asns.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) asns.push_back(AsnField(value[i], key));
+  std::sort(asns.begin(), asns.end());
+  asns.erase(std::unique(asns.begin(), asns.end()), asns.end());
+  return asns;
+}
+
+PeerLockMode LockModeField(const Json& value) {
+  const std::string* text = nullptr;
+  try {
+    text = &value.AsString();
+  } catch (const Error&) {
+  }
+  if (text != nullptr) {
+    if (*text == "full") return PeerLockMode::kFull;
+    if (*text == "direct_only") return PeerLockMode::kDirectOnly;
+  }
+  throw ProtocolError(ErrorCode::kBadRequest, "'lock_mode' must be 'full' or 'direct_only'");
+}
+
+ReachMode ModeField(const Json& value) {
+  const std::string* text = nullptr;
+  try {
+    text = &value.AsString();
+  } catch (const Error&) {
+  }
+  if (text != nullptr) {
+    if (*text == "full") return ReachMode::kFull;
+    if (*text == "provider_free") return ReachMode::kProviderFree;
+    if (*text == "tier1_free") return ReachMode::kTier1Free;
+    if (*text == "hierarchy_free") return ReachMode::kHierarchyFree;
+  }
+  throw ProtocolError(
+      ErrorCode::kBadRequest,
+      "'mode' must be one of full|provider_free|tier1_free|hierarchy_free");
+}
+
+LeakModel ModelField(const Json& value) {
+  const std::string* text = nullptr;
+  try {
+    text = &value.AsString();
+  } catch (const Error&) {
+  }
+  if (text != nullptr) {
+    if (*text == "reannounce") return LeakModel::kReannounce;
+    if (*text == "originate") return LeakModel::kOriginate;
+  }
+  throw ProtocolError(ErrorCode::kBadRequest, "'model' must be 'reannounce' or 'originate'");
+}
+
+void AppendAsnList(std::string& key, const char* tag, const std::vector<Asn>& asns) {
+  if (asns.empty()) return;
+  key += '|';
+  key += tag;
+  key += '=';
+  for (std::size_t i = 0; i < asns.size(); ++i) {
+    if (i > 0) key += ',';
+    key += std::to_string(asns[i]);
+  }
+}
+
+}  // namespace
+
+const char* ToString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownOp: return "unknown_op";
+    case ErrorCode::kUnknownAsn: return "unknown_asn";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+const char* ToString(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kReach: return "reach";
+    case QueryKind::kReliance: return "reliance";
+    case QueryKind::kLeak: return "leak";
+    case QueryKind::kStatus: return "status";
+  }
+  return "status";
+}
+
+const char* ToString(ReachMode mode) {
+  switch (mode) {
+    case ReachMode::kFull: return "full";
+    case ReachMode::kProviderFree: return "provider_free";
+    case ReachMode::kTier1Free: return "tier1_free";
+    case ReachMode::kHierarchyFree: return "hierarchy_free";
+  }
+  return "hierarchy_free";
+}
+
+Request ParseRequest(std::string_view line) {
+  Json doc;
+  try {
+    doc = Json::Parse(line);
+  } catch (const ParseError& e) {
+    throw ProtocolError(ErrorCode::kBadRequest, std::string("malformed JSON: ") + e.what());
+  }
+  return RequestFromJson(doc);
+}
+
+Request RequestFromJson(const Json& doc) {
+  if (doc.type() != Json::Type::kObject) {
+    throw ProtocolError(ErrorCode::kBadRequest, "request must be a JSON object");
+  }
+  const Json::Object& object = doc.AsObject();
+
+  auto op_it = object.find("op");
+  if (op_it == object.end() || op_it->second.type() != Json::Type::kString) {
+    throw ProtocolError(ErrorCode::kBadRequest, "missing string field 'op'");
+  }
+  const std::string& op = op_it->second.AsString();
+
+  Request request;
+  if (op == "reach") {
+    request.kind = QueryKind::kReach;
+  } else if (op == "reliance") {
+    request.kind = QueryKind::kReliance;
+  } else if (op == "leak") {
+    request.kind = QueryKind::kLeak;
+  } else if (op == "status") {
+    request.kind = QueryKind::kStatus;
+  } else {
+    throw ProtocolError(ErrorCode::kUnknownOp, "unknown op '" + op + "'");
+  }
+
+  bool have_origin = false;
+  bool have_victim = false;
+  bool have_leaker = false;
+  for (const auto& [key, value] : object) {
+    if (key == "op") continue;
+    if (key == "id") {
+      request.id = value;
+      continue;
+    }
+    if (key == "deadline_ms" && request.kind != QueryKind::kStatus) {
+      std::uint64_t ms;
+      try {
+        ms = value.AsU64();
+      } catch (const Error&) {
+        throw ProtocolError(ErrorCode::kBadRequest,
+                            "'deadline_ms' must be a positive integer");
+      }
+      if (ms == 0 || ms > 3'600'000) {
+        throw ProtocolError(ErrorCode::kBadRequest,
+                            "'deadline_ms' must be in [1, 3600000]");
+      }
+      request.deadline_ms = static_cast<std::int64_t>(ms);
+      continue;
+    }
+    bool handled = false;
+    switch (request.kind) {
+      case QueryKind::kReach:
+        if (key == "origin") {
+          request.origin = AsnField(value, "origin");
+          have_origin = handled = true;
+        } else if (key == "mode") {
+          request.mode = ModeField(value);
+          handled = true;
+        } else if (key == "excluded") {
+          request.excluded = AsnListField(value, "excluded");
+          handled = true;
+        } else if (key == "peer_locked") {
+          request.peer_locked = AsnListField(value, "peer_locked");
+          handled = true;
+        } else if (key == "lock_mode") {
+          request.lock_mode = LockModeField(value);
+          handled = true;
+        }
+        break;
+      case QueryKind::kReliance:
+        if (key == "origin") {
+          request.origin = AsnField(value, "origin");
+          have_origin = handled = true;
+        } else if (key == "k") {
+          std::uint64_t k;
+          try {
+            k = value.AsU64();
+          } catch (const Error&) {
+            throw ProtocolError(ErrorCode::kBadRequest, "'k' must be a positive integer");
+          }
+          if (k == 0 || k > 100'000) {
+            throw ProtocolError(ErrorCode::kBadRequest, "'k' must be in [1, 100000]");
+          }
+          request.top_k = static_cast<std::size_t>(k);
+          handled = true;
+        }
+        break;
+      case QueryKind::kLeak:
+        if (key == "victim") {
+          request.victim = AsnField(value, "victim");
+          have_victim = handled = true;
+        } else if (key == "leaker") {
+          request.leaker = AsnField(value, "leaker");
+          have_leaker = handled = true;
+        } else if (key == "model") {
+          request.model = ModelField(value);
+          handled = true;
+        } else if (key == "peer_locked") {
+          request.peer_locked = AsnListField(value, "peer_locked");
+          handled = true;
+        } else if (key == "lock_mode") {
+          request.lock_mode = LockModeField(value);
+          handled = true;
+        }
+        break;
+      case QueryKind::kStatus:
+        break;
+    }
+    if (!handled) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          StrFormat("unknown field '%s' for op '%s'", key.c_str(), op.c_str()));
+    }
+  }
+
+  switch (request.kind) {
+    case QueryKind::kReach:
+    case QueryKind::kReliance:
+      if (!have_origin) {
+        throw ProtocolError(ErrorCode::kBadRequest, "missing required field 'origin'");
+      }
+      break;
+    case QueryKind::kLeak:
+      if (!have_victim || !have_leaker) {
+        throw ProtocolError(ErrorCode::kBadRequest,
+                            "leak requires both 'victim' and 'leaker'");
+      }
+      if (request.victim == request.leaker) {
+        throw ProtocolError(ErrorCode::kBadRequest, "victim and leaker must differ");
+      }
+      break;
+    case QueryKind::kStatus:
+      break;
+  }
+  return request;
+}
+
+std::string CacheKey(const Request& request) {
+  std::string key;
+  switch (request.kind) {
+    case QueryKind::kStatus:
+      return key;  // never cached
+    case QueryKind::kReach:
+      key = "reach|o=";
+      key += std::to_string(request.origin);
+      key += "|m=";
+      key += ToString(request.mode);
+      AppendAsnList(key, "x", request.excluded);
+      if (!request.peer_locked.empty()) {
+        AppendAsnList(key, "pl", request.peer_locked);
+        key += "|lk=";
+        key += request.lock_mode == PeerLockMode::kFull ? "full" : "direct_only";
+      }
+      return key;
+    case QueryKind::kReliance:
+      key = "reliance|o=";
+      key += std::to_string(request.origin);
+      key += "|k=";
+      key += std::to_string(request.top_k);
+      return key;
+    case QueryKind::kLeak:
+      key = "leak|v=";
+      key += std::to_string(request.victim);
+      key += "|l=";
+      key += std::to_string(request.leaker);
+      key += "|model=";
+      key += request.model == LeakModel::kReannounce ? "reannounce" : "originate";
+      if (!request.peer_locked.empty()) {
+        AppendAsnList(key, "pl", request.peer_locked);
+        key += "|lk=";
+        key += request.lock_mode == PeerLockMode::kFull ? "full" : "direct_only";
+      }
+      return key;
+  }
+  return key;
+}
+
+std::string OkResponse(const Json& id, const std::string& result_json, bool cached) {
+  // Hand-assembled so the cached `result` bytes embed verbatim; key order
+  // matches Json::Dump's sorted-key output for consistency.
+  std::string out = "{\"cached\":";
+  out += cached ? "true" : "false";
+  out += ",\"id\":";
+  out += id.Dump();
+  out += ",\"ok\":true,\"result\":";
+  out += result_json;
+  out += '}';
+  return out;
+}
+
+std::string ErrorResponse(const Json& id, ErrorCode code, const std::string& message) {
+  Json error = Json::MakeObject();
+  error["code"] = ToString(code);
+  error["message"] = message;
+  Json doc = Json::MakeObject();
+  doc["error"] = std::move(error);
+  doc["id"] = id;
+  doc["ok"] = false;
+  return doc.Dump();
+}
+
+}  // namespace flatnet::serve

@@ -1,0 +1,128 @@
+// Wire protocol for the resident analysis service (flatnet_serve).
+//
+// Transport is line-delimited JSON over TCP: one request object per line,
+// one response object per line. Requests carry an `op` plus op-specific
+// parameters; responses echo the client-chosen `id` verbatim so a pipelined
+// client can match them out of order.
+//
+// Request grammar (unknown keys are rejected so typos fail loudly):
+//
+//   {"op":"reach","origin":<asn>,            hierarchy-free reachability
+//    "mode":"full"|"provider_free"|"tier1_free"|"hierarchy_free",
+//    "excluded":[<asn>...],                  extra ASes removed from the
+//    "peer_locked":[<asn>...],               subgraph; defensive locking
+//    "lock_mode":"full"|"direct_only",
+//    "id":<any>,"deadline_ms":<n>}
+//   {"op":"reliance","origin":<asn>,"k":<n>, top-k transit reliance
+//    "id":<any>,"deadline_ms":<n>}
+//   {"op":"leak","victim":<asn>,"leaker":<asn>,
+//    "model":"reannounce"|"originate",
+//    "peer_locked":[<asn>...],"lock_mode":...,
+//    "id":<any>,"deadline_ms":<n>}
+//   {"op":"status","id":<any>}               uptime, cache + obs snapshot
+//
+// Responses:
+//   {"cached":<bool>,"id":<echo>,"ok":true,"result":{...}}
+//   {"error":{"code":"<code>","message":"..."},"id":<echo>,"ok":false}
+//
+// The `result` object of a successful response is embedded verbatim from
+// the computation (or the result cache), so a cached reply is byte-for-byte
+// identical to the cold one. Error codes: bad_request, unknown_op,
+// unknown_asn, overloaded, deadline_exceeded, internal.
+#ifndef FLATNET_SERVE_PROTOCOL_H_
+#define FLATNET_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asgraph/as_graph.h"
+#include "bgp/leak.h"
+#include "bgp/policy.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace flatnet::serve {
+
+enum class ErrorCode : std::uint8_t {
+  kBadRequest,
+  kUnknownOp,
+  kUnknownAsn,
+  kOverloaded,
+  kDeadlineExceeded,
+  kInternal,
+};
+
+const char* ToString(ErrorCode code);
+
+// A request that cannot be served as asked; the dispatcher renders it as a
+// structured error response instead of tearing the connection down.
+class ProtocolError : public Error {
+ public:
+  ProtocolError(ErrorCode code, const std::string& message)
+      : Error(message), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+enum class QueryKind : std::uint8_t { kReach, kReliance, kLeak, kStatus };
+
+const char* ToString(QueryKind kind);
+
+// Which baseline exclusion set a reach query starts from (§6's nested
+// metrics); user-supplied `excluded` ASes are unioned on top.
+enum class ReachMode : std::uint8_t {
+  kFull,           // no baseline exclusion
+  kProviderFree,   // reach(o, I \ Po)
+  kTier1Free,      // reach(o, I \ Po \ T1)
+  kHierarchyFree,  // reach(o, I \ Po \ T1 \ T2)
+};
+
+const char* ToString(ReachMode mode);
+
+// One parsed, canonicalized request. AS lists are sorted and deduplicated
+// at parse time so equal queries produce equal cache keys.
+struct Request {
+  QueryKind kind = QueryKind::kStatus;
+  Json id;                       // echoed verbatim; null when absent
+  std::int64_t deadline_ms = 0;  // 0 = use the server default
+
+  // reach / reliance
+  Asn origin = 0;
+  // reach
+  ReachMode mode = ReachMode::kHierarchyFree;
+  std::vector<Asn> excluded;
+  std::vector<Asn> peer_locked;
+  PeerLockMode lock_mode = PeerLockMode::kFull;
+  // reliance
+  std::size_t top_k = 10;
+  // leak
+  Asn victim = 0;
+  Asn leaker = 0;
+  LeakModel model = LeakModel::kReannounce;
+};
+
+// Parses one request line (JSON text). Throws ProtocolError on malformed
+// JSON, unknown op, unknown/duplicate keys, or out-of-range values.
+Request ParseRequest(std::string_view line);
+
+// Same, from an already-parsed document (lets the dispatcher recover the
+// `id` of a semantically invalid request for its error response).
+Request RequestFromJson(const Json& doc);
+
+// Canonical result-cache key: everything that affects the result — kind,
+// origin(s), canonicalized option sets — and nothing that does not (id,
+// deadline). Empty for status, which is never cached.
+std::string CacheKey(const Request& request);
+
+// Response encoders. `result_json` is a compact JSON object embedded
+// verbatim so cached and cold replies serialize identically.
+std::string OkResponse(const Json& id, const std::string& result_json, bool cached);
+std::string ErrorResponse(const Json& id, ErrorCode code, const std::string& message);
+
+}  // namespace flatnet::serve
+
+#endif  // FLATNET_SERVE_PROTOCOL_H_

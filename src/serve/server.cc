@@ -1,0 +1,175 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/log.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace flatnet::serve {
+namespace {
+
+void CloseQuietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+Server::Server(Dispatcher& dispatcher, const ServerOptions& options)
+    : dispatcher_(dispatcher), options_(options) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw Error(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    CloseQuietly(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(StrFormat("invalid bind address '%s'", options_.bind_address.c_str()));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    CloseQuietly(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(StrFormat("bind %s:%u: %s", options_.bind_address.c_str(),
+                          static_cast<unsigned>(options_.port), std::strerror(err)));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    int err = errno;
+    CloseQuietly(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(StrFormat("listen: %s", std::strerror(err)));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    int err = errno;
+    CloseQuietly(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(StrFormat("getsockname: %s", std::strerror(err)));
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Server::~Server() {
+  CloseQuietly(listen_fd_);
+  for (auto& connection : connections_) {
+    if (connection->reader.joinable()) connection->reader.join();
+    CloseQuietly(connection->fd);
+  }
+}
+
+void Server::Run() {
+  obs::Log(obs::LogLevel::kInfo, "serve", "server.listening")
+      .Kv("address", options_.bind_address)
+      .Kv("port", static_cast<unsigned>(port_));
+  AcceptLoop();
+
+  // Graceful drain: stop reading new requests, let admitted queries finish
+  // and write their responses, then tear the sockets down.
+  CloseQuietly(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (auto& connection : connections_) ::shutdown(connection->fd, SHUT_RD);
+  }
+  for (auto& connection : connections_) {
+    if (connection->reader.joinable()) connection->reader.join();
+  }
+  dispatcher_.Drain();
+  for (auto& connection : connections_) {
+    CloseQuietly(connection->fd);
+    connection->fd = -1;
+  }
+  connections_.clear();
+  obs::Log(obs::LogLevel::kInfo, "serve", "server.stopped");
+}
+
+void Server::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      obs::Log(obs::LogLevel::kError, "serve", "server.poll_failed")
+          .Kv("error", std::strerror(errno));
+      return;
+    }
+    if (ready == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      obs::Log(obs::LogLevel::kWarn, "serve", "server.accept_failed")
+          .Kv("error", std::strerror(errno));
+      continue;
+    }
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    Connection* raw = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      connections_.push_back(std::move(connection));
+    }
+    raw->reader = std::thread([this, raw] { ReadLoop(raw); });
+  }
+}
+
+void Server::ReadLoop(Connection* connection) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::recv(connection->fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // peer closed, error, or shutdown(SHUT_RD)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      std::size_t newline = buffer.find('\n', start);
+      if (newline == std::string::npos) break;
+      std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      dispatcher_.Handle(line,
+                         [this, connection](std::string response) {
+                           WriteLine(connection, response);
+                         });
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > options_.max_line_bytes) {
+      obs::Log(obs::LogLevel::kWarn, "serve", "server.line_too_long")
+          .Kv("bytes", static_cast<std::uint64_t>(buffer.size()));
+      return;
+    }
+  }
+}
+
+void Server::WriteLine(Connection* connection, const std::string& line) {
+  std::lock_guard<std::mutex> lock(connection->write_mu);
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    ssize_t n = ::send(connection->fd, framed.data() + sent, framed.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // peer gone; the reader will observe the close
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace flatnet::serve

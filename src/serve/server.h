@@ -1,0 +1,80 @@
+// TCP front end for the resident analysis service.
+//
+// One acceptor thread polls the listening socket (100 ms tick) so a stop
+// request is noticed promptly; each accepted connection gets a reader
+// thread that splits the byte stream into lines and hands them to the
+// dispatcher. Responses are written back under a per-connection mutex —
+// computed queries complete on pool threads, so replies to one connection
+// may interleave across requests (clients match on `id`).
+//
+// Shutdown (RequestShutdown, typically from a SIGTERM handler — it is a
+// single atomic store, safe in signal context) closes the listener, shuts
+// down the read side of every connection, joins the readers, drains the
+// dispatcher so admitted queries still answer, then closes the sockets.
+#ifndef FLATNET_SERVE_SERVER_H_
+#define FLATNET_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/dispatcher.h"
+
+namespace flatnet::serve {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  // 0 = let the kernel pick an ephemeral port (read back via port()).
+  std::uint16_t port = 0;
+  // Lines longer than this are a protocol violation; the connection drops.
+  std::size_t max_line_bytes = 1 << 20;
+};
+
+class Server {
+ public:
+  // Binds and listens; throws Error when the socket cannot be set up.
+  Server(Dispatcher& dispatcher, const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // The bound port (resolves port 0 to the kernel's choice).
+  std::uint16_t port() const { return port_; }
+
+  // Serves until RequestShutdown; returns after the graceful drain.
+  void Run();
+
+  // Async-signal-safe: one relaxed atomic store.
+  void RequestShutdown() { stop_.store(true, std::memory_order_relaxed); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+    std::thread reader;
+  };
+
+  void AcceptLoop();
+  void ReadLoop(Connection* connection);
+  // Serializes whole-line writes on one connection; drops the line when the
+  // peer has gone away (the reader notices the close separately).
+  void WriteLine(Connection* connection, const std::string& line);
+
+  Dispatcher& dispatcher_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+
+  std::mutex connections_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace flatnet::serve
+
+#endif  // FLATNET_SERVE_SERVER_H_

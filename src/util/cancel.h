@@ -1,0 +1,54 @@
+// Cooperative cancellation for long-running computations.
+//
+// A CancelToken combines a manual kill switch (shutdown drains) with an
+// optional deadline (per-request latency budgets). Workers poll Expired()
+// at natural checkpoints — the propagation engine checks between its three
+// phases — and abandon the computation by throwing CancelledError, so a
+// token never preempts a tight inner loop and costs one relaxed load plus
+// at most one clock read per poll.
+#ifndef FLATNET_UTIL_CANCEL_H_
+#define FLATNET_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "util/error.h"
+
+namespace flatnet {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(std::chrono::steady_clock::time_point deadline)
+      : has_deadline_(true), deadline_(deadline) {}
+
+  static CancelToken AfterMillis(std::int64_t millis) {
+    return CancelToken(std::chrono::steady_clock::now() + std::chrono::milliseconds(millis));
+  }
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool Expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  // Throws CancelledError when expired; `what` names the abandoned work.
+  void ThrowIfExpired(const char* what) const {
+    if (Expired()) throw CancelledError(what);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+// Polls a token that may be absent (the common library-internal case).
+inline void ThrowIfCancelled(const CancelToken* token, const char* what) {
+  if (token != nullptr) token->ThrowIfExpired(what);
+}
+
+}  // namespace flatnet
+
+#endif  // FLATNET_UTIL_CANCEL_H_

@@ -31,6 +31,14 @@ class InvalidArgument : public Error {
   explicit InvalidArgument(const std::string& what) : Error(what) {}
 };
 
+// A cooperative cancellation (deadline or shutdown drain) interrupted a
+// computation partway; any partial result is meaningless. Thrown by code
+// polling a util/cancel.h CancelToken.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
 }  // namespace flatnet
 
 #endif  // FLATNET_UTIL_ERROR_H_

@@ -78,6 +78,32 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_available_.notify_one();
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task, std::size_t max_pending) {
+  if (workers_.empty()) {
+    // Inline execution completes before returning, so pending is the one
+    // task being admitted right now.
+    if (max_pending == 0) return false;
+    NoteSubmitted();
+    task();
+    NoteExecuted();
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_flight_ >= max_pending) return false;
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  NoteSubmitted();
+  task_available_.notify_one();
+  return true;
+}
+
+std::size_t ThreadPool::PendingTasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
 void ThreadPool::Wait() {
   if (workers_.empty()) return;
   std::unique_lock<std::mutex> lock(mu_);

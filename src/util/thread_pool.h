@@ -45,6 +45,16 @@ class ThreadPool {
   // Enqueues a task; tasks must not throw (std::terminate otherwise).
   void Submit(std::function<void()> task);
 
+  // Bounded admission: enqueues only when fewer than `max_pending` tasks
+  // are submitted-but-unfinished, returning false (task untouched) past the
+  // bound. With no workers the accepted task runs inline, so the bound
+  // still caps how much work one call admits. Services use this as a
+  // load-shedding high-water mark instead of queueing without limit.
+  [[nodiscard]] bool TrySubmit(std::function<void()> task, std::size_t max_pending);
+
+  // Tasks submitted to this pool and not yet finished (running included).
+  std::size_t PendingTasks() const;
+
   // Blocks until every submitted task has finished.
   void Wait();
 
@@ -59,7 +69,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;

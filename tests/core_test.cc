@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "core/internet.h"
 #include "core/leak_scenarios.h"
@@ -158,6 +159,27 @@ TEST(CoreErrors, MismatchedSizesThrow) {
 TEST(CoreErrors, LoadMissingCacheThrows) {
   EXPECT_FALSE(InternetCacheExists("/nonexistent/stem"));
   EXPECT_THROW(LoadInternet("/nonexistent/stem"), Error);
+}
+
+TEST(CoreErrors, MalformedMetaLineNamesFileAndLine) {
+  std::string stem =
+      (std::filesystem::temp_directory_path() / "flatnet_badmeta_test").string();
+  {
+    std::ofstream rel(stem + ".as-rel.txt");
+    rel << "1|2|-1\n";
+    std::ofstream meta(stem + ".meta.tsv");
+    meta << "1\tAS1\ttransit\t0\t0\n";
+    meta << "2\tAS2\tnot-enough-fields\n";  // line 2: wrong field count
+  }
+  try {
+    LoadInternet(stem);
+    FAIL() << "expected malformed metadata to throw";
+  } catch (const Error& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find(stem + ".meta.tsv:2"), std::string::npos) << what;
+  }
+  std::filesystem::remove(stem + ".as-rel.txt");
+  std::filesystem::remove(stem + ".meta.tsv");
 }
 
 }  // namespace

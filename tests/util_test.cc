@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
+#include <thread>
+#include <vector>
 
 #include "util/bitset.h"
 #include "util/env.h"
@@ -341,6 +346,102 @@ TEST(ThreadPool, InlineWhenSingleThread) {
   int sum = 0;
   pool.ParallelFor(0, 10, [&](std::size_t i) { sum += static_cast<int>(i); });
   EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, EmptyParallelForRangeIsNoOp) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, [&](std::size_t) { ++calls; });
+  pool.ParallelFor(7, 3, [&](std::size_t) { ++calls; });  // inverted = empty
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ZeroWorkerSubmitRunsInline) {
+  ThreadPool pool(1);  // <= 1 thread means no workers: inline execution
+  ASSERT_EQ(pool.thread_count(), 0u);
+  std::thread::id ran_on;
+  pool.Submit([&] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+  EXPECT_EQ(pool.PendingTasks(), 0u);
+}
+
+TEST(ThreadPool, ZeroWorkerTrySubmitRespectsBound) {
+  ThreadPool pool(1);
+  bool ran = false;
+  EXPECT_FALSE(pool.TrySubmit([&] { ran = true; }, 0));
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(pool.TrySubmit([&] { ran = true; }, 1));
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, WaitWithoutSubmissionsReturnsImmediately) {
+  ThreadPool pool(4);
+  pool.Wait();  // must not block
+  ThreadPool inline_pool(1);
+  inline_pool.Wait();
+}
+
+TEST(ThreadPool, TrySubmitShedsLoadAtHighWaterMark) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  auto blocker = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  // in_flight_ counts submitted-but-unfinished, so four admissions against
+  // a bound of four succeed deterministically and the fifth must shed.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(pool.TrySubmit(blocker, 4)) << "admission " << i;
+  }
+  EXPECT_EQ(pool.PendingTasks(), 4u);
+  EXPECT_FALSE(pool.TrySubmit(blocker, 4));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Wait();
+  EXPECT_EQ(pool.PendingTasks(), 0u);
+  EXPECT_TRUE(pool.TrySubmit([] {}, 4));  // capacity is back after the drain
+  pool.Wait();
+}
+
+TEST(ThreadPool, QueueStatsStayMonotonicUnderConcurrentSubmit) {
+  ThreadPoolStats before = GlobalThreadPoolStats();
+  ThreadPool pool(4);
+  std::atomic<bool> monotonic{true};
+  std::thread sampler([&] {
+    std::uint64_t last_submitted = before.tasks_submitted;
+    std::uint64_t last_executed = before.tasks_executed;
+    std::int64_t last_peak = before.peak_queue_depth;
+    for (int i = 0; i < 200; ++i) {
+      ThreadPoolStats stats = GlobalThreadPoolStats();
+      if (stats.tasks_submitted < last_submitted || stats.tasks_executed < last_executed ||
+          stats.peak_queue_depth < last_peak) {
+        monotonic = false;
+      }
+      last_submitted = stats.tasks_submitted;
+      last_executed = stats.tasks_executed;
+      last_peak = stats.peak_queue_depth;
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) pool.Submit([] {});
+    });
+  }
+  for (auto& submitter : submitters) submitter.join();
+  sampler.join();
+  pool.Wait();
+  EXPECT_TRUE(monotonic.load());
+  ThreadPoolStats after = GlobalThreadPoolStats();
+  EXPECT_GE(after.tasks_submitted - before.tasks_submitted, 600u);
+  EXPECT_EQ(after.tasks_submitted - before.tasks_submitted,
+            after.tasks_executed - before.tasks_executed);
 }
 
 TEST(Env, ScaledCountsHaveFloor) {

@@ -1,0 +1,375 @@
+// flatnet_loadgen: closed-loop load generator and checker for flatnet_serve.
+//
+// Opens N connections, sweeps a randomized mix of reach / reliance / leak /
+// status queries over origins sampled from the topology (a small hot set is
+// revisited so the server's result cache sees repeats), and reports p50 /
+// p95 / p99 latency, throughput, error rate, and cache-hit rate as one JSON
+// object on stdout.
+//
+// --verify K additionally cross-checks K reach queries: each is issued
+// twice (cold, then cached) and the raw `result` bytes must be identical,
+// and the reported reachable count must equal a direct local computation
+// with the independent valley-free BFS engine (bgp/reachability.h) on the
+// same topology — the serve path runs the phase-based RouteComputation, so
+// this exercises the same cross-engine equivalence the differential oracle
+// (src/check) guarantees.
+//
+// Usage:
+//   flatnet_loadgen --topology <stem> (--port P | --port-file <file>)
+//                   [--host ADDR] [--requests N] [--connections C]
+//                   [--seed S] [--verify K] [--log-level <level>]
+//
+// Exits nonzero on any protocol error, transport failure, or verification
+// mismatch.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bgp/reachability.h"
+#include "core/serialize.h"
+#include "obs/log.h"
+#include "util/error.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+using namespace flatnet;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: flatnet_loadgen --topology <stem> (--port P | --port-file <file>)\n"
+               "                       [--host ADDR] [--requests N] [--connections C]\n"
+               "                       [--seed S] [--verify K] [--log-level <level>]\n");
+  return 2;
+}
+
+// One blocking line-oriented client connection.
+class Client {
+ public:
+  Client(const std::string& host, std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw Error(StrFormat("socket: %s", std::strerror(errno)));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      throw Error(StrFormat("invalid host '%s'", host.c_str()));
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      throw Error(StrFormat("connect %s:%u: %s", host.c_str(),
+                            static_cast<unsigned>(port), std::strerror(errno)));
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Sends one request line, blocks for the one response line.
+  std::string RoundTrip(const std::string& request) {
+    std::string framed = request;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) throw Error(StrFormat("send: %s", std::strerror(errno)));
+      sent += static_cast<std::size_t>(n);
+    }
+    for (;;) {
+      std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) throw Error("connection closed mid-response");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+struct WorkerTally {
+  std::vector<double> latencies_ms;
+  std::uint64_t ok = 0;
+  std::uint64_t cached = 0;
+  std::uint64_t cacheable = 0;
+  std::uint64_t errors = 0;
+  std::vector<std::string> error_samples;
+};
+
+const char* kModes[] = {"full", "provider_free", "tier1_free", "hierarchy_free"};
+
+// Builds one request from the mix: ~55% reach, 20% reliance, 15% leak, 10%
+// status. Origins come from a 16-AS hot pool 70% of the time so identical
+// queries recur and the result cache gets hits.
+std::string BuildRequest(Rng& rng, const std::vector<Asn>& asns,
+                         const std::vector<Asn>& hot, std::uint64_t id, bool* cacheable) {
+  auto pick = [&](const std::vector<Asn>& pool) {
+    return pool[rng.UniformU64(pool.size())];
+  };
+  auto origin = [&] { return rng.Bernoulli(0.7) ? pick(hot) : pick(asns); };
+  std::uint64_t roll = rng.UniformU64(100);
+  *cacheable = true;
+  if (roll < 55) {
+    return StrFormat("{\"op\":\"reach\",\"origin\":%u,\"mode\":\"%s\",\"id\":%llu}",
+                     origin(), kModes[rng.UniformU64(4)],
+                     static_cast<unsigned long long>(id));
+  }
+  if (roll < 75) {
+    return StrFormat("{\"op\":\"reliance\",\"origin\":%u,\"k\":10,\"id\":%llu}", origin(),
+                     static_cast<unsigned long long>(id));
+  }
+  if (roll < 90) {
+    Asn victim = origin();
+    Asn leaker = origin();
+    while (leaker == victim) leaker = pick(asns);
+    return StrFormat("{\"op\":\"leak\",\"victim\":%u,\"leaker\":%u,\"id\":%llu}", victim,
+                     leaker, static_cast<unsigned long long>(id));
+  }
+  *cacheable = false;
+  return StrFormat("{\"op\":\"status\",\"id\":%llu}", static_cast<unsigned long long>(id));
+}
+
+// The `result` payload is the final field of an ok response; comparing the
+// raw suffix checks byte-identity between cold and cached replies.
+std::string_view RawResultBytes(const std::string& response) {
+  std::size_t at = response.find("\"result\":");
+  if (at == std::string::npos) return {};
+  return std::string_view(response).substr(at);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string stem;
+  std::string host = "127.0.0.1";
+  std::uint64_t port = 0;
+  std::string port_file;
+  std::uint64_t requests = 200;
+  std::uint64_t connections = 4;
+  std::uint64_t seed = 1;
+  std::uint64_t verify = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    auto next_u64 = [&](std::uint64_t* out) {
+      const char* v = next();
+      auto parsed = v ? ParseU64(v) : std::nullopt;
+      if (!parsed) return false;
+      *out = *parsed;
+      return true;
+    };
+    if (arg == "--topology") {
+      const char* v = next();
+      if (!v) return Usage();
+      stem = v;
+    } else if (arg == "--host") {
+      const char* v = next();
+      if (!v) return Usage();
+      host = v;
+    } else if (arg == "--port") {
+      if (!next_u64(&port) || port == 0 || port > 65535) return Usage();
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (!v) return Usage();
+      port_file = v;
+    } else if (arg == "--requests") {
+      if (!next_u64(&requests) || requests == 0) return Usage();
+    } else if (arg == "--connections") {
+      if (!next_u64(&connections) || connections == 0) return Usage();
+    } else if (arg == "--seed") {
+      if (!next_u64(&seed)) return Usage();
+    } else if (arg == "--verify") {
+      if (!next_u64(&verify)) return Usage();
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      auto level = v ? obs::ParseLogLevel(v) : std::nullopt;
+      if (!level) return Usage();
+      obs::SetLogLevel(*level);
+    } else {
+      return Usage();
+    }
+  }
+  if (stem.empty() || (port == 0) == port_file.empty()) return Usage();
+  if (!port_file.empty()) {
+    std::ifstream in(port_file);
+    if (!(in >> port) || port == 0 || port > 65535) {
+      std::fprintf(stderr, "cannot read port from %s\n", port_file.c_str());
+      return 1;
+    }
+  }
+
+  Internet internet = LoadInternet(stem);
+  std::vector<Asn> asns;
+  asns.reserve(internet.num_ases());
+  for (AsId id = 0; id < internet.num_ases(); ++id) {
+    asns.push_back(internet.graph().AsnOf(id));
+  }
+  if (asns.size() < 2) {
+    std::fprintf(stderr, "topology too small to generate load\n");
+    return 1;
+  }
+  Rng pool_rng(seed);
+  std::vector<Asn> hot;
+  for (std::size_t i = 0; i < 16; ++i) hot.push_back(asns[pool_rng.UniformU64(asns.size())]);
+
+  std::atomic<std::uint64_t> next_id{0};
+  std::vector<WorkerTally> tallies(connections);
+  std::mutex fail_mu;
+  std::string transport_failure;
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (std::uint64_t w = 0; w < connections; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerTally& tally = tallies[w];
+      try {
+        Client client(host, static_cast<std::uint16_t>(port));
+        Rng rng(seed * 0x9e3779b97f4a7c15ULL + w + 1);
+        for (;;) {
+          std::uint64_t id = next_id.fetch_add(1);
+          if (id >= requests) break;
+          bool cacheable = false;
+          std::string request = BuildRequest(rng, asns, hot, id, &cacheable);
+          auto start = std::chrono::steady_clock::now();
+          std::string response = client.RoundTrip(request);
+          tally.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                        start)
+                  .count());
+          Json doc = Json::Parse(response);
+          if (doc.Get("ok").type() == Json::Type::kBool && doc.Get("ok").AsBool()) {
+            ++tally.ok;
+            if (cacheable) {
+              ++tally.cacheable;
+              if (doc.Get("cached").type() == Json::Type::kBool &&
+                  doc.Get("cached").AsBool()) {
+                ++tally.cached;
+              }
+            }
+          } else {
+            ++tally.errors;
+            if (tally.error_samples.size() < 3) tally.error_samples.push_back(response);
+          }
+        }
+      } catch (const Error& e) {
+        std::lock_guard<std::mutex> lock(fail_mu);
+        if (transport_failure.empty()) transport_failure = e.what();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  if (!transport_failure.empty()) {
+    std::fprintf(stderr, "transport failure: %s\n", transport_failure.c_str());
+    return 1;
+  }
+
+  std::vector<double> latencies;
+  std::uint64_t ok = 0, cached = 0, cacheable = 0, errors = 0;
+  for (const WorkerTally& tally : tallies) {
+    latencies.insert(latencies.end(), tally.latencies_ms.begin(), tally.latencies_ms.end());
+    ok += tally.ok;
+    cached += tally.cached;
+    cacheable += tally.cacheable;
+    errors += tally.errors;
+    for (const std::string& sample : tally.error_samples) {
+      std::fprintf(stderr, "error response: %s\n", sample.c_str());
+    }
+  }
+
+  // Verification pass: cold-vs-cached byte identity plus an independent
+  // local recomputation for `verify` hierarchy-free reach queries.
+  std::uint64_t verify_checked = 0;
+  std::uint64_t verify_mismatches = 0;
+  if (verify > 0) {
+    try {
+      Client client(host, static_cast<std::uint16_t>(port));
+      ReachabilityEngine engine(internet.graph());
+      Rng rng(seed ^ 0x5eedULL);
+      for (std::uint64_t i = 0; i < verify; ++i) {
+        Asn origin_asn = asns[rng.UniformU64(asns.size())];
+        AsId origin = *internet.graph().IdOf(origin_asn);
+        std::string request = StrFormat(
+            "{\"op\":\"reach\",\"origin\":%u,\"mode\":\"hierarchy_free\",\"id\":\"v%llu\"}",
+            origin_asn, static_cast<unsigned long long>(i));
+        std::string cold = client.RoundTrip(request);
+        std::string warm = client.RoundTrip(request);
+        ++verify_checked;
+        Json cold_doc = Json::Parse(cold);
+        Json warm_doc = Json::Parse(warm);
+        bool ok_pair = cold_doc.Get("ok").type() == Json::Type::kBool &&
+                       cold_doc.Get("ok").AsBool() &&
+                       warm_doc.Get("ok").type() == Json::Type::kBool &&
+                       warm_doc.Get("ok").AsBool();
+        bool bytes_equal = RawResultBytes(cold) == RawResultBytes(warm);
+        bool warm_from_cache = ok_pair && warm_doc.Get("cached").AsBool();
+        bool count_matches = false;
+        if (ok_pair) {
+          Bitset excluded = internet.HierarchyFreeExclusion(origin);
+          std::size_t local = ReachableCount(internet.graph(), origin, &excluded);
+          count_matches =
+              cold_doc.Get("result").Get("reachable").AsU64() == local;
+        }
+        if (!(ok_pair && bytes_equal && warm_from_cache && count_matches)) {
+          ++verify_mismatches;
+          std::fprintf(stderr,
+                       "verify mismatch for AS%u: ok=%d bytes_equal=%d cached=%d "
+                       "count_matches=%d\n  cold: %s\n  warm: %s\n",
+                       origin_asn, ok_pair, bytes_equal, warm_from_cache, count_matches,
+                       cold.c_str(), warm.c_str());
+        }
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "verify failure: %s\n", e.what());
+      ++verify_mismatches;
+    }
+  }
+
+  Json report = Json::MakeObject();
+  report["cache_hit_rate"] =
+      cacheable > 0 ? static_cast<double>(cached) / static_cast<double>(cacheable) : 0.0;
+  report["cacheable"] = cacheable;
+  report["errors"] = errors;
+  report["ok"] = ok;
+  if (!latencies.empty()) {
+    EmpiricalCdf cdf(latencies);
+    report["p50_ms"] = cdf.Quantile(0.50);
+    report["p95_ms"] = cdf.Quantile(0.95);
+    report["p99_ms"] = cdf.Quantile(0.99);
+  }
+  report["requests"] = requests;
+  report["seconds"] = seconds;
+  report["throughput_qps"] =
+      seconds > 0 ? static_cast<double>(requests) / seconds : 0.0;
+  report["verify_checked"] = verify_checked;
+  report["verify_mismatches"] = verify_mismatches;
+  std::printf("%s\n", report.Dump().c_str());
+  return (errors == 0 && verify_mismatches == 0) ? 0 : 1;
+}

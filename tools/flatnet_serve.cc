@@ -1,0 +1,189 @@
+// flatnet_serve: resident analysis query service.
+//
+// Loads a topology once (from a SaveInternet stem, generating and caching
+// it when absent) and answers reach / reliance / leak / status queries over
+// line-delimited JSON on TCP — see src/serve/protocol.h for the grammar.
+// Results are cached (sharded byte-budget LRU), admission is bounded, and
+// SIGTERM/SIGINT drain gracefully: admitted queries finish and answer
+// before the process exits.
+//
+// Usage:
+//   flatnet_serve [--topology <stem>] [--era 2015|2020] [--ases N] [--seed S]
+//                 [--port P] [--bind ADDR] [--port-file <file>]
+//                 [--threads N] [--cache-mb MB] [--max-inflight N]
+//                 [--default-deadline-ms MS]
+//                 [--log-level <level>] [--metrics-out <file>]
+//
+// With --topology, the stem is loaded when present; otherwise the era
+// topology is generated and saved there (atomic publish), so restarts are
+// fast. Without --topology the topology lives only in memory. --port 0
+// (default) binds an ephemeral port; --port-file publishes the bound port
+// for scripted clients.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/serialize.h"
+#include "core/study.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+#include "util/strings.h"
+
+using namespace flatnet;
+
+namespace {
+
+serve::Server* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->RequestShutdown();  // one atomic store
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: flatnet_serve [--topology <stem>] [--era 2015|2020] [--ases N] "
+               "[--seed S]\n"
+               "                     [--port P] [--bind ADDR] [--port-file <file>]\n"
+               "                     [--threads N] [--cache-mb MB] [--max-inflight N]\n"
+               "                     [--default-deadline-ms MS]\n"
+               "                     [--log-level <level>] [--metrics-out <file>]\n");
+  return 2;
+}
+
+Internet LoadOrGenerate(const std::string& stem, const std::string& era, std::uint32_t ases,
+                        std::uint64_t seed) {
+  if (!stem.empty() && InternetCacheExists(stem)) {
+    std::fprintf(stderr, "loading topology from %s...\n", stem.c_str());
+    return LoadInternet(stem);
+  }
+  StudyOptions options;
+  options.generator =
+      era == "2015" ? GeneratorParams::Era2015(ases) : GeneratorParams::Era2020(ases);
+  if (seed != 0) options.generator.seed = seed;
+  options.campaign.seed = options.generator.seed ^ 0xca3;
+  std::fprintf(stderr, "generating %s-era Internet (%u ASes, seed %llu)...\n", era.c_str(),
+               options.generator.total_ases,
+               static_cast<unsigned long long>(options.generator.seed));
+  Study study(options);
+  Internet internet = study.internet();
+  if (!stem.empty()) {
+    SaveInternet(internet, stem);
+    std::fprintf(stderr, "cached topology at %s.{as-rel.txt,meta.tsv}\n", stem.c_str());
+  }
+  return internet;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string stem;
+  std::string era = "2020";
+  std::uint32_t ases = 0;
+  std::uint64_t seed = 0;
+  std::string bind_address = "127.0.0.1";
+  std::uint64_t port = 0;
+  std::string port_file;
+  std::string metrics_out;
+  serve::DispatcherOptions dispatch;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    auto next_u64 = [&](std::uint64_t* out) {
+      const char* v = next();
+      auto parsed = v ? ParseU64(v) : std::nullopt;
+      if (!parsed) return false;
+      *out = *parsed;
+      return true;
+    };
+    std::uint64_t value = 0;
+    if (arg == "--topology") {
+      const char* v = next();
+      if (!v) return Usage();
+      stem = v;
+    } else if (arg == "--era") {
+      const char* v = next();
+      if (!v || (std::strcmp(v, "2015") != 0 && std::strcmp(v, "2020") != 0)) return Usage();
+      era = v;
+    } else if (arg == "--ases") {
+      if (!next_u64(&value)) return Usage();
+      ases = static_cast<std::uint32_t>(value);
+    } else if (arg == "--seed") {
+      if (!next_u64(&seed)) return Usage();
+    } else if (arg == "--port") {
+      if (!next_u64(&port) || port > 65535) return Usage();
+    } else if (arg == "--bind") {
+      const char* v = next();
+      if (!v) return Usage();
+      bind_address = v;
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (!v) return Usage();
+      port_file = v;
+    } else if (arg == "--threads") {
+      if (!next_u64(&value)) return Usage();
+      dispatch.threads = value;
+    } else if (arg == "--cache-mb") {
+      if (!next_u64(&value)) return Usage();
+      dispatch.cache_bytes = value * 1024 * 1024;
+    } else if (arg == "--max-inflight") {
+      if (!next_u64(&value) || value == 0) return Usage();
+      dispatch.max_inflight = value;
+    } else if (arg == "--default-deadline-ms") {
+      if (!next_u64(&value)) return Usage();
+      dispatch.default_deadline_ms = static_cast<std::int64_t>(value);
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      auto level = v ? obs::ParseLogLevel(v) : std::nullopt;
+      if (!level) return Usage();
+      obs::SetLogLevel(*level);
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return Usage();
+      metrics_out = v;
+    } else {
+      return Usage();
+    }
+  }
+
+  obs::RegisterCoreMetrics();
+  Internet internet = LoadOrGenerate(stem, era, ases, seed);
+  std::fprintf(stderr, "topology: %zu ASes, %zu relationships\n", internet.num_ases(),
+               internet.graph().num_edges());
+
+  serve::Dispatcher dispatcher(internet, dispatch);
+  serve::ServerOptions server_options;
+  server_options.bind_address = bind_address;
+  server_options.port = static_cast<std::uint16_t>(port);
+  serve::Server server(dispatcher, server_options);
+
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << server.port() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "cannot write port file %s\n", port_file.c_str());
+      return 1;
+    }
+  }
+  std::printf("listening on %s:%u\n", bind_address.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  g_server = &server;
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  server.Run();
+  g_server = nullptr;
+
+  serve::CacheStats cache = dispatcher.cache_stats();
+  std::printf("shutdown: cache %llu hits / %llu misses / %llu evictions, %llu entries\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.evictions),
+              static_cast<unsigned long long>(cache.entries));
+  if (!metrics_out.empty()) obs::WriteMetricsFile(metrics_out);
+  return 0;
+}
