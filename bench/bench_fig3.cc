@@ -12,7 +12,7 @@
 
 #include "asgraph/cone.h"
 #include "common.h"
-#include "core/reachability_analysis.h"
+#include "sweep/engine.h"
 #include "util/stats.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -24,7 +24,7 @@ int main() {
   const Internet& internet = bench::Internet2020();
   std::size_t n = internet.num_ases();
 
-  std::vector<std::uint32_t> reach = HierarchyFreeSweep(internet);
+  std::vector<std::uint32_t> reach = sweep::ParallelHierarchyFreeSweep(internet);
   std::vector<std::uint32_t> cones = CustomerConeSizes(internet.graph());
 
   // Scatter summary: bucket the plane (log-scale cone axis) per AS type.

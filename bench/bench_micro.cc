@@ -11,7 +11,9 @@
 #include "bgp/propagation.h"
 #include "bgp/reachability.h"
 #include "bgp/reliance.h"
+#include "core/internet.h"
 #include "net/prefix_trie.h"
+#include "sweep/engine.h"
 #include "topogen/generate.h"
 #include "util/rng.h"
 
@@ -24,6 +26,14 @@ const World& BenchWorld() {
     return GenerateWorld(params);
   }();
   return world;
+}
+
+const Internet& BenchInternet() {
+  static const Internet internet = [] {
+    const World& world = BenchWorld();
+    return Internet(world.full_graph, world.tiers, world.metadata);
+  }();
+  return internet;
 }
 
 void BM_ReachabilityBfs(benchmark::State& state) {
@@ -51,6 +61,67 @@ void BM_ReachabilityHierarchyFree(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ReachabilityHierarchyFree);
+
+// Reuse-path delta: the three ways to consume a BFS. Compute allocates a
+// fresh bitset per origin; ComputeInto recycles one caller-owned bitset;
+// Count never materializes the set at all (what the sweep workers use).
+void BM_ReachabilityComputeAlloc(benchmark::State& state) {
+  const World& world = BenchWorld();
+  ReachabilityEngine engine(world.full_graph);
+  Rng rng(6);
+  for (auto _ : state) {
+    AsId origin = static_cast<AsId>(rng.UniformU64(world.num_ases()));
+    Bitset reached = engine.Compute(origin);
+    benchmark::DoNotOptimize(reached.Count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReachabilityComputeAlloc);
+
+void BM_ReachabilityComputeReuse(benchmark::State& state) {
+  const World& world = BenchWorld();
+  ReachabilityEngine engine(world.full_graph);
+  Bitset reached;
+  Rng rng(6);
+  for (auto _ : state) {
+    AsId origin = static_cast<AsId>(rng.UniformU64(world.num_ases()));
+    engine.ComputeInto(origin, nullptr, reached);
+    benchmark::DoNotOptimize(reached.Count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReachabilityComputeReuse);
+
+void BM_ReachabilityCountOnly(benchmark::State& state) {
+  const World& world = BenchWorld();
+  ReachabilityEngine engine(world.full_graph);
+  Rng rng(6);
+  for (auto _ : state) {
+    AsId origin = static_cast<AsId>(rng.UniformU64(world.num_ases()));
+    benchmark::DoNotOptimize(engine.Count(origin));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReachabilityCountOnly);
+
+// All-origins hierarchy-free sweep through the sharded engine; Arg is the
+// thread count, so the 1-vs-8 ratio is the parallel speedup.
+void BM_ParallelHierarchyFreeSweep(benchmark::State& state) {
+  const Internet& internet = BenchInternet();
+  for (auto _ : state) {
+    std::vector<std::uint32_t> reach = sweep::ParallelHierarchyFreeSweep(
+        internet, static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(reach.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(internet.num_ases()));
+}
+BENCHMARK(BM_ParallelHierarchyFreeSweep)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 
 void BM_BestRouteComputation(benchmark::State& state) {
   const World& world = BenchWorld();

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "common.h"
-#include "core/reachability_analysis.h"
+#include "sweep/engine.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -27,7 +27,7 @@ struct Sweep {
 Sweep RunSweep(const Internet& internet) {
   Sweep sweep;
   Stopwatch sw;
-  sweep.reach = HierarchyFreeSweep(internet);
+  sweep.reach = sweep::ParallelHierarchyFreeSweep(internet);
   std::fprintf(stderr, "[bench] hierarchy-free sweep over %zu ASes: %.1fs\n",
                internet.num_ases(), sw.ElapsedSeconds());
   sweep.ranking.resize(internet.num_ases());

@@ -25,14 +25,17 @@ ReachabilityEngine::ReachabilityEngine(const AsGraph& graph)
       up_epoch_(graph.num_ases(), 0),
       down_epoch_(graph.num_ases(), 0) {}
 
-Bitset ReachabilityEngine::Compute(AsId origin, const Bitset* excluded) {
+std::size_t ReachabilityEngine::RunBfs(AsId origin, const Bitset* excluded,
+                                       Bitset* reached) {
   std::size_t n = graph_.num_ases();
   if (origin >= n) throw InvalidArgument("ReachabilityEngine: origin out of range");
-  Bitset reached(n);
-  if (excluded != nullptr && excluded->Test(origin)) return reached;
+  if (excluded != nullptr && excluded->Test(origin)) return 0;
 
   ++epoch_;
   auto blocked = [&](AsId id) { return excluded != nullptr && excluded->Test(id); };
+  auto record = [&](AsId id) {
+    if (reached != nullptr) reached->Set(id);
+  };
 
   // Stage 1: "up" state — ASes holding a customer-learned route. These form
   // the set reachable from the origin by provider edges only; each can
@@ -41,13 +44,13 @@ Bitset ReachabilityEngine::Compute(AsId origin, const Bitset* excluded) {
   queue_.clear();
   up_epoch_[origin] = epoch_;
   queue_.push_back(origin);
-  reached.Set(origin);
+  record(origin);
   for (std::size_t head = 0; head < queue_.size(); ++head) {
     AsId node = queue_[head];
     for (const Neighbor& nb : graph_.Providers(node)) {
       if (blocked(nb.id) || up_epoch_[nb.id] == epoch_) continue;
       up_epoch_[nb.id] = epoch_;
-      reached.Set(nb.id);
+      record(nb.id);
       queue_.push_back(nb.id);
     }
   }
@@ -62,14 +65,14 @@ Bitset ReachabilityEngine::Compute(AsId origin, const Bitset* excluded) {
       if (blocked(nb.id) || up_epoch_[nb.id] == epoch_ || down_epoch_[nb.id] == epoch_)
         continue;
       down_epoch_[nb.id] = epoch_;
-      reached.Set(nb.id);
+      record(nb.id);
       queue_.push_back(nb.id);
     }
     for (const Neighbor& nb : graph_.Customers(node)) {
       if (blocked(nb.id) || up_epoch_[nb.id] == epoch_ || down_epoch_[nb.id] == epoch_)
         continue;
       down_epoch_[nb.id] = epoch_;
-      reached.Set(nb.id);
+      record(nb.id);
       queue_.push_back(nb.id);
     }
   }
@@ -79,7 +82,7 @@ Bitset ReachabilityEngine::Compute(AsId origin, const Bitset* excluded) {
       if (blocked(nb.id) || up_epoch_[nb.id] == epoch_ || down_epoch_[nb.id] == epoch_)
         continue;
       down_epoch_[nb.id] = epoch_;
-      reached.Set(nb.id);
+      record(nb.id);
       queue_.push_back(nb.id);
     }
   }
@@ -87,13 +90,26 @@ Bitset ReachabilityEngine::Compute(AsId origin, const Bitset* excluded) {
   // Destinations only, matching Count(): the queue holds every reached node
   // exactly once, origin included.
   Counters().nodes_reached.Increment(queue_.size() - 1);
+  return queue_.size();
+}
+
+Bitset ReachabilityEngine::Compute(AsId origin, const Bitset* excluded) {
+  Bitset reached(graph_.num_ases());
+  RunBfs(origin, excluded, &reached);
   return reached;
 }
 
+void ReachabilityEngine::ComputeInto(AsId origin, const Bitset* excluded, Bitset& reached) {
+  if (reached.size() != graph_.num_ases()) {
+    reached.Resize(graph_.num_ases());
+  }
+  reached.ResetAll();
+  RunBfs(origin, excluded, &reached);
+}
+
 std::size_t ReachabilityEngine::Count(AsId origin, const Bitset* excluded) {
-  Bitset reached = Compute(origin, excluded);
-  std::size_t count = reached.Count();
-  return count > 0 ? count - 1 : 0;  // exclude the origin itself
+  std::size_t reached = RunBfs(origin, excluded, nullptr);
+  return reached > 0 ? reached - 1 : 0;  // exclude the origin itself
 }
 
 Bitset ReachableSet(const AsGraph& graph, AsId origin, const Bitset* excluded) {

@@ -30,10 +30,25 @@ class ReachabilityEngine {
  public:
   explicit ReachabilityEngine(const AsGraph& graph);
 
+  // Allocates and returns a fresh reached set.
   Bitset Compute(AsId origin, const Bitset* excluded = nullptr);
+
+  // Reuse path for tight sweep loops: fills `reached` (resized to the
+  // graph when needed) without allocating once the caller recycles the
+  // same bitset across calls.
+  void ComputeInto(AsId origin, const Bitset* excluded, Bitset& reached);
+
+  // Destination count only. Never materializes a reached bitset — the BFS
+  // queue already holds every reached node exactly once — so a counting
+  // sweep is allocation-free after the first call.
   std::size_t Count(AsId origin, const Bitset* excluded = nullptr);
 
  private:
+  // Runs the two-state BFS; records membership into `reached` when
+  // non-null (assumed sized and cleared). Returns the number of reached
+  // nodes, origin included (0 when the origin is excluded).
+  std::size_t RunBfs(AsId origin, const Bitset* excluded, Bitset* reached);
+
   const AsGraph& graph_;
   // 2 bits per node per sweep, epoch-stamped to avoid clearing.
   std::vector<std::uint32_t> up_epoch_;

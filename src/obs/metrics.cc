@@ -178,6 +178,10 @@ void RegisterCoreMetrics() {
            "serve.cache.hit",
            "serve.cache.miss",
            "serve.cache.eviction",
+           "sweep.chunks_completed",
+           "sweep.chunks_resumed",
+           "sweep.checkpoint_writes",
+           "sweep.origins_computed",
        }) {
     GetCounter(name);
   }
@@ -188,6 +192,7 @@ void RegisterCoreMetrics() {
            "serve.inflight",
            "serve.cache.bytes",
            "serve.cache.entries",
+           "sweep.origins_per_sec",
        }) {
     GetGauge(name);
   }
@@ -197,6 +202,7 @@ void RegisterCoreMetrics() {
            "serve.reliance.latency_ms",
            "serve.leak.latency_ms",
            "serve.status.latency_ms",
+           "serve.top.latency_ms",
        }) {
     GetHistogram(name, {0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0});
   }
@@ -208,6 +214,8 @@ void RegisterCoreMetrics() {
            "bgp.reliance",
            "bench.build_study",
            "topogen.generate",
+           "sweep.run",
+           "sweep.chunk",
        }) {
     PreRegisterSpan(name);
   }

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <utility>
 
 #include "bgp/propagation.h"
@@ -36,6 +37,7 @@ obs::Histogram& LatencyHistogram(QueryKind kind) {
       &obs::GetHistogram("serve.reliance.latency_ms", bounds),
       &obs::GetHistogram("serve.leak.latency_ms", bounds),
       &obs::GetHistogram("serve.status.latency_ms", bounds),
+      &obs::GetHistogram("serve.top.latency_ms", bounds),
   };
   return *histograms[static_cast<std::size_t>(kind)];
 }
@@ -57,6 +59,28 @@ Dispatcher::Dispatcher(const Internet& internet, const DispatcherOptions& option
   for (AsId id = 0; id < internet.num_ases(); ++id) {
     users_.push_back(internet.metadata().Get(id).users);
   }
+}
+
+void Dispatcher::AttachSweepStore(sweep::SweepStore store, const std::string& path) {
+  store.ValidateAgainst(internet_);
+  sweep_store_ = std::move(store);
+  sweep_path_ = path;
+  for (std::size_t c = 0; c < sweep::kNumSweepColumns; ++c) {
+    auto column = static_cast<sweep::SweepColumn>(c);
+    if (!sweep_store_.HasColumn(column)) continue;
+    const std::vector<std::uint32_t>& values = sweep_store_.table().Column(column);
+    std::vector<AsId>& ranking = sweep_rankings_[c];
+    ranking.resize(values.size());
+    std::iota(ranking.begin(), ranking.end(), 0);
+    std::sort(ranking.begin(), ranking.end(), [&](AsId a, AsId b) {
+      if (values[a] != values[b]) return values[a] > values[b];
+      return internet_.graph().AsnOf(a) < internet_.graph().AsnOf(b);
+    });
+  }
+  sweep_loaded_ = true;
+  obs::Log(obs::LogLevel::kInfo, "serve", "sweep_store.attached")
+      .Kv("path", path)
+      .Kv("origins", static_cast<std::uint64_t>(sweep_store_.num_origins()));
 }
 
 AsId Dispatcher::ResolveAsn(Asn asn, const char* field) const {
@@ -101,6 +125,19 @@ void Dispatcher::Handle(const std::string& line, std::function<void(std::string)
   if (request.kind == QueryKind::kStatus) {
     done(OkResponse(id, StatusResult(), false));
     LatencyHistogram(QueryKind::kStatus).Observe(MillisSince(t0));
+    return;
+  }
+
+  // `top` reads a precomputed ranking — microseconds, so it skips the
+  // cache and the pool entirely and is answered on the connection thread.
+  if (request.kind == QueryKind::kTop) {
+    try {
+      done(OkResponse(id, ExecuteTop(request), false));
+    } catch (const ProtocolError& e) {
+      Counters().errors.Increment();
+      done(ErrorResponse(id, e.code(), e.what()));
+    }
+    LatencyHistogram(QueryKind::kTop).Observe(MillisSince(t0));
     return;
   }
 
@@ -187,6 +224,7 @@ std::string Dispatcher::Execute(const Request& request, const CancelToken* cance
     case QueryKind::kReach: return ExecuteReach(request, cancel);
     case QueryKind::kReliance: return ExecuteReliance(request, cancel);
     case QueryKind::kLeak: return ExecuteLeak(request, cancel);
+    case QueryKind::kTop: return ExecuteTop(request);
     case QueryKind::kStatus: break;
   }
   throw ProtocolError(ErrorCode::kInternal, "unreachable op");
@@ -323,6 +361,45 @@ std::string Dispatcher::ExecuteLeak(const Request& request, const CancelToken* c
   return result.Dump();
 }
 
+std::string Dispatcher::ExecuteTop(const Request& request) const {
+  if (!sweep_loaded_) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "no sweep store loaded (run flatnet_sweep, then start the "
+                        "server with --sweep)");
+  }
+  sweep::SweepColumn column = sweep::SweepColumn::kHierarchyFree;
+  switch (request.metric) {
+    case ReachMode::kProviderFree: column = sweep::SweepColumn::kProviderFree; break;
+    case ReachMode::kTier1Free: column = sweep::SweepColumn::kTier1Free; break;
+    case ReachMode::kHierarchyFree: column = sweep::SweepColumn::kHierarchyFree; break;
+    case ReachMode::kFull: break;  // rejected at parse time
+  }
+  if (!sweep_store_.HasColumn(column)) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        StrFormat("the loaded sweep store has no '%s' column",
+                                  ToString(request.metric)));
+  }
+
+  const std::vector<AsId>& ranking = sweep_rankings_[static_cast<std::size_t>(column)];
+  std::size_t k = std::min(request.top_k, ranking.size());
+  Json top = Json::MakeArray();
+  for (std::size_t i = 0; i < k; ++i) {
+    AsId id = ranking[i];
+    Json entry = Json::MakeObject();
+    entry["asn"] = internet_.graph().AsnOf(id);
+    entry["name"] = internet_.NameOf(id);
+    entry["reach"] = static_cast<std::uint64_t>(sweep_store_.Value(column, id));
+    top.Append(std::move(entry));
+  }
+  Json result = Json::MakeObject();
+  result["denominator"] =
+      static_cast<std::uint64_t>(internet_.num_ases() > 0 ? internet_.num_ases() - 1 : 0);
+  result["k"] = static_cast<std::uint64_t>(request.top_k);
+  result["metric"] = ToString(request.metric);
+  result["top"] = std::move(top);
+  return result.Dump();
+}
+
 std::string Dispatcher::StatusResult() {
   CacheStats stats = cache_.Stats();
   obs::GetGauge("serve.cache.bytes").Set(static_cast<std::int64_t>(stats.bytes));
@@ -337,12 +414,26 @@ std::string Dispatcher::StatusResult() {
   cache["hits"] = stats.hits;
   cache["misses"] = stats.misses;
 
+  Json sweep_store = Json::MakeObject();
+  sweep_store["loaded"] = sweep_loaded_;
+  if (sweep_loaded_) {
+    Json columns = Json::MakeArray();
+    for (std::size_t c = 0; c < sweep::kNumSweepColumns; ++c) {
+      auto column = static_cast<sweep::SweepColumn>(c);
+      if (sweep_store_.HasColumn(column)) columns.Append(Json(sweep::ToString(column)));
+    }
+    sweep_store["columns"] = std::move(columns);
+    sweep_store["num_origins"] = static_cast<std::uint64_t>(sweep_store_.num_origins());
+    sweep_store["path"] = sweep_path_;
+  }
+
   Json result = Json::MakeObject();
   result["cache"] = std::move(cache);
   result["inflight"] = static_cast<std::int64_t>(inflight());
   result["metrics"] = obs::ObservabilitySnapshot();
   result["num_ases"] = static_cast<std::uint64_t>(internet_.num_ases());
   result["num_edges"] = static_cast<std::uint64_t>(internet_.graph().num_edges());
+  result["sweep_store"] = std::move(sweep_store);
   result["threads"] = static_cast<std::uint64_t>(pool_.thread_count());
   result["uptime_s"] =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time_).count();

@@ -15,6 +15,7 @@
 #ifndef FLATNET_SERVE_DISPATCHER_H_
 #define FLATNET_SERVE_DISPATCHER_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -25,6 +26,7 @@
 #include "core/internet.h"
 #include "serve/cache.h"
 #include "serve/protocol.h"
+#include "sweep/store.h"
 #include "util/thread_pool.h"
 
 namespace flatnet::serve {
@@ -48,6 +50,14 @@ class Dispatcher {
 
   Dispatcher(const Dispatcher&) = delete;
   Dispatcher& operator=(const Dispatcher&) = delete;
+
+  // Attaches a loaded sweep store and precomputes the per-column rankings
+  // the `top` op serves from (value descending, ASN ascending). Validates
+  // the store against this dispatcher's topology — a fingerprint or size
+  // mismatch throws and nothing is attached. Call before serving traffic;
+  // not synchronized against concurrent Handle().
+  void AttachSweepStore(sweep::SweepStore store, const std::string& path);
+  bool has_sweep_store() const { return sweep_loaded_; }
 
   // Handles one request line. `done` receives exactly one response line
   // (no trailing newline) — inline for parse errors, cache hits, status,
@@ -73,6 +83,7 @@ class Dispatcher {
   std::string ExecuteReach(const Request& request, const CancelToken* cancel) const;
   std::string ExecuteReliance(const Request& request, const CancelToken* cancel) const;
   std::string ExecuteLeak(const Request& request, const CancelToken* cancel) const;
+  std::string ExecuteTop(const Request& request) const;
   std::string StatusResult();
 
   AsId ResolveAsn(Asn asn, const char* field) const;
@@ -85,6 +96,14 @@ class Dispatcher {
   std::vector<double> users_;  // per-AS populations for leak weighting
   std::atomic<std::int64_t> inflight_{0};
   std::chrono::steady_clock::time_point start_time_;
+
+  // Sweep store state (immutable once attached). One ranking per present
+  // column: origins ordered by value descending, ASN ascending, so a
+  // `top` query is a k-element prefix copy.
+  sweep::SweepStore sweep_store_;
+  bool sweep_loaded_ = false;
+  std::string sweep_path_;
+  std::array<std::vector<AsId>, sweep::kNumSweepColumns> sweep_rankings_;
 };
 
 }  // namespace flatnet::serve

@@ -63,6 +63,23 @@ ReachMode ModeField(const Json& value) {
       "'mode' must be one of full|provider_free|tier1_free|hierarchy_free");
 }
 
+// "full" names no stored sweep column, so `metric` takes the other three
+// ReachMode spellings only.
+ReachMode MetricField(const Json& value) {
+  const std::string* text = nullptr;
+  try {
+    text = &value.AsString();
+  } catch (const Error&) {
+  }
+  if (text != nullptr) {
+    if (*text == "provider_free") return ReachMode::kProviderFree;
+    if (*text == "tier1_free") return ReachMode::kTier1Free;
+    if (*text == "hierarchy_free") return ReachMode::kHierarchyFree;
+  }
+  throw ProtocolError(ErrorCode::kBadRequest,
+                      "'metric' must be one of provider_free|tier1_free|hierarchy_free");
+}
+
 LeakModel ModelField(const Json& value) {
   const std::string* text = nullptr;
   try {
@@ -107,6 +124,7 @@ const char* ToString(QueryKind kind) {
     case QueryKind::kReliance: return "reliance";
     case QueryKind::kLeak: return "leak";
     case QueryKind::kStatus: return "status";
+    case QueryKind::kTop: return "top";
   }
   return "status";
 }
@@ -152,6 +170,8 @@ Request RequestFromJson(const Json& doc) {
     request.kind = QueryKind::kLeak;
   } else if (op == "status") {
     request.kind = QueryKind::kStatus;
+  } else if (op == "top") {
+    request.kind = QueryKind::kTop;
   } else {
     throw ProtocolError(ErrorCode::kUnknownOp, "unknown op '" + op + "'");
   }
@@ -165,7 +185,8 @@ Request RequestFromJson(const Json& doc) {
       request.id = value;
       continue;
     }
-    if (key == "deadline_ms" && request.kind != QueryKind::kStatus) {
+    if (key == "deadline_ms" && request.kind != QueryKind::kStatus &&
+        request.kind != QueryKind::kTop) {
       std::uint64_t ms;
       try {
         ms = value.AsU64();
@@ -236,6 +257,24 @@ Request RequestFromJson(const Json& doc) {
           handled = true;
         }
         break;
+      case QueryKind::kTop:
+        if (key == "k") {
+          std::uint64_t k;
+          try {
+            k = value.AsU64();
+          } catch (const Error&) {
+            throw ProtocolError(ErrorCode::kBadRequest, "'k' must be a positive integer");
+          }
+          if (k == 0 || k > 100'000) {
+            throw ProtocolError(ErrorCode::kBadRequest, "'k' must be in [1, 100000]");
+          }
+          request.top_k = static_cast<std::size_t>(k);
+          handled = true;
+        } else if (key == "metric") {
+          request.metric = MetricField(value);
+          handled = true;
+        }
+        break;
       case QueryKind::kStatus:
         break;
     }
@@ -262,6 +301,7 @@ Request RequestFromJson(const Json& doc) {
       }
       break;
     case QueryKind::kStatus:
+    case QueryKind::kTop:
       break;
   }
   return request;
@@ -271,7 +311,8 @@ std::string CacheKey(const Request& request) {
   std::string key;
   switch (request.kind) {
     case QueryKind::kStatus:
-      return key;  // never cached
+    case QueryKind::kTop:
+      return key;  // answered inline, never cached
     case QueryKind::kReach:
       key = "reach|o=";
       key += std::to_string(request.origin);

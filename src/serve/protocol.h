@@ -19,6 +19,10 @@
 //    "model":"reannounce"|"originate",
 //    "peer_locked":[<asn>...],"lock_mode":...,
 //    "id":<any>,"deadline_ms":<n>}
+//   {"op":"top","k":<n>,                     top-k origins from the loaded
+//    "metric":"provider_free"|"tier1_free"|  sweep store (microseconds —
+//             "hierarchy_free",              precomputed rankings, no BFS)
+//    "id":<any>}
 //   {"op":"status","id":<any>}               uptime, cache + obs snapshot
 //
 // Responses:
@@ -68,7 +72,7 @@ class ProtocolError : public Error {
   ErrorCode code_;
 };
 
-enum class QueryKind : std::uint8_t { kReach, kReliance, kLeak, kStatus };
+enum class QueryKind : std::uint8_t { kReach, kReliance, kLeak, kStatus, kTop };
 
 const char* ToString(QueryKind kind);
 
@@ -97,8 +101,11 @@ struct Request {
   std::vector<Asn> excluded;
   std::vector<Asn> peer_locked;
   PeerLockMode lock_mode = PeerLockMode::kFull;
-  // reliance
+  // reliance / top
   std::size_t top_k = 10;
+  // top: which sweep column to rank by (reuses ReachMode minus "full",
+  // which names no stored column and is rejected at parse time).
+  ReachMode metric = ReachMode::kHierarchyFree;
   // leak
   Asn victim = 0;
   Asn leaker = 0;
@@ -115,7 +122,8 @@ Request RequestFromJson(const Json& doc);
 
 // Canonical result-cache key: everything that affects the result — kind,
 // origin(s), canonicalized option sets — and nothing that does not (id,
-// deadline). Empty for status, which is never cached.
+// deadline). Empty for status and top, which are answered inline and
+// never cached.
 std::string CacheKey(const Request& request);
 
 // Response encoders. `result_json` is a compact JSON object embedded

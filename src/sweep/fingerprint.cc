@@ -1,0 +1,47 @@
+#include "sweep/fingerprint.h"
+
+namespace flatnet::sweep {
+namespace {
+
+class Fnv1a64 {
+ public:
+  void Mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (i * 8)) & 0xFFu;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+void MixBitset(Fnv1a64& h, const Bitset& mask) {
+  h.Mix(mask.size());
+  // Set-bit indices rather than raw words: independent of Bitset's
+  // internal word layout.
+  mask.ForEachSet([&](std::size_t i) { h.Mix(i); });
+}
+
+}  // namespace
+
+std::uint64_t TopologyFingerprint(const Internet& internet) {
+  const AsGraph& graph = internet.graph();
+  Fnv1a64 h;
+  h.Mix(graph.num_ases());
+  h.Mix(graph.num_edges());
+  for (AsId id = 0; id < graph.num_ases(); ++id) {
+    h.Mix(graph.AsnOf(id));
+    for (const Neighbor& nb : graph.NeighborsOf(id)) {
+      h.Mix((static_cast<std::uint64_t>(nb.id) << 2) |
+            static_cast<std::uint64_t>(nb.rel));
+    }
+  }
+  MixBitset(h, internet.tiers().tier1_mask);
+  MixBitset(h, internet.tiers().tier2_mask);
+  return h.value();
+}
+
+}  // namespace flatnet::sweep

@@ -1,0 +1,82 @@
+// Append-only checkpoint journal for sweep runs.
+//
+// While a sweep runs, every completed chunk of origins is appended as one
+// self-checking record; a run killed at any instant (SIGTERM, SIGKILL,
+// power loss of the process — page cache survives) can be resumed from
+// the last durable record. Layout (native-endian):
+//
+//   header   magic "FNSWPJ01" (8) | version u32 | columns bitmask u32 |
+//            num_origins u64 | fingerprint u64 | chunk_size u32 |
+//            crc32 of the preceding header bytes u32
+//   records  { magic u32 | chunk_index u32 | value_count u32 |
+//              values u32[value_count] | crc32 u32 } ...
+//
+// Each record's values are the chunk's column data: for every present
+// column in ascending SweepColumn order, the values for origins
+// [chunk_index*chunk_size, min(num_origins, (chunk_index+1)*chunk_size)).
+//
+// Recovery scans forward and stops at the first incomplete or corrupt
+// record — a torn tail from a mid-write kill loses only that chunk — then
+// truncates the tail so appends continue from a clean boundary. A header
+// that does not match the current topology/schema is an error, never a
+// silent restart: resuming against the wrong inputs must be loud.
+#ifndef FLATNET_SWEEP_JOURNAL_H_
+#define FLATNET_SWEEP_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flatnet::sweep {
+
+// Everything a journal is keyed on; a resume must match all of it.
+struct SweepMeta {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t num_origins = 0;
+  std::uint32_t columns = 0;
+  std::uint32_t chunk_size = 0;
+};
+
+class SweepJournal {
+ public:
+  SweepJournal() = default;
+  ~SweepJournal();
+
+  SweepJournal(SweepJournal&& other) noexcept;
+  SweepJournal& operator=(SweepJournal&& other) noexcept;
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  // Starts a fresh journal at `path` (truncating any previous one).
+  static SweepJournal Create(const std::string& path, const SweepMeta& meta);
+
+  // Resumes from an existing journal: validates the header against
+  // `meta` (throws Error naming the path on any mismatch), appends every
+  // intact record to `chunks` as (chunk_index, values), truncates a torn
+  // tail, and returns a journal positioned for further appends.
+  static SweepJournal Recover(
+      const std::string& path, const SweepMeta& meta,
+      std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>>* chunks);
+
+  // Appends one completed chunk and flushes it to the OS, so the record
+  // survives a SIGKILL of this process. Not thread-safe; callers hold a
+  // lock.
+  void AppendChunk(std::uint32_t chunk_index, const std::uint32_t* values,
+                   std::size_t value_count);
+
+  // Closes the handle without deleting the file (keep for later resume).
+  void Close();
+
+  const std::string& path() const { return path_; }
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace flatnet::sweep
+
+#endif  // FLATNET_SWEEP_JOURNAL_H_

@@ -1,0 +1,191 @@
+#include "sweep/store.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "sweep/fingerprint.h"
+#include "util/crc32.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace flatnet::sweep {
+namespace {
+
+constexpr char kMagic[8] = {'F', 'N', 'S', 'W', 'E', 'E', 'P', '1'};
+constexpr char kEndMagic[8] = {'F', 'N', 'S', 'W', 'E', 'E', 'P', 'E'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8 + 4;
+constexpr std::size_t kFooterBytes = 4 + 8;
+
+void Append(std::string& out, const void* data, std::size_t len) {
+  out.append(static_cast<const char*>(data), len);
+}
+
+template <typename T>
+void AppendScalar(std::string& out, T value) {
+  Append(out, &value, sizeof(value));
+}
+
+template <typename T>
+T ReadScalar(const std::string& bytes, std::size_t offset) {
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(value));
+  return value;
+}
+
+std::string Serialize(const SweepTable& table) {
+  std::string out;
+  std::size_t body = 0;
+  for (std::size_t c = 0; c < kNumSweepColumns; ++c) {
+    if (table.columns & (1u << c)) body += table.num_origins * sizeof(std::uint32_t);
+  }
+  out.reserve(kHeaderBytes + body + kFooterBytes);
+  Append(out, kMagic, sizeof(kMagic));
+  AppendScalar(out, kVersion);
+  AppendScalar(out, table.columns);
+  AppendScalar(out, static_cast<std::uint64_t>(table.num_origins));
+  AppendScalar(out, table.fingerprint);
+  AppendScalar(out, std::uint32_t{0});  // reserved
+  for (std::size_t c = 0; c < kNumSweepColumns; ++c) {
+    if ((table.columns & (1u << c)) == 0) continue;
+    const auto& column = table.data[c];
+    if (column.size() != table.num_origins) {
+      throw InvalidArgument(StrFormat("WriteSweepStore: column %s has %zu values, expected %zu",
+                                      ToString(static_cast<SweepColumn>(c)), column.size(),
+                                      table.num_origins));
+    }
+    Append(out, column.data(), column.size() * sizeof(std::uint32_t));
+  }
+  AppendScalar(out, Crc32(out.data(), out.size()));
+  Append(out, kEndMagic, sizeof(kEndMagic));
+  return out;
+}
+
+}  // namespace
+
+const char* ToString(SweepColumn c) {
+  switch (c) {
+    case SweepColumn::kProviderFree: return "provider_free";
+    case SweepColumn::kTier1Free: return "tier1_free";
+    case SweepColumn::kHierarchyFree: return "hierarchy_free";
+    case SweepColumn::kPathOneHop: return "path_one_hop";
+    case SweepColumn::kPathTwoHops: return "path_two_hops";
+    case SweepColumn::kPathThreePlus: return "path_three_plus";
+  }
+  return "unknown";
+}
+
+const std::vector<std::uint32_t>& SweepTable::Column(SweepColumn c) const {
+  if (!HasColumn(c)) {
+    throw InvalidArgument(StrFormat("SweepTable: column %s not present", ToString(c)));
+  }
+  return data[static_cast<std::size_t>(c)];
+}
+
+std::vector<std::uint32_t>& SweepTable::MutableColumn(SweepColumn c) {
+  return data[static_cast<std::size_t>(c)];
+}
+
+void WriteSweepStore(const std::string& path, const SweepTable& table) {
+  std::string bytes = Serialize(table);
+  std::string tmp = StrFormat("%s.tmp%d", path.c_str(), static_cast<int>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("WriteSweepStore: cannot write " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw Error("WriteSweepStore: write failure on " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw Error(StrFormat("WriteSweepStore: publish to %s failed: %s", path.c_str(),
+                          ec.message().c_str()));
+  }
+}
+
+SweepStore SweepStore::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("SweepStore: cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) throw Error("SweepStore: read failure on " + path);
+
+  if (bytes.size() < kHeaderBytes + kFooterBytes) {
+    throw Error(StrFormat("%s:0: truncated sweep store (%zu bytes, header+footer need %zu)",
+                          path.c_str(), bytes.size(), kHeaderBytes + kFooterBytes));
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw Error(StrFormat("%s:0: bad magic (not a sweep store)", path.c_str()));
+  }
+  std::uint32_t version = ReadScalar<std::uint32_t>(bytes, 8);
+  if (version != kVersion) {
+    throw Error(StrFormat("%s:8: unsupported sweep store version %u (expected %u)",
+                          path.c_str(), version, kVersion));
+  }
+  SweepTable table;
+  table.columns = ReadScalar<std::uint32_t>(bytes, 12);
+  table.num_origins = static_cast<std::size_t>(ReadScalar<std::uint64_t>(bytes, 16));
+  table.fingerprint = ReadScalar<std::uint64_t>(bytes, 24);
+  if (table.columns == 0 || (table.columns >> kNumSweepColumns) != 0) {
+    throw Error(StrFormat("%s:12: invalid column bitmask 0x%x", path.c_str(), table.columns));
+  }
+  std::size_t present = 0;
+  for (std::size_t c = 0; c < kNumSweepColumns; ++c) {
+    if (table.columns & (1u << c)) ++present;
+  }
+  std::size_t expected =
+      kHeaderBytes + present * table.num_origins * sizeof(std::uint32_t) + kFooterBytes;
+  if (bytes.size() != expected) {
+    throw Error(StrFormat("%s:%zu: truncated or oversized sweep store (%zu bytes, header "
+                          "implies %zu)",
+                          path.c_str(), bytes.size(), bytes.size(), expected));
+  }
+  std::size_t footer = bytes.size() - kFooterBytes;
+  if (std::memcmp(bytes.data() + footer + 4, kEndMagic, sizeof(kEndMagic)) != 0) {
+    throw Error(StrFormat("%s:%zu: bad end magic (torn or overwritten footer)", path.c_str(),
+                          footer + 4));
+  }
+  std::uint32_t stored_crc = ReadScalar<std::uint32_t>(bytes, footer);
+  std::uint32_t actual_crc = Crc32(bytes.data(), footer);
+  if (stored_crc != actual_crc) {
+    throw Error(StrFormat("%s:%zu: CRC mismatch (stored 0x%08x, computed 0x%08x)",
+                          path.c_str(), footer, stored_crc, actual_crc));
+  }
+
+  std::size_t offset = kHeaderBytes;
+  for (std::size_t c = 0; c < kNumSweepColumns; ++c) {
+    if ((table.columns & (1u << c)) == 0) continue;
+    auto& column = table.data[c];
+    column.resize(table.num_origins);
+    std::memcpy(column.data(), bytes.data() + offset,
+                table.num_origins * sizeof(std::uint32_t));
+    offset += table.num_origins * sizeof(std::uint32_t);
+  }
+  SweepStore store;
+  store.table_ = std::move(table);
+  return store;
+}
+
+void SweepStore::ValidateAgainst(const Internet& internet) const {
+  if (table_.num_origins != internet.num_ases()) {
+    throw Error(StrFormat("sweep store holds %zu origins but the topology has %zu ASes",
+                          table_.num_origins, internet.num_ases()));
+  }
+  std::uint64_t expected = TopologyFingerprint(internet);
+  if (table_.fingerprint != expected) {
+    throw Error(StrFormat("sweep store fingerprint %016llx does not match topology %016llx "
+                          "(results were computed on a different graph)",
+                          static_cast<unsigned long long>(table_.fingerprint),
+                          static_cast<unsigned long long>(expected)));
+  }
+}
+
+}  // namespace flatnet::sweep

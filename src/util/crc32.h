@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+//
+// Guards the binary sweep store and its checkpoint journal against
+// truncation and bit rot. The incremental form (`seed` is a previous
+// return value) lets writers fold a file in as it streams out.
+#ifndef FLATNET_UTIL_CRC32_H_
+#define FLATNET_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flatnet {
+
+// CRC of `len` bytes at `data`. Chain calls by passing the previous
+// result as `seed` (the empty-input CRC is 0).
+std::uint32_t Crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_UTIL_CRC32_H_

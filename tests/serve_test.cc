@@ -5,19 +5,24 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bgp/propagation.h"
 #include "bgp/reachability.h"
+#include "core/reachability_analysis.h"
 #include "serve/cache.h"
 #include "serve/dispatcher.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "sweep/engine.h"
+#include "sweep/store.h"
 #include "topogen/generate.h"
 #include "util/cancel.h"
 #include "util/error.h"
@@ -78,6 +83,30 @@ TEST(ServeProtocol, RejectsMalformedRequests) {
   EXPECT_EQ(
       CodeOf([] { ParseRequest(R"({"op":"reach","origin":1,"deadline_ms":0})"); }),
       ErrorCode::kBadRequest);
+}
+
+TEST(ServeProtocol, ParsesTopRequests) {
+  Request request = ParseRequest(R"({"op":"top","k":5,"metric":"tier1_free","id":1})");
+  EXPECT_EQ(request.kind, QueryKind::kTop);
+  EXPECT_EQ(request.top_k, 5u);
+  EXPECT_EQ(request.metric, ReachMode::kTier1Free);
+
+  // Defaults: k=10, hierarchy-free.
+  Request bare = ParseRequest(R"({"op":"top"})");
+  EXPECT_EQ(bare.top_k, 10u);
+  EXPECT_EQ(bare.metric, ReachMode::kHierarchyFree);
+
+  // "full" names no sweep column; unknown fields fail loudly; `top` is
+  // inline and takes no deadline.
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"top","metric":"full"})"); }),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"top","origin":5})"); }),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"top","k":0})"); }), ErrorCode::kBadRequest);
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"top","deadline_ms":100})"); }),
+            ErrorCode::kBadRequest);
+  // Never cached: served inline from the precomputed ranking.
+  EXPECT_TRUE(CacheKey(ParseRequest(R"({"op":"top","k":3})")).empty());
 }
 
 TEST(ServeProtocol, CacheKeyIgnoresIdAndDeadline) {
@@ -244,6 +273,80 @@ TEST_F(ServeDispatchTest, LeakFromDirectNeighborDetoursSomeone) {
   EXPECT_GE(result.Get("fraction_ases").AsNumber(), 0.0);
   EXPECT_LE(result.Get("fraction_ases").AsNumber(), 1.0);
   EXPECT_EQ(result.Get("model").AsString(), "reannounce");
+}
+
+TEST_F(ServeDispatchTest, TopWithoutStoreIsBadRequest) {
+  Json response = Ask(R"({"op":"top","k":3,"id":"t"})");
+  EXPECT_FALSE(response.Get("ok").AsBool());
+  EXPECT_EQ(response.Get("error").Get("code").AsString(), "bad_request");
+  // And status reports the absence.
+  Json status = Ask(R"({"op":"status","id":"s"})");
+  EXPECT_FALSE(status.Get("result").Get("sweep_store").Get("loaded").AsBool());
+}
+
+TEST_F(ServeDispatchTest, TopServesRankedPrefixFromAttachedStore) {
+  // A dispatcher of its own, so the fixture dispatcher stays storeless.
+  Dispatcher d(internet(), DispatcherOptions{.threads = 2});
+  sweep::SweepOptions options;
+  options.threads = 2;
+  d.AttachSweepStore(
+      [&] {
+        sweep::SweepStore store;
+        std::string path =
+            (std::filesystem::temp_directory_path() / "flatnet_serve_top.sweep").string();
+        sweep::WriteSweepStore(path, sweep::RunSweep(internet(), options));
+        store = sweep::SweepStore::Load(path);
+        std::filesystem::remove(path);
+        return store;
+      }(),
+      "flatnet_serve_top.sweep");
+  ASSERT_TRUE(d.has_sweep_store());
+
+  Json response =
+      Json::Parse(d.HandleSync(R"({"op":"top","k":5,"metric":"hierarchy_free","id":7})"));
+  ASSERT_TRUE(response.Get("ok").AsBool()) << response.Dump();
+  const Json& result = response.Get("result");
+  EXPECT_EQ(result.Get("metric").AsString(), "hierarchy_free");
+  EXPECT_EQ(result.Get("k").AsU64(), 5u);
+  const Json& top = result.Get("top");
+  ASSERT_EQ(top.size(), 5u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].Get("reach").AsU64(), top[i].Get("reach").AsU64());
+  }
+  // The #1 entry is the true maximum of the serial sweep.
+  std::vector<std::uint32_t> serial = HierarchyFreeSweep(internet());
+  EXPECT_EQ(top[0].Get("reach").AsU64(),
+            *std::max_element(serial.begin(), serial.end()));
+
+  // Status advertises the store so clients (loadgen) can gate `top`.
+  Json status = Json::Parse(d.HandleSync(R"({"op":"status","id":"s"})"));
+  const Json& sweep_store = status.Get("result").Get("sweep_store");
+  EXPECT_TRUE(sweep_store.Get("loaded").AsBool());
+  EXPECT_EQ(sweep_store.Get("num_origins").AsU64(), internet().num_ases());
+
+  // A store without the requested column answers bad_request, not zeros.
+  Json missing =
+      Json::Parse(d.HandleSync(R"({"op":"top","metric":"provider_free","id":8})"));
+  EXPECT_TRUE(missing.Get("ok").AsBool());  // default sweep has all reach columns
+}
+
+TEST_F(ServeDispatchTest, AttachRejectsMismatchedStore) {
+  GeneratorParams params = GeneratorParams::Era2015(300);
+  params.seed = 4321;
+  World other = GenerateWorld(params);
+  Internet other_net(other.full_graph, other.tiers, other.metadata);
+  sweep::SweepOptions options;
+  options.threads = 2;
+  sweep::SweepTable table = sweep::RunSweep(other_net, options);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "flatnet_serve_mismatch.sweep").string();
+  sweep::WriteSweepStore(path, table);
+  sweep::SweepStore store = sweep::SweepStore::Load(path);
+  std::filesystem::remove(path);
+
+  Dispatcher d(internet(), DispatcherOptions{.threads = 1});
+  EXPECT_THROW(d.AttachSweepStore(std::move(store), path), Error);
+  EXPECT_FALSE(d.has_sweep_store());
 }
 
 TEST_F(ServeDispatchTest, ErrorsCarryStructuredCodes) {

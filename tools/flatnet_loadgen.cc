@@ -4,7 +4,9 @@
 // status queries over origins sampled from the topology (a small hot set is
 // revisited so the server's result cache sees repeats), and reports p50 /
 // p95 / p99 latency, throughput, error rate, and cache-hit rate as one JSON
-// object on stdout.
+// object on stdout. When the server's status reports a loaded sweep store,
+// `top` queries join the mix (they are answered inline from the store and
+// are never cached).
 //
 // --verify K additionally cross-checks K reach queries: each is issued
 // twice (cold, then cached) and the raw `result` bytes must be identical,
@@ -122,28 +124,32 @@ struct WorkerTally {
 };
 
 const char* kModes[] = {"full", "provider_free", "tier1_free", "hierarchy_free"};
+const char* kMetrics[] = {"provider_free", "tier1_free", "hierarchy_free"};
 
 // Builds one request from the mix: ~55% reach, 20% reliance, 15% leak, 10%
-// status. Origins come from a 16-AS hot pool 70% of the time so identical
-// queries recur and the result cache gets hits.
+// status — or, with a sweep store loaded server-side, ~45% reach, 20%
+// reliance, 15% leak, 10% top, 10% status. Origins come from a 16-AS hot
+// pool 70% of the time so identical queries recur and the result cache
+// gets hits.
 std::string BuildRequest(Rng& rng, const std::vector<Asn>& asns,
-                         const std::vector<Asn>& hot, std::uint64_t id, bool* cacheable) {
+                         const std::vector<Asn>& hot, std::uint64_t id, bool top_enabled,
+                         bool* cacheable) {
   auto pick = [&](const std::vector<Asn>& pool) {
     return pool[rng.UniformU64(pool.size())];
   };
   auto origin = [&] { return rng.Bernoulli(0.7) ? pick(hot) : pick(asns); };
   std::uint64_t roll = rng.UniformU64(100);
   *cacheable = true;
-  if (roll < 55) {
+  if (roll < (top_enabled ? 45u : 55u)) {
     return StrFormat("{\"op\":\"reach\",\"origin\":%u,\"mode\":\"%s\",\"id\":%llu}",
                      origin(), kModes[rng.UniformU64(4)],
                      static_cast<unsigned long long>(id));
   }
-  if (roll < 75) {
+  if (roll < (top_enabled ? 65u : 75u)) {
     return StrFormat("{\"op\":\"reliance\",\"origin\":%u,\"k\":10,\"id\":%llu}", origin(),
                      static_cast<unsigned long long>(id));
   }
-  if (roll < 90) {
+  if (roll < (top_enabled ? 80u : 90u)) {
     Asn victim = origin();
     Asn leaker = origin();
     while (leaker == victim) leaker = pick(asns);
@@ -151,6 +157,11 @@ std::string BuildRequest(Rng& rng, const std::vector<Asn>& asns,
                      leaker, static_cast<unsigned long long>(id));
   }
   *cacheable = false;
+  if (top_enabled && roll < 90) {
+    return StrFormat("{\"op\":\"top\",\"k\":%llu,\"metric\":\"%s\",\"id\":%llu}",
+                     static_cast<unsigned long long>(1 + rng.UniformU64(20)),
+                     kMetrics[rng.UniformU64(3)], static_cast<unsigned long long>(id));
+  }
   return StrFormat("{\"op\":\"status\",\"id\":%llu}", static_cast<unsigned long long>(id));
 }
 
@@ -238,6 +249,22 @@ int main(int argc, char** argv) {
   std::vector<Asn> hot;
   for (std::size_t i = 0; i < 16; ++i) hot.push_back(asns[pool_rng.UniformU64(asns.size())]);
 
+  // Preflight status probe: include `top` in the mix only when the server
+  // actually has a sweep store, so the loadgen works against servers
+  // started with and without one.
+  bool top_enabled = false;
+  try {
+    Client probe(host, static_cast<std::uint16_t>(port));
+    Json status = Json::Parse(probe.RoundTrip("{\"op\":\"status\",\"id\":\"probe\"}"));
+    const Json& loaded = status.Get("result").Get("sweep_store").Get("loaded");
+    top_enabled = loaded.type() == Json::Type::kBool && loaded.AsBool();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "status probe failed: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "sweep store %s: top queries %s\n",
+               top_enabled ? "loaded" : "absent", top_enabled ? "in the mix" : "skipped");
+
   std::atomic<std::uint64_t> next_id{0};
   std::vector<WorkerTally> tallies(connections);
   std::mutex fail_mu;
@@ -255,7 +282,7 @@ int main(int argc, char** argv) {
           std::uint64_t id = next_id.fetch_add(1);
           if (id >= requests) break;
           bool cacheable = false;
-          std::string request = BuildRequest(rng, asns, hot, id, &cacheable);
+          std::string request = BuildRequest(rng, asns, hot, id, top_enabled, &cacheable);
           auto start = std::chrono::steady_clock::now();
           std::string response = client.RoundTrip(request);
           tally.latencies_ms.push_back(

@@ -11,7 +11,7 @@
 //   flatnet_serve [--topology <stem>] [--era 2015|2020] [--ases N] [--seed S]
 //                 [--port P] [--bind ADDR] [--port-file <file>]
 //                 [--threads N] [--cache-mb MB] [--max-inflight N]
-//                 [--default-deadline-ms MS]
+//                 [--default-deadline-ms MS] [--sweep <file>]
 //                 [--log-level <level>] [--metrics-out <file>]
 //
 // With --topology, the stem is loaded when present; otherwise the era
@@ -19,17 +19,26 @@
 // fast. Without --topology the topology lives only in memory. --port 0
 // (default) binds an ephemeral port; --port-file publishes the bound port
 // for scripted clients.
+//
+// --sweep attaches a flatnet_sweep result store, enabling the `top` op
+// (a load or fingerprint failure is then fatal). Without the flag,
+// <stem>.sweep is attached when it exists and matches — best-effort, so a
+// stale store logs a warning instead of blocking startup.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include <filesystem>
+
 #include "core/serialize.h"
 #include "core/study.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "serve/server.h"
+#include "sweep/store.h"
+#include "util/error.h"
 #include "util/strings.h"
 
 using namespace flatnet;
@@ -48,7 +57,7 @@ int Usage() {
                "[--seed S]\n"
                "                     [--port P] [--bind ADDR] [--port-file <file>]\n"
                "                     [--threads N] [--cache-mb MB] [--max-inflight N]\n"
-               "                     [--default-deadline-ms MS]\n"
+               "                     [--default-deadline-ms MS] [--sweep <file>]\n"
                "                     [--log-level <level>] [--metrics-out <file>]\n");
   return 2;
 }
@@ -87,6 +96,7 @@ int main(int argc, char** argv) {
   std::uint64_t port = 0;
   std::string port_file;
   std::string metrics_out;
+  std::string sweep_path;
   serve::DispatcherOptions dispatch;
 
   for (int i = 1; i < argc; ++i) {
@@ -135,6 +145,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--default-deadline-ms") {
       if (!next_u64(&value)) return Usage();
       dispatch.default_deadline_ms = static_cast<std::int64_t>(value);
+    } else if (arg == "--sweep") {
+      const char* v = next();
+      if (!v) return Usage();
+      sweep_path = v;
     } else if (arg == "--log-level") {
       const char* v = next();
       auto level = v ? obs::ParseLogLevel(v) : std::nullopt;
@@ -155,6 +169,27 @@ int main(int argc, char** argv) {
                internet.graph().num_edges());
 
   serve::Dispatcher dispatcher(internet, dispatch);
+
+  // Explicit --sweep must attach; an implicit <stem>.sweep is opportunistic
+  // (a store from an older topology just logs and is skipped).
+  bool explicit_sweep = !sweep_path.empty();
+  if (!explicit_sweep && !stem.empty()) {
+    std::string candidate = stem + ".sweep";
+    if (std::filesystem::exists(candidate)) sweep_path = candidate;
+  }
+  if (!sweep_path.empty()) {
+    try {
+      dispatcher.AttachSweepStore(sweep::SweepStore::Load(sweep_path), sweep_path);
+      std::fprintf(stderr, "sweep store: %s (top op enabled)\n", sweep_path.c_str());
+    } catch (const Error& e) {
+      if (explicit_sweep) {
+        std::fprintf(stderr, "cannot attach sweep store: %s\n", e.what());
+        return 1;
+      }
+      std::fprintf(stderr, "ignoring sweep store %s: %s\n", sweep_path.c_str(), e.what());
+    }
+  }
+
   serve::ServerOptions server_options;
   server_options.bind_address = bind_address;
   server_options.port = static_cast<std::uint16_t>(port);
