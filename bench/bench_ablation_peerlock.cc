@@ -7,14 +7,19 @@
 // semantics; the erratum's statement — the original under-filtering
 // "led to an underestimation of the benefits of peer locking" — should
 // appear as strictly lower detour fractions under kFull.
-#include <algorithm>
+//
+// Both semantics share one campaign (src/leaksim/): six cells with the
+// historical seed 0xab1a, so each (scenario, mode) series matches the old
+// serial RunLeakScenario calls exactly.
 #include <cstdio>
 #include <numeric>
 #include <vector>
 
 #include "common.h"
 #include "core/leak_scenarios.h"
+#include "leaksim/engine.h"
 #include "util/env.h"
+#include "util/stats.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -25,12 +30,6 @@ namespace {
 double Mean(const std::vector<double>& v) {
   return v.empty() ? 0.0
                    : std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
-}
-
-double Quantile(std::vector<double> v, double q) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  return v[static_cast<std::size_t>(q * (v.size() - 1))];
 }
 
 }  // namespace
@@ -50,24 +49,35 @@ int main() {
   table.AddColumn("pre-erratum p95%", TextTable::Align::kRight);
   table.AddColumn("erratum p95%", TextTable::Align::kRight);
 
+  const LeakScenario scenarios[] = {LeakScenario::kAnnounceAllLockT1,
+                                    LeakScenario::kAnnounceAllLockT1T2,
+                                    LeakScenario::kAnnounceAllLockGlobal};
+  std::vector<leaksim::LeakCellSpec> specs;
+  for (LeakScenario scenario : scenarios) {
+    for (PeerLockMode mode : {PeerLockMode::kDirectOnly, PeerLockMode::kFull}) {
+      leaksim::LeakCellSpec spec;
+      spec.victim = google;
+      spec.scenario = scenario;
+      spec.lock_mode = mode;
+      spec.seed = 0xab1a;
+      spec.trials = static_cast<std::uint32_t>(trials);
+      specs.push_back(spec);
+    }
+  }
+  leaksim::LeakTable campaign = leaksim::RunLeakCampaign(internet, specs);
+
   struct Cell {
     double mean_direct = 0, mean_full = 0;
   };
   std::vector<Cell> cells;
-  for (LeakScenario scenario :
-       {LeakScenario::kAnnounceAllLockT1, LeakScenario::kAnnounceAllLockT1T2,
-        LeakScenario::kAnnounceAllLockGlobal}) {
-    LeakTrialSeries direct = RunLeakScenario(internet, google, scenario, trials, 0xab1a,
-                                             nullptr, PeerLockMode::kDirectOnly);
-    LeakTrialSeries full = RunLeakScenario(internet, google, scenario, trials, 0xab1a,
-                                           nullptr, PeerLockMode::kFull);
-    table.AddRow({ToString(scenario),
-                  StrFormat("%5.1f", 100 * Mean(direct.fraction_ases_detoured)),
-                  StrFormat("%5.1f", 100 * Mean(full.fraction_ases_detoured)),
-                  StrFormat("%5.1f", 100 * Quantile(direct.fraction_ases_detoured, 0.95)),
-                  StrFormat("%5.1f", 100 * Quantile(full.fraction_ases_detoured, 0.95))});
-    cells.push_back(
-        {Mean(direct.fraction_ases_detoured), Mean(full.fraction_ases_detoured)});
+  for (std::size_t i = 0; i < campaign.cells.size(); i += 2) {
+    const std::vector<double>& direct = campaign.cells[i].fraction_ases;
+    const std::vector<double>& full = campaign.cells[i + 1].fraction_ases;
+    table.AddRow({ToString(campaign.cells[i].spec.scenario),
+                  StrFormat("%5.1f", 100 * Mean(direct)), StrFormat("%5.1f", 100 * Mean(full)),
+                  StrFormat("%5.1f", 100 * Quantile(direct, 0.95)),
+                  StrFormat("%5.1f", 100 * Quantile(full, 0.95))});
+    cells.push_back({Mean(direct), Mean(full)});
   }
   table.Print(stdout);
 

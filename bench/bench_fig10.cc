@@ -4,14 +4,20 @@
 // only marginally (slightly better/worse depending on the tail) — new peers
 // are mostly small edge ASes and some providers became peers, which cuts
 // both ways.
-#include <algorithm>
+//
+// Each era is a one-cell campaign (src/leaksim/) with the historical seed,
+// so the trial series match the old serial RunLeakScenario calls.
+#include <cmath>
 #include <cstdio>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "common.h"
 #include "core/leak_scenarios.h"
+#include "leaksim/engine.h"
 #include "util/env.h"
+#include "util/stats.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -22,12 +28,6 @@ namespace {
 double Mean(const std::vector<double>& v) {
   return v.empty() ? 0.0
                    : std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
-}
-
-double Quantile(std::vector<double> v, double q) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  return v[static_cast<std::size_t>(q * (v.size() - 1))];
 }
 
 }  // namespace
@@ -51,9 +51,12 @@ int main() {
                                                                          &bench::Internet2015()},
                                  {"2020", &bench::Internet2020()}}) {
     AsId google = bench::IdByName(*internet, "Google");
-    LeakTrialSeries series =
-        RunLeakScenario(*internet, google, LeakScenario::kAnnounceAll, trials, 0xf16);
-    const auto& f = series.fraction_ases_detoured;
+    leaksim::LeakCellSpec spec;
+    spec.victim = google;
+    spec.seed = 0xf16;
+    spec.trials = static_cast<std::uint32_t>(trials);
+    leaksim::LeakTable campaign = leaksim::RunLeakCampaign(*internet, {spec});
+    const std::vector<double>& f = campaign.cells.front().fraction_ases;
     table.AddRow({label, StrFormat("%5.1f", 100 * Mean(f)),
                   StrFormat("%5.1f", 100 * Quantile(f, 0.5)),
                   StrFormat("%5.1f", 100 * Quantile(f, 0.9)),

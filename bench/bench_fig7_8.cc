@@ -7,13 +7,18 @@
 // announcing only to the hierarchy is WORSE than average (peer routes are
 // less preferred than customer routes); T1+T2 peer locking caps even the
 // worst leaks near ~20% of ASes; global locking is near-immunity.
-#include <algorithm>
+//
+// The 25-cell matrix runs through the parallel campaign engine
+// (src/leaksim/) with the same per-cell seeds the serial loop used, so
+// every trial is identical to the historical output — just computed on
+// all cores.
 #include <cstdio>
 #include <numeric>
 #include <vector>
 
 #include "common.h"
 #include "core/leak_scenarios.h"
+#include "leaksim/engine.h"
 #include "util/env.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -26,13 +31,6 @@ namespace {
 double Mean(const std::vector<double>& v) {
   if (v.empty()) return 0.0;
   return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
-}
-
-double Quantile(std::vector<double> v, double q) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  std::size_t idx = static_cast<std::size_t>(q * (v.size() - 1));
-  return v[idx];
 }
 
 }  // namespace
@@ -48,10 +46,31 @@ int main() {
       LeakScenario::kAnnounceAllLockGlobal, LeakScenario::kAnnounceAllLockT1T2,
       LeakScenario::kAnnounceAllLockT1, LeakScenario::kAnnounceAll,
       LeakScenario::kAnnounceHierarchyOnly};
+  const char* cloud_names[] = {"Google", "Microsoft", "Amazon", "IBM", "Facebook"};
 
-  std::vector<double> baseline = AverageResilienceBaseline(
+  BaselineResult baseline = AverageResilienceBaseline(
       internet, ScaledTrials(200, 12), ScaledTrials(200, 12), /*seed=*/0xba5e);
-  double baseline_mean = Mean(baseline);
+  double baseline_mean = Mean(baseline.fractions);
+
+  // One cell per (cloud, scenario), seeded exactly as the serial loop was:
+  // seed = 0x8000 + victim, incremented per scenario in table order.
+  std::vector<leaksim::LeakCellSpec> cells;
+  for (const char* name : cloud_names) {
+    AsId victim = bench::IdByName(internet, name);
+    std::uint64_t seed = 0x8000 + victim;
+    for (LeakScenario scenario : scenarios) {
+      leaksim::LeakCellSpec spec;
+      spec.victim = victim;
+      spec.scenario = scenario;
+      spec.seed = seed++;
+      spec.trials = static_cast<std::uint32_t>(trials);
+      cells.push_back(spec);
+    }
+  }
+  leaksim::LeakCampaignStats stats;
+  leaksim::LeakTable campaign = leaksim::RunLeakCampaign(internet, cells, {}, &stats);
+  std::printf("campaign: %zu cells, %zu trials in %.1fs\n\n", campaign.cells.size(),
+              stats.trials_evaluated, stats.seconds);
 
   struct CloudResult {
     std::string name;
@@ -62,8 +81,8 @@ int main() {
   };
   std::vector<CloudResult> results;
 
-  for (const char* name : {"Google", "Microsoft", "Amazon", "IBM", "Facebook"}) {
-    AsId victim = bench::IdByName(internet, name);
+  std::size_t cell_index = 0;
+  for (const char* name : cloud_names) {
     std::printf("-- %s --\n", name);
     TextTable table;
     table.AddColumn("scenario");
@@ -75,10 +94,8 @@ int main() {
 
     CloudResult row;
     row.name = name;
-    std::uint64_t seed = 0x8000 + victim;
     for (LeakScenario scenario : scenarios) {
-      LeakTrialSeries series = RunLeakScenario(internet, victim, scenario, trials, seed++);
-      const auto& f = series.fraction_ases_detoured;
+      const std::vector<double>& f = campaign.cells[cell_index++].fraction_ases;
       table.AddRow({ToString(scenario), StrFormat("%5.1f", 100 * Mean(f)),
                     StrFormat("%5.1f", 100 * Quantile(f, 0.5)),
                     StrFormat("%5.1f", 100 * Quantile(f, 0.9)),

@@ -3,13 +3,16 @@
 //
 // Paper shape: the user-weighted CDFs track the AS-weighted ones with a
 // slight left skew — detoured ASes serve a somewhat smaller share of users.
-#include <algorithm>
+//
+// All five cells run as one user-weighted campaign (src/leaksim/) with the
+// historical per-scenario seeds, so the series match the old serial loop.
 #include <cstdio>
 #include <numeric>
 #include <vector>
 
 #include "common.h"
 #include "core/leak_scenarios.h"
+#include "leaksim/engine.h"
 #include "util/env.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -50,19 +53,29 @@ int main() {
       LeakScenario::kAnnounceAllLockT1, LeakScenario::kAnnounceAll,
       LeakScenario::kAnnounceHierarchyOnly};
 
+  std::vector<leaksim::LeakCellSpec> cells;
+  for (LeakScenario scenario : scenarios) {
+    leaksim::LeakCellSpec spec;
+    spec.victim = google;
+    spec.scenario = scenario;
+    spec.seed = 0x919 + static_cast<std::uint64_t>(static_cast<int>(scenario));
+    spec.trials = static_cast<std::uint32_t>(trials);
+    cells.push_back(spec);
+  }
+  leaksim::LeakCampaignOptions options;
+  options.users = &users;
+  leaksim::LeakTable campaign = leaksim::RunLeakCampaign(internet, cells, options);
+
   double all_ases = 0, all_users = 0;
   bool ordering_holds = true;
   double prev_users = -1;
-  for (LeakScenario scenario : scenarios) {
-    LeakTrialSeries series =
-        RunLeakScenario(internet, google, scenario, trials, 0x919 + static_cast<int>(scenario),
-                        &users);
-    double m_ases = Mean(series.fraction_ases_detoured);
-    double m_users = Mean(series.fraction_users_detoured);
-    table.AddRow({ToString(scenario), StrFormat("%5.1f", 100 * m_ases),
+  for (const leaksim::LeakCellResult& cell : campaign.cells) {
+    double m_ases = Mean(cell.fraction_ases);
+    double m_users = Mean(cell.fraction_users);
+    table.AddRow({ToString(cell.spec.scenario), StrFormat("%5.1f", 100 * m_ases),
                   StrFormat("%5.1f", 100 * m_users),
                   m_users < m_ases ? "left (fewer users)" : "right"});
-    if (scenario == LeakScenario::kAnnounceAll) {
+    if (cell.spec.scenario == LeakScenario::kAnnounceAll) {
       all_ases = m_ases;
       all_users = m_users;
     }

@@ -29,16 +29,28 @@ LeakExperiment::LeakExperiment(const AsGraph& graph, AsId victim, LeakConfig con
   baseline_ = std::make_unique<RouteComputation>(graph_, std::vector{victim_source}, options);
 }
 
+bool LeakExperiment::CanLeak(AsId leaker) const {
+  if (leaker >= graph_.num_ases()) {
+    throw InvalidArgument("LeakExperiment::CanLeak: bad leaker");
+  }
+  if (leaker == victim_) return false;
+  if (config_.model == LeakModel::kReannounce && !baseline_->Route(leaker).HasRoute()) {
+    return false;  // nothing to leak
+  }
+  return true;
+}
+
 std::optional<LeakOutcome> LeakExperiment::Run(AsId leaker) const {
+  LeakWorkspace workspace;
+  return Run(leaker, workspace);
+}
+
+std::optional<LeakOutcome> LeakExperiment::Run(AsId leaker, LeakWorkspace& workspace) const {
   if (leaker >= graph_.num_ases()) throw InvalidArgument("LeakExperiment::Run: bad leaker");
-  if (leaker == victim_) return std::nullopt;
+  if (!CanLeak(leaker)) return std::nullopt;
 
   PathLength base = 0;
-  if (config_.model == LeakModel::kReannounce) {
-    const RouteEntry& entry = baseline_->Route(leaker);
-    if (!entry.HasRoute()) return std::nullopt;  // nothing to leak
-    base = entry.length;
-  }
+  if (config_.model == LeakModel::kReannounce) base = baseline_->Route(leaker).length;
 
   AnnouncementSource victim_source;
   victim_source.node = victim_;
@@ -51,19 +63,30 @@ std::optional<LeakOutcome> LeakExperiment::Run(AsId leaker) const {
 
   PropagationOptions options;
   options.cancel = config_.cancel;
-  Bitset leaker_mask;
   if (config_.peer_locked) {
     options.peer_locked = &*config_.peer_locked;
     options.protected_origin = victim_;
     options.lock_mode = config_.lock_mode;
     if (config_.lock_mode == PeerLockMode::kDirectOnly) {
-      leaker_mask.Resize(graph_.num_ases());
-      leaker_mask.Set(leaker);
-      options.lock_filtered_senders = &leaker_mask;
+      workspace.leaker_mask_.Resize(graph_.num_ases());
+      workspace.leaker_mask_.ResetAll();
+      workspace.leaker_mask_.Set(leaker);
+      options.lock_filtered_senders = &workspace.leaker_mask_;
     }
   }
 
-  RouteComputation joint(graph_, {victim_source, leak_source}, options);
+  std::vector<AnnouncementSource> sources{victim_source, leak_source};
+  // A workspace carried over from another graph cannot be recomputed in
+  // place; fall back to a fresh allocation bound to this graph.
+  if (workspace.joint_ != nullptr && &workspace.joint_->graph() != &graph_) {
+    workspace.joint_.reset();
+  }
+  if (workspace.joint_ == nullptr) {
+    workspace.joint_ = std::make_unique<RouteComputation>(graph_, sources, options);
+  } else {
+    workspace.joint_->Recompute(sources, options);
+  }
+  const RouteComputation& joint = *workspace.joint_;
 
   LeakOutcome outcome;
   outcome.leaker = leaker;

@@ -56,6 +56,20 @@ struct LeakOutcome {
   std::size_t detoured_count = 0;
 };
 
+// Reusable per-thread scratch for repeated LeakExperiment::Run calls: the
+// joint two-source propagation is recomputed in place instead of being
+// reallocated per trial. Results are identical to the workspace-free
+// overload; the campaign engine gives each worker thread one workspace.
+class LeakWorkspace {
+ public:
+  LeakWorkspace() = default;
+
+ private:
+  friend class LeakExperiment;
+  std::unique_ptr<RouteComputation> joint_;
+  Bitset leaker_mask_;
+};
+
 // Precomputes the victim-only propagation for one (victim, config) pair and
 // then evaluates leaks from arbitrary leakers against it.
 class LeakExperiment {
@@ -69,6 +83,17 @@ class LeakExperiment {
   // the victim or (in kReannounce mode) holds no route to the victim —
   // there is nothing to leak; callers should resample another leaker.
   std::optional<LeakOutcome> Run(AsId leaker) const;
+
+  // Same, reusing `workspace` for the joint propagation state. Safe to
+  // call concurrently from multiple threads with distinct workspaces (the
+  // experiment itself is only read).
+  std::optional<LeakOutcome> Run(AsId leaker, LeakWorkspace& workspace) const;
+
+  // True exactly when Run(leaker) would return a value: the leaker is not
+  // the victim and (under kReannounce) holds a baseline route. Used to
+  // pre-draw trial assignments without paying for a propagation per
+  // rejected draw.
+  bool CanLeak(AsId leaker) const;
 
   // The victim-only computation (useful for diagnostics).
   const RouteComputation& baseline() const { return *baseline_; }

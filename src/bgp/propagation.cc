@@ -38,15 +38,31 @@ RouteComputation::RouteComputation(const AsGraph& graph,
                                    const std::vector<AnnouncementSource>& sources,
                                    const PropagationOptions& options)
     : graph_(&graph),
-      num_sources_(sources.size()),
       entries_(graph.num_ases()),
       preds_(graph.num_ases()),
       is_source_(graph.num_ases()) {
+  Compute(sources, options);
+}
+
+void RouteComputation::Recompute(const std::vector<AnnouncementSource>& sources,
+                                 const PropagationOptions& options) {
+  entries_.assign(entries_.size(), RouteEntry{});
+  for (std::vector<AsId>& preds : preds_) preds.clear();
+  order_.clear();
+  is_source_.ResetAll();
+  Compute(sources, options);
+}
+
+void RouteComputation::Compute(const std::vector<AnnouncementSource>& sources,
+                               const PropagationOptions& options) {
+  num_sources_ = sources.size();
   if (sources.empty()) throw InvalidArgument("RouteComputation: no sources");
   if (sources.size() > 8) throw InvalidArgument("RouteComputation: at most 8 sources");
   for (std::size_t i = 0; i < sources.size(); ++i) {
     const AnnouncementSource& s = sources[i];
-    if (s.node >= graph.num_ases()) throw InvalidArgument("RouteComputation: bad source node");
+    if (s.node >= graph_->num_ases()) {
+      throw InvalidArgument("RouteComputation: bad source node");
+    }
     if (is_source_.Test(s.node)) {
       throw InvalidArgument("RouteComputation: duplicate source node");
     }
@@ -202,8 +218,11 @@ void RouteComputation::RunProviderPhase(const std::vector<AnnouncementSource>& s
   std::size_t n = graph_->num_ases();
   // Provider-phase distances are tracked separately: entries_ still holds
   // the (preferred) customer/peer routes, which must not be overwritten.
-  std::vector<PathLength> dist(n, kInfLength);
-  std::vector<std::uint8_t> mask(n, 0);
+  // Member scratch so Recompute pays no per-run allocation.
+  provider_dist_.assign(n, kInfLength);
+  provider_mask_.assign(n, 0);
+  std::vector<PathLength>& dist = provider_dist_;
+  std::vector<std::uint8_t>& mask = provider_mask_;
   buckets_.clear();
 
   auto relax = [&](AsId node, PathLength len, AsId pred, std::uint8_t m) {

@@ -42,6 +42,14 @@ class RouteComputation {
   RouteComputation(const AsGraph& graph, const std::vector<AnnouncementSource>& sources,
                    const PropagationOptions& options = {});
 
+  // Re-runs the computation for new sources/options on the same graph,
+  // reusing every internal allocation (entries, predecessor lists, bucket
+  // queues, provider-phase scratch). Results are identical to constructing
+  // a fresh RouteComputation — the leak-campaign engine leans on this for
+  // its one-workspace-per-worker trial loop.
+  void Recompute(const std::vector<AnnouncementSource>& sources,
+                 const PropagationOptions& options = {});
+
   const AsGraph& graph() const { return *graph_; }
   std::size_t num_sources() const { return num_sources_; }
 
@@ -67,6 +75,8 @@ class RouteComputation {
   std::size_t CountFromSource(std::size_t source_index) const;
 
  private:
+  void Compute(const std::vector<AnnouncementSource>& sources,
+               const PropagationOptions& options);
   void RunCustomerPhase(const std::vector<AnnouncementSource>& sources,
                         const PropagationOptions& options);
   void RunPeerPhase(const std::vector<AnnouncementSource>& sources,
@@ -87,6 +97,10 @@ class RouteComputation {
 
   // Scratch for the bucket queues: buckets_[len] = nodes to visit at len.
   std::vector<std::vector<AsId>> buckets_;
+  // Provider-phase scratch (distances/masks tracked apart from entries_,
+  // which still holds the preferred customer/peer routes).
+  std::vector<PathLength> provider_dist_;
+  std::vector<std::uint8_t> provider_mask_;
 };
 
 }  // namespace flatnet

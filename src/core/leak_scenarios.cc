@@ -1,13 +1,11 @@
 #include "core/leak_scenarios.h"
 
-#include "bgp/leak.h"
-#include "util/rng.h"
+#include <algorithm>
 
 namespace flatnet {
-namespace {
 
-LeakConfig ConfigFor(const Internet& internet, AsId victim, LeakScenario scenario,
-                     PeerLockMode lock_mode) {
+LeakConfig LeakConfigForScenario(const Internet& internet, AsId victim, LeakScenario scenario,
+                                 PeerLockMode lock_mode) {
   LeakConfig config;
   config.lock_mode = lock_mode;
   const AsGraph& graph = internet.graph();
@@ -46,8 +44,6 @@ LeakConfig ConfigFor(const Internet& internet, AsId victim, LeakScenario scenari
   return config;
 }
 
-}  // namespace
-
 const char* ToString(LeakScenario scenario) {
   switch (scenario) {
     case LeakScenario::kAnnounceAll: return "announce to all";
@@ -59,21 +55,36 @@ const char* ToString(LeakScenario scenario) {
   return "?";
 }
 
+LeakDraw DrawLeakers(const LeakExperiment& experiment, std::size_t num_ases,
+                     std::size_t trials, Rng& rng) {
+  LeakDraw draw;
+  draw.leakers.reserve(trials);
+  std::size_t max_attempts = trials * 20 + 100;
+  while (draw.leakers.size() < trials && draw.attempts < max_attempts) {
+    ++draw.attempts;
+    AsId leaker = static_cast<AsId>(rng.UniformU64(num_ases));
+    if (experiment.CanLeak(leaker)) draw.leakers.push_back(leaker);
+  }
+  return draw;
+}
+
 LeakTrialSeries RunLeakScenario(const Internet& internet, AsId victim, LeakScenario scenario,
                                 std::size_t trials, std::uint64_t seed,
                                 const std::vector<double>* users, PeerLockMode lock_mode) {
   Rng rng(seed);
   LeakExperiment experiment(internet.graph(), victim,
-                            ConfigFor(internet, victim, scenario, lock_mode), users);
+                            LeakConfigForScenario(internet, victim, scenario, lock_mode),
+                            users);
+  LeakDraw draw = DrawLeakers(experiment, internet.num_ases(), trials, rng);
+
   LeakTrialSeries series;
   series.scenario = scenario;
-  std::size_t n = internet.num_ases();
-  std::size_t attempts = 0;
-  std::size_t max_attempts = trials * 20 + 100;
-  while (series.fraction_ases_detoured.size() < trials && attempts++ < max_attempts) {
-    AsId leaker = static_cast<AsId>(rng.UniformU64(n));
-    auto outcome = experiment.Run(leaker);
-    if (!outcome) continue;  // leaker == victim or has nothing to leak
+  series.trials_requested = trials;
+  series.attempts = draw.attempts;
+  series.fraction_ases_detoured.reserve(draw.leakers.size());
+  LeakWorkspace workspace;
+  for (AsId leaker : draw.leakers) {
+    auto outcome = experiment.Run(leaker, workspace);  // engaged: CanLeak passed
     series.fraction_ases_detoured.push_back(outcome->fraction_ases_detoured);
     if (users != nullptr) {
       series.fraction_users_detoured.push_back(outcome->fraction_users_detoured);
@@ -82,26 +93,29 @@ LeakTrialSeries RunLeakScenario(const Internet& internet, AsId victim, LeakScena
   return series;
 }
 
-std::vector<double> AverageResilienceBaseline(const Internet& internet, std::size_t victims,
-                                              std::size_t leakers_per_victim,
-                                              std::uint64_t seed) {
+BaselineResult AverageResilienceBaseline(const Internet& internet, std::size_t victims,
+                                         std::size_t leakers_per_victim, std::uint64_t seed) {
   Rng rng(seed);
-  std::vector<double> fractions;
   std::size_t n = internet.num_ases();
-  for (std::size_t v = 0; v < victims; ++v) {
-    AsId victim = static_cast<AsId>(rng.UniformU64(n));
+  std::vector<std::uint32_t> drawn = rng.SampleWithoutReplacement(
+      static_cast<std::uint32_t>(n),
+      static_cast<std::uint32_t>(std::min(victims, n)));
+
+  BaselineResult result;
+  result.fractions.reserve(drawn.size() * leakers_per_victim);
+  result.per_victim.reserve(drawn.size());
+  LeakWorkspace workspace;
+  for (std::uint32_t victim : drawn) {
     LeakExperiment experiment(internet.graph(), victim, LeakConfig{});
-    std::size_t collected = 0;
-    std::size_t attempts = 0;
-    while (collected < leakers_per_victim && attempts++ < leakers_per_victim * 20 + 50) {
-      AsId leaker = static_cast<AsId>(rng.UniformU64(n));
-      auto outcome = experiment.Run(leaker);
-      if (!outcome) continue;
-      fractions.push_back(outcome->fraction_ases_detoured);
-      ++collected;
+    LeakDraw draw = DrawLeakers(experiment, n, leakers_per_victim, rng);
+    for (AsId leaker : draw.leakers) {
+      auto outcome = experiment.Run(leaker, workspace);
+      result.fractions.push_back(outcome->fraction_ases_detoured);
     }
+    result.per_victim.push_back({static_cast<AsId>(victim), leakers_per_victim,
+                                 draw.leakers.size(), draw.attempts});
   }
-  return fractions;
+  return result;
 }
 
 }  // namespace flatnet

@@ -1,0 +1,89 @@
+// Deterministic parallel leak-resilience campaign engine.
+//
+// A campaign is a list of cells (src/leaksim/store.h); each cell's trial
+// assignments are pre-drawn SERIALLY from the cell's seed with
+// DrawLeakers — the same rejection-sampling loop RunLeakScenario uses, so
+// cell results are identical to the serial path for the same tuple. Only
+// the evaluation of the drawn trials is parallel: the concatenated trial
+// space is split into fixed-size chunks claimed off an atomic cursor by
+// ThreadPool workers, each holding one reusable LeakWorkspace. Every
+// trial writes into its pre-assigned slot, so the resulting table — and
+// the store serialized from it — is byte-identical at any thread count.
+//
+// With a journal path set, completed chunks are checkpointed through
+// sweep::SweepJournal (doubles ride as u32 word pairs); a killed run
+// resumed with `resume = true` recomputes only the missing chunks and
+// produces a byte-identical store to an uninterrupted run. The journal
+// header is keyed on a campaign fingerprint mixing the topology hash with
+// every cell spec, so resuming against different inputs is loud.
+//
+// Instrumented with src/obs/: leaksim.chunks_completed / chunks_resumed /
+// checkpoint_writes / trials_evaluated counters, a leaksim.trials_per_sec
+// gauge, and leaksim.run / leaksim.prepare / leaksim.chunk trace spans.
+#ifndef FLATNET_LEAKSIM_ENGINE_H_
+#define FLATNET_LEAKSIM_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/internet.h"
+#include "leaksim/store.h"
+
+namespace flatnet::leaksim {
+
+struct LeakCampaignOptions {
+  // Worker parallelism; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  // Trials per chunk — the unit of claiming and of checkpointing.
+  std::uint32_t chunk_trials = 64;
+  // Per-AS user weights (one entry per AS); non-null enables the
+  // user-weighted detour column in every cell. Must outlive the run.
+  const std::vector<double>* users = nullptr;
+  // When non-empty, completed chunks are journaled here.
+  std::string journal_path;
+  // Resume from an existing journal at journal_path (fresh start when the
+  // file does not exist). The journal must match this topology and this
+  // cell list; a mismatch throws rather than silently recomputing.
+  bool resume = false;
+  // Test/smoke hooks: stop after this many freshly computed chunks
+  // (0 = run to completion), and sleep per completed chunk so an external
+  // kill can land mid-run on small campaigns.
+  std::uint32_t max_chunks = 0;
+  std::uint32_t throttle_chunk_ms = 0;
+};
+
+struct LeakCampaignStats {
+  std::size_t chunks_total = 0;
+  std::size_t chunks_resumed = 0;   // restored from the journal
+  std::size_t chunks_computed = 0;  // computed by this run
+  std::size_t trials_evaluated = 0;
+  std::size_t draw_attempts = 0;  // all cells' leaker draws (accepted + rejected)
+  bool complete = false;  // false only when max_chunks stopped the run early
+  double seconds = 0.0;
+};
+
+// Runs the campaign. The returned table covers every trial when
+// stats->complete (untouched slots are zero on an early stop). Per-cell
+// under-collection (attempt budget exhausted before `trials` valid
+// leakers) is reported through each cell's collected()/UnderCollected(),
+// never by silently shrinking someone else's slots. Throws
+// InvalidArgument on a bad options/cell combination and Error on journal
+// failures.
+LeakTable RunLeakCampaign(const Internet& internet, const std::vector<LeakCellSpec>& cells,
+                          const LeakCampaignOptions& options = {},
+                          LeakCampaignStats* stats = nullptr);
+
+// The campaign fingerprint the journal is keyed on: FNV-1a over the
+// topology fingerprint, the user-weight flag, and every cell spec.
+std::uint64_t CampaignFingerprint(const Internet& internet,
+                                  const std::vector<LeakCellSpec>& cells, bool has_users);
+
+// Publishes `table` to `path` (atomic tmp+rename) and, on success,
+// removes the now-redundant journal when `journal_path` is non-empty.
+void FinalizeLeakStore(const std::string& path, const LeakTable& table,
+                       const std::string& journal_path = std::string());
+
+}  // namespace flatnet::leaksim
+
+#endif  // FLATNET_LEAKSIM_ENGINE_H_

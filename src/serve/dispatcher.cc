@@ -1,6 +1,7 @@
 #include "serve/dispatcher.h"
 
 #include <algorithm>
+#include <cmath>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -38,8 +39,32 @@ obs::Histogram& LatencyHistogram(QueryKind kind) {
       &obs::GetHistogram("serve.leak.latency_ms", bounds),
       &obs::GetHistogram("serve.status.latency_ms", bounds),
       &obs::GetHistogram("serve.top.latency_ms", bounds),
+      &obs::GetHistogram("serve.leakdist.latency_ms", bounds),
   };
   return *histograms[static_cast<std::size_t>(kind)];
+}
+
+// The wire spellings of a campaign cell's scenario (protocol.h grammar).
+const char* ScenarioSlug(LeakScenario scenario) {
+  switch (scenario) {
+    case LeakScenario::kAnnounceAll: return "none";
+    case LeakScenario::kAnnounceAllLockT1: return "t1";
+    case LeakScenario::kAnnounceAllLockT1T2: return "t1t2";
+    case LeakScenario::kAnnounceAllLockGlobal: return "global";
+    case LeakScenario::kAnnounceHierarchyOnly: return "hierarchy";
+  }
+  return "none";
+}
+
+// Nearest-rank quantile over an ascending pre-sorted sample — the same
+// convention as util/stats.h Quantile, without re-sorting per query.
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  std::size_t rank =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
 }
 
 double MillisSince(std::chrono::steady_clock::time_point t0) {
@@ -81,6 +106,23 @@ void Dispatcher::AttachSweepStore(sweep::SweepStore store, const std::string& pa
   obs::Log(obs::LogLevel::kInfo, "serve", "sweep_store.attached")
       .Kv("path", path)
       .Kv("origins", static_cast<std::uint64_t>(sweep_store_.num_origins()));
+}
+
+void Dispatcher::AttachLeakStore(leaksim::LeakStore store, const std::string& path) {
+  store.ValidateAgainst(internet_);
+  leak_store_ = std::move(store);
+  leak_path_ = path;
+  leak_sorted_.clear();
+  leak_sorted_.reserve(leak_store_.num_cells());
+  for (std::size_t i = 0; i < leak_store_.num_cells(); ++i) {
+    std::vector<double> sorted = leak_store_.cell(i).fraction_ases;
+    std::sort(sorted.begin(), sorted.end());
+    leak_sorted_.push_back(std::move(sorted));
+  }
+  leak_loaded_ = true;
+  obs::Log(obs::LogLevel::kInfo, "serve", "leak_store.attached")
+      .Kv("path", path)
+      .Kv("cells", static_cast<std::uint64_t>(leak_store_.num_cells()));
 }
 
 AsId Dispatcher::ResolveAsn(Asn asn, const char* field) const {
@@ -128,16 +170,19 @@ void Dispatcher::Handle(const std::string& line, std::function<void(std::string)
     return;
   }
 
-  // `top` reads a precomputed ranking — microseconds, so it skips the
-  // cache and the pool entirely and is answered on the connection thread.
-  if (request.kind == QueryKind::kTop) {
+  // `top` and `leakdist` read precomputed store state — microseconds, so
+  // they skip the cache and the pool entirely and are answered on the
+  // connection thread.
+  if (request.kind == QueryKind::kTop || request.kind == QueryKind::kLeakDist) {
     try {
-      done(OkResponse(id, ExecuteTop(request), false));
+      std::string result = request.kind == QueryKind::kTop ? ExecuteTop(request)
+                                                           : ExecuteLeakDist(request);
+      done(OkResponse(id, result, false));
     } catch (const ProtocolError& e) {
       Counters().errors.Increment();
       done(ErrorResponse(id, e.code(), e.what()));
     }
-    LatencyHistogram(QueryKind::kTop).Observe(MillisSince(t0));
+    LatencyHistogram(request.kind).Observe(MillisSince(t0));
     return;
   }
 
@@ -225,6 +270,7 @@ std::string Dispatcher::Execute(const Request& request, const CancelToken* cance
     case QueryKind::kReliance: return ExecuteReliance(request, cancel);
     case QueryKind::kLeak: return ExecuteLeak(request, cancel);
     case QueryKind::kTop: return ExecuteTop(request);
+    case QueryKind::kLeakDist: return ExecuteLeakDist(request);
     case QueryKind::kStatus: break;
   }
   throw ProtocolError(ErrorCode::kInternal, "unreachable op");
@@ -400,6 +446,57 @@ std::string Dispatcher::ExecuteTop(const Request& request) const {
   return result.Dump();
 }
 
+std::string Dispatcher::ExecuteLeakDist(const Request& request) const {
+  if (!leak_loaded_) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "no leak store loaded (run flatnet_leaksim --campaign, then start "
+                        "the server with --leak)");
+  }
+  AsId victim = ResolveAsn(request.victim, "victim");
+  std::size_t cell_index =
+      leak_store_.FindCell(victim, request.scenario, request.lock_mode, request.model);
+  if (cell_index == leaksim::LeakStore::npos) {
+    throw ProtocolError(
+        ErrorCode::kBadRequest,
+        StrFormat("the loaded leak store has no cell for victim AS%u, scenario '%s', "
+                  "lock_mode '%s', model '%s'",
+                  request.victim, ScenarioSlug(request.scenario),
+                  request.lock_mode == PeerLockMode::kFull ? "full" : "direct_only",
+                  request.model == LeakModel::kReannounce ? "reannounce" : "originate"));
+  }
+  const leaksim::LeakCellResult& cell = leak_store_.cell(cell_index);
+  const std::vector<double>& sorted = leak_sorted_[cell_index];
+
+  static const std::vector<double> kDefaultQuantiles{0.5, 0.9, 0.99};
+  const std::vector<double>& qs =
+      request.quantiles.empty() ? kDefaultQuantiles : request.quantiles;
+
+  double mean = sorted.empty() ? 0.0
+                               : std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+                                     static_cast<double>(sorted.size());
+  Json quantiles = Json::MakeArray();
+  for (double q : qs) {
+    Json entry = Json::MakeObject();
+    entry["q"] = q;
+    entry["value"] = SortedQuantile(sorted, q);
+    quantiles.Append(std::move(entry));
+  }
+
+  Json result = Json::MakeObject();
+  result["attempts"] = static_cast<std::uint64_t>(cell.attempts);
+  result["collected"] = static_cast<std::uint64_t>(cell.collected());
+  result["lock_mode"] =
+      request.lock_mode == PeerLockMode::kFull ? "full" : "direct_only";
+  result["mean"] = mean;
+  result["model"] = request.model == LeakModel::kReannounce ? "reannounce" : "originate";
+  result["quantiles"] = std::move(quantiles);
+  result["requested"] = static_cast<std::uint64_t>(cell.spec.trials);
+  result["scenario"] = ScenarioSlug(request.scenario);
+  result["under_collected"] = cell.UnderCollected();
+  result["victim"] = request.victim;
+  return result.Dump();
+}
+
 std::string Dispatcher::StatusResult() {
   CacheStats stats = cache_.Stats();
   obs::GetGauge("serve.cache.bytes").Set(static_cast<std::int64_t>(stats.bytes));
@@ -427,9 +524,28 @@ std::string Dispatcher::StatusResult() {
     sweep_store["path"] = sweep_path_;
   }
 
+  Json leak_store = Json::MakeObject();
+  leak_store["loaded"] = leak_loaded_;
+  if (leak_loaded_) {
+    leak_store["cells"] = static_cast<std::uint64_t>(leak_store_.num_cells());
+    leak_store["path"] = leak_path_;
+    // Distinct victim ASNs, ascending — lets a client (or the CI smoke
+    // test) discover which victims are queryable without a topology scan.
+    std::vector<Asn> victims;
+    for (std::size_t i = 0; i < leak_store_.num_cells(); ++i) {
+      victims.push_back(internet_.graph().AsnOf(leak_store_.cell(i).spec.victim));
+    }
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+    Json victim_list = Json::MakeArray();
+    for (Asn asn : victims) victim_list.Append(Json(asn));
+    leak_store["victims"] = std::move(victim_list);
+  }
+
   Json result = Json::MakeObject();
   result["cache"] = std::move(cache);
   result["inflight"] = static_cast<std::int64_t>(inflight());
+  result["leak_store"] = std::move(leak_store);
   result["metrics"] = obs::ObservabilitySnapshot();
   result["num_ases"] = static_cast<std::uint64_t>(internet_.num_ases());
   result["num_edges"] = static_cast<std::uint64_t>(internet_.graph().num_edges());

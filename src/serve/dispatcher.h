@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/internet.h"
+#include "leaksim/store.h"
 #include "serve/cache.h"
 #include "serve/protocol.h"
 #include "sweep/store.h"
@@ -59,6 +60,13 @@ class Dispatcher {
   void AttachSweepStore(sweep::SweepStore store, const std::string& path);
   bool has_sweep_store() const { return sweep_loaded_; }
 
+  // Attaches a loaded leak-campaign store and pre-sorts every cell's
+  // detour fractions so a `leakdist` query is a rank lookup. Validates
+  // the store's fingerprint against this topology — a mismatch throws and
+  // nothing is attached. Same threading contract as AttachSweepStore.
+  void AttachLeakStore(leaksim::LeakStore store, const std::string& path);
+  bool has_leak_store() const { return leak_loaded_; }
+
   // Handles one request line. `done` receives exactly one response line
   // (no trailing newline) — inline for parse errors, cache hits, status,
   // and overload rejections; on a pool thread for computed queries. `done`
@@ -84,6 +92,7 @@ class Dispatcher {
   std::string ExecuteReliance(const Request& request, const CancelToken* cancel) const;
   std::string ExecuteLeak(const Request& request, const CancelToken* cancel) const;
   std::string ExecuteTop(const Request& request) const;
+  std::string ExecuteLeakDist(const Request& request) const;
   std::string StatusResult();
 
   AsId ResolveAsn(Asn asn, const char* field) const;
@@ -104,6 +113,14 @@ class Dispatcher {
   bool sweep_loaded_ = false;
   std::string sweep_path_;
   std::array<std::vector<AsId>, sweep::kNumSweepColumns> sweep_rankings_;
+
+  // Leak-campaign store state (immutable once attached). One ascending
+  // sorted copy of each cell's detour fractions, so a quantile is a
+  // single nearest-rank index.
+  leaksim::LeakStore leak_store_;
+  bool leak_loaded_ = false;
+  std::string leak_path_;
+  std::vector<std::vector<double>> leak_sorted_;
 };
 
 }  // namespace flatnet::serve

@@ -80,6 +80,47 @@ ReachMode MetricField(const Json& value) {
                       "'metric' must be one of provider_free|tier1_free|hierarchy_free");
 }
 
+// Scenario slugs mirror flatnet_leaksim's --lock spellings plus
+// "hierarchy" for the restricted-announcement scenario.
+LeakScenario ScenarioField(const Json& value) {
+  const std::string* text = nullptr;
+  try {
+    text = &value.AsString();
+  } catch (const Error&) {
+  }
+  if (text != nullptr) {
+    if (*text == "none") return LeakScenario::kAnnounceAll;
+    if (*text == "t1") return LeakScenario::kAnnounceAllLockT1;
+    if (*text == "t1t2") return LeakScenario::kAnnounceAllLockT1T2;
+    if (*text == "global") return LeakScenario::kAnnounceAllLockGlobal;
+    if (*text == "hierarchy") return LeakScenario::kAnnounceHierarchyOnly;
+  }
+  throw ProtocolError(ErrorCode::kBadRequest,
+                      "'scenario' must be one of none|t1|t1t2|global|hierarchy");
+}
+
+std::vector<double> QuantilesField(const Json& value) {
+  if (value.type() != Json::Type::kArray || value.size() == 0 || value.size() > 32) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "'q' must be an array of 1 to 32 quantiles");
+  }
+  std::vector<double> quantiles;
+  quantiles.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    double q;
+    try {
+      q = value[i].AsNumber();
+    } catch (const Error&) {
+      throw ProtocolError(ErrorCode::kBadRequest, "'q' entries must be numbers");
+    }
+    if (!(q >= 0.0 && q <= 1.0)) {
+      throw ProtocolError(ErrorCode::kBadRequest, "'q' entries must be in [0, 1]");
+    }
+    quantiles.push_back(q);
+  }
+  return quantiles;
+}
+
 LeakModel ModelField(const Json& value) {
   const std::string* text = nullptr;
   try {
@@ -125,6 +166,7 @@ const char* ToString(QueryKind kind) {
     case QueryKind::kLeak: return "leak";
     case QueryKind::kStatus: return "status";
     case QueryKind::kTop: return "top";
+    case QueryKind::kLeakDist: return "leakdist";
   }
   return "status";
 }
@@ -172,6 +214,8 @@ Request RequestFromJson(const Json& doc) {
     request.kind = QueryKind::kStatus;
   } else if (op == "top") {
     request.kind = QueryKind::kTop;
+  } else if (op == "leakdist") {
+    request.kind = QueryKind::kLeakDist;
   } else {
     throw ProtocolError(ErrorCode::kUnknownOp, "unknown op '" + op + "'");
   }
@@ -186,7 +230,7 @@ Request RequestFromJson(const Json& doc) {
       continue;
     }
     if (key == "deadline_ms" && request.kind != QueryKind::kStatus &&
-        request.kind != QueryKind::kTop) {
+        request.kind != QueryKind::kTop && request.kind != QueryKind::kLeakDist) {
       std::uint64_t ms;
       try {
         ms = value.AsU64();
@@ -275,6 +319,24 @@ Request RequestFromJson(const Json& doc) {
           handled = true;
         }
         break;
+      case QueryKind::kLeakDist:
+        if (key == "victim") {
+          request.victim = AsnField(value, "victim");
+          have_victim = handled = true;
+        } else if (key == "scenario") {
+          request.scenario = ScenarioField(value);
+          handled = true;
+        } else if (key == "lock_mode") {
+          request.lock_mode = LockModeField(value);
+          handled = true;
+        } else if (key == "model") {
+          request.model = ModelField(value);
+          handled = true;
+        } else if (key == "q") {
+          request.quantiles = QuantilesField(value);
+          handled = true;
+        }
+        break;
       case QueryKind::kStatus:
         break;
     }
@@ -300,6 +362,11 @@ Request RequestFromJson(const Json& doc) {
         throw ProtocolError(ErrorCode::kBadRequest, "victim and leaker must differ");
       }
       break;
+    case QueryKind::kLeakDist:
+      if (!have_victim) {
+        throw ProtocolError(ErrorCode::kBadRequest, "missing required field 'victim'");
+      }
+      break;
     case QueryKind::kStatus:
     case QueryKind::kTop:
       break;
@@ -312,6 +379,7 @@ std::string CacheKey(const Request& request) {
   switch (request.kind) {
     case QueryKind::kStatus:
     case QueryKind::kTop:
+    case QueryKind::kLeakDist:
       return key;  // answered inline, never cached
     case QueryKind::kReach:
       key = "reach|o=";

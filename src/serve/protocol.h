@@ -23,6 +23,13 @@
 //    "metric":"provider_free"|"tier1_free"|  sweep store (microseconds —
 //             "hierarchy_free",              precomputed rankings, no BFS)
 //    "id":<any>}
+//   {"op":"leakdist","victim":<asn>,         detour-fraction percentiles
+//    "scenario":"none"|"t1"|"t1t2"|          from the loaded leak-campaign
+//               "global"|"hierarchy",        store (inline, no simulation)
+//    "lock_mode":"full"|"direct_only",
+//    "model":"reannounce"|"originate",
+//    "q":[<quantile in [0,1]>...],
+//    "id":<any>}
 //   {"op":"status","id":<any>}               uptime, cache + obs snapshot
 //
 // Responses:
@@ -44,6 +51,7 @@
 #include "asgraph/as_graph.h"
 #include "bgp/leak.h"
 #include "bgp/policy.h"
+#include "core/leak_scenarios.h"
 #include "util/error.h"
 #include "util/json.h"
 
@@ -72,7 +80,7 @@ class ProtocolError : public Error {
   ErrorCode code_;
 };
 
-enum class QueryKind : std::uint8_t { kReach, kReliance, kLeak, kStatus, kTop };
+enum class QueryKind : std::uint8_t { kReach, kReliance, kLeak, kStatus, kTop, kLeakDist };
 
 const char* ToString(QueryKind kind);
 
@@ -106,10 +114,14 @@ struct Request {
   // top: which sweep column to rank by (reuses ReachMode minus "full",
   // which names no stored column and is rejected at parse time).
   ReachMode metric = ReachMode::kHierarchyFree;
-  // leak
+  // leak / leakdist
   Asn victim = 0;
   Asn leaker = 0;
   LeakModel model = LeakModel::kReannounce;
+  // leakdist: which campaign cell and which percentiles to report.
+  // Empty `quantiles` means the server default (0.5, 0.9, 0.99).
+  LeakScenario scenario = LeakScenario::kAnnounceAll;
+  std::vector<double> quantiles;
 };
 
 // Parses one request line (JSON text). Throws ProtocolError on malformed
@@ -122,8 +134,8 @@ Request RequestFromJson(const Json& doc);
 
 // Canonical result-cache key: everything that affects the result — kind,
 // origin(s), canonicalized option sets — and nothing that does not (id,
-// deadline). Empty for status and top, which are answered inline and
-// never cached.
+// deadline). Empty for status, top, and leakdist, which are answered
+// inline and never cached.
 std::string CacheKey(const Request& request);
 
 // Response encoders. `result_json` is a compact JSON object embedded

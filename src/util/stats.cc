@@ -78,6 +78,15 @@ std::string EmpiricalCdf::Render(double lo, double hi, int points) const {
   return out;
 }
 
+double Quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  q = std::clamp(q, 0.0, 1.0);
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(samples.size())));
+  if (rank == 0) rank = 1;
+  return samples[rank - 1];
+}
+
 double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y) {
   if (x.size() != y.size()) throw InvalidArgument("PearsonCorrelation: size mismatch");
   std::size_t n = x.size();

@@ -76,6 +76,13 @@ class EmpiricalCdf {
   std::vector<double> samples_;  // sorted
 };
 
+// Nearest-rank quantile of an (unsorted) sample, q clamped to [0, 1]:
+// rank = max(1, ceil(q * n)), value = sorted[rank - 1]. Agrees with
+// EmpiricalCdf::Quantile, so every tool reporting a percentile of the
+// same sample prints the same number. Returns 0.0 for an empty sample
+// (callers report "no data", not a throw, on empty series).
+double Quantile(std::vector<double> samples, double q);
+
 // Pearson correlation of two equal-length series; returns 0 for degenerate
 // (constant) inputs.
 double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y);

@@ -582,6 +582,75 @@ TEST_P(BgpPropertyTest, LeakDetourShrinksWithLocking) {
   EXPECT_LT(s_all.mean(), s_none.mean() + 1e-9);
 }
 
+TEST_P(BgpPropertyTest, OriginationHijackIsAtLeastAsAttractiveAsReannounce) {
+  // End-to-end kOriginate coverage: the hijacked route enters competition
+  // with base length 0 instead of the leaker's real path length, so trial
+  // for trial it detours a superset of the re-announce leak's victims. An
+  // origination hijack also needs no baseline route, so every non-victim
+  // AS is a valid hijacker.
+  World world = MakeWorld(GetParam());
+  AsId victim = world.Cloud("Google").id;
+  Rng rng(GetParam() ^ 0x0816);
+
+  LeakConfig reannounce;
+  LeakConfig originate;
+  originate.model = LeakModel::kOriginate;
+  LeakExperiment e_reannounce(world.full_graph, victim, reannounce);
+  LeakExperiment e_originate(world.full_graph, victim, originate);
+
+  LeakWorkspace workspace;
+  int trials = 0;
+  while (trials < 15) {
+    AsId leaker = static_cast<AsId>(rng.UniformU64(world.num_ases()));
+    if (leaker == victim) continue;
+    EXPECT_TRUE(e_originate.CanLeak(leaker)) << "hijacker needs no route";
+    auto o_originate = e_originate.Run(leaker, workspace);
+    ASSERT_TRUE(o_originate.has_value());
+    auto o_reannounce = e_reannounce.Run(leaker, workspace);
+    if (!o_reannounce) continue;  // no route to re-announce; hijack still ran
+    EXPECT_GE(o_originate->detoured_count, o_reannounce->detoured_count)
+        << "leaker " << leaker;
+    ++trials;
+  }
+}
+
+TEST_P(BgpPropertyTest, DirectOnlyLockingFiltersLessThanErratumSemantics) {
+  // End-to-end kDirectOnly coverage on a generated topology: the
+  // pre-erratum filter only drops leaks on sessions directly with the
+  // leaker, so laundering through an intermediary survives — in aggregate
+  // it must never beat the corrected (kFull) semantics.
+  World world = MakeWorld(GetParam());
+  AsId victim = world.Cloud("Google").id;
+  Rng rng(GetParam() ^ 0xd1f);
+
+  Bitset locked(world.num_ases());
+  for (const Neighbor& nb : world.full_graph.NeighborsOf(victim)) locked.Set(nb.id);
+
+  LeakConfig direct;
+  direct.peer_locked = locked;
+  direct.lock_mode = PeerLockMode::kDirectOnly;
+  LeakConfig full;
+  full.peer_locked = locked;
+  full.lock_mode = PeerLockMode::kFull;
+  LeakExperiment e_direct(world.full_graph, victim, direct);
+  LeakExperiment e_full(world.full_graph, victim, full);
+
+  LeakWorkspace workspace;
+  OnlineStats s_direct, s_full;
+  int trials = 0;
+  while (trials < 25) {
+    AsId leaker = static_cast<AsId>(rng.UniformU64(world.num_ases()));
+    auto o_direct = e_direct.Run(leaker, workspace);
+    if (!o_direct) continue;
+    auto o_full = e_full.Run(leaker, workspace);
+    s_direct.Add(o_direct->fraction_ases_detoured);
+    s_full.Add(o_full ? o_full->fraction_ases_detoured : 0.0);
+    ++trials;
+  }
+  EXPECT_LE(s_full.mean(), s_direct.mean() + 1e-9)
+      << "erratum semantics must filter at least as much as the original";
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, BgpPropertyTest, ::testing::Values(11, 22, 33));
 
 }  // namespace

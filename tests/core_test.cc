@@ -114,8 +114,21 @@ TEST_F(CoreTest, LeakScenarioSeriesFillTrials) {
 }
 
 TEST_F(CoreTest, BaselineProducesSamples) {
-  auto baseline = AverageResilienceBaseline(internet(), 4, 5, 3);
-  EXPECT_EQ(baseline.size(), 20u);
+  BaselineResult baseline = AverageResilienceBaseline(internet(), 4, 5, 3);
+  EXPECT_EQ(baseline.fractions.size(), 20u);
+  ASSERT_EQ(baseline.per_victim.size(), 4u);
+  std::size_t collected = 0;
+  for (const BaselineVictimStats& v : baseline.per_victim) {
+    EXPECT_EQ(v.requested, 5u);
+    EXPECT_GE(v.attempts, v.collected);
+    collected += v.collected;
+  }
+  EXPECT_EQ(collected, baseline.fractions.size());
+  // Victims are drawn without replacement: all distinct.
+  std::vector<AsId> victims;
+  for (const BaselineVictimStats& v : baseline.per_victim) victims.push_back(v.victim);
+  std::sort(victims.begin(), victims.end());
+  EXPECT_EQ(std::unique(victims.begin(), victims.end()), victims.end());
 }
 
 TEST_F(CoreTest, SerializeRoundTrip) {

@@ -103,12 +103,12 @@ TEST_F(StudyIntegrationTest, LeakResilienceBeatsBaselineOnMergedTopology) {
   AsId google = study().world().Cloud("Google").id;
   LeakTrialSeries series =
       RunLeakScenario(internet, google, LeakScenario::kAnnounceAll, 30, 5);
-  auto baseline = AverageResilienceBaseline(internet, 5, 6, 6);
+  BaselineResult baseline = AverageResilienceBaseline(internet, 5, 6, 6);
   double mean_google = 0, mean_base = 0;
   for (double f : series.fraction_ases_detoured) mean_google += f;
   mean_google /= static_cast<double>(series.fraction_ases_detoured.size());
-  for (double f : baseline) mean_base += f;
-  mean_base /= static_cast<double>(baseline.size());
+  for (double f : baseline.fractions) mean_base += f;
+  mean_base /= static_cast<double>(baseline.fractions.size());
   EXPECT_LT(mean_google, mean_base);
 }
 

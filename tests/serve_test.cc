@@ -17,6 +17,8 @@
 #include "bgp/propagation.h"
 #include "bgp/reachability.h"
 #include "core/reachability_analysis.h"
+#include "leaksim/engine.h"
+#include "leaksim/store.h"
 #include "serve/cache.h"
 #include "serve/dispatcher.h"
 #include "serve/protocol.h"
@@ -27,6 +29,7 @@
 #include "util/cancel.h"
 #include "util/error.h"
 #include "util/json.h"
+#include "util/stats.h"
 #include "util/strings.h"
 
 namespace flatnet {
@@ -347,6 +350,124 @@ TEST_F(ServeDispatchTest, AttachRejectsMismatchedStore) {
   Dispatcher d(internet(), DispatcherOptions{.threads = 1});
   EXPECT_THROW(d.AttachSweepStore(std::move(store), path), Error);
   EXPECT_FALSE(d.has_sweep_store());
+}
+
+TEST(ServeProtocol, ParsesLeakDistRequests) {
+  Request request = ParseRequest(
+      R"({"op":"leakdist","victim":15169,"scenario":"t1t2","lock_mode":"direct_only",)"
+      R"("model":"originate","q":[0.5,0.99],"id":3})");
+  EXPECT_EQ(request.kind, QueryKind::kLeakDist);
+  EXPECT_EQ(request.victim, 15169u);
+  EXPECT_EQ(request.scenario, LeakScenario::kAnnounceAllLockT1T2);
+  EXPECT_EQ(request.lock_mode, PeerLockMode::kDirectOnly);
+  EXPECT_EQ(request.model, LeakModel::kOriginate);
+  EXPECT_EQ(request.quantiles, (std::vector<double>{0.5, 0.99}));
+
+  // Defaults: announce-to-all, erratum locking, re-announce model, and the
+  // server-side default quantile set (empty list here).
+  Request bare = ParseRequest(R"({"op":"leakdist","victim":7})");
+  EXPECT_EQ(bare.scenario, LeakScenario::kAnnounceAll);
+  EXPECT_EQ(bare.lock_mode, PeerLockMode::kFull);
+  EXPECT_EQ(bare.model, LeakModel::kReannounce);
+  EXPECT_TRUE(bare.quantiles.empty());
+
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"leakdist"})"); }), ErrorCode::kBadRequest);
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"leakdist","victim":7,"scenario":"all"})"); }),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"leakdist","victim":7,"q":[]})"); }),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"leakdist","victim":7,"q":[1.5]})"); }),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"leakdist","victim":7,"leaker":9})"); }),
+            ErrorCode::kBadRequest);
+  // Served inline from the attached store: no deadline, never cached.
+  EXPECT_EQ(
+      CodeOf([] { ParseRequest(R"({"op":"leakdist","victim":7,"deadline_ms":100})"); }),
+      ErrorCode::kBadRequest);
+  EXPECT_TRUE(CacheKey(ParseRequest(R"({"op":"leakdist","victim":7})")).empty());
+}
+
+TEST_F(ServeDispatchTest, LeakDistWithoutStoreIsBadRequest) {
+  Json response = Ask(StrFormat(R"({"op":"leakdist","victim":%u,"id":"l"})", AsnAt(3)));
+  EXPECT_FALSE(response.Get("ok").AsBool());
+  EXPECT_EQ(response.Get("error").Get("code").AsString(), "bad_request");
+  Json status = Ask(R"({"op":"status","id":"s"})");
+  EXPECT_FALSE(status.Get("result").Get("leak_store").Get("loaded").AsBool());
+}
+
+TEST_F(ServeDispatchTest, LeakDistServesQuantilesFromAttachedStore) {
+  // Build a small two-cell campaign, round-trip it through a store file,
+  // and attach it to a fresh dispatcher.
+  AsId victim = world().tiers.tier2[0];
+  std::vector<leaksim::LeakCellSpec> cells;
+  for (LeakScenario scenario :
+       {LeakScenario::kAnnounceAll, LeakScenario::kAnnounceAllLockT1T2}) {
+    leaksim::LeakCellSpec spec;
+    spec.victim = victim;
+    spec.scenario = scenario;
+    spec.seed = 0x1d;
+    spec.trials = 40;
+    cells.push_back(spec);
+  }
+  leaksim::LeakTable table = leaksim::RunLeakCampaign(internet(), cells);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "flatnet_serve_leakdist.leak").string();
+  leaksim::WriteLeakStore(path, table);
+
+  Dispatcher d(internet(), DispatcherOptions{.threads = 2});
+  d.AttachLeakStore(leaksim::LeakStore::Load(path), path);
+  std::filesystem::remove(path);
+  ASSERT_TRUE(d.has_leak_store());
+
+  Json response = Json::Parse(d.HandleSync(StrFormat(
+      R"({"op":"leakdist","victim":%u,"scenario":"t1t2","q":[0.9],"id":7})", AsnAt(victim))));
+  ASSERT_TRUE(response.Get("ok").AsBool()) << response.Dump();
+  const Json& result = response.Get("result");
+  EXPECT_EQ(result.Get("scenario").AsString(), "t1t2");
+  EXPECT_EQ(result.Get("collected").AsU64(), table.cells[1].collected());
+  EXPECT_EQ(result.Get("requested").AsU64(), 40u);
+  EXPECT_FALSE(result.Get("under_collected").AsBool());
+  const Json& quantiles = result.Get("quantiles");
+  ASSERT_EQ(quantiles.size(), 1u);
+  EXPECT_DOUBLE_EQ(quantiles[0].Get("q").AsNumber(), 0.9);
+  // The served quantile is the shared nearest-rank statistic of the cell.
+  EXPECT_DOUBLE_EQ(quantiles[0].Get("value").AsNumber(),
+                   Quantile(table.cells[1].fraction_ases, 0.9));
+
+  // A tuple the campaign never ran answers bad_request, not zeros.
+  Json missing = Json::Parse(d.HandleSync(StrFormat(
+      R"({"op":"leakdist","victim":%u,"scenario":"global","id":8})", AsnAt(victim))));
+  EXPECT_FALSE(missing.Get("ok").AsBool());
+  EXPECT_EQ(missing.Get("error").Get("code").AsString(), "bad_request");
+
+  // Status advertises the store and its victims so clients can gate.
+  Json status = Json::Parse(d.HandleSync(R"({"op":"status","id":"s"})"));
+  const Json& leak_store = status.Get("result").Get("leak_store");
+  EXPECT_TRUE(leak_store.Get("loaded").AsBool());
+  EXPECT_EQ(leak_store.Get("cells").AsU64(), 2u);
+  ASSERT_EQ(leak_store.Get("victims").size(), 1u);
+  EXPECT_EQ(leak_store.Get("victims")[0].AsU64(), AsnAt(victim));
+}
+
+TEST_F(ServeDispatchTest, AttachRejectsMismatchedLeakStore) {
+  GeneratorParams params = GeneratorParams::Era2015(300);
+  params.seed = 4321;
+  World other = GenerateWorld(params);
+  Internet other_net(other.full_graph, other.tiers, other.metadata);
+  leaksim::LeakCellSpec spec;
+  spec.victim = other.tiers.tier1[0];
+  spec.seed = 2;
+  spec.trials = 5;
+  leaksim::LeakTable table = leaksim::RunLeakCampaign(other_net, {spec});
+  std::string path =
+      (std::filesystem::temp_directory_path() / "flatnet_serve_leak_mismatch.leak").string();
+  leaksim::WriteLeakStore(path, table);
+  leaksim::LeakStore store = leaksim::LeakStore::Load(path);
+  std::filesystem::remove(path);
+
+  Dispatcher d(internet(), DispatcherOptions{.threads = 1});
+  EXPECT_THROW(d.AttachLeakStore(std::move(store), path), Error);
+  EXPECT_FALSE(d.has_leak_store());
 }
 
 TEST_F(ServeDispatchTest, ErrorsCarryStructuredCodes) {

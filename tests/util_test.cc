@@ -196,6 +196,31 @@ TEST(Stats, EmpiricalCdf) {
   EXPECT_THROW(EmpiricalCdf({}), InvalidArgument);
 }
 
+TEST(Stats, QuantileUsesNearestRank) {
+  // Regression pins for the free Quantile(): the benches once computed
+  // sorted[(size_t)(q * (n - 1))], whose truncation reported the sample
+  // BELOW the requested rank (for n=10, q=0.85 gave index 7 instead of
+  // nearest-rank ceil(0.85 * 10) = 9 → sorted[8]).
+  std::vector<double> v{9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.85), 8.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.99), 9.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 9.0);
+  // Out-of-range q clamps; an empty series is 0, not UB.
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.5), 9.0);
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+  // Single sample: every quantile is that sample.
+  EXPECT_DOUBLE_EQ(Quantile({42.0}, 0.01), 42.0);
+  EXPECT_DOUBLE_EQ(Quantile({42.0}, 0.99), 42.0);
+  // The free function agrees with EmpiricalCdf::Quantile everywhere.
+  EmpiricalCdf cdf(v);
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.85, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(Quantile(v, q), cdf.Quantile(q)) << "q=" << q;
+  }
+}
+
 TEST(Stats, Correlations) {
   std::vector<double> x{1, 2, 3, 4, 5};
   std::vector<double> y{2, 4, 6, 8, 10};

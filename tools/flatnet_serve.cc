@@ -11,7 +11,7 @@
 //   flatnet_serve [--topology <stem>] [--era 2015|2020] [--ases N] [--seed S]
 //                 [--port P] [--bind ADDR] [--port-file <file>]
 //                 [--threads N] [--cache-mb MB] [--max-inflight N]
-//                 [--default-deadline-ms MS] [--sweep <file>]
+//                 [--default-deadline-ms MS] [--sweep <file>] [--leak <file>]
 //                 [--log-level <level>] [--metrics-out <file>]
 //
 // With --topology, the stem is loaded when present; otherwise the era
@@ -23,7 +23,9 @@
 // --sweep attaches a flatnet_sweep result store, enabling the `top` op
 // (a load or fingerprint failure is then fatal). Without the flag,
 // <stem>.sweep is attached when it exists and matches — best-effort, so a
-// stale store logs a warning instead of blocking startup.
+// stale store logs a warning instead of blocking startup. --leak does the
+// same for a flatnet_leaksim --campaign store and the `leakdist` op
+// (implicit candidate: <stem>.leak).
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -34,6 +36,7 @@
 
 #include "core/serialize.h"
 #include "core/study.h"
+#include "leaksim/store.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "serve/server.h"
@@ -57,7 +60,8 @@ int Usage() {
                "[--seed S]\n"
                "                     [--port P] [--bind ADDR] [--port-file <file>]\n"
                "                     [--threads N] [--cache-mb MB] [--max-inflight N]\n"
-               "                     [--default-deadline-ms MS] [--sweep <file>]\n"
+               "                     [--default-deadline-ms MS] [--sweep <file>] "
+               "[--leak <file>]\n"
                "                     [--log-level <level>] [--metrics-out <file>]\n");
   return 2;
 }
@@ -97,6 +101,7 @@ int main(int argc, char** argv) {
   std::string port_file;
   std::string metrics_out;
   std::string sweep_path;
+  std::string leak_path;
   serve::DispatcherOptions dispatch;
 
   for (int i = 1; i < argc; ++i) {
@@ -149,6 +154,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       sweep_path = v;
+    } else if (arg == "--leak") {
+      const char* v = next();
+      if (!v) return Usage();
+      leak_path = v;
     } else if (arg == "--log-level") {
       const char* v = next();
       auto level = v ? obs::ParseLogLevel(v) : std::nullopt;
@@ -187,6 +196,26 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::fprintf(stderr, "ignoring sweep store %s: %s\n", sweep_path.c_str(), e.what());
+    }
+  }
+
+  // Same contract for the leak-campaign store: explicit --leak is fatal on
+  // failure, the implicit <stem>.leak candidate is opportunistic.
+  bool explicit_leak = !leak_path.empty();
+  if (!explicit_leak && !stem.empty()) {
+    std::string candidate = stem + ".leak";
+    if (std::filesystem::exists(candidate)) leak_path = candidate;
+  }
+  if (!leak_path.empty()) {
+    try {
+      dispatcher.AttachLeakStore(leaksim::LeakStore::Load(leak_path), leak_path);
+      std::fprintf(stderr, "leak store: %s (leakdist op enabled)\n", leak_path.c_str());
+    } catch (const Error& e) {
+      if (explicit_leak) {
+        std::fprintf(stderr, "cannot attach leak store: %s\n", e.what());
+        return 1;
+      }
+      std::fprintf(stderr, "ignoring leak store %s: %s\n", leak_path.c_str(), e.what());
     }
   }
 
