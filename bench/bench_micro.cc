@@ -13,9 +13,11 @@
 #include "bgp/reliance.h"
 #include "core/internet.h"
 #include "net/prefix_trie.h"
+#include "serve/dispatcher.h"
 #include "sweep/engine.h"
 #include "topogen/generate.h"
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace flatnet {
 namespace {
@@ -182,6 +184,67 @@ void BM_PrefixTrieLookup(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PrefixTrieLookup);
+
+// Serve-path dispatch: full parse → cache → execute → encode round trip
+// through the dispatcher (no sockets). The Timed variant carries
+// `"timing":true`; its delta over the plain case bounds the tracing-on
+// cost, and the plain case — run against a dispatcher with tracing off —
+// is the number the <2% tracing-off overhead budget is judged on. Origins
+// rotate through a small pool so most iterations hit the result cache,
+// matching the steady state the overhead question is about.
+serve::Dispatcher& BenchDispatcher() {
+  static serve::Dispatcher* dispatcher = [] {
+    serve::DispatcherOptions options;
+    options.threads = 2;
+    options.slow_query_ms = 0;  // tracing off: ignore FLATNET_SLOW_QUERY_MS
+    return new serve::Dispatcher(BenchInternet(), options);
+  }();
+  return *dispatcher;
+}
+
+void BM_ServeDispatchReach(benchmark::State& state) {
+  serve::Dispatcher& dispatcher = BenchDispatcher();
+  const Internet& internet = BenchInternet();
+  Rng rng(7);
+  std::vector<std::string> requests;
+  for (std::size_t i = 0; i < 16; ++i) {
+    Asn origin = internet.graph().AsnOf(
+        static_cast<AsId>(rng.UniformU64(internet.num_ases())));
+    requests.push_back(StrFormat(
+        "{\"op\":\"reach\",\"origin\":%u,\"mode\":\"hierarchy_free\",\"id\":1}", origin));
+  }
+  std::size_t at = 0;
+  for (auto _ : state) {
+    std::string response = dispatcher.HandleSync(requests[at]);
+    at = (at + 1) % requests.size();
+    benchmark::DoNotOptimize(response.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeDispatchReach);
+
+void BM_ServeDispatchReachTimed(benchmark::State& state) {
+  serve::Dispatcher& dispatcher = BenchDispatcher();
+  const Internet& internet = BenchInternet();
+  Rng rng(7);  // same seed: same origin pool as the untimed case
+  std::vector<std::string> requests;
+  for (std::size_t i = 0; i < 16; ++i) {
+    Asn origin = internet.graph().AsnOf(
+        static_cast<AsId>(rng.UniformU64(internet.num_ases())));
+    requests.push_back(
+        StrFormat("{\"op\":\"reach\",\"origin\":%u,\"mode\":\"hierarchy_free\",\"id\":1,"
+                  "\"timing\":true}",
+                  origin));
+  }
+  std::size_t at = 0;
+  for (auto _ : state) {
+    std::string response = dispatcher.HandleSync(requests[at]);
+    at = (at + 1) % requests.size();
+    benchmark::DoNotOptimize(response.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeDispatchReachTimed);
 
 void BM_GenerateWorld(benchmark::State& state) {
   for (auto _ : state) {

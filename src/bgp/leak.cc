@@ -63,6 +63,7 @@ std::optional<LeakOutcome> LeakExperiment::Run(AsId leaker, LeakWorkspace& works
 
   PropagationOptions options;
   options.cancel = config_.cancel;
+  options.trace = config_.trace;
   if (config_.peer_locked) {
     options.peer_locked = &*config_.peer_locked;
     options.protected_origin = victim_;

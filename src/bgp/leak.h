@@ -45,6 +45,10 @@ struct LeakConfig {
   // Polled between propagation phases (see PropagationOptions::cancel);
   // must outlive the experiment when set.
   const CancelToken* cancel = nullptr;
+  // Per-request phase timeline forwarded to the joint propagation (see
+  // PropagationOptions::trace); null records nothing. Must outlive the
+  // experiment when set.
+  obs::RequestTrace* trace = nullptr;
 };
 
 struct LeakOutcome {

@@ -16,6 +16,10 @@
 #include "util/bitset.h"
 #include "util/cancel.h"
 
+namespace flatnet::obs {
+class RequestTrace;
+}  // namespace flatnet::obs
+
 namespace flatnet {
 
 // Route preference classes, most preferred first. kOrigin marks the
@@ -80,6 +84,13 @@ struct PropagationOptions {
   // request deadlines and shutdown drains in long-lived services (serve/)
   // ride on this.
   const CancelToken* cancel = nullptr;
+
+  // When set, the phase engine marks each propagation phase
+  // ("propagation.customer" / ".peer" / ".provider") on this per-request
+  // timeline (obs/reqtrace.h) so serve responses can attribute latency to
+  // individual phases. Null (the default) records nothing and costs one
+  // branch per phase. Must outlive the computation.
+  obs::RequestTrace* trace = nullptr;
 };
 
 // True when `receiver` must discard an announcement arriving from `sender`

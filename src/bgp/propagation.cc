@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/reqtrace.h"
 #include "obs/trace.h"
 #include "util/error.h"
 
@@ -79,10 +80,13 @@ void RouteComputation::Compute(const std::vector<AnnouncementSource>& sources,
   Counters().runs.Increment();
   ThrowIfCancelled(options.cancel, "bgp.propagation.customer_phase");
   RunCustomerPhase(sources, options);
+  if (options.trace != nullptr) options.trace->Mark("propagation.customer");
   ThrowIfCancelled(options.cancel, "bgp.propagation.peer_phase");
   RunPeerPhase(sources, options);
+  if (options.trace != nullptr) options.trace->Mark("propagation.peer");
   ThrowIfCancelled(options.cancel, "bgp.propagation.provider_phase");
   RunProviderPhase(sources, options);
+  if (options.trace != nullptr) options.trace->Mark("propagation.provider");
 
   // Topological order of the predecessor DAG: ascending best length.
   // Counting sort over lengths.

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "core/leak_scenarios.h"
+#include "obs/campaign.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -230,6 +231,16 @@ LeakTable RunLeakCampaign(const Internet& internet, const std::vector<LeakCellSp
   std::mutex journal_mu;
   std::string failure;  // first worker error, guarded by journal_mu
 
+  obs::CampaignMonitor::Options monitor_options;
+  monitor_options.component = "leaksim";
+  monitor_options.unit = "trials";
+  monitor_options.total_chunks = num_chunks;
+  monitor_options.resumed_chunks = chunks_resumed;
+  monitor_options.workers = options.threads > 0
+                                ? options.threads
+                                : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  obs::CampaignMonitor monitor(monitor_options);
+
   auto worker_loop = [&] {
     LeakWorkspace workspace;
     std::vector<std::uint32_t> payload;
@@ -244,6 +255,7 @@ LeakTable RunLeakCampaign(const Internet& internet, const std::vector<LeakCellSp
       if (done[chunk]) continue;
 
       obs::TraceSpan chunk_span("leaksim.chunk");
+      Stopwatch chunk_watch;
       std::size_t begin = chunk * options.chunk_trials;
       std::size_t chunk_len =
           std::min<std::size_t>(options.chunk_trials, prep.total_trials - begin);
@@ -283,6 +295,7 @@ LeakTable RunLeakCampaign(const Internet& internet, const std::vector<LeakCellSp
       trials_evaluated.fetch_add(chunk_len, std::memory_order_relaxed);
       Counters().chunks_completed.Increment();
       Counters().trials_evaluated.Increment(chunk_len);
+      monitor.ChunkDone(chunk, chunk_watch.ElapsedSeconds() * 1000.0, chunk_len);
       if (options.throttle_chunk_ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(options.throttle_chunk_ms));
       }

@@ -1,0 +1,87 @@
+#include "obs/campaign.h"
+
+#include <algorithm>
+
+#include "obs/log.h"
+
+namespace flatnet::obs {
+
+CampaignMonitor::CampaignMonitor(const Options& options)
+    : options_(options),
+      chunk_ms_hist_(GetHistogram(
+          options.component + ".chunk_ms",
+          {1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0, 10000.0})),
+      straggler_counter_(GetCounter(options.component + ".stragglers")),
+      eta_gauge_(GetGauge(options.component + ".eta_s")) {
+  if (options_.workers == 0) options_.workers = 1;
+}
+
+double CampaignMonitor::MeanChunkMs() const {
+  std::size_t done = chunks_done_.load(std::memory_order_relaxed);
+  if (done == 0) return 0.0;
+  return static_cast<double>(chunk_us_total_.load(std::memory_order_relaxed)) / 1e3 /
+         static_cast<double>(done);
+}
+
+double CampaignMonitor::EtaSeconds() const {
+  std::size_t finished =
+      options_.resumed_chunks + chunks_done_.load(std::memory_order_relaxed);
+  if (options_.total_chunks == 0 || finished >= options_.total_chunks) return 0.0;
+  double mean_ms = MeanChunkMs();
+  if (mean_ms <= 0.0) return 0.0;
+  double remaining = static_cast<double>(options_.total_chunks - finished);
+  return remaining * mean_ms / 1e3 / static_cast<double>(options_.workers);
+}
+
+void CampaignMonitor::ChunkDone(std::size_t chunk_index, double chunk_ms,
+                                std::size_t units) {
+  chunk_ms_hist_.Observe(chunk_ms);
+  double mean_before = MeanChunkMs();
+  std::size_t done_before = chunks_done_.fetch_add(1, std::memory_order_relaxed);
+  units_done_.fetch_add(units, std::memory_order_relaxed);
+  chunk_us_total_.fetch_add(static_cast<std::uint64_t>(std::max(chunk_ms, 0.0) * 1e3),
+                            std::memory_order_relaxed);
+
+  if (done_before >= 8 && mean_before > 0.0 &&
+      chunk_ms > std::max(options_.straggler_min_ms,
+                          options_.straggler_factor * mean_before)) {
+    stragglers_seen_.fetch_add(1, std::memory_order_relaxed);
+    straggler_counter_.Increment();
+    Log(LogLevel::kWarn, options_.component, "campaign.straggler")
+        .Kv("chunk", static_cast<std::uint64_t>(chunk_index))
+        .Kv("chunk_ms", chunk_ms)
+        .Kv("mean_ms", mean_before)
+        .Kv("factor", mean_before > 0.0 ? chunk_ms / mean_before : 0.0);
+  }
+
+  double elapsed_s = started_.ElapsedSeconds();
+  eta_gauge_.Set(static_cast<std::int64_t>(EtaSeconds()));
+  if (options_.heartbeat_ms > 0) MaybeHeartbeat(elapsed_s);
+}
+
+void CampaignMonitor::MaybeHeartbeat(double elapsed_s) {
+  // CAS-claimed so exactly one worker emits each heartbeat window.
+  auto now_us = static_cast<std::uint64_t>(elapsed_s * 1e6);
+  std::uint64_t last = last_heartbeat_us_.load(std::memory_order_relaxed);
+  if (now_us < last + std::uint64_t{options_.heartbeat_ms} * 1000) return;
+  if (!last_heartbeat_us_.compare_exchange_strong(last, now_us,
+                                                  std::memory_order_relaxed)) {
+    return;
+  }
+  std::size_t done = options_.resumed_chunks + chunks_done();
+  std::uint64_t units = units_done_.load(std::memory_order_relaxed);
+  double pct = options_.total_chunks > 0 ? 100.0 * static_cast<double>(done) /
+                                               static_cast<double>(options_.total_chunks)
+                                         : 0.0;
+  Log(LogLevel::kInfo, options_.component, "campaign.heartbeat")
+      .Kv("chunks_done", static_cast<std::uint64_t>(done))
+      .Kv("chunks_total", static_cast<std::uint64_t>(options_.total_chunks))
+      .Kv("pct", pct)
+      .Kv(options_.unit + "_per_sec",
+          elapsed_s > 0.0 ? static_cast<double>(units) / elapsed_s : 0.0)
+      .Kv("mean_chunk_ms", MeanChunkMs())
+      .Kv("eta_s", EtaSeconds())
+      .Kv("stragglers", stragglers_seen_.load(std::memory_order_relaxed));
+}
+
+}  // namespace flatnet::obs

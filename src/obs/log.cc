@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/recorder.h"
 #include "util/env.h"
 #include "util/strings.h"
 
@@ -125,6 +126,12 @@ LogLine::LogLine(LogLevel level, std::string_view component, std::string_view ev
   line_.append(component);
   line_.push_back(' ');
   line_.append(event);
+  if (RecorderEnabled()) {
+    char name[kRecorderNameCapacity];
+    std::snprintf(name, sizeof(name), "log:%.*s.%.*s", static_cast<int>(component.size()),
+                  component.data(), static_cast<int>(event.size()), event.data());
+    RecordEvent(name, static_cast<std::uint64_t>(level));
+  }
 }
 
 LogLine& LogLine::Kv(std::string_view key, std::string_view value) {

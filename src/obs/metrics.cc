@@ -1,6 +1,11 @@
 #include "obs/metrics.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -8,7 +13,9 @@
 
 #include "obs/log.h"
 #include "obs/trace.h"
+#include "util/env.h"
 #include "util/error.h"
+#include "util/strings.h"
 #include "util/thread_pool.h"
 
 namespace flatnet::obs {
@@ -27,10 +34,34 @@ void Histogram::Observe(double v) {
   auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
       1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
+  // The bucket is bumped before the count, so a racing Snapshot() can see
+  // bucket totals ahead of the count but never behind it once stable.
+  count_.fetch_add(1, std::memory_order_release);
   double sum = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(sum, sum + v, std::memory_order_relaxed)) {
   }
+}
+
+HistogramSnapshot Histogram::Snapshot(int max_retries) const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.buckets.resize(buckets_.size());
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    std::uint64_t before = count_.load(std::memory_order_acquire);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      snapshot.buckets[i] = buckets_[i].load(std::memory_order_acquire);
+      total += snapshot.buckets[i];
+    }
+    snapshot.sum = sum_.load(std::memory_order_relaxed);
+    std::uint64_t after = count_.load(std::memory_order_acquire);
+    snapshot.count = after;
+    if (before == after && total == after) {
+      snapshot.consistent = true;
+      break;
+    }
+  }
+  return snapshot;
 }
 
 // std::map keeps snapshot key order deterministic, matching util/json.h.
@@ -107,17 +138,17 @@ Json MetricsRegistry::Snapshot() const {
   }
   Json histograms = Json::MakeObject();
   for (const auto& [name, histogram] : state.histograms) {
+    HistogramSnapshot hist = histogram->Snapshot();
     Json bounds = Json::MakeArray();
-    for (double b : histogram->bounds()) bounds.Append(Json(b));
+    for (double b : hist.bounds) bounds.Append(Json(b));
     Json buckets = Json::MakeArray();
-    for (std::size_t i = 0; i <= histogram->bounds().size(); ++i) {
-      buckets.Append(Json(histogram->bucket_count(i)));
-    }
+    for (std::uint64_t bucket : hist.buckets) buckets.Append(Json(bucket));
     Json entry = Json::MakeObject();
     entry["bounds"] = std::move(bounds);
+    entry["consistent"] = Json(hist.consistent);
     entry["counts"] = std::move(buckets);
-    entry["count"] = Json(histogram->count());
-    entry["sum"] = Json(histogram->sum());
+    entry["count"] = Json(hist.count);
+    entry["sum"] = Json(hist.sum);
     histograms[name] = std::move(entry);
   }
   Json snapshot = Json::MakeObject();
@@ -178,10 +209,33 @@ void RegisterCoreMetrics() {
            "serve.cache.hit",
            "serve.cache.miss",
            "serve.cache.eviction",
+           "serve.slow_queries",
+           "serve.reach.requests",
+           "serve.reach.errors",
+           "serve.reliance.requests",
+           "serve.reliance.errors",
+           "serve.leak.requests",
+           "serve.leak.errors",
+           "serve.status.requests",
+           "serve.status.errors",
+           "serve.top.requests",
+           "serve.top.errors",
+           "serve.leakdist.requests",
+           "serve.leakdist.errors",
+           "serve.metrics.requests",
+           "serve.metrics.errors",
+           "serve.debug.requests",
+           "serve.debug.errors",
            "sweep.chunks_completed",
            "sweep.chunks_resumed",
            "sweep.checkpoint_writes",
            "sweep.origins_computed",
+           "sweep.stragglers",
+           "leaksim.chunks_completed",
+           "leaksim.chunks_resumed",
+           "leaksim.checkpoint_writes",
+           "leaksim.trials_evaluated",
+           "leaksim.stragglers",
        }) {
     GetCounter(name);
   }
@@ -193,6 +247,9 @@ void RegisterCoreMetrics() {
            "serve.cache.bytes",
            "serve.cache.entries",
            "sweep.origins_per_sec",
+           "sweep.eta_s",
+           "leaksim.trials_per_sec",
+           "leaksim.eta_s",
        }) {
     GetGauge(name);
   }
@@ -203,8 +260,16 @@ void RegisterCoreMetrics() {
            "serve.leak.latency_ms",
            "serve.status.latency_ms",
            "serve.top.latency_ms",
+           "serve.leakdist.latency_ms",
+           "serve.metrics.latency_ms",
+           "serve.debug.latency_ms",
        }) {
     GetHistogram(name, {0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0});
+  }
+  // Same bounds as obs::CampaignMonitor registers; re-registration keeps
+  // the original bounds, so the two lists must agree.
+  for (const char* name : {"sweep.chunk_ms", "leaksim.chunk_ms"}) {
+    GetHistogram(name, {1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0, 10000.0});
   }
   for (const char* name : {
            "bgp.propagation",
@@ -216,6 +281,9 @@ void RegisterCoreMetrics() {
            "topogen.generate",
            "sweep.run",
            "sweep.chunk",
+           "leaksim.run",
+           "leaksim.prepare",
+           "leaksim.chunk",
        }) {
     PreRegisterSpan(name);
   }
@@ -244,15 +312,131 @@ Json ObservabilitySnapshot() {
   return snapshot;
 }
 
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = "flatnet_";
+  for (char c : name) {
+    bool alnum = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+    out.push_back(alnum ? c : '_');
+  }
+  return out;
+}
+
+std::string PromNumber(double v) { return StrFormat("%.10g", v); }
+
+bool HasSuffix(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::string RenderPrometheusText() {
+  Json snapshot = ObservabilitySnapshot();
+  std::string out;
+  for (const auto& [name, value] : snapshot.At("counters").AsObject()) {
+    std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + PromNumber(value.AsNumber()) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.At("gauges").AsObject()) {
+    std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + PromNumber(value.AsNumber()) + "\n";
+  }
+  for (const auto& [name, entry] : snapshot.At("histograms").AsObject()) {
+    std::string prom = PromName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    const Json& bounds = entry.At("bounds");
+    const Json& counts = entry.At("counts");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i].AsU64();
+      out += prom + "_bucket{le=\"" + PromNumber(bounds[i].AsNumber()) + "\"} " +
+             PromNumber(static_cast<double>(cumulative)) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + PromNumber(entry.At("count").AsNumber()) + "\n";
+    out += prom + "_sum " + PromNumber(entry.At("sum").AsNumber()) + "\n";
+    out += prom + "_count " + PromNumber(entry.At("count").AsNumber()) + "\n";
+  }
+  const Json::Object& spans = snapshot.At("spans").AsObject();
+  out += "# TYPE flatnet_span_count counter\n";
+  for (const auto& [name, entry] : spans) {
+    out += "flatnet_span_count{span=\"" + name + "\"} " +
+           PromNumber(entry.At("count").AsNumber()) + "\n";
+  }
+  out += "# TYPE flatnet_span_total_seconds counter\n";
+  for (const auto& [name, entry] : spans) {
+    out += "flatnet_span_total_seconds{span=\"" + name + "\"} " +
+           PromNumber(entry.At("total_s").AsNumber()) + "\n";
+  }
+  return out;
+}
+
 bool WriteMetricsFile(const std::string& path) {
-  std::ofstream out(path);
-  if (out) out << ObservabilitySnapshot().Dump(2) << '\n';
-  if (!out) {
+  std::string payload = HasSuffix(path, ".prom")
+                            ? RenderPrometheusText()
+                            : ObservabilitySnapshot().Dump(2) + "\n";
+  // Atomic publish: write a pid-unique sibling, then rename over the
+  // target, so a concurrent reader sees either the old or the new file.
+  std::string tmp = StrFormat("%s.tmp.%d", path.c_str(), static_cast<int>(::getpid()));
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  out << payload;
+  out.close();
+  if (!out || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
     Log(LogLevel::kWarn, "obs", "metrics.write_failed").Kv("path", path);
     return false;
   }
   Log(LogLevel::kDebug, "obs", "metrics.written").Kv("path", path);
   return true;
+}
+
+MetricsFlusher::MetricsFlusher(std::string path, double interval_s)
+    : path_(std::move(path)), interval_s_(interval_s) {
+  if (path_.empty() || interval_s_ <= 0.0) return;
+  thread_ = std::thread([this] { Loop(); });
+  Log(LogLevel::kInfo, "obs", "metrics.flusher_started")
+      .Kv("path", path_)
+      .Kv("interval_s", interval_s_);
+}
+
+MetricsFlusher::~MetricsFlusher() { Stop(); }
+
+double MetricsFlusher::IntervalFromEnv() {
+  auto env = GetEnv("FLATNET_METRICS_INTERVAL");
+  if (!env || env->empty()) return 0.0;
+  char* end = nullptr;
+  double v = std::strtod(env->c_str(), &end);
+  if (end == env->c_str() || *end != '\0' || !(v >= 0.0) || v > 1e9) {
+    Log(LogLevel::kWarn, "obs", "metrics.bad_interval").Kv("value", *env);
+    return 0.0;
+  }
+  return v;
+}
+
+void MetricsFlusher::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto interval = std::chrono::duration<double>(interval_s_);
+  while (!cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+    lock.unlock();
+    if (WriteMetricsFile(path_)) flushes_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+}
+
+void MetricsFlusher::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  thread_ = std::thread();
+  // One final write so the published file reflects end-of-run state.
+  if (WriteMetricsFile(path_)) flushes_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace flatnet::obs

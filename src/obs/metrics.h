@@ -17,8 +17,11 @@
 #define FLATNET_OBS_METRICS_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/json.h"
@@ -54,9 +57,28 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
+// One self-consistent read of a histogram — see Histogram::Snapshot().
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds.size() + 1; last = overflow
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  // True when the buckets reconcile with the count (their totals match and
+  // the count was stable across the read). False only when writers outran
+  // every retry; the values are then the last raw read.
+  bool consistent = false;
+};
+
 // Fixed upper-bound buckets plus an implicit overflow bucket: a sample v
 // lands in the first bucket with v <= bounds[i], or in the overflow bucket
 // when v exceeds every bound. Tracks total count and sum as well.
+//
+// Consistency contract: the individual accessors below are relaxed reads
+// and may tear across fields while writers are active (a bucket total can
+// momentarily exceed count()). Snapshot() is the supported way to read a
+// histogram that other threads are updating: it retries until the buckets
+// reconcile with the count, and both the registry snapshot and the
+// Prometheus renderer go through it. count() alone is always monotonic.
 class Histogram {
  public:
   void Observe(double v);
@@ -67,6 +89,9 @@ class Histogram {
   std::uint64_t bucket_count(std::size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+
+  // Atomically-consistent read (bounded retry against concurrent Observe).
+  HistogramSnapshot Snapshot(int max_retries = 16) const;
 
  private:
   friend class MetricsRegistry;
@@ -118,9 +143,58 @@ void RegisterCoreMetrics();
 // RegisterCoreMetrics() first.
 Json ObservabilitySnapshot();
 
-// Writes ObservabilitySnapshot() pretty-printed to `path`; logs (warn) and
-// returns false on I/O failure.
+// ObservabilitySnapshot() rendered in the Prometheus text exposition
+// format: metric names are `flatnet_` + the dotted name with separators
+// flattened to underscores, histograms emit cumulative `_bucket{le=...}`
+// series plus `_sum`/`_count`, and trace spans become
+// `flatnet_span_count{span="..."}` / `flatnet_span_total_seconds{...}`.
+std::string RenderPrometheusText();
+
+// Writes ObservabilitySnapshot() to `path` with an atomic tmp+rename
+// publish (readers never see a torn file). A path ending in ".prom" gets
+// the Prometheus text format, anything else pretty-printed JSON. Logs
+// (warn) and returns false on I/O failure.
 bool WriteMetricsFile(const std::string& path);
+
+// Background metrics flusher: re-publishes the snapshot to a file on a
+// fixed cadence via WriteMetricsFile, so an external collector can scrape
+// a long-running tool without speaking the serve protocol. Inactive (a
+// no-op) when `path` is empty or `interval_s` <= 0; tools construct one
+// unconditionally and let the env decide:
+//
+//   obs::MetricsFlusher flusher(metrics_out, obs::MetricsFlusher::IntervalFromEnv());
+//
+// The destructor stops the thread and, when active, flushes once more so
+// the file reflects final state.
+class MetricsFlusher {
+ public:
+  MetricsFlusher(std::string path, double interval_s);
+  ~MetricsFlusher();
+
+  MetricsFlusher(const MetricsFlusher&) = delete;
+  MetricsFlusher& operator=(const MetricsFlusher&) = delete;
+
+  // FLATNET_METRICS_INTERVAL in seconds (fractions allowed); 0 when unset
+  // or unparseable.
+  static double IntervalFromEnv();
+
+  bool active() const { return thread_.joinable(); }
+  std::uint64_t flushes() const { return flushes_.load(std::memory_order_relaxed); }
+
+  // Stops the flusher and writes one final snapshot; idempotent.
+  void Stop();
+
+ private:
+  void Loop();
+
+  std::string path_;
+  double interval_s_;
+  std::atomic<std::uint64_t> flushes_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
 
 }  // namespace flatnet::obs
 

@@ -1,0 +1,98 @@
+// Flight recorder: lock-free per-thread ring buffers of recent events.
+//
+// When enabled (EnableRecorder / FLATNET_RECORDER_DUMP), every completed
+// trace span and every emitted log line drops a small fixed-size event —
+// name, timestamp, one integer argument — into the calling thread's ring.
+// Each ring has exactly one writer (its thread), so recording is two
+// relaxed stores plus a release publish of the head index: no locks, no
+// allocation, safe from ThreadPool workers and signal-adjacent paths.
+// When disabled (the default), RecordEvent is a single relaxed load.
+//
+// The recorded history is read three ways:
+//   - CollectRecorderEvents / RecorderJson: merged, time-ordered snapshot
+//     of the newest events — the `debug` serve op answers from this.
+//   - WriteRecorderDump(path): the same snapshot as a text file.
+//   - InstallCrashHandler(path): a SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL
+//     handler that dumps every ring to `path` using only async-signal-safe
+//     calls (open/write, manual integer formatting), then re-raises — a
+//     crashed or wedged process names its last N events postmortem.
+//
+// Rings are leaked on purpose: a thread that exited before the crash still
+// has its history in the dump. Readers may race writers; a torn slot is
+// detected via its sequence number and skipped rather than misreported.
+#ifndef FLATNET_OBS_RECORDER_H_
+#define FLATNET_OBS_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace flatnet::obs {
+
+// Events per thread ring; oldest events are overwritten once full.
+inline constexpr std::size_t kRecorderRingCapacity = 1024;
+// Threads beyond this record nothing (counted in RecorderStats::threads_dropped).
+inline constexpr std::size_t kRecorderMaxThreads = 256;
+inline constexpr std::size_t kRecorderNameCapacity = 48;  // incl. NUL; longer names truncate
+
+struct RecorderEvent {
+  std::uint64_t t_us = 0;   // microseconds since process start
+  std::uint64_t seq = 0;    // per-thread sequence number, from 0
+  std::uint64_t arg = 0;    // event-defined (span wall-clock µs, log level, ...)
+  std::uint32_t thread = 0;  // ring index: stable per-thread id, from 0
+  char name[kRecorderNameCapacity] = {0};
+};
+
+struct RecorderStats {
+  bool enabled = false;
+  std::uint64_t recorded = 0;         // events ever written, across all rings
+  std::uint64_t overwritten = 0;      // of those, lost to ring wraparound
+  std::uint64_t threads = 0;          // rings registered
+  std::uint64_t threads_dropped = 0;  // threads refused past kRecorderMaxThreads
+};
+
+void EnableRecorder(bool enabled);
+bool RecorderEnabled();
+
+// Appends one event to the calling thread's ring; no-op when disabled.
+void RecordEvent(std::string_view name, std::uint64_t arg = 0);
+
+RecorderStats GetRecorderStats();
+
+// The newest `max_events` events across all rings, ascending t_us.
+std::vector<RecorderEvent> CollectRecorderEvents(std::size_t max_events);
+
+// {"dropped":N,"enabled":B,"events":[{"arg":..,"name":..,"seq":..,
+//  "t_us":..,"thread":..},...],"threads":N} — payload of the `debug` op.
+// `dropped` counts events lost to wraparound or trimmed by max_events.
+Json RecorderJson(std::size_t max_events);
+
+// Writes the dump format below to `path` (truncating). Returns false and
+// logs on I/O failure. Same renderer as the crash handler, so tooling that
+// parses crash dumps parses on-demand dumps too:
+//   flatnet-flight-recorder v1
+//   event t_us=<n> thread=<n> seq=<n> arg=<n> name=<s>
+//   ...
+//   end events=<n>
+bool WriteRecorderDump(const std::string& path);
+
+// Enables the recorder and installs the fatal-signal handler; the dump is
+// written to `path` before the default action is re-raised. The last call
+// wins; `path` must outlive the process (it is copied into static storage).
+void InstallCrashHandler(const std::string& path);
+
+// InstallCrashHandler(FLATNET_RECORDER_DUMP) when that env var is set;
+// otherwise does nothing. Returns whether a handler was installed.
+bool InstallCrashHandlerFromEnv();
+
+// Disables the recorder and forgets all rings and counters. Tests only:
+// rings already handed to live threads keep working but are no longer
+// visible to readers.
+void ResetRecorderForTest();
+
+}  // namespace flatnet::obs
+
+#endif  // FLATNET_OBS_RECORDER_H_

@@ -1,0 +1,51 @@
+#include "obs/reqtrace.h"
+
+#include "util/strings.h"
+
+namespace flatnet::obs {
+
+void RequestTrace::MarkAt(std::string_view name, Clock::time_point at) {
+  double ms = std::chrono::duration<double, std::milli>(at - last_).count();
+  last_ = at;
+  if (!phases_.empty() && phases_.back().name == name) {
+    phases_.back().ms += ms;
+    return;
+  }
+  phases_.push_back({std::string(name), ms});
+}
+
+double RequestTrace::MarkedMs() const {
+  double total = 0.0;
+  for (const TracePhase& phase : phases_) total += phase.ms;
+  return total;
+}
+
+double RequestTrace::ElapsedMs() const {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+}
+
+Json RequestTrace::TimingJson() const {
+  Json phases = Json::MakeArray();
+  for (const TracePhase& phase : phases_) {
+    Json entry = Json::MakeObject();
+    entry["ms"] = phase.ms;
+    entry["name"] = phase.name;
+    phases.Append(std::move(entry));
+  }
+  Json timing = Json::MakeObject();
+  timing["phases"] = std::move(phases);
+  timing["server_ms"] = MarkedMs();
+  return timing;
+}
+
+std::string RequestTrace::Format() const {
+  std::string out;
+  for (const TracePhase& phase : phases_) {
+    if (!out.empty()) out.push_back(' ');
+    out += phase.name;
+    out += StrFormat("=%.3f", phase.ms);
+  }
+  return out;
+}
+
+}  // namespace flatnet::obs

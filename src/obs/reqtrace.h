@@ -1,0 +1,83 @@
+// Per-request trace context: an ordered timeline of named phases.
+//
+// One RequestTrace rides along a single request from accept to response
+// write. Each Mark(name) closes the segment that started at the previous
+// mark (or at construction), so the phases partition the request's wall
+// time with no gaps:
+//
+//   obs::RequestTrace trace;
+//   ... read + frame the line ...
+//   trace.Mark("parse");
+//   ... probe the result cache ...
+//   trace.Mark("cache_probe");
+//
+// The serve dispatcher threads a RequestTrace through the propagation
+// engines via PropagationOptions::trace, so the timeline names the
+// customer/peer/provider phases individually. TimingJson() renders the
+// opt-in `"timing"` response field; Format() renders the one-line summary
+// the slow-query log emits.
+//
+// A RequestTrace is deliberately NOT thread-safe: a request is handled by
+// exactly one thread at a time (connection thread, then — after the
+// synchronizing pool handoff — one worker thread), and keeping it a plain
+// object keeps tracing-off overhead at a single branch per call site.
+#ifndef FLATNET_OBS_REQTRACE_H_
+#define FLATNET_OBS_REQTRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace flatnet::obs {
+
+struct TracePhase {
+  std::string name;
+  double ms = 0.0;
+};
+
+class RequestTrace {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RequestTrace() : RequestTrace(Clock::now()) {}
+  // Starts the timeline at `start` — lets a dispatcher that only decides to
+  // trace after parsing backfill the accept/parse segments from timestamps
+  // it captured earlier.
+  explicit RequestTrace(Clock::time_point start) : start_(start), last_(start) {}
+
+  // Closes the segment running since the previous mark under `name`.
+  // Consecutive marks with the same name accumulate into one phase entry.
+  void Mark(std::string_view name) { MarkAt(name, Clock::now()); }
+  // Same, closing the segment at `at` instead of now. `at` must not precede
+  // the previous mark (the phase would go negative).
+  void MarkAt(std::string_view name, Clock::time_point at);
+
+  const std::vector<TracePhase>& phases() const { return phases_; }
+
+  // Sum of all recorded phase durations (the server-side time accounted
+  // for so far; segments after the last mark are not included).
+  double MarkedMs() const;
+
+  // Wall time since construction, marked or not.
+  double ElapsedMs() const;
+
+  // {"phases":[{"ms":...,"name":"parse"},...],"server_ms":<marked sum>} —
+  // the payload of the opt-in `timing` response field.
+  Json TimingJson() const;
+
+  // "parse=0.012 cache_probe=0.003 ..." (milliseconds) for log lines.
+  std::string Format() const;
+
+ private:
+  Clock::time_point start_;
+  Clock::time_point last_;
+  std::vector<TracePhase> phases_;
+};
+
+}  // namespace flatnet::obs
+
+#endif  // FLATNET_OBS_REQTRACE_H_

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/log.h"
+#include "obs/recorder.h"
 #include "util/strings.h"
 
 namespace flatnet::obs {
@@ -55,6 +56,9 @@ TraceSpan::~TraceSpan() {
     ++stats.count;
     stats.total_seconds += total;
     stats.self_seconds += self;
+  }
+  if (RecorderEnabled()) {
+    RecordEvent(name_, static_cast<std::uint64_t>(total * 1e6));
   }
   if (LogEnabled(LogLevel::kTrace)) {
     Log(LogLevel::kTrace, "trace", "span")

@@ -8,10 +8,15 @@
 #include <numeric>
 #include <utility>
 
+#include <cstdlib>
+
 #include "bgp/propagation.h"
 #include "bgp/reliance.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/reqtrace.h"
+#include "util/env.h"
 #include "util/strings.h"
 
 namespace flatnet::serve {
@@ -22,6 +27,7 @@ struct ServeCounters {
   obs::Counter& errors = obs::GetCounter("serve.errors");
   obs::Counter& overloaded = obs::GetCounter("serve.overloaded");
   obs::Counter& deadline_exceeded = obs::GetCounter("serve.deadline_exceeded");
+  obs::Counter& slow_queries = obs::GetCounter("serve.slow_queries");
   obs::Gauge& inflight = obs::GetGauge("serve.inflight");
 };
 
@@ -33,15 +39,56 @@ ServeCounters& Counters() {
 obs::Histogram& LatencyHistogram(QueryKind kind) {
   static const std::vector<double> bounds{0.1,  0.3,   1.0,   3.0,    10.0,
                                           30.0, 100.0, 300.0, 1000.0, 3000.0};
-  static obs::Histogram* histograms[] = {
+  static obs::Histogram* histograms[kNumQueryKinds] = {
       &obs::GetHistogram("serve.reach.latency_ms", bounds),
       &obs::GetHistogram("serve.reliance.latency_ms", bounds),
       &obs::GetHistogram("serve.leak.latency_ms", bounds),
       &obs::GetHistogram("serve.status.latency_ms", bounds),
       &obs::GetHistogram("serve.top.latency_ms", bounds),
       &obs::GetHistogram("serve.leakdist.latency_ms", bounds),
+      &obs::GetHistogram("serve.metrics.latency_ms", bounds),
+      &obs::GetHistogram("serve.debug.latency_ms", bounds),
   };
   return *histograms[static_cast<std::size_t>(kind)];
+}
+
+obs::Counter& OpRequests(QueryKind kind) {
+  static obs::Counter* counters[kNumQueryKinds] = {
+      &obs::GetCounter("serve.reach.requests"),
+      &obs::GetCounter("serve.reliance.requests"),
+      &obs::GetCounter("serve.leak.requests"),
+      &obs::GetCounter("serve.status.requests"),
+      &obs::GetCounter("serve.top.requests"),
+      &obs::GetCounter("serve.leakdist.requests"),
+      &obs::GetCounter("serve.metrics.requests"),
+      &obs::GetCounter("serve.debug.requests"),
+  };
+  return *counters[static_cast<std::size_t>(kind)];
+}
+
+obs::Counter& OpErrors(QueryKind kind) {
+  static obs::Counter* counters[kNumQueryKinds] = {
+      &obs::GetCounter("serve.reach.errors"),
+      &obs::GetCounter("serve.reliance.errors"),
+      &obs::GetCounter("serve.leak.errors"),
+      &obs::GetCounter("serve.status.errors"),
+      &obs::GetCounter("serve.top.errors"),
+      &obs::GetCounter("serve.leakdist.errors"),
+      &obs::GetCounter("serve.metrics.errors"),
+      &obs::GetCounter("serve.debug.errors"),
+  };
+  return *counters[static_cast<std::size_t>(kind)];
+}
+
+// FLATNET_SLOW_QUERY_MS: non-negative integer milliseconds; unset or
+// unparseable disables the slow-query log.
+std::int64_t SlowQueryMsFromEnv() {
+  auto text = GetEnv("FLATNET_SLOW_QUERY_MS");
+  if (!text) return 0;
+  char* end = nullptr;
+  long long ms = std::strtoll(text->c_str(), &end, 10);
+  if (end == text->c_str() || *end != '\0' || ms < 0) return 0;
+  return static_cast<std::int64_t>(ms);
 }
 
 // The wire spellings of a campaign cell's scenario (protocol.h grammar).
@@ -80,6 +127,11 @@ Dispatcher::Dispatcher(const Internet& internet, const DispatcherOptions& option
       cache_(options.cache_bytes),
       pool_(options.threads),
       start_time_(std::chrono::steady_clock::now()) {
+  slow_query_ms_ = options.slow_query_ms >= 0 ? options.slow_query_ms : SlowQueryMsFromEnv();
+  if (slow_query_ms_ > 0) {
+    obs::Log(obs::LogLevel::kInfo, "serve", "slow_query_log.armed")
+        .Kv("threshold_ms", slow_query_ms_);
+  }
   users_.reserve(internet.num_ases());
   for (AsId id = 0; id < internet.num_ases(); ++id) {
     users_.push_back(internet.metadata().Get(id).users);
@@ -141,6 +193,11 @@ Bitset Dispatcher::ResolveAsnList(const std::vector<Asn>& asns) const {
 }
 
 void Dispatcher::Handle(const std::string& line, std::function<void(std::string)> done) {
+  Handle(line, std::move(done), std::chrono::steady_clock::now());
+}
+
+void Dispatcher::Handle(const std::string& line, std::function<void(std::string)> done,
+                        std::chrono::steady_clock::time_point received_at) {
   Counters().requests.Increment();
   auto t0 = std::chrono::steady_clock::now();
 
@@ -163,23 +220,40 @@ void Dispatcher::Handle(const std::string& line, std::function<void(std::string)
     done(ErrorResponse(id, e.code(), e.what()));
     return;
   }
+  OpRequests(request.kind).Increment();
 
-  if (request.kind == QueryKind::kStatus) {
-    done(OkResponse(id, StatusResult(), false));
-    LatencyHistogram(QueryKind::kStatus).Observe(MillisSince(t0));
-    return;
+  // Tracing is paid only when asked for — by this request (`timing`) or by
+  // an armed slow-query threshold. Otherwise a request's total tracing
+  // cost is the two clock reads above and null-pointer branches below, and
+  // the response bytes are exactly the untraced encoding.
+  std::shared_ptr<obs::RequestTrace> trace;
+  if (request.timing || slow_query_ms_ > 0) {
+    auto t_parse = std::chrono::steady_clock::now();
+    trace = std::make_shared<obs::RequestTrace>(received_at);
+    trace->MarkAt("accept", t0);
+    trace->MarkAt("parse", t_parse);
   }
 
-  // `top` and `leakdist` read precomputed store state — microseconds, so
-  // they skip the cache and the pool entirely and are answered on the
-  // connection thread.
-  if (request.kind == QueryKind::kTop || request.kind == QueryKind::kLeakDist) {
+  // `status`, `top`, `leakdist`, `metrics`, and `debug` read precomputed
+  // or in-memory state — microseconds, so they skip the cache and the pool
+  // entirely and are answered on the connection thread.
+  if (request.kind != QueryKind::kReach && request.kind != QueryKind::kReliance &&
+      request.kind != QueryKind::kLeak) {
     try {
-      std::string result = request.kind == QueryKind::kTop ? ExecuteTop(request)
-                                                           : ExecuteLeakDist(request);
-      done(OkResponse(id, result, false));
+      std::string result;
+      switch (request.kind) {
+        case QueryKind::kStatus: result = StatusResult(); break;
+        case QueryKind::kTop: result = ExecuteTop(request); break;
+        case QueryKind::kLeakDist: result = ExecuteLeakDist(request); break;
+        case QueryKind::kMetrics: result = ExecuteMetrics(request); break;
+        case QueryKind::kDebug: result = ExecuteDebug(request); break;
+        default: break;
+      }
+      if (trace != nullptr) trace->Mark("execute");
+      Respond(request, id, result, false, trace.get(), done);
     } catch (const ProtocolError& e) {
       Counters().errors.Increment();
+      OpErrors(request.kind).Increment();
       done(ErrorResponse(id, e.code(), e.what()));
     }
     LatencyHistogram(request.kind).Observe(MillisSince(t0));
@@ -188,10 +262,12 @@ void Dispatcher::Handle(const std::string& line, std::function<void(std::string)
 
   std::string key = CacheKey(request);
   if (auto hit = cache_.Get(key)) {
-    done(OkResponse(id, *hit, true));
+    if (trace != nullptr) trace->Mark("cache_probe");
+    Respond(request, id, *hit, true, trace.get(), done);
     LatencyHistogram(request.kind).Observe(MillisSince(t0));
     return;
   }
+  if (trace != nullptr) trace->Mark("cache_probe");
 
   // The deadline clock starts at admission, so time spent queued behind
   // other queries counts against the request's budget.
@@ -207,22 +283,28 @@ void Dispatcher::Handle(const std::string& line, std::function<void(std::string)
   Counters().inflight.Set(inflight_.load(std::memory_order_relaxed));
   // `done` and `id` are captured by copy: if admission rejects the job, the
   // originals are still live for the overload response below.
-  auto job = [this, request, id, key, token, done, t0] {
+  auto job = [this, request, id, key, token, done, t0, trace] {
+    if (trace != nullptr) trace->Mark("queue");
     std::string response;
+    bool respond_ok = false;
     try {
-      std::string result = Execute(request, token.get());
+      std::string result = Execute(request, token.get(), trace.get());
       cache_.Put(key, result);
-      response = OkResponse(id, result, false);
+      respond_ok = true;
+      Respond(request, id, result, false, trace.get(), done);
     } catch (const CancelledError&) {
       Counters().deadline_exceeded.Increment();
       Counters().errors.Increment();
+      OpErrors(request.kind).Increment();
       response = ErrorResponse(id, ErrorCode::kDeadlineExceeded,
                                "query abandoned past its deadline");
     } catch (const ProtocolError& e) {
       Counters().errors.Increment();
+      OpErrors(request.kind).Increment();
       response = ErrorResponse(id, e.code(), e.what());
     } catch (const Error& e) {
       Counters().errors.Increment();
+      OpErrors(request.kind).Increment();
       obs::Log(obs::LogLevel::kError, "serve", "query.internal_error")
           .Kv("op", ToString(request.kind))
           .Kv("error", e.what());
@@ -231,16 +313,44 @@ void Dispatcher::Handle(const std::string& line, std::function<void(std::string)
     inflight_.fetch_sub(1, std::memory_order_relaxed);
     Counters().inflight.Set(inflight_.load(std::memory_order_relaxed));
     LatencyHistogram(request.kind).Observe(MillisSince(t0));
-    done(response);
+    if (!respond_ok) done(response);
   };
   if (!pool_.TrySubmit(std::move(job), options_.max_inflight)) {
     inflight_.fetch_sub(1, std::memory_order_relaxed);
     Counters().inflight.Set(inflight_.load(std::memory_order_relaxed));
     Counters().overloaded.Increment();
     Counters().errors.Increment();
+    OpErrors(request.kind).Increment();
     done(ErrorResponse(id, ErrorCode::kOverloaded,
                        StrFormat("at the admission high-water mark (%zu queries in flight)",
                                  options_.max_inflight)));
+  }
+}
+
+void Dispatcher::Respond(const Request& request, const Json& id, const std::string& result,
+                         bool cached, obs::RequestTrace* trace,
+                         const std::function<void(std::string)>& done) const {
+  if (trace == nullptr) {
+    done(OkResponse(id, result, cached));
+    return;
+  }
+  std::string timing;
+  const std::string* timing_ptr = nullptr;
+  if (request.timing) {
+    trace->Mark("serialize");
+    timing = trace->TimingJson().Dump();
+    timing_ptr = &timing;
+  }
+  done(OkResponse(id, result, cached, timing_ptr));
+  trace->Mark("write");
+  if (slow_query_ms_ > 0 && trace->MarkedMs() >= static_cast<double>(slow_query_ms_)) {
+    Counters().slow_queries.Increment();
+    obs::Log(obs::LogLevel::kWarn, "serve", "slow_query")
+        .Kv("op", ToString(request.kind))
+        .Kv("cached", cached)
+        .Kv("threshold_ms", slow_query_ms_)
+        .Kv("total_ms", trace->MarkedMs())
+        .Kv("phases", trace->Format());
   }
 }
 
@@ -264,19 +374,23 @@ std::string Dispatcher::HandleSync(const std::string& line) {
 
 void Dispatcher::Drain() { pool_.Wait(); }
 
-std::string Dispatcher::Execute(const Request& request, const CancelToken* cancel) const {
+std::string Dispatcher::Execute(const Request& request, const CancelToken* cancel,
+                                obs::RequestTrace* trace) const {
   switch (request.kind) {
-    case QueryKind::kReach: return ExecuteReach(request, cancel);
-    case QueryKind::kReliance: return ExecuteReliance(request, cancel);
-    case QueryKind::kLeak: return ExecuteLeak(request, cancel);
+    case QueryKind::kReach: return ExecuteReach(request, cancel, trace);
+    case QueryKind::kReliance: return ExecuteReliance(request, cancel, trace);
+    case QueryKind::kLeak: return ExecuteLeak(request, cancel, trace);
     case QueryKind::kTop: return ExecuteTop(request);
     case QueryKind::kLeakDist: return ExecuteLeakDist(request);
+    case QueryKind::kMetrics: return ExecuteMetrics(request);
+    case QueryKind::kDebug: return ExecuteDebug(request);
     case QueryKind::kStatus: break;
   }
   throw ProtocolError(ErrorCode::kInternal, "unreachable op");
 }
 
-std::string Dispatcher::ExecuteReach(const Request& request, const CancelToken* cancel) const {
+std::string Dispatcher::ExecuteReach(const Request& request, const CancelToken* cancel,
+                                     obs::RequestTrace* trace) const {
   AsId origin = ResolveAsn(request.origin, "origin");
   std::size_t n = internet_.num_ases();
 
@@ -299,6 +413,7 @@ std::string Dispatcher::ExecuteReach(const Request& request, const CancelToken* 
 
   PropagationOptions options;
   options.cancel = cancel;
+  options.trace = trace;
   if (excluded.Any()) options.excluded = &excluded;
   Bitset locked;
   if (!request.peer_locked.empty()) {
@@ -314,6 +429,7 @@ std::string Dispatcher::ExecuteReach(const Request& request, const CancelToken* 
 
   AnnouncementSource source;
   source.node = origin;
+  if (trace != nullptr) trace->Mark("setup");
   RouteComputation computation(internet_.graph(), {source}, options);
   std::size_t reachable = computation.ReachedCount();
 
@@ -327,20 +443,25 @@ std::string Dispatcher::ExecuteReach(const Request& request, const CancelToken* 
   result["mode"] = ToString(request.mode);
   result["origin"] = request.origin;
   result["reachable"] = static_cast<std::uint64_t>(reachable);
-  return result.Dump();
+  std::string out = result.Dump();
+  if (trace != nullptr) trace->Mark("serialize");
+  return out;
 }
 
-std::string Dispatcher::ExecuteReliance(const Request& request,
-                                        const CancelToken* cancel) const {
+std::string Dispatcher::ExecuteReliance(const Request& request, const CancelToken* cancel,
+                                        obs::RequestTrace* trace) const {
   AsId origin = ResolveAsn(request.origin, "origin");
 
   PropagationOptions options;
   options.cancel = cancel;
+  options.trace = trace;
   AnnouncementSource source;
   source.node = origin;
+  if (trace != nullptr) trace->Mark("setup");
   RouteComputation computation(internet_.graph(), {source}, options);
   ThrowIfCancelled(cancel, "serve.reliance");
   RelianceResult reliance = ComputeReliance(computation);
+  if (trace != nullptr) trace->Mark("reliance");
 
   // Rank every AS with nonzero reliance; ties broken by ascending ASN so
   // the payload is deterministic.
@@ -375,10 +496,13 @@ std::string Dispatcher::ExecuteReliance(const Request& request,
   result["k"] = static_cast<std::uint64_t>(request.top_k);
   result["origin"] = request.origin;
   result["top"] = std::move(top);
-  return result.Dump();
+  std::string out = result.Dump();
+  if (trace != nullptr) trace->Mark("serialize");
+  return out;
 }
 
-std::string Dispatcher::ExecuteLeak(const Request& request, const CancelToken* cancel) const {
+std::string Dispatcher::ExecuteLeak(const Request& request, const CancelToken* cancel,
+                                    obs::RequestTrace* trace) const {
   AsId victim = ResolveAsn(request.victim, "victim");
   AsId leaker = ResolveAsn(request.leaker, "leaker");
 
@@ -386,11 +510,16 @@ std::string Dispatcher::ExecuteLeak(const Request& request, const CancelToken* c
   config.lock_mode = request.lock_mode;
   config.model = request.model;
   config.cancel = cancel;
+  config.trace = trace;
   if (!request.peer_locked.empty()) {
     config.peer_locked = ResolveAsnList(request.peer_locked);
   }
+  if (trace != nullptr) trace->Mark("setup");
+  // The constructor runs the victim-only baseline propagation (untraced);
+  // Run's joint propagation marks the propagation.* phases via config.trace.
   LeakExperiment experiment(internet_.graph(), victim, std::move(config),
                             users_.empty() ? nullptr : &users_);
+  if (trace != nullptr) trace->Mark("baseline");
   std::optional<LeakOutcome> outcome = experiment.Run(leaker);
   if (!outcome) {
     throw ProtocolError(ErrorCode::kBadRequest,
@@ -404,7 +533,9 @@ std::string Dispatcher::ExecuteLeak(const Request& request, const CancelToken* c
   result["leaker"] = request.leaker;
   result["model"] = request.model == LeakModel::kReannounce ? "reannounce" : "originate";
   result["victim"] = request.victim;
-  return result.Dump();
+  std::string out = result.Dump();
+  if (trace != nullptr) trace->Mark("serialize");
+  return out;
 }
 
 std::string Dispatcher::ExecuteTop(const Request& request) const {
@@ -497,6 +628,23 @@ std::string Dispatcher::ExecuteLeakDist(const Request& request) const {
   return result.Dump();
 }
 
+std::string Dispatcher::ExecuteMetrics(const Request& request) const {
+  Json result = Json::MakeObject();
+  if (request.prometheus) {
+    result["content_type"] = "text/plain; version=0.0.4";
+    result["format"] = "prometheus";
+    result["text"] = obs::RenderPrometheusText();
+  } else {
+    result["format"] = "json";
+    result["metrics"] = obs::ObservabilitySnapshot();
+  }
+  return result.Dump();
+}
+
+std::string Dispatcher::ExecuteDebug(const Request& request) const {
+  return obs::RecorderJson(request.debug_n).Dump();
+}
+
 std::string Dispatcher::StatusResult() {
   CacheStats stats = cache_.Stats();
   obs::GetGauge("serve.cache.bytes").Set(static_cast<std::int64_t>(stats.bytes));
@@ -508,8 +656,22 @@ std::string Dispatcher::StatusResult() {
   cache["capacity_bytes"] = stats.capacity_bytes;
   cache["entries"] = stats.entries;
   cache["evictions"] = stats.evictions;
+  cache["hit_ratio"] = stats.hits + stats.misses > 0
+                           ? static_cast<double>(stats.hits) /
+                                 static_cast<double>(stats.hits + stats.misses)
+                           : 0.0;
   cache["hits"] = stats.hits;
   cache["misses"] = stats.misses;
+
+  // Per-op request/error counters, keyed by wire op name.
+  Json ops = Json::MakeObject();
+  for (std::size_t k = 0; k < kNumQueryKinds; ++k) {
+    auto kind = static_cast<QueryKind>(k);
+    Json op = Json::MakeObject();
+    op["errors"] = OpErrors(kind).value();
+    op["requests"] = OpRequests(kind).value();
+    ops[ToString(kind)] = std::move(op);
+  }
 
   Json sweep_store = Json::MakeObject();
   sweep_store["loaded"] = sweep_loaded_;
@@ -549,6 +711,8 @@ std::string Dispatcher::StatusResult() {
   result["metrics"] = obs::ObservabilitySnapshot();
   result["num_ases"] = static_cast<std::uint64_t>(internet_.num_ases());
   result["num_edges"] = static_cast<std::uint64_t>(internet_.graph().num_edges());
+  result["ops"] = std::move(ops);
+  result["slow_query_ms"] = slow_query_ms_;
   result["sweep_store"] = std::move(sweep_store);
   result["threads"] = static_cast<std::uint64_t>(pool_.thread_count());
   result["uptime_s"] =

@@ -10,8 +10,18 @@
 // abandon expired work with `deadline_exceeded`).
 //
 // Instrumentation: per-endpoint latency histograms
-// (serve.<op>.latency_ms), request/error/overload counters, an inflight
-// gauge, and the cache counters from cache.h.
+// (serve.<op>.latency_ms), per-op request/error counters
+// (serve.<op>.requests / serve.<op>.errors), aggregate
+// request/error/overload counters, an inflight gauge, and the cache
+// counters from cache.h.
+//
+// Tracing: a request carrying `"timing":true` (any op) gets a per-phase
+// timeline — accept, parse, cache_probe, queue, setup, the propagation
+// phases, serialize — attached to its response under `timing`. When a
+// slow-query threshold is configured (options or FLATNET_SLOW_QUERY_MS),
+// every request is timed and offenders past the threshold are logged with
+// their full timeline. With both off, the per-request cost is two
+// steady_clock reads and the response bytes are untouched.
 #ifndef FLATNET_SERVE_DISPATCHER_H_
 #define FLATNET_SERVE_DISPATCHER_H_
 
@@ -42,6 +52,11 @@ struct DispatcherOptions {
   std::size_t cache_bytes = 64 * 1024 * 1024;
   // Deadline applied when a request does not carry `deadline_ms`; 0 = none.
   std::int64_t default_deadline_ms = 0;
+  // Requests slower than this (wall time, admission to response) are logged
+  // at warn with their phase timeline and counted in serve.slow_queries.
+  // 0 disables; a negative value (the default) defers to the
+  // FLATNET_SLOW_QUERY_MS environment variable (unset/invalid = disabled).
+  std::int64_t slow_query_ms = -1;
 };
 
 class Dispatcher {
@@ -73,6 +88,12 @@ class Dispatcher {
   // must be thread-safe against other responses on the same connection.
   void Handle(const std::string& line, std::function<void(std::string)> done);
 
+  // Same, with the moment the request line was received off the wire (the
+  // server's read loop passes it) so the timeline's `accept` phase covers
+  // socket-to-dispatcher latency. The overload above uses now().
+  void Handle(const std::string& line, std::function<void(std::string)> done,
+              std::chrono::steady_clock::time_point received_at);
+
   // Convenience for tests and the loadgen verifier: blocks until the
   // response is ready.
   std::string HandleSync(const std::string& line);
@@ -86,20 +107,36 @@ class Dispatcher {
 
  private:
   // Runs one parsed query; returns the compact `result` JSON. Throws
-  // ProtocolError / CancelledError on failure.
-  std::string Execute(const Request& request, const CancelToken* cancel) const;
-  std::string ExecuteReach(const Request& request, const CancelToken* cancel) const;
-  std::string ExecuteReliance(const Request& request, const CancelToken* cancel) const;
-  std::string ExecuteLeak(const Request& request, const CancelToken* cancel) const;
+  // ProtocolError / CancelledError on failure. `trace` (nullable) receives
+  // the setup / propagation / serialize phase marks.
+  std::string Execute(const Request& request, const CancelToken* cancel,
+                      obs::RequestTrace* trace) const;
+  std::string ExecuteReach(const Request& request, const CancelToken* cancel,
+                           obs::RequestTrace* trace) const;
+  std::string ExecuteReliance(const Request& request, const CancelToken* cancel,
+                              obs::RequestTrace* trace) const;
+  std::string ExecuteLeak(const Request& request, const CancelToken* cancel,
+                          obs::RequestTrace* trace) const;
   std::string ExecuteTop(const Request& request) const;
   std::string ExecuteLeakDist(const Request& request) const;
+  std::string ExecuteMetrics(const Request& request) const;
+  std::string ExecuteDebug(const Request& request) const;
   std::string StatusResult();
+
+  // Delivers a successful response: attaches the timing field when the
+  // request opted in, then applies the slow-query threshold to the full
+  // timeline (including the write itself).
+  void Respond(const Request& request, const Json& id, const std::string& result,
+               bool cached, obs::RequestTrace* trace,
+               const std::function<void(std::string)>& done) const;
 
   AsId ResolveAsn(Asn asn, const char* field) const;
   Bitset ResolveAsnList(const std::vector<Asn>& asns) const;
 
   const Internet& internet_;
   DispatcherOptions options_;
+  // Resolved slow-query threshold (options / env); <= 0 = disabled.
+  std::int64_t slow_query_ms_ = 0;
   ResultCache cache_;
   ThreadPool pool_;
   std::vector<double> users_;  // per-AS populations for leak weighting

@@ -167,6 +167,8 @@ const char* ToString(QueryKind kind) {
     case QueryKind::kStatus: return "status";
     case QueryKind::kTop: return "top";
     case QueryKind::kLeakDist: return "leakdist";
+    case QueryKind::kMetrics: return "metrics";
+    case QueryKind::kDebug: return "debug";
   }
   return "status";
 }
@@ -216,6 +218,10 @@ Request RequestFromJson(const Json& doc) {
     request.kind = QueryKind::kTop;
   } else if (op == "leakdist") {
     request.kind = QueryKind::kLeakDist;
+  } else if (op == "metrics") {
+    request.kind = QueryKind::kMetrics;
+  } else if (op == "debug") {
+    request.kind = QueryKind::kDebug;
   } else {
     throw ProtocolError(ErrorCode::kUnknownOp, "unknown op '" + op + "'");
   }
@@ -229,8 +235,16 @@ Request RequestFromJson(const Json& doc) {
       request.id = value;
       continue;
     }
-    if (key == "deadline_ms" && request.kind != QueryKind::kStatus &&
-        request.kind != QueryKind::kTop && request.kind != QueryKind::kLeakDist) {
+    if (key == "timing") {
+      if (value.type() != Json::Type::kBool) {
+        throw ProtocolError(ErrorCode::kBadRequest, "'timing' must be a boolean");
+      }
+      request.timing = value.AsBool();
+      continue;
+    }
+    if (key == "deadline_ms" &&
+        (request.kind == QueryKind::kReach || request.kind == QueryKind::kReliance ||
+         request.kind == QueryKind::kLeak)) {
       std::uint64_t ms;
       try {
         ms = value.AsU64();
@@ -337,6 +351,39 @@ Request RequestFromJson(const Json& doc) {
           handled = true;
         }
         break;
+      case QueryKind::kMetrics:
+        if (key == "format") {
+          const std::string* text = nullptr;
+          try {
+            text = &value.AsString();
+          } catch (const Error&) {
+          }
+          if (text != nullptr && *text == "json") {
+            request.prometheus = false;
+          } else if (text != nullptr && *text == "prometheus") {
+            request.prometheus = true;
+          } else {
+            throw ProtocolError(ErrorCode::kBadRequest,
+                                "'format' must be 'json' or 'prometheus'");
+          }
+          handled = true;
+        }
+        break;
+      case QueryKind::kDebug:
+        if (key == "n") {
+          std::uint64_t n;
+          try {
+            n = value.AsU64();
+          } catch (const Error&) {
+            throw ProtocolError(ErrorCode::kBadRequest, "'n' must be a positive integer");
+          }
+          if (n == 0 || n > 100'000) {
+            throw ProtocolError(ErrorCode::kBadRequest, "'n' must be in [1, 100000]");
+          }
+          request.debug_n = static_cast<std::size_t>(n);
+          handled = true;
+        }
+        break;
       case QueryKind::kStatus:
         break;
     }
@@ -369,6 +416,8 @@ Request RequestFromJson(const Json& doc) {
       break;
     case QueryKind::kStatus:
     case QueryKind::kTop:
+    case QueryKind::kMetrics:
+    case QueryKind::kDebug:
       break;
   }
   return request;
@@ -380,6 +429,8 @@ std::string CacheKey(const Request& request) {
     case QueryKind::kStatus:
     case QueryKind::kTop:
     case QueryKind::kLeakDist:
+    case QueryKind::kMetrics:
+    case QueryKind::kDebug:
       return key;  // answered inline, never cached
     case QueryKind::kReach:
       key = "reach|o=";
@@ -417,14 +468,25 @@ std::string CacheKey(const Request& request) {
 }
 
 std::string OkResponse(const Json& id, const std::string& result_json, bool cached) {
+  return OkResponse(id, result_json, cached, nullptr);
+}
+
+std::string OkResponse(const Json& id, const std::string& result_json, bool cached,
+                       const std::string* timing_json) {
   // Hand-assembled so the cached `result` bytes embed verbatim; key order
-  // matches Json::Dump's sorted-key output for consistency.
+  // matches Json::Dump's sorted-key output for consistency ("timing" sorts
+  // after "result", so the opt-in field appends without reordering — and
+  // without it the bytes are identical to the pre-timing encoder).
   std::string out = "{\"cached\":";
   out += cached ? "true" : "false";
   out += ",\"id\":";
   out += id.Dump();
   out += ",\"ok\":true,\"result\":";
   out += result_json;
+  if (timing_json != nullptr) {
+    out += ",\"timing\":";
+    out += *timing_json;
+  }
   out += '}';
   return out;
 }

@@ -31,15 +31,28 @@
 //    "q":[<quantile in [0,1]>...],
 //    "id":<any>}
 //   {"op":"status","id":<any>}               uptime, cache + obs snapshot
+//   {"op":"metrics","id":<any>,              full metrics registry snapshot
+//    "format":"json"|"prometheus"}           (inline; "prometheus" wraps the
+//                                            text exposition in a string)
+//   {"op":"debug","id":<any>,"n":<max>}      newest flight-recorder events
+//                                            (obs/recorder.h; inline)
+//
+// Every op additionally accepts `"timing":true` — an opt-in request for
+// the server-side phase timeline. It never affects the result (or the
+// cache key); the response merely gains a `timing` field.
 //
 // Responses:
 //   {"cached":<bool>,"id":<echo>,"ok":true,"result":{...}}
+//   {"cached":...,"id":...,"ok":true,"result":{...},"timing":{"phases":
+//    [{"ms":<n>,"name":"parse"},...],"server_ms":<n>}}   (timing requested)
 //   {"error":{"code":"<code>","message":"..."},"id":<echo>,"ok":false}
 //
 // The `result` object of a successful response is embedded verbatim from
 // the computation (or the result cache), so a cached reply is byte-for-byte
-// identical to the cold one. Error codes: bad_request, unknown_op,
-// unknown_asn, overloaded, deadline_exceeded, internal.
+// identical to the cold one — and a request without `timing` produces a
+// response byte-identical to one from a server built before tracing
+// existed. Error codes: bad_request, unknown_op, unknown_asn, overloaded,
+// deadline_exceeded, internal.
 #ifndef FLATNET_SERVE_PROTOCOL_H_
 #define FLATNET_SERVE_PROTOCOL_H_
 
@@ -80,7 +93,18 @@ class ProtocolError : public Error {
   ErrorCode code_;
 };
 
-enum class QueryKind : std::uint8_t { kReach, kReliance, kLeak, kStatus, kTop, kLeakDist };
+enum class QueryKind : std::uint8_t {
+  kReach,
+  kReliance,
+  kLeak,
+  kStatus,
+  kTop,
+  kLeakDist,
+  kMetrics,
+  kDebug,
+};
+
+inline constexpr std::size_t kNumQueryKinds = 8;
 
 const char* ToString(QueryKind kind);
 
@@ -101,6 +125,13 @@ struct Request {
   QueryKind kind = QueryKind::kStatus;
   Json id;                       // echoed verbatim; null when absent
   std::int64_t deadline_ms = 0;  // 0 = use the server default
+  // Opt-in phase timeline in the response (any op); never part of the
+  // cache key — timing describes this request, not the result.
+  bool timing = false;
+  // metrics: render the Prometheus text exposition instead of JSON.
+  bool prometheus = false;
+  // debug: newest flight-recorder events to return.
+  std::size_t debug_n = 256;
 
   // reach / reliance
   Asn origin = 0;
@@ -134,13 +165,18 @@ Request RequestFromJson(const Json& doc);
 
 // Canonical result-cache key: everything that affects the result — kind,
 // origin(s), canonicalized option sets — and nothing that does not (id,
-// deadline). Empty for status, top, and leakdist, which are answered
-// inline and never cached.
+// deadline, timing). Empty for status, top, leakdist, metrics, and debug,
+// which are answered inline and never cached.
 std::string CacheKey(const Request& request);
 
 // Response encoders. `result_json` is a compact JSON object embedded
-// verbatim so cached and cold replies serialize identically.
+// verbatim so cached and cold replies serialize identically. The non-null
+// `timing_json` overload appends a `timing` field after `result` (keys
+// stay sorted); responses without timing are byte-identical to the
+// two-argument form.
 std::string OkResponse(const Json& id, const std::string& result_json, bool cached);
+std::string OkResponse(const Json& id, const std::string& result_json, bool cached,
+                       const std::string* timing_json);
 std::string ErrorResponse(const Json& id, ErrorCode code, const std::string& message);
 
 }  // namespace flatnet::serve

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -135,6 +136,10 @@ void Server::ReadLoop(Connection* connection) {
     ssize_t n = ::recv(connection->fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return;  // peer closed, error, or shutdown(SHUT_RD)
+    // One receive timestamp covers every line in the chunk: the timeline's
+    // `accept` phase then measures socket-to-dispatcher latency, including
+    // time spent behind earlier lines of a pipelined batch.
+    auto received_at = std::chrono::steady_clock::now();
     buffer.append(chunk, static_cast<std::size_t>(n));
     std::size_t start = 0;
     for (;;) {
@@ -144,10 +149,10 @@ void Server::ReadLoop(Connection* connection) {
       start = newline + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      dispatcher_.Handle(line,
-                         [this, connection](std::string response) {
-                           WriteLine(connection, response);
-                         });
+      dispatcher_.Handle(
+          line,
+          [this, connection](std::string response) { WriteLine(connection, response); },
+          received_at);
     }
     buffer.erase(0, start);
     if (buffer.size() > options_.max_line_bytes) {

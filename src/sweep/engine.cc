@@ -1,5 +1,6 @@
 #include "sweep/engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -8,6 +9,7 @@
 
 #include "bgp/propagation.h"
 #include "bgp/reachability.h"
+#include "obs/campaign.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -194,6 +196,16 @@ SweepTable RunSweep(const Internet& internet, const SweepOptions& options,
   std::mutex journal_mu;
   std::string failure;  // first worker error, guarded by journal_mu
 
+  obs::CampaignMonitor::Options monitor_options;
+  monitor_options.component = "sweep";
+  monitor_options.unit = "origins";
+  monitor_options.total_chunks = num_chunks;
+  monitor_options.resumed_chunks = chunks_resumed;
+  monitor_options.workers = options.threads > 0
+                                ? options.threads
+                                : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  obs::CampaignMonitor monitor(monitor_options);
+
   auto worker_loop = [&] {
     Worker worker(internet, options.columns);
     std::vector<std::uint32_t> payload;
@@ -208,6 +220,7 @@ SweepTable RunSweep(const Internet& internet, const SweepOptions& options,
       if (done[chunk]) continue;
 
       obs::TraceSpan chunk_span("sweep.chunk");
+      Stopwatch chunk_watch;
       std::size_t begin = chunk * options.chunk_size;
       std::size_t chunk_len = std::min<std::size_t>(options.chunk_size, n - begin);
       for (std::size_t i = 0; i < chunk_len; ++i) {
@@ -266,6 +279,7 @@ SweepTable RunSweep(const Internet& internet, const SweepOptions& options,
       origins_computed.fetch_add(chunk_len, std::memory_order_relaxed);
       Counters().chunks_completed.Increment();
       Counters().origins_computed.Increment(chunk_len);
+      monitor.ChunkDone(chunk, chunk_watch.ElapsedSeconds() * 1000.0, chunk_len);
       if (options.throttle_chunk_ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(options.throttle_chunk_ms));
       }

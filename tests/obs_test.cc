@@ -1,13 +1,21 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "asgraph/as_graph.h"
 #include "bgp/reachability.h"
+#include "obs/campaign.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/reqtrace.h"
 #include "obs/trace.h"
 #include "util/error.h"
 #include "util/json.h"
@@ -190,6 +198,290 @@ TEST(Metrics, ObservabilitySnapshotContainsCoreNames) {
   EXPECT_TRUE(snapshot.At("gauges").Contains("thread_pool.queue_depth"));
   EXPECT_TRUE(snapshot.At("gauges").Contains("thread_pool.threads"));
   EXPECT_TRUE(snapshot.At("spans").Contains("bgp.propagation.customer_phase"));
+}
+
+TEST(Metrics, HistogramSnapshotConsistentUnderConcurrentObserve) {
+  // The consistency contract: Snapshot() may only report consistent=true
+  // when the buckets reconcile with the count, even while writers hammer
+  // Observe. Raw accessors are allowed to tear; Snapshot is not.
+  Histogram& h = GetHistogram("test.race.hist", {1.0, 10.0, 100.0});
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 50000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) h.Observe(static_cast<double>(i % 200));
+    });
+  }
+  std::uint64_t before = h.count();
+  while (h.count() < kWriters * kPerWriter) {
+    HistogramSnapshot snap = h.Snapshot();
+    if (snap.consistent) {
+      std::uint64_t total = 0;
+      for (std::uint64_t b : snap.buckets) total += b;
+      ASSERT_EQ(total, snap.count);
+    }
+    // count() alone is monotonic regardless of consistency.
+    ASSERT_GE(snap.count, before);
+    before = snap.count;
+  }
+  for (auto& w : writers) w.join();
+  // Quiescent: the snapshot must reconcile exactly.
+  HistogramSnapshot final_snap = h.Snapshot();
+  ASSERT_TRUE(final_snap.consistent);
+  std::uint64_t total = 0;
+  for (std::uint64_t b : final_snap.buckets) total += b;
+  EXPECT_EQ(total, kWriters * kPerWriter);
+  EXPECT_EQ(final_snap.count, kWriters * kPerWriter);
+}
+
+TEST(Metrics, SnapshotCountersMonotonicAcrossConsecutiveReads) {
+  Counter& counter = GetCounter("test.monotonic.counter");
+  Json first = Json::Parse(ObservabilitySnapshot().Dump());
+  counter.Increment(2);
+  Json second = Json::Parse(ObservabilitySnapshot().Dump());
+  const Json& a = first.At("counters");
+  const Json& b = second.At("counters");
+  EXPECT_EQ(b.At("test.monotonic.counter").AsU64(),
+            a.At("test.monotonic.counter").AsU64() + 2);
+  // Every counter present in the first snapshot is present in the second
+  // with a value no smaller — the scrape-to-scrape contract collectors
+  // compute rates from.
+  // (Object iteration order is sorted, so mechanical comparison is stable.)
+  for (const auto& name : {"cache.hit", "cache.miss", "serve.requests",
+                           "serve.reach.requests", "serve.slow_queries"}) {
+    ASSERT_TRUE(a.Contains(name)) << name;
+    EXPECT_GE(b.At(name).AsU64(), a.At(name).AsU64()) << name;
+  }
+}
+
+TEST(Metrics, WriteMetricsFileJsonAndPrometheus) {
+  GetCounter("test.flush.counter").Increment(7);
+  auto tmp = std::filesystem::temp_directory_path();
+  std::string json_path = (tmp / "flatnet_metrics_test.json").string();
+  std::string prom_path = (tmp / "flatnet_metrics_test.prom").string();
+  ASSERT_TRUE(WriteMetricsFile(json_path));
+  ASSERT_TRUE(WriteMetricsFile(prom_path));
+
+  std::ifstream json_in(json_path);
+  std::string json_text((std::istreambuf_iterator<char>(json_in)),
+                        std::istreambuf_iterator<char>());
+  Json parsed = Json::Parse(json_text);
+  EXPECT_GE(parsed.At("counters").At("test.flush.counter").AsU64(), 7u);
+
+  std::ifstream prom_in(prom_path);
+  std::string prom_text((std::istreambuf_iterator<char>(prom_in)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_NE(prom_text.find("flatnet_test_flush_counter"), std::string::npos);
+  EXPECT_NE(prom_text.find("# TYPE"), std::string::npos);
+  std::filesystem::remove(json_path);
+  std::filesystem::remove(prom_path);
+}
+
+TEST(Metrics, FlusherRepublishesOnCadence) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "flatnet_flusher_test.json").string();
+  {
+    MetricsFlusher flusher(path, 0.02);
+    ASSERT_TRUE(flusher.active());
+    for (int i = 0; i < 200 && flusher.flushes() < 2; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GE(flusher.flushes(), 2u);
+  }  // destructor stops the thread and flushes final state
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_TRUE(Json::Parse(text).Contains("counters"));
+  std::filesystem::remove(path);
+
+  // Empty path or non-positive interval: inert, never writes.
+  MetricsFlusher inert("", 1.0);
+  EXPECT_FALSE(inert.active());
+  MetricsFlusher zero(path, 0.0);
+  EXPECT_FALSE(zero.active());
+}
+
+TEST(Recorder, RingWraparoundKeepsNewestEvents) {
+  ResetRecorderForTest();
+  EnableRecorder(true);
+  constexpr std::uint64_t kTotal = kRecorderRingCapacity + 100;
+  for (std::uint64_t i = 0; i < kTotal; ++i) RecordEvent("test.recorder.wrap", i);
+  RecorderStats stats = GetRecorderStats();
+  EXPECT_TRUE(stats.enabled);
+  EXPECT_GE(stats.recorded, kTotal);
+  EXPECT_GE(stats.overwritten, 100u);
+
+  auto events = CollectRecorderEvents(kRecorderRingCapacity);
+  ASSERT_FALSE(events.empty());
+  EXPECT_LE(events.size(), kRecorderRingCapacity);
+  std::uint64_t min_arg = ~0ull, max_arg = 0;
+  for (const RecorderEvent& event : events) {
+    ASSERT_EQ(std::string_view(event.name), "test.recorder.wrap");
+    min_arg = std::min(min_arg, event.arg);
+    max_arg = std::max(max_arg, event.arg);
+  }
+  // The oldest 100 events were overwritten; the newest survived.
+  EXPECT_EQ(max_arg, kTotal - 1);
+  EXPECT_GE(min_arg, 100u);
+  // Merged snapshot is time-ordered.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].t_us, events[i].t_us);
+  }
+  EnableRecorder(false);
+  ResetRecorderForTest();
+}
+
+TEST(Recorder, RecordsFromThreadPoolWorkers) {
+  ResetRecorderForTest();
+  EnableRecorder(true);
+  {
+    ThreadPool pool(4);
+    pool.ParallelFor(0, 256, [](std::size_t i) {
+      RecordEvent("test.recorder.worker", i);
+    });
+  }
+  RecorderStats stats = GetRecorderStats();
+  EXPECT_GE(stats.threads, 1u);
+  auto events = CollectRecorderEvents(4096);
+  std::size_t worker_events = 0;
+  for (const RecorderEvent& event : events) {
+    if (std::string_view(event.name) == "test.recorder.worker") ++worker_events;
+  }
+  EXPECT_EQ(worker_events, 256u);
+  EnableRecorder(false);
+  ResetRecorderForTest();
+}
+
+TEST(Recorder, JsonAndDumpFormatsAgree) {
+  ResetRecorderForTest();
+  EnableRecorder(true);
+  for (std::uint64_t i = 0; i < 10; ++i) RecordEvent("test.recorder.json", i);
+
+  Json doc = Json::Parse(RecorderJson(8).Dump());
+  EXPECT_TRUE(doc.At("enabled").AsBool());
+  ASSERT_EQ(doc.At("events").size(), 8u);
+  EXPECT_GE(doc.At("dropped").AsU64(), 2u);  // 10 recorded, 8 returned
+  EXPECT_GE(doc.At("threads").AsU64(), 1u);
+  const Json& event = doc.At("events")[0];
+  EXPECT_EQ(event.At("name").AsString(), "test.recorder.json");
+  EXPECT_TRUE(event.Contains("t_us"));
+  EXPECT_TRUE(event.Contains("seq"));
+  EXPECT_TRUE(event.Contains("thread"));
+  EXPECT_TRUE(event.Contains("arg"));
+
+  // The on-demand dump uses the crash handler's renderer and format.
+  std::string path =
+      (std::filesystem::temp_directory_path() / "flatnet_recorder_test.dump").string();
+  ASSERT_TRUE(WriteRecorderDump(path));
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+  EXPECT_EQ(line, "flatnet-flight-recorder v1");
+  std::size_t event_lines = 0;
+  std::string last;
+  while (std::getline(in, line)) {
+    if (line.rfind("event t_us=", 0) == 0) {
+      ++event_lines;
+      EXPECT_NE(line.find(" thread="), std::string::npos);
+      EXPECT_NE(line.find(" seq="), std::string::npos);
+      EXPECT_NE(line.find(" name="), std::string::npos);
+    }
+    last = line;
+  }
+  EXPECT_GE(event_lines, 10u);
+  EXPECT_EQ(last, "end events=" + std::to_string(event_lines));
+  std::filesystem::remove(path);
+  EnableRecorder(false);
+  ResetRecorderForTest();
+}
+
+TEST(Recorder, DisabledRecordsNothing) {
+  ResetRecorderForTest();
+  ASSERT_FALSE(RecorderEnabled());
+  RecordEvent("test.recorder.disabled", 1);
+  EXPECT_EQ(GetRecorderStats().recorded, 0u);
+  EXPECT_TRUE(CollectRecorderEvents(16).empty());
+  Json doc = Json::Parse(RecorderJson(16).Dump());
+  EXPECT_FALSE(doc.At("enabled").AsBool());
+  EXPECT_EQ(doc.At("events").size(), 0u);
+}
+
+TEST(ReqTrace, PhasesPartitionTheTimelineAndAccumulate) {
+  using Clock = RequestTrace::Clock;
+  Clock::time_point start = Clock::now();
+  RequestTrace trace(start);
+  trace.MarkAt("accept", start + std::chrono::microseconds(100));
+  trace.MarkAt("parse", start + std::chrono::microseconds(300));
+  // Consecutive same-name marks fold into one phase entry.
+  trace.MarkAt("work", start + std::chrono::microseconds(800));
+  trace.MarkAt("work", start + std::chrono::microseconds(1300));
+  trace.MarkAt("serialize", start + std::chrono::microseconds(1400));
+
+  const auto& phases = trace.phases();
+  ASSERT_EQ(phases.size(), 4u);
+  EXPECT_EQ(phases[0].name, "accept");
+  EXPECT_DOUBLE_EQ(phases[0].ms, 0.1);
+  EXPECT_EQ(phases[1].name, "parse");
+  EXPECT_DOUBLE_EQ(phases[1].ms, 0.2);
+  EXPECT_EQ(phases[2].name, "work");
+  EXPECT_DOUBLE_EQ(phases[2].ms, 1.0);  // 0.5 + 0.5 accumulated
+  EXPECT_EQ(phases[3].name, "serialize");
+  EXPECT_DOUBLE_EQ(trace.MarkedMs(), 1.4);
+
+  Json timing = Json::Parse(trace.TimingJson().Dump());
+  ASSERT_EQ(timing.At("phases").size(), 4u);
+  EXPECT_EQ(timing.At("phases")[2].At("name").AsString(), "work");
+  EXPECT_DOUBLE_EQ(timing.At("server_ms").AsNumber(), 1.4);
+
+  std::string formatted = trace.Format();
+  EXPECT_NE(formatted.find("accept="), std::string::npos);
+  EXPECT_NE(formatted.find("work="), std::string::npos);
+}
+
+TEST(Campaign, MonitorTracksProgressEtaAndStragglers) {
+  CampaignMonitor::Options options;
+  options.component = "test.campaign";
+  options.unit = "items";
+  options.total_chunks = 20;
+  options.workers = 2;
+  options.heartbeat_ms = 0;  // keep the log quiet; metrics stay on
+  CampaignMonitor monitor(options);
+  Counter& stragglers = GetCounter("test.campaign.stragglers");
+  std::uint64_t stragglers_before = stragglers.value();
+
+  // Ten uniform 10 ms chunks: no stragglers, a clean mean and ETA.
+  for (std::size_t i = 0; i < 10; ++i) monitor.ChunkDone(i, 10.0, 5);
+  EXPECT_EQ(monitor.chunks_done(), 10u);
+  EXPECT_DOUBLE_EQ(monitor.MeanChunkMs(), 10.0);
+  // 10 chunks left at ~10 ms across 2 workers: 0.05 s.
+  EXPECT_NEAR(monitor.EtaSeconds(), 0.05, 0.02);
+  EXPECT_EQ(monitor.stragglers(), 0u);
+
+  // A 500 ms chunk against a 10 ms mean (factor 50 > 4) is a straggler.
+  monitor.ChunkDone(10, 500.0, 5);
+  EXPECT_EQ(monitor.stragglers(), 1u);
+  EXPECT_EQ(stragglers.value(), stragglers_before + 1);
+
+  // Finish the campaign: ETA collapses to zero.
+  for (std::size_t i = 11; i < 20; ++i) monitor.ChunkDone(i, 10.0, 5);
+  EXPECT_DOUBLE_EQ(monitor.EtaSeconds(), 0.0);
+  EXPECT_EQ(GetGauge("test.campaign.eta_s").value(), 0);
+  // The chunk-latency histogram saw every chunk.
+  EXPECT_EQ(GetHistogram("test.campaign.chunk_ms", {1.0}).count(), 20u);
+}
+
+TEST(Campaign, ResumedChunksCountTowardCompletion) {
+  CampaignMonitor::Options options;
+  options.component = "test.campaign.resume";
+  options.total_chunks = 10;
+  options.resumed_chunks = 8;
+  options.heartbeat_ms = 0;
+  CampaignMonitor monitor(options);
+  monitor.ChunkDone(8, 100.0, 1);
+  // One chunk left at ~100 ms, one worker: ~0.1 s.
+  EXPECT_NEAR(monitor.EtaSeconds(), 0.1, 0.05);
+  monitor.ChunkDone(9, 100.0, 1);
+  EXPECT_DOUBLE_EQ(monitor.EtaSeconds(), 0.0);
 }
 
 TEST(Trace, SpanNestingTracksSelfTime) {

@@ -19,6 +19,8 @@
 #include "core/reachability_analysis.h"
 #include "leaksim/engine.h"
 #include "leaksim/store.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "serve/cache.h"
 #include "serve/dispatcher.h"
 #include "serve/protocol.h"
@@ -140,6 +142,54 @@ TEST(ServeProtocol, ResponseEnvelopeEmbedsResultVerbatim) {
   EXPECT_TRUE(error.Get("id").is_null());
 }
 
+TEST(ServeProtocol, ParsesMetricsDebugAndTimingKeys) {
+  Request metrics = ParseRequest(R"({"op":"metrics","id":1})");
+  EXPECT_EQ(metrics.kind, QueryKind::kMetrics);
+  EXPECT_FALSE(metrics.prometheus);
+  EXPECT_TRUE(ParseRequest(R"({"op":"metrics","format":"prometheus"})").prometheus);
+  EXPECT_FALSE(ParseRequest(R"({"op":"metrics","format":"json"})").prometheus);
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"metrics","format":"xml"})"); }),
+            ErrorCode::kBadRequest);
+
+  Request debug = ParseRequest(R"({"op":"debug","n":32})");
+  EXPECT_EQ(debug.kind, QueryKind::kDebug);
+  EXPECT_EQ(debug.debug_n, 32u);
+  EXPECT_EQ(ParseRequest(R"({"op":"debug"})").debug_n, 256u);  // default
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"debug","n":0})"); }), ErrorCode::kBadRequest);
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"debug","n":200000})"); }),
+            ErrorCode::kBadRequest);
+
+  // `timing` is accepted on every op, must be boolean, and defaults off.
+  EXPECT_TRUE(ParseRequest(R"({"op":"status","timing":true})").timing);
+  EXPECT_TRUE(ParseRequest(R"({"op":"reach","origin":1,"timing":true})").timing);
+  EXPECT_FALSE(ParseRequest(R"({"op":"reach","origin":1})").timing);
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"reach","origin":1,"timing":1})"); }),
+            ErrorCode::kBadRequest);
+
+  // Introspection ops answer inline: never cached, no deadline.
+  EXPECT_TRUE(CacheKey(ParseRequest(R"({"op":"metrics"})")).empty());
+  EXPECT_TRUE(CacheKey(ParseRequest(R"({"op":"debug"})")).empty());
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"metrics","deadline_ms":5})"); }),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"debug","deadline_ms":5})"); }),
+            ErrorCode::kBadRequest);
+
+  // Asking for timing never forks the cache: same key with and without.
+  EXPECT_EQ(CacheKey(ParseRequest(R"({"op":"reach","origin":7,"timing":true})")),
+            CacheKey(ParseRequest(R"({"op":"reach","origin":7})")));
+}
+
+TEST(ServeProtocol, TimingFieldAppendsAfterResultKeepingSortedKeys) {
+  std::string timing = R"({"phases":[],"server_ms":0.5})";
+  std::string timed = serve::OkResponse(Json(7), "{\"reachable\":12}", false, &timing);
+  EXPECT_EQ(timed,
+            R"({"cached":false,"id":7,"ok":true,"result":{"reachable":12},)"
+            R"("timing":{"phases":[],"server_ms":0.5}})");
+  // A null timing pointer produces the exact untraced envelope.
+  EXPECT_EQ(serve::OkResponse(Json(7), "{\"reachable\":12}", false, nullptr),
+            serve::OkResponse(Json(7), "{\"reachable\":12}", false));
+}
+
 TEST(ServeCache, EvictsColdEntriesUnderByteBudget) {
   // One shard, budget for two ~111-byte entries (key + 10B value + 96
   // overhead); the third insert must evict the coldest.
@@ -249,6 +299,159 @@ TEST_F(ServeDispatchTest, ReachColdThenCachedIsByteIdentical) {
   std::size_t local = ReachableCount(internet().graph(), origin, &excluded);
   EXPECT_EQ(cold_doc.Get("result").Get("reachable").AsU64(), local);
   EXPECT_EQ(cold_doc.Get("result").Get("denominator").AsU64(), internet().num_ases() - 1);
+}
+
+TEST_F(ServeDispatchTest, TimingIsOptInAndWarmBytesAreStable) {
+  std::string line = StrFormat(
+      R"({"op":"reach","origin":%u,"mode":"hierarchy_free","id":8})", AsnAt(29));
+  std::string cold = dispatcher().HandleSync(line);
+  EXPECT_EQ(cold.find("\"timing\""), std::string::npos);
+  std::string warm = dispatcher().HandleSync(line);
+  ASSERT_TRUE(Json::Parse(warm).Get("cached").AsBool());
+  EXPECT_EQ(warm.find("\"timing\""), std::string::npos);
+
+  std::string timed_line = line;
+  timed_line.insert(timed_line.size() - 1, R"(,"timing":true)");
+  std::string timed = dispatcher().HandleSync(timed_line);
+  Json timed_doc = Json::Parse(timed);
+  ASSERT_TRUE(timed_doc.Get("ok").AsBool()) << timed;
+  EXPECT_TRUE(timed_doc.Get("cached").AsBool());
+
+  // The timed response is the warm response with `"timing"` appended before
+  // the closing brace; everything before it is byte-identical.
+  std::size_t at = timed.find(",\"timing\":");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_EQ(timed.substr(0, at) + "}", warm);
+
+  // server_ms is exactly the sum of the reported phases.
+  const Json& timing = timed_doc.Get("timing");
+  const Json& phases = timing.Get("phases");
+  ASSERT_GT(phases.size(), 0u);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    EXPECT_GE(phases[i].Get("ms").AsNumber(), 0.0);
+    sum += phases[i].Get("ms").AsNumber();
+  }
+  EXPECT_NEAR(sum, timing.Get("server_ms").AsNumber(), 1e-6);
+}
+
+TEST_F(ServeDispatchTest, ColdTimedReachNamesThePipelinePhases) {
+  std::string line =
+      StrFormat(R"({"op":"reach","origin":%u,"timing":true,"id":9})", AsnAt(31));
+  Json doc = Json::Parse(dispatcher().HandleSync(line));
+  ASSERT_TRUE(doc.Get("ok").AsBool()) << doc.Dump();
+  EXPECT_FALSE(doc.Get("cached").AsBool());
+  const Json& phases = doc.Get("timing").Get("phases");
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    names.push_back(phases[i].Get("name").AsString());
+  }
+  // The dispatcher pipeline: accept → parse → cache_probe → queue (pool
+  // handoff, proving the trace followed the request onto a worker thread)
+  // → setup → propagation phases from inside the engine → serialize.
+  for (const char* expected : {"accept", "parse", "cache_probe", "queue", "setup",
+                               "serialize"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), std::string(expected)), names.end())
+        << expected << " missing from " << doc.Get("timing").Dump();
+  }
+  EXPECT_TRUE(std::any_of(names.begin(), names.end(), [](const std::string& n) {
+    return n.rfind("propagation.", 0) == 0;
+  })) << doc.Get("timing").Dump();
+}
+
+TEST_F(ServeDispatchTest, MetricsOpServesJsonAndPrometheus) {
+  Json response = Ask(R"({"op":"metrics","id":"m"})");
+  ASSERT_TRUE(response.Get("ok").AsBool());
+  EXPECT_FALSE(response.Get("cached").AsBool());
+  const Json& result = response.Get("result");
+  EXPECT_EQ(result.Get("format").AsString(), "json");
+  const Json& metrics = result.Get("metrics");
+  EXPECT_TRUE(metrics.Get("counters").Contains("serve.requests"));
+  EXPECT_TRUE(metrics.Get("counters").Contains("serve.metrics.requests"));
+  EXPECT_TRUE(metrics.Contains("spans"));
+  EXPECT_TRUE(metrics.Contains("histograms"));
+
+  Json prom = Ask(R"({"op":"metrics","format":"prometheus","id":"p"})");
+  ASSERT_TRUE(prom.Get("ok").AsBool());
+  const Json& prom_result = prom.Get("result");
+  EXPECT_EQ(prom_result.Get("format").AsString(), "prometheus");
+  EXPECT_EQ(prom_result.Get("content_type").AsString(), "text/plain; version=0.0.4");
+  std::string text = prom_result.Get("text").AsString();
+  EXPECT_NE(text.find("flatnet_serve_requests"), std::string::npos);
+  EXPECT_NE(text.find("_bucket{le="), std::string::npos);
+}
+
+TEST_F(ServeDispatchTest, DebugOpReturnsFlightRecorderSnapshot) {
+  obs::ResetRecorderForTest();
+  obs::EnableRecorder(true);
+  for (std::uint64_t i = 0; i < 20; ++i) obs::RecordEvent("serve.test.event", i);
+  Json response = Ask(R"({"op":"debug","n":16,"id":"d"})");
+  obs::EnableRecorder(false);
+  ASSERT_TRUE(response.Get("ok").AsBool());
+  const Json& result = response.Get("result");
+  EXPECT_TRUE(result.Get("enabled").AsBool());
+  ASSERT_EQ(result.Get("events").size(), 16u);
+  std::size_t ours = 0;
+  for (std::size_t i = 0; i < result.Get("events").size(); ++i) {
+    if (result.Get("events")[i].Get("name").AsString() == "serve.test.event") ++ours;
+  }
+  EXPECT_GT(ours, 0u);
+  obs::ResetRecorderForTest();
+}
+
+TEST_F(ServeDispatchTest, StatusReportsPerOpCountersHitRatioAndUptime) {
+  std::string line = StrFormat(R"({"op":"reach","origin":%u,"id":1})", AsnAt(47));
+  Json before = Ask(R"({"op":"status"})").Get("result");
+  dispatcher().HandleSync(line);  // cold: cache miss
+  dispatcher().HandleSync(line);  // warm: cache hit
+  Json after = Ask(R"({"op":"status"})").Get("result");
+
+  const Json& ops = after.Get("ops");
+  for (const char* op : {"reach", "reliance", "leak", "status", "top", "leakdist",
+                         "metrics", "debug"}) {
+    ASSERT_TRUE(ops.Contains(op)) << op;
+    EXPECT_TRUE(ops.Get(op).Contains("requests")) << op;
+    EXPECT_TRUE(ops.Get(op).Contains("errors")) << op;
+  }
+  // Counters are process-global, so compare deltas, not absolutes.
+  EXPECT_GE(ops.Get("reach").Get("requests").AsU64(),
+            before.Get("ops").Get("reach").Get("requests").AsU64() + 2);
+  EXPECT_GE(ops.Get("status").Get("requests").AsU64(), 2u);
+
+  const Json& cache = after.Get("cache");
+  EXPECT_GT(cache.Get("hit_ratio").AsNumber(), 0.0);
+  EXPECT_LE(cache.Get("hit_ratio").AsNumber(), 1.0);
+  EXPECT_GT(after.Get("uptime_s").AsNumber(), 0.0);
+  EXPECT_EQ(after.Get("slow_query_ms").AsNumber(), 0.0);  // fixture is unarmed
+}
+
+TEST_F(ServeDispatchTest, SlowQueryThresholdCountsSlowRequests) {
+  DispatcherOptions options{.threads = 1};
+  options.slow_query_ms = 1;
+  Dispatcher slow(internet(), options);
+  obs::Counter& slow_queries = obs::GetCounter("serve.slow_queries");
+  std::uint64_t before = slow_queries.value();
+  // The traced timeline ends at the `write` phase, marked after the
+  // response is handed off — a slow consumer deterministically pushes the
+  // request past the 1 ms threshold.
+  slow.Handle(R"({"op":"status","id":"s"})", [](std::string response) {
+    EXPECT_EQ(response.find("\"timing\""), std::string::npos);  // opt-in only
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  });
+  EXPECT_EQ(slow_queries.value(), before + 1);
+}
+
+TEST_F(ServeDispatchTest, SlowQueryArmingKeepsResponseBytesIdentical) {
+  DispatcherOptions options{.threads = 2};
+  options.slow_query_ms = 1000000;  // armed but never tripped
+  Dispatcher armed(internet(), options);
+  std::string line = StrFormat(R"({"op":"reach","origin":%u,"id":1})", AsnAt(41));
+  std::string traced = armed.HandleSync(line);
+  std::string untraced = dispatcher().HandleSync(line);
+  // Both cold (separate caches): arming the slow-query log traces
+  // internally but must not change a single byte on the wire.
+  EXPECT_EQ(traced, untraced);
+  EXPECT_EQ(traced.find("\"timing\""), std::string::npos);
 }
 
 TEST_F(ServeDispatchTest, RelianceReturnsSortedTopK) {

@@ -34,6 +34,7 @@
 #include "leaksim/engine.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "util/error.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -194,6 +195,10 @@ int main(int argc, char** argv) {
   if (hierarchy_only) scenario = LeakScenario::kAnnounceHierarchyOnly;
 
   obs::RegisterCoreMetrics();
+  obs::InstallCrashHandlerFromEnv();
+  // Republishes --metrics-out on the FLATNET_METRICS_INTERVAL cadence so a
+  // collector can watch a long campaign live; no-op when either is unset.
+  obs::MetricsFlusher flusher(metrics_out, obs::MetricsFlusher::IntervalFromEnv());
 
   auto finish = [&](int code) {
     if (!metrics_out.empty()) obs::WriteMetricsFile(metrics_out);

@@ -8,18 +8,29 @@
 // `top` queries join the mix (they are answered inline from the store and
 // are never cached).
 //
+// Requests carry `"timing":true` (disable with --no-timing), so every ok
+// response returns the server's phase timeline. The report's `attribution`
+// object splits mean latency into server-side groups — queue wait, cache
+// probe, propagation, serialization, other — plus the client-side residual
+// (RTT + loadgen overhead = measured latency minus server_ms), answering
+// "where did the milliseconds go" without any server-side log digging.
+//
 // --verify K additionally cross-checks K reach queries: each is issued
 // twice (cold, then cached) and the raw `result` bytes must be identical,
-// and the reported reachable count must equal a direct local computation
-// with the independent valley-free BFS engine (bgp/reachability.h) on the
-// same topology — the serve path runs the phase-based RouteComputation, so
-// this exercises the same cross-engine equivalence the differential oracle
+// the response must carry no `timing` field (the queries are sent without
+// one, confirming tracing-off responses are byte-stable), a third timed
+// issue of the same query must embed identical `result` bytes, and the
+// reported reachable count must equal a direct local computation with the
+// independent valley-free BFS engine (bgp/reachability.h) on the same
+// topology — the serve path runs the phase-based RouteComputation, so this
+// exercises the same cross-engine equivalence the differential oracle
 // (src/check) guarantees.
 //
 // Usage:
 //   flatnet_loadgen --topology <stem> (--port P | --port-file <file>)
 //                   [--host ADDR] [--requests N] [--connections C]
-//                   [--seed S] [--verify K] [--log-level <level>]
+//                   [--seed S] [--verify K] [--no-timing]
+//                   [--log-level <level>]
 //
 // Exits nonzero on any protocol error, transport failure, or verification
 // mismatch.
@@ -56,7 +67,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: flatnet_loadgen --topology <stem> (--port P | --port-file <file>)\n"
                "                       [--host ADDR] [--requests N] [--connections C]\n"
-               "                       [--seed S] [--verify K] [--log-level <level>]\n");
+               "                       [--seed S] [--verify K] [--no-timing]\n"
+               "                       [--log-level <level>]\n");
   return 2;
 }
 
@@ -114,12 +126,69 @@ class Client {
   std::string buffer_;
 };
 
+// Server-side latency attribution, accumulated from `timing` fields.
+// Phases are folded into coarse groups so the report stays readable:
+// queue wait, cache probe, propagation (all propagation.* phases),
+// serialization (serialize + write), and other (accept/parse/setup/...).
+struct Attribution {
+  double queue_ms = 0.0;
+  double cache_ms = 0.0;
+  double propagation_ms = 0.0;
+  double serialize_ms = 0.0;
+  double other_ms = 0.0;
+  double server_ms = 0.0;    // sum of every reported phase
+  double residual_ms = 0.0;  // client latency - server_ms (RTT + overhead)
+  std::uint64_t timed = 0;   // responses that carried a timing field
+
+  void Fold(const Json& timing, double client_ms) {
+    const Json& phases = timing.Get("phases");
+    if (phases.type() != Json::Type::kArray) return;
+    double total = 0.0;
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      const Json& entry = phases[i];
+      if (entry.Get("name").type() != Json::Type::kString ||
+          entry.Get("ms").type() != Json::Type::kNumber) {
+        continue;
+      }
+      const std::string& name = entry.Get("name").AsString();
+      double ms = entry.Get("ms").AsNumber();
+      total += ms;
+      if (name == "queue") {
+        queue_ms += ms;
+      } else if (name == "cache_probe") {
+        cache_ms += ms;
+      } else if (name.rfind("propagation.", 0) == 0) {
+        propagation_ms += ms;
+      } else if (name == "serialize" || name == "write") {
+        serialize_ms += ms;
+      } else {
+        other_ms += ms;
+      }
+    }
+    server_ms += total;
+    residual_ms += client_ms - total;
+    ++timed;
+  }
+
+  void Merge(const Attribution& other) {
+    queue_ms += other.queue_ms;
+    cache_ms += other.cache_ms;
+    propagation_ms += other.propagation_ms;
+    serialize_ms += other.serialize_ms;
+    other_ms += other.other_ms;
+    server_ms += other.server_ms;
+    residual_ms += other.residual_ms;
+    timed += other.timed;
+  }
+};
+
 struct WorkerTally {
   std::vector<double> latencies_ms;
   std::uint64_t ok = 0;
   std::uint64_t cached = 0;
   std::uint64_t cacheable = 0;
   std::uint64_t errors = 0;
+  Attribution attribution;
   std::vector<std::string> error_samples;
 };
 
@@ -133,44 +202,53 @@ const char* kMetrics[] = {"provider_free", "tier1_free", "hierarchy_free"};
 // gets hits.
 std::string BuildRequest(Rng& rng, const std::vector<Asn>& asns,
                          const std::vector<Asn>& hot, std::uint64_t id, bool top_enabled,
-                         bool* cacheable) {
+                         bool timing, bool* cacheable) {
   auto pick = [&](const std::vector<Asn>& pool) {
     return pool[rng.UniformU64(pool.size())];
   };
   auto origin = [&] { return rng.Bernoulli(0.7) ? pick(hot) : pick(asns); };
+  const char* timing_key = timing ? ",\"timing\":true" : "";
   std::uint64_t roll = rng.UniformU64(100);
   *cacheable = true;
   if (roll < (top_enabled ? 45u : 55u)) {
-    return StrFormat("{\"op\":\"reach\",\"origin\":%u,\"mode\":\"%s\",\"id\":%llu}",
+    return StrFormat("{\"op\":\"reach\",\"origin\":%u,\"mode\":\"%s\",\"id\":%llu%s}",
                      origin(), kModes[rng.UniformU64(4)],
-                     static_cast<unsigned long long>(id));
+                     static_cast<unsigned long long>(id), timing_key);
   }
   if (roll < (top_enabled ? 65u : 75u)) {
-    return StrFormat("{\"op\":\"reliance\",\"origin\":%u,\"k\":10,\"id\":%llu}", origin(),
-                     static_cast<unsigned long long>(id));
+    return StrFormat("{\"op\":\"reliance\",\"origin\":%u,\"k\":10,\"id\":%llu%s}", origin(),
+                     static_cast<unsigned long long>(id), timing_key);
   }
   if (roll < (top_enabled ? 80u : 90u)) {
     Asn victim = origin();
     Asn leaker = origin();
     while (leaker == victim) leaker = pick(asns);
-    return StrFormat("{\"op\":\"leak\",\"victim\":%u,\"leaker\":%u,\"id\":%llu}", victim,
-                     leaker, static_cast<unsigned long long>(id));
+    return StrFormat("{\"op\":\"leak\",\"victim\":%u,\"leaker\":%u,\"id\":%llu%s}", victim,
+                     leaker, static_cast<unsigned long long>(id), timing_key);
   }
   *cacheable = false;
   if (top_enabled && roll < 90) {
-    return StrFormat("{\"op\":\"top\",\"k\":%llu,\"metric\":\"%s\",\"id\":%llu}",
+    return StrFormat("{\"op\":\"top\",\"k\":%llu,\"metric\":\"%s\",\"id\":%llu%s}",
                      static_cast<unsigned long long>(1 + rng.UniformU64(20)),
-                     kMetrics[rng.UniformU64(3)], static_cast<unsigned long long>(id));
+                     kMetrics[rng.UniformU64(3)], static_cast<unsigned long long>(id),
+                     timing_key);
   }
-  return StrFormat("{\"op\":\"status\",\"id\":%llu}", static_cast<unsigned long long>(id));
+  return StrFormat("{\"op\":\"status\",\"id\":%llu%s}", static_cast<unsigned long long>(id),
+                   timing_key);
 }
 
-// The `result` payload is the final field of an ok response; comparing the
-// raw suffix checks byte-identity between cold and cached replies.
+// The raw `result` bytes of an ok response: from the `result` key to the
+// closing brace, or to the `timing` field a timed response appends after
+// it. Comparing these checks byte-identity between cold, cached, and timed
+// replies without reserializing.
 std::string_view RawResultBytes(const std::string& response) {
   std::size_t at = response.find("\"result\":");
   if (at == std::string::npos) return {};
-  return std::string_view(response).substr(at);
+  std::string_view bytes = std::string_view(response).substr(at);
+  std::size_t timing = bytes.rfind(",\"timing\":");
+  if (timing != std::string_view::npos) return bytes.substr(0, timing);
+  if (!bytes.empty() && bytes.back() == '}') bytes.remove_suffix(1);
+  return bytes;
 }
 
 }  // namespace
@@ -184,6 +262,7 @@ int main(int argc, char** argv) {
   std::uint64_t connections = 4;
   std::uint64_t seed = 1;
   std::uint64_t verify = 1;
+  bool timing = true;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -217,6 +296,8 @@ int main(int argc, char** argv) {
       if (!next_u64(&seed)) return Usage();
     } else if (arg == "--verify") {
       if (!next_u64(&verify)) return Usage();
+    } else if (arg == "--no-timing") {
+      timing = false;
     } else if (arg == "--log-level") {
       const char* v = next();
       auto level = v ? obs::ParseLogLevel(v) : std::nullopt;
@@ -282,16 +363,20 @@ int main(int argc, char** argv) {
           std::uint64_t id = next_id.fetch_add(1);
           if (id >= requests) break;
           bool cacheable = false;
-          std::string request = BuildRequest(rng, asns, hot, id, top_enabled, &cacheable);
+          std::string request =
+              BuildRequest(rng, asns, hot, id, top_enabled, timing, &cacheable);
           auto start = std::chrono::steady_clock::now();
           std::string response = client.RoundTrip(request);
-          tally.latencies_ms.push_back(
-              std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                        start)
-                  .count());
+          double client_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+          tally.latencies_ms.push_back(client_ms);
           Json doc = Json::Parse(response);
           if (doc.Get("ok").type() == Json::Type::kBool && doc.Get("ok").AsBool()) {
             ++tally.ok;
+            if (doc.Get("timing").type() == Json::Type::kObject) {
+              tally.attribution.Fold(doc.Get("timing"), client_ms);
+            }
             if (cacheable) {
               ++tally.cacheable;
               if (doc.Get("cached").type() == Json::Type::kBool &&
@@ -320,12 +405,14 @@ int main(int argc, char** argv) {
 
   std::vector<double> latencies;
   std::uint64_t ok = 0, cached = 0, cacheable = 0, errors = 0;
+  Attribution attribution;
   for (const WorkerTally& tally : tallies) {
     latencies.insert(latencies.end(), tally.latencies_ms.begin(), tally.latencies_ms.end());
     ok += tally.ok;
     cached += tally.cached;
     cacheable += tally.cacheable;
     errors += tally.errors;
+    attribution.Merge(tally.attribution);
     for (const std::string& sample : tally.error_samples) {
       std::fprintf(stderr, "error response: %s\n", sample.c_str());
     }
@@ -348,15 +435,25 @@ int main(int argc, char** argv) {
             origin_asn, static_cast<unsigned long long>(i));
         std::string cold = client.RoundTrip(request);
         std::string warm = client.RoundTrip(request);
+        // The same query with timing must return identical result bytes —
+        // tracing never perturbs the payload, only appends to it.
+        std::string timed = client.RoundTrip(
+            request.substr(0, request.size() - 1) + ",\"timing\":true}");
         ++verify_checked;
         Json cold_doc = Json::Parse(cold);
         Json warm_doc = Json::Parse(warm);
+        Json timed_doc = Json::Parse(timed);
         bool ok_pair = cold_doc.Get("ok").type() == Json::Type::kBool &&
                        cold_doc.Get("ok").AsBool() &&
                        warm_doc.Get("ok").type() == Json::Type::kBool &&
                        warm_doc.Get("ok").AsBool();
         bool bytes_equal = RawResultBytes(cold) == RawResultBytes(warm);
         bool warm_from_cache = ok_pair && warm_doc.Get("cached").AsBool();
+        // Untimed responses must not grow a timing field; the timed issue
+        // must carry one and embed the same result bytes.
+        bool timing_clean = !cold_doc.Contains("timing") && !warm_doc.Contains("timing") &&
+                            timed_doc.Get("timing").type() == Json::Type::kObject &&
+                            RawResultBytes(timed) == RawResultBytes(cold);
         bool count_matches = false;
         if (ok_pair) {
           Bitset excluded = internet.HierarchyFreeExclusion(origin);
@@ -364,13 +461,13 @@ int main(int argc, char** argv) {
           count_matches =
               cold_doc.Get("result").Get("reachable").AsU64() == local;
         }
-        if (!(ok_pair && bytes_equal && warm_from_cache && count_matches)) {
+        if (!(ok_pair && bytes_equal && warm_from_cache && timing_clean && count_matches)) {
           ++verify_mismatches;
           std::fprintf(stderr,
                        "verify mismatch for AS%u: ok=%d bytes_equal=%d cached=%d "
-                       "count_matches=%d\n  cold: %s\n  warm: %s\n",
-                       origin_asn, ok_pair, bytes_equal, warm_from_cache, count_matches,
-                       cold.c_str(), warm.c_str());
+                       "timing_clean=%d count_matches=%d\n  cold: %s\n  warm: %s\n",
+                       origin_asn, ok_pair, bytes_equal, warm_from_cache, timing_clean,
+                       count_matches, cold.c_str(), warm.c_str());
         }
       }
     } catch (const Error& e) {
@@ -380,6 +477,21 @@ int main(int argc, char** argv) {
   }
 
   Json report = Json::MakeObject();
+  if (attribution.timed > 0) {
+    // Mean milliseconds per timed request, by server-side phase group,
+    // plus what the server never saw (network + client overhead).
+    double n = static_cast<double>(attribution.timed);
+    Json attr = Json::MakeObject();
+    attr["cache_ms"] = attribution.cache_ms / n;
+    attr["other_ms"] = attribution.other_ms / n;
+    attr["propagation_ms"] = attribution.propagation_ms / n;
+    attr["queue_ms"] = attribution.queue_ms / n;
+    attr["residual_ms"] = attribution.residual_ms / n;
+    attr["serialize_ms"] = attribution.serialize_ms / n;
+    attr["server_ms"] = attribution.server_ms / n;
+    attr["timed"] = attribution.timed;
+    report["attribution"] = std::move(attr);
+  }
   report["cache_hit_rate"] =
       cacheable > 0 ? static_cast<double>(cached) / static_cast<double>(cacheable) : 0.0;
   report["cacheable"] = cacheable;

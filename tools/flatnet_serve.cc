@@ -13,6 +13,15 @@
 //                 [--threads N] [--cache-mb MB] [--max-inflight N]
 //                 [--default-deadline-ms MS] [--sweep <file>] [--leak <file>]
 //                 [--log-level <level>] [--metrics-out <file>]
+//                 [--slow-query-ms MS] [--recorder-dump <file>]
+//
+// Observability: --slow-query-ms (or FLATNET_SLOW_QUERY_MS) logs each
+// request slower than the threshold with its phase timeline;
+// --recorder-dump (or FLATNET_RECORDER_DUMP) enables the flight recorder
+// and installs a fatal-signal handler that dumps it to the named file;
+// FLATNET_METRICS_INTERVAL republishes --metrics-out every N seconds while
+// the server runs. The `metrics` and `debug` serve ops expose the same
+// state over the socket.
 //
 // With --topology, the stem is loaded when present; otherwise the era
 // topology is generated and saved there (atomic publish), so restarts are
@@ -39,6 +48,7 @@
 #include "leaksim/store.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "serve/server.h"
 #include "sweep/store.h"
 #include "util/error.h"
@@ -62,7 +72,8 @@ int Usage() {
                "                     [--threads N] [--cache-mb MB] [--max-inflight N]\n"
                "                     [--default-deadline-ms MS] [--sweep <file>] "
                "[--leak <file>]\n"
-               "                     [--log-level <level>] [--metrics-out <file>]\n");
+               "                     [--log-level <level>] [--metrics-out <file>]\n"
+               "                     [--slow-query-ms MS] [--recorder-dump <file>]\n");
   return 2;
 }
 
@@ -100,6 +111,7 @@ int main(int argc, char** argv) {
   std::uint64_t port = 0;
   std::string port_file;
   std::string metrics_out;
+  std::string recorder_dump;
   std::string sweep_path;
   std::string leak_path;
   serve::DispatcherOptions dispatch;
@@ -150,6 +162,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--default-deadline-ms") {
       if (!next_u64(&value)) return Usage();
       dispatch.default_deadline_ms = static_cast<std::int64_t>(value);
+    } else if (arg == "--slow-query-ms") {
+      if (!next_u64(&value)) return Usage();
+      dispatch.slow_query_ms = static_cast<std::int64_t>(value);
+    } else if (arg == "--recorder-dump") {
+      const char* v = next();
+      if (!v) return Usage();
+      recorder_dump = v;
     } else if (arg == "--sweep") {
       const char* v = next();
       if (!v) return Usage();
@@ -173,6 +192,13 @@ int main(int argc, char** argv) {
   }
 
   obs::RegisterCoreMetrics();
+  if (!recorder_dump.empty()) {
+    // The flag copy must outlive the process: the handler reads it at
+    // crash time. InstallCrashHandler copies into static storage.
+    obs::InstallCrashHandler(recorder_dump);
+  } else {
+    obs::InstallCrashHandlerFromEnv();
+  }
   Internet internet = LoadOrGenerate(stem, era, ases, seed);
   std::fprintf(stderr, "topology: %zu ASes, %zu relationships\n", internet.num_ases(),
                internet.graph().num_edges());
@@ -239,7 +265,12 @@ int main(int argc, char** argv) {
   g_server = &server;
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGINT, HandleSignal);
-  server.Run();
+  {
+    // Republishes --metrics-out on the FLATNET_METRICS_INTERVAL cadence
+    // while the server runs; a no-op when either is unset.
+    obs::MetricsFlusher flusher(metrics_out, obs::MetricsFlusher::IntervalFromEnv());
+    server.Run();
+  }
   g_server = nullptr;
 
   serve::CacheStats cache = dispatcher.cache_stats();

@@ -25,6 +25,7 @@
 #include "core/serialize.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "sweep/engine.h"
 #include "util/error.h"
 #include "util/strings.h"
@@ -111,6 +112,10 @@ int main(int argc, char** argv) {
   options.journal_path = out + ".journal";
 
   obs::RegisterCoreMetrics();
+  obs::InstallCrashHandlerFromEnv();
+  // Republishes --metrics-out on the FLATNET_METRICS_INTERVAL cadence so a
+  // collector can watch a long sweep live; no-op when either is unset.
+  obs::MetricsFlusher flusher(metrics_out, obs::MetricsFlusher::IntervalFromEnv());
 
   auto finish = [&](int code) {
     if (!metrics_out.empty()) obs::WriteMetricsFile(metrics_out);
