@@ -161,6 +161,39 @@ void BM_LeakTrial(benchmark::State& state) {
 }
 BENCHMARK(BM_LeakTrial);
 
+// Fused Bitset kernels: one pass computing the count the caller actually
+// wants, versus the materialize-then-Count sequences they replaced in the
+// reliance and leak-overlap accumulators.
+void BM_BitsetOrCountNew(benchmark::State& state) {
+  const World& world = BenchWorld();
+  std::size_t n = world.num_ases();
+  Rng rng(6);
+  Bitset acc(n);
+  Bitset delta(n);
+  for (std::size_t i = 0; i < n / 3; ++i) acc.Set(rng.UniformU64(n));
+  for (std::size_t i = 0; i < n / 3; ++i) delta.Set(rng.UniformU64(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acc.OrCountNew(delta));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitsetOrCountNew);
+
+void BM_BitsetAndNotCount(benchmark::State& state) {
+  const World& world = BenchWorld();
+  std::size_t n = world.num_ases();
+  Rng rng(7);
+  Bitset reach(n);
+  Bitset mask(n);
+  for (std::size_t i = 0; i < n / 2; ++i) reach.Set(rng.UniformU64(n));
+  for (std::size_t i = 0; i < n / 8; ++i) mask.Set(rng.UniformU64(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reach.AndNotCount(mask));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitsetAndNotCount);
+
 void BM_CustomerConeSizes(benchmark::State& state) {
   const World& world = BenchWorld();
   for (auto _ : state) {

@@ -95,24 +95,27 @@ AsGraph AsGraphBuilder::Build() && {
     }
   }
 
-  graph.offsets_.resize(n + 1);
-  graph.customers_end_.resize(n);
-  graph.peers_end_.resize(n);
+  if (edges_.size() * 2 > 0xffffffffull) {
+    throw InvalidArgument("AsGraphBuilder: CSR entry count exceeds 32-bit offsets");
+  }
+  graph.slice_.resize(3 * n + 1);
   graph.entries_.reserve(edges_.size() * 2);
-  std::uint64_t cursor = 0;
+  std::uint32_t cursor = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    graph.offsets_[i] = cursor;
+    graph.slice_[3 * i] = cursor;
     for (std::size_t b = 0; b < 3; ++b) {
       auto& bucket = adj[i][b];
       std::sort(bucket.begin(), bucket.end(),
                 [](const Neighbor& x, const Neighbor& y) { return x.id < y.id; });
       graph.entries_.insert(graph.entries_.end(), bucket.begin(), bucket.end());
-      cursor += bucket.size();
-      if (b == bucket_of(Relationship::kCustomer)) graph.customers_end_[i] = cursor;
-      if (b == bucket_of(Relationship::kPeer)) graph.peers_end_[i] = cursor;
+      cursor += static_cast<std::uint32_t>(bucket.size());
+      if (b == bucket_of(Relationship::kCustomer)) graph.slice_[3 * i + 1] = cursor;
+      if (b == bucket_of(Relationship::kPeer)) graph.slice_[3 * i + 2] = cursor;
     }
   }
-  graph.offsets_[n] = cursor;
+  graph.slice_[3 * n] = cursor;
+  graph.entry_ids_.reserve(graph.entries_.size());
+  for (const Neighbor& nb : graph.entries_) graph.entry_ids_.push_back(nb.id);
   return graph;
 }
 
@@ -123,19 +126,31 @@ std::optional<AsId> AsGraph::IdOf(Asn asn) const {
 }
 
 std::span<const Neighbor> AsGraph::NeighborsOf(AsId id) const {
-  return {entries_.data() + offsets_[id], entries_.data() + offsets_[id + 1]};
+  return {entries_.data() + slice_[3 * id], entries_.data() + slice_[3 * id + 3]};
 }
 
 std::span<const Neighbor> AsGraph::Customers(AsId id) const {
-  return {entries_.data() + offsets_[id], entries_.data() + customers_end_[id]};
+  return {entries_.data() + slice_[3 * id], entries_.data() + slice_[3 * id + 1]};
 }
 
 std::span<const Neighbor> AsGraph::Peers(AsId id) const {
-  return {entries_.data() + customers_end_[id], entries_.data() + peers_end_[id]};
+  return {entries_.data() + slice_[3 * id + 1], entries_.data() + slice_[3 * id + 2]};
 }
 
 std::span<const Neighbor> AsGraph::Providers(AsId id) const {
-  return {entries_.data() + peers_end_[id], entries_.data() + offsets_[id + 1]};
+  return {entries_.data() + slice_[3 * id + 2], entries_.data() + slice_[3 * id + 3]};
+}
+
+std::span<const AsId> AsGraph::CustomerIds(AsId id) const {
+  return {entry_ids_.data() + slice_[3 * id], entry_ids_.data() + slice_[3 * id + 1]};
+}
+
+std::span<const AsId> AsGraph::PeerIds(AsId id) const {
+  return {entry_ids_.data() + slice_[3 * id + 1], entry_ids_.data() + slice_[3 * id + 2]};
+}
+
+std::span<const AsId> AsGraph::ProviderIds(AsId id) const {
+  return {entry_ids_.data() + slice_[3 * id + 2], entry_ids_.data() + slice_[3 * id + 3]};
 }
 
 std::optional<Relationship> AsGraph::RelationshipBetween(AsId from, AsId to) const {

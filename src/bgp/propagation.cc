@@ -38,20 +38,36 @@ const char* ToString(RouteClass cls) { return kClassNames[static_cast<std::size_
 RouteComputation::RouteComputation(const AsGraph& graph,
                                    const std::vector<AnnouncementSource>& sources,
                                    const PropagationOptions& options)
-    : graph_(&graph),
-      entries_(graph.num_ases()),
-      preds_(graph.num_ases()),
-      is_source_(graph.num_ases()) {
+    : graph_(&graph) {
+  ResetState();
   Compute(sources, options);
 }
 
 void RouteComputation::Recompute(const std::vector<AnnouncementSource>& sources,
                                  const PropagationOptions& options) {
-  entries_.assign(entries_.size(), RouteEntry{});
-  for (std::vector<AsId>& preds : preds_) preds.clear();
-  order_.clear();
-  is_source_.ResetAll();
+  ResetState();
   Compute(sources, options);
+}
+
+void RouteComputation::ResetState() {
+  // The single audited reset (see header): construction and Recompute()
+  // both run exactly ResetState() + Compute(), so a member missing here —
+  // and not fully overwritten by Compute() — is a state leak between
+  // recomputes. assign() reuses the existing allocations.
+  std::size_t n = graph_->num_ases();
+  num_sources_ = 0;
+  cls_.assign(n, RouteClass::kNone);
+  length_.assign(n, kInfLength);
+  source_mask_.assign(n, 0);
+  order_.clear();
+  preds_built_ = false;
+  pred_pool_.clear();
+  // pred_begin_ is fully rewritten by EnsurePredecessors() when needed.
+  sources_.clear();
+  lock_active_ = false;
+  has_lock_senders_ = false;
+  // buckets_ / provider_dist_ / provider_mask_ / length_counts_ are
+  // (re)initialized by the phases that use them.
 }
 
 void RouteComputation::Compute(const std::vector<AnnouncementSource>& sources,
@@ -64,16 +80,28 @@ void RouteComputation::Compute(const std::vector<AnnouncementSource>& sources,
     if (s.node >= graph_->num_ases()) {
       throw InvalidArgument("RouteComputation: bad source node");
     }
-    if (is_source_.Test(s.node)) {
+    if (cls_[s.node] == RouteClass::kOrigin) {
       throw InvalidArgument("RouteComputation: duplicate source node");
     }
     if (options.excluded != nullptr && options.excluded->Test(s.node)) {
       throw InvalidArgument("RouteComputation: source is in the excluded set");
     }
-    is_source_.Set(s.node);
-    entries_[s.node].cls = RouteClass::kOrigin;
-    entries_[s.node].length = s.base_length;
-    entries_[s.node].source_mask = static_cast<std::uint8_t>(1u << i);
+    cls_[s.node] = RouteClass::kOrigin;
+    length_[s.node] = s.base_length;
+    source_mask_[s.node] = static_cast<std::uint8_t>(1u << i);
+  }
+
+  // Snapshot what the lazy predecessor build will need once the caller's
+  // option pointers are gone. Bitset copy-assign reuses capacity, so a
+  // recompute loop with peer locking pays one O(n/64) copy per run.
+  sources_ = sources;
+  lock_active_ = options.peer_locked != nullptr;
+  if (lock_active_) {
+    peer_locked_snap_ = *options.peer_locked;
+    lock_mode_ = options.lock_mode;
+    protected_origin_ = options.protected_origin;
+    has_lock_senders_ = options.lock_filtered_senders != nullptr;
+    if (has_lock_senders_) lock_senders_snap_ = *options.lock_filtered_senders;
   }
 
   obs::TraceSpan span("bgp.propagation");
@@ -89,23 +117,26 @@ void RouteComputation::Compute(const std::vector<AnnouncementSource>& sources,
   if (options.trace != nullptr) options.trace->Mark("propagation.provider");
 
   // Topological order of the predecessor DAG: ascending best length.
-  // Counting sort over lengths.
+  // Counting sort over lengths, streaming the 1-byte class array.
+  std::size_t n = cls_.size();
   PathLength max_len = 0;
   std::size_t routed = 0;
-  for (const RouteEntry& e : entries_) {
-    if (e.HasRoute()) {
+  for (AsId node = 0; node < n; ++node) {
+    if (cls_[node] != RouteClass::kNone) {
       ++routed;
-      max_len = std::max(max_len, e.length);
+      max_len = std::max(max_len, length_[node]);
     }
   }
-  std::vector<std::uint32_t> counts(static_cast<std::size_t>(max_len) + 2, 0);
-  for (const RouteEntry& e : entries_) {
-    if (e.HasRoute()) ++counts[e.length + 1];
+  length_counts_.assign(static_cast<std::size_t>(max_len) + 2, 0);
+  for (AsId node = 0; node < n; ++node) {
+    if (cls_[node] != RouteClass::kNone) ++length_counts_[length_[node] + 1];
   }
-  for (std::size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+  for (std::size_t i = 1; i < length_counts_.size(); ++i) {
+    length_counts_[i] += length_counts_[i - 1];
+  }
   order_.resize(routed);
-  for (AsId node = 0; node < entries_.size(); ++node) {
-    if (entries_[node].HasRoute()) order_[counts[entries_[node].length]++] = node;
+  for (AsId node = 0; node < n; ++node) {
+    if (cls_[node] != RouteClass::kNone) order_[length_counts_[length_[node]]++] = node;
   }
 }
 
@@ -114,38 +145,45 @@ bool RouteComputation::Filtered(AsId receiver, AsId sender,
   return IsEdgeFiltered(options, receiver, sender);
 }
 
+bool RouteComputation::PredFiltered(AsId receiver, AsId sender) const {
+  if (!lock_active_ || !peer_locked_snap_.Test(receiver)) return false;
+  if (lock_mode_ == PeerLockMode::kFull) return sender != protected_origin_;
+  return has_lock_senders_ && lock_senders_snap_.Test(sender);
+}
+
 void RouteComputation::RunCustomerPhase(const std::vector<AnnouncementSource>& sources,
                                         const PropagationOptions& options) {
   obs::TraceSpan span("bgp.propagation.customer_phase");
   std::uint64_t relax_ops = 0;
-  // dist/preds/mask live directly in entries_/preds_ : a node reached here
-  // has customer class, the best possible for a non-origin.
+  RouteClass* cls = cls_.data();
+  PathLength* length = length_.data();
+  std::uint8_t* mask = source_mask_.data();
   buckets_.clear();
-  auto relax = [&](AsId node, PathLength len, AsId pred, std::uint8_t mask) {
+  // A node reached here has customer class, the best possible for a
+  // non-origin; sources (kOrigin) never adopt.
+  auto relax = [&](AsId node, PathLength len, std::uint8_t m) {
     ++relax_ops;
-    if (is_source_.Test(node)) return;
-    RouteEntry& e = entries_[node];
-    if (e.cls == RouteClass::kCustomer && e.length == len) {
-      preds_[node].push_back(pred);
-      e.source_mask |= mask;
-      return;
+    if (cls[node] == RouteClass::kOrigin) return;
+    if (cls[node] == RouteClass::kCustomer) {
+      if (length[node] == len) {
+        mask[node] |= m;
+        return;
+      }
+      if (length[node] < len) return;
     }
-    if (e.cls != RouteClass::kCustomer || len < e.length) {
-      e.cls = RouteClass::kCustomer;
-      e.length = len;
-      e.source_mask = mask;
-      preds_[node].assign(1, pred);
-      if (buckets_.size() <= len) buckets_.resize(len + 1);
-      buckets_[len].push_back(node);
-    }
+    cls[node] = RouteClass::kCustomer;
+    length[node] = len;
+    mask[node] = m;
+    if (buckets_.size() <= len) buckets_.resize(len + 1);
+    buckets_[len].push_back(node);
   };
 
   for (std::size_t i = 0; i < sources.size(); ++i) {
     const AnnouncementSource& s = sources[i];
-    auto mask = static_cast<std::uint8_t>(1u << i);
-    for (const Neighbor& nb : graph_->Providers(s.node)) {
-      if (!SourceAllows(s, nb.id) || Filtered(nb.id, s.node, options)) continue;
-      relax(nb.id, static_cast<PathLength>(s.base_length + 1), s.node, mask);
+    auto m = static_cast<std::uint8_t>(1u << i);
+    for (AsId nb : graph_->ProviderIds(s.node)) {
+      if (!SourceAllows(s, nb) || Filtered(nb, s.node, options)) continue;
+      relax(nb, static_cast<PathLength>(s.base_length + 1), m);
     }
   }
 
@@ -153,12 +191,11 @@ void RouteComputation::RunCustomerPhase(const std::vector<AnnouncementSource>& s
     // buckets_ may grow while iterating; index-based loop is intentional.
     for (std::size_t head = 0; head < buckets_[len].size(); ++head) {
       AsId node = buckets_[len][head];
-      const RouteEntry& e = entries_[node];
-      if (e.cls != RouteClass::kCustomer || e.length != len) continue;  // stale entry
-      std::uint8_t mask = e.source_mask;
-      for (const Neighbor& nb : graph_->Providers(node)) {
-        if (Filtered(nb.id, node, options)) continue;
-        relax(nb.id, static_cast<PathLength>(len + 1), node, mask);
+      if (cls[node] != RouteClass::kCustomer || length[node] != len) continue;  // stale
+      std::uint8_t m = mask[node];
+      for (AsId nb : graph_->ProviderIds(node)) {
+        if (Filtered(nb, node, options)) continue;
+        relax(nb, static_cast<PathLength>(len + 1), m);
       }
     }
   }
@@ -170,47 +207,46 @@ void RouteComputation::RunPeerPhase(const std::vector<AnnouncementSource>& sourc
   obs::TraceSpan span("bgp.propagation.peer_phase");
   std::uint64_t scan_ops = 0;
   std::size_t n = graph_->num_ases();
+  RouteClass* cls = cls_.data();
+  PathLength* length = length_.data();
+  std::uint8_t* mask = source_mask_.data();
+  // Exporter-side scan: only sources and customer-route holders export over
+  // peer edges, and the customer phase leaves few of those — walking their
+  // peer lists touches a fraction of the graph's peer entries compared to
+  // scanning every receiver's. Receivers keep the min length and merge ties
+  // exactly as the receiver-side scan did; offers only ever touch kNone /
+  // kPeer nodes, so the exporter scan below never sees its own writes.
+  auto offer = [&](AsId receiver, AsId exporter, PathLength cand, std::uint8_t m) {
+    ++scan_ops;
+    if (Filtered(receiver, exporter, options)) return;
+    if (cls[receiver] == RouteClass::kNone) {
+      cls[receiver] = RouteClass::kPeer;
+      length[receiver] = cand;
+      mask[receiver] = m;
+    } else if (cls[receiver] == RouteClass::kPeer) {
+      if (cand < length[receiver]) {
+        length[receiver] = cand;
+        mask[receiver] = m;
+      } else if (cand == length[receiver]) {
+        mask[receiver] |= m;
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const AnnouncementSource& s = sources[i];
+    auto m = static_cast<std::uint8_t>(1u << i);
+    for (AsId p : graph_->PeerIds(s.node)) {
+      if (!SourceAllows(s, p)) continue;
+      offer(p, s.node, static_cast<PathLength>(s.base_length + 1), m);
+    }
+  }
   for (AsId node = 0; node < n; ++node) {
-    if (entries_[node].HasRoute()) continue;  // customer route or source
-    if (options.excluded != nullptr && options.excluded->Test(node)) continue;
-    PathLength best = kInfLength;
-    std::vector<AsId> best_preds;
-    std::uint8_t mask = 0;
-    for (const Neighbor& nb : graph_->Peers(node)) {
-      ++scan_ops;
-      PathLength candidate = kInfLength;
-      std::uint8_t nb_mask = 0;
-      if (is_source_.Test(nb.id)) {
-        // Find which source this is; with <=8 sources a linear scan is fine.
-        for (std::size_t i = 0; i < sources.size(); ++i) {
-          if (sources[i].node == nb.id) {
-            if (!SourceAllows(sources[i], node)) break;
-            candidate = static_cast<PathLength>(sources[i].base_length + 1);
-            nb_mask = static_cast<std::uint8_t>(1u << i);
-            break;
-          }
-        }
-      } else if (entries_[nb.id].cls == RouteClass::kCustomer) {
-        // Peers export only customer-learned routes.
-        candidate = static_cast<PathLength>(entries_[nb.id].length + 1);
-        nb_mask = entries_[nb.id].source_mask;
-      }
-      if (candidate == kInfLength || Filtered(node, nb.id, options)) continue;
-      if (candidate < best) {
-        best = candidate;
-        best_preds.assign(1, nb.id);
-        mask = nb_mask;
-      } else if (candidate == best) {
-        best_preds.push_back(nb.id);
-        mask |= nb_mask;
-      }
-    }
-    if (best != kInfLength) {
-      entries_[node].cls = RouteClass::kPeer;
-      entries_[node].length = best;
-      entries_[node].source_mask = mask;
-      preds_[node] = std::move(best_preds);
-    }
+    if (cls[node] != RouteClass::kCustomer) continue;
+    // Peers export only customer-learned routes.
+    auto cand = static_cast<PathLength>(length[node] + 1);
+    std::uint8_t m = mask[node];
+    for (AsId p : graph_->PeerIds(node)) offer(p, node, cand, m);
   }
   Counters().peer_scan.Increment(scan_ops);
 }
@@ -220,28 +256,30 @@ void RouteComputation::RunProviderPhase(const std::vector<AnnouncementSource>& s
   obs::TraceSpan span("bgp.propagation.provider_phase");
   std::uint64_t relax_ops = 0;
   std::size_t n = graph_->num_ases();
-  // Provider-phase distances are tracked separately: entries_ still holds
-  // the (preferred) customer/peer routes, which must not be overwritten.
-  // Member scratch so Recompute pays no per-run allocation.
+  RouteClass* cls = cls_.data();
+  PathLength* length = length_.data();
+  std::uint8_t* mask = source_mask_.data();
+  // Provider-phase distances are tracked separately: the route arrays still
+  // hold the (preferred) customer/peer routes, which must not be
+  // overwritten. Member scratch so Recompute pays no per-run allocation.
   provider_dist_.assign(n, kInfLength);
   provider_mask_.assign(n, 0);
-  std::vector<PathLength>& dist = provider_dist_;
-  std::vector<std::uint8_t>& mask = provider_mask_;
+  PathLength* dist = provider_dist_.data();
+  std::uint8_t* pmask = provider_mask_.data();
   buckets_.clear();
 
-  auto relax = [&](AsId node, PathLength len, AsId pred, std::uint8_t m) {
+  auto relax = [&](AsId node, PathLength len, std::uint8_t m) {
     ++relax_ops;
-    // Nodes that already selected a better class never adopt provider routes.
-    if (is_source_.Test(node) || entries_[node].HasRoute()) return;
+    // Nodes that already selected a better class (or are sources) never
+    // adopt provider routes.
+    if (cls[node] != RouteClass::kNone) return;
     if (dist[node] == len) {
-      preds_[node].push_back(pred);
-      mask[node] |= m;
+      pmask[node] |= m;
       return;
     }
     if (len < dist[node]) {
       dist[node] = len;
-      mask[node] = m;
-      preds_[node].assign(1, pred);
+      pmask[node] = m;
       if (buckets_.size() <= len) buckets_.resize(len + 1);
       buckets_[len].push_back(node);
     }
@@ -251,19 +289,20 @@ void RouteComputation::RunProviderPhase(const std::vector<AnnouncementSource>& s
   for (std::size_t i = 0; i < sources.size(); ++i) {
     const AnnouncementSource& s = sources[i];
     auto m = static_cast<std::uint8_t>(1u << i);
-    for (const Neighbor& nb : graph_->Customers(s.node)) {
-      if (!SourceAllows(s, nb.id) || Filtered(nb.id, s.node, options)) continue;
-      relax(nb.id, static_cast<PathLength>(s.base_length + 1), s.node, m);
+    for (AsId nb : graph_->CustomerIds(s.node)) {
+      if (!SourceAllows(s, nb) || Filtered(nb, s.node, options)) continue;
+      relax(nb, static_cast<PathLength>(s.base_length + 1), m);
     }
   }
   // ... and every AS with a selected (customer/peer) route exports it to its
   // customers.
   for (AsId node = 0; node < n; ++node) {
-    const RouteEntry& e = entries_[node];
-    if (!e.HasRoute() || e.cls == RouteClass::kOrigin) continue;
-    for (const Neighbor& nb : graph_->Customers(node)) {
-      if (Filtered(nb.id, node, options)) continue;
-      relax(nb.id, static_cast<PathLength>(e.length + 1), node, e.source_mask);
+    if (cls[node] != RouteClass::kCustomer && cls[node] != RouteClass::kPeer) continue;
+    auto len = static_cast<PathLength>(length[node] + 1);
+    std::uint8_t m = mask[node];
+    for (AsId nb : graph_->CustomerIds(node)) {
+      if (Filtered(nb, node, options)) continue;
+      relax(nb, len, m);
     }
   }
 
@@ -272,37 +311,84 @@ void RouteComputation::RunProviderPhase(const std::vector<AnnouncementSource>& s
     for (std::size_t head = 0; head < buckets_[len].size(); ++head) {
       AsId node = buckets_[len][head];
       if (dist[node] != len) continue;  // stale
-      for (const Neighbor& nb : graph_->Customers(node)) {
-        if (Filtered(nb.id, node, options)) continue;
-        relax(nb.id, static_cast<PathLength>(len + 1), node, mask[node]);
+      std::uint8_t m = pmask[node];
+      for (AsId nb : graph_->CustomerIds(node)) {
+        if (Filtered(nb, node, options)) continue;
+        relax(nb, static_cast<PathLength>(len + 1), m);
       }
     }
   }
 
   for (AsId node = 0; node < n; ++node) {
     if (dist[node] != kInfLength) {
-      entries_[node].cls = RouteClass::kProvider;
-      entries_[node].length = dist[node];
-      entries_[node].source_mask = mask[node];
+      cls[node] = RouteClass::kProvider;
+      length[node] = dist[node];
+      mask[node] = pmask[node];
     }
   }
   Counters().provider_relax.Increment(relax_ops);
 }
 
-Bitset RouteComputation::ReachedSet() const {
-  Bitset reached(entries_.size());
-  for (AsId node = 0; node < entries_.size(); ++node) {
-    if (entries_[node].HasRoute()) reached.Set(node);
+void RouteComputation::EnsurePredecessors() const {
+  if (preds_built_) return;
+  std::size_t n = graph_->num_ases();
+  pred_begin_.assign(n + 1, 0);
+  pred_pool_.clear();
+  // A source exports its own announcement everywhere its allowed_neighbors
+  // policy permits; length_[source] already holds its base length.
+  auto origin_exports = [&](AsId src, AsId receiver) {
+    for (const AnnouncementSource& s : sources_) {
+      if (s.node == src) return SourceAllows(s, receiver);
+    }
+    return false;
+  };
+  // node's predecessors are its neighbors — in the CSR slice matching the
+  // route class — exporting a route of length exactly length_[node] - 1,
+  // under the same export rules the phases applied: customer routes (and
+  // origins) export upward and laterally; any selected route relays
+  // downward. Id-order iteration makes each node's pool range contiguous
+  // with plain appends, and leaves preds sorted ascending.
+  for (AsId node = 0; node < n; ++node) {
+    pred_begin_[node] = static_cast<std::uint32_t>(pred_pool_.size());
+    RouteClass cls = cls_[node];
+    if (cls == RouteClass::kNone || cls == RouteClass::kOrigin) continue;
+    int want = length_[node];
+    std::span<const AsId> nbrs = cls == RouteClass::kCustomer ? graph_->CustomerIds(node)
+                                 : cls == RouteClass::kPeer   ? graph_->PeerIds(node)
+                                                              : graph_->ProviderIds(node);
+    for (AsId p : nbrs) {
+      RouteClass pc = cls_[p];
+      if (pc == RouteClass::kNone || length_[p] + 1 != want) continue;
+      bool exports;
+      if (pc == RouteClass::kOrigin) {
+        exports = origin_exports(p, node);
+      } else if (cls == RouteClass::kProvider) {
+        exports = true;
+      } else {
+        exports = pc == RouteClass::kCustomer;
+      }
+      if (!exports || PredFiltered(node, p)) continue;
+      pred_pool_.push_back(p);
+    }
   }
-  return reached;
+  pred_begin_[n] = static_cast<std::uint32_t>(pred_pool_.size());
+  preds_built_ = true;
 }
 
-std::size_t RouteComputation::ReachedCount() const {
-  std::size_t count = 0;
-  for (AsId node = 0; node < entries_.size(); ++node) {
-    if (entries_[node].HasRoute() && !is_source_.Test(node)) ++count;
+Bitset RouteComputation::ReachedSet() const {
+  std::size_t n = cls_.size();
+  Bitset reached(n);
+  std::size_t words = reached.num_words();
+  for (std::size_t w = 0; w < words; ++w) {
+    std::size_t base = w * 64;
+    std::size_t limit = std::min<std::size_t>(64, n - base);
+    std::uint64_t bits = 0;
+    for (std::size_t b = 0; b < limit; ++b) {
+      bits |= static_cast<std::uint64_t>(cls_[base + b] != RouteClass::kNone) << b;
+    }
+    reached.StoreWord(w, bits);
   }
-  return count;
+  return reached;
 }
 
 std::size_t RouteComputation::CountFromSource(std::size_t source_index) const {
@@ -311,8 +397,8 @@ std::size_t RouteComputation::CountFromSource(std::size_t source_index) const {
   }
   auto bit = static_cast<std::uint8_t>(1u << source_index);
   std::size_t count = 0;
-  for (AsId node = 0; node < entries_.size(); ++node) {
-    if (!is_source_.Test(node) && (entries_[node].source_mask & bit)) ++count;
+  for (AsId node = 0; node < cls_.size(); ++node) {
+    if (cls_[node] != RouteClass::kOrigin && (source_mask_[node] & bit)) ++count;
   }
   return count;
 }

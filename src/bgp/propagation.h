@@ -14,10 +14,16 @@
 //      by every AS that selected a route in phases 1-2.
 // Each phase uses a bucket queue over path length, so the whole computation
 // is O(V + E + maxlen).
+//
+// Route state is stored structure-of-arrays (parallel class / length /
+// source-mask arrays) so each relax loop streams only the fields it tests,
+// and the predecessor DAG is materialized lazily into one flat CSR pool on
+// the first Predecessors() call — counting sweeps never pay for it.
 #ifndef FLATNET_BGP_PROPAGATION_H_
 #define FLATNET_BGP_PROPAGATION_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "asgraph/as_graph.h"
@@ -43,22 +49,31 @@ class RouteComputation {
                    const PropagationOptions& options = {});
 
   // Re-runs the computation for new sources/options on the same graph,
-  // reusing every internal allocation (entries, predecessor lists, bucket
-  // queues, provider-phase scratch). Results are identical to constructing
-  // a fresh RouteComputation — the leak-campaign engine leans on this for
-  // its one-workspace-per-worker trial loop.
+  // reusing every internal allocation (route arrays, predecessor pool,
+  // bucket queues, provider-phase scratch). Results are identical to
+  // constructing a fresh RouteComputation — both paths run exactly
+  // ResetState() + Compute() — and the leak-campaign engine leans on this
+  // for its one-workspace-per-worker trial loop.
   void Recompute(const std::vector<AnnouncementSource>& sources,
                  const PropagationOptions& options = {});
 
   const AsGraph& graph() const { return *graph_; }
   std::size_t num_sources() const { return num_sources_; }
 
-  const RouteEntry& Route(AsId node) const { return entries_[node]; }
+  RouteEntry Route(AsId node) const {
+    return {cls_[node], length_[node], source_mask_[node]};
+  }
 
-  // Neighbors of `node` supplying a tied-best route. For a node adjacent to
-  // a source that received the announcement directly, the source node id
-  // appears here. Empty for sources and unreachable nodes.
-  const std::vector<AsId>& Predecessors(AsId node) const { return preds_[node]; }
+  // Neighbors of `node` supplying a tied-best route, ascending by id. For a
+  // node adjacent to a source that received the announcement directly, the
+  // source node id appears here. Empty for sources and unreachable nodes.
+  // The DAG is built lazily on the first call after a (re)computation; like
+  // the computation itself, it is not safe to trigger concurrently from
+  // multiple threads on the same object.
+  std::span<const AsId> Predecessors(AsId node) const {
+    if (!preds_built_) EnsurePredecessors();
+    return {pred_pool_.data() + pred_begin_[node], pred_pool_.data() + pred_begin_[node + 1]};
+  }
 
   // Node ids with a route (sources included), sorted by ascending best
   // length — a topological order of the predecessor DAG.
@@ -68,13 +83,18 @@ class RouteComputation {
   Bitset ReachedSet() const;
 
   // Count of non-source nodes holding a route.
-  std::size_t ReachedCount() const;
+  std::size_t ReachedCount() const { return order_.size() - num_sources_; }
 
   // Count of nodes whose tied-best set includes a route from source
   // `source_index` (sources themselves excluded).
   std::size_t CountFromSource(std::size_t source_index) const;
 
  private:
+  // Resets every piece of per-computation state. This is the single audited
+  // reset point: any member Compute() does not fully overwrite for every
+  // node MUST be reset here, or recomputes would leak state between runs.
+  void ResetState();
+
   void Compute(const std::vector<AnnouncementSource>& sources,
                const PropagationOptions& options);
   void RunCustomerPhase(const std::vector<AnnouncementSource>& sources,
@@ -84,23 +104,61 @@ class RouteComputation {
   void RunProviderPhase(const std::vector<AnnouncementSource>& sources,
                         const PropagationOptions& options);
 
+  // Builds the flat predecessor CSR from the finished route state. A node's
+  // predecessors are exactly its neighbors (in the slice matching its route
+  // class) that export a route of length one less, re-applying the same
+  // export and peer-lock filters the phases used.
+  void EnsurePredecessors() const;
+
   // True when `receiver` must discard an announcement arriving from
   // `sender` (exclusion or peer-lock filter).
   bool Filtered(AsId receiver, AsId sender, const PropagationOptions& options) const;
 
+  // Peer-lock filter replay for the lazy predecessor build. Exclusion needs
+  // no snapshot — excluded nodes end the computation routeless, so they are
+  // never enumerated as receivers and never match as exporters.
+  bool PredFiltered(AsId receiver, AsId sender) const;
+
   const AsGraph* graph_;
   std::size_t num_sources_ = 0;
-  std::vector<RouteEntry> entries_;
-  std::vector<std::vector<AsId>> preds_;
+
+  // Route state, structure-of-arrays: cls_[n] / length_[n] /
+  // source_mask_[n] replace an array-of-struct RouteEntry so the phase
+  // loops (which mostly test class and length) stream 1- and 2-byte fields
+  // instead of padded 6-byte records. Sources hold kOrigin; kOrigin is the
+  // source predicate everywhere.
+  std::vector<RouteClass> cls_;
+  std::vector<PathLength> length_;
+  std::vector<std::uint8_t> source_mask_;
+
   std::vector<AsId> order_;
-  Bitset is_source_;
+
+  // Lazy predecessor DAG: preds of `node` live in
+  // pred_pool_[pred_begin_[node] .. pred_begin_[node+1]). One flat pool —
+  // zero per-node allocations — built on demand by EnsurePredecessors().
+  mutable bool preds_built_ = false;
+  mutable std::vector<std::uint32_t> pred_begin_;
+  mutable std::vector<AsId> pred_pool_;
+
+  // Owned snapshot of what the lazy predecessor build needs from the
+  // options and sources (the caller's PropagationOptions pointers need not
+  // outlive Compute()).
+  std::vector<AnnouncementSource> sources_;
+  bool lock_active_ = false;
+  PeerLockMode lock_mode_ = PeerLockMode::kFull;
+  AsId protected_origin_ = kInvalidAsId;
+  bool has_lock_senders_ = false;
+  Bitset peer_locked_snap_;
+  Bitset lock_senders_snap_;
 
   // Scratch for the bucket queues: buckets_[len] = nodes to visit at len.
   std::vector<std::vector<AsId>> buckets_;
-  // Provider-phase scratch (distances/masks tracked apart from entries_,
-  // which still holds the preferred customer/peer routes).
+  // Provider-phase scratch (distances/masks tracked apart from the route
+  // arrays, which still hold the preferred customer/peer routes).
   std::vector<PathLength> provider_dist_;
   std::vector<std::uint8_t> provider_mask_;
+  // Counting-sort scratch for the topological order.
+  std::vector<std::uint32_t> length_counts_;
 };
 
 }  // namespace flatnet

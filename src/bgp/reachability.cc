@@ -1,5 +1,7 @@
 #include "bgp/reachability.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "util/error.h"
 
@@ -18,79 +20,177 @@ ReachabilityCounters& Counters() {
   return counters;
 }
 
+// How many frontier slots ahead the adjacency walk prefetches. The CSR
+// slice of a frontier node is a dependent load (offset array, then the id
+// array); issuing it a few nodes early hides the miss on graphs that spill
+// out of cache.
+constexpr std::size_t kPrefetchAhead = 4;
+
 }  // namespace
 
 ReachabilityEngine::ReachabilityEngine(const AsGraph& graph)
-    : graph_(graph),
-      up_epoch_(graph.num_ases(), 0),
-      down_epoch_(graph.num_ases(), 0) {}
+    : graph_(graph), visit_epoch_(graph.num_ases(), 0) {
+  // The queue holds every reached node exactly once, so n slots is the
+  // worst case; sizing it up front keeps the BFS free of growth checks
+  // (the inner loops write through a raw cursor).
+  std::size_t n = graph.num_ases();
+  queue_.resize(n);
+  for (AsId node = 0; node < n; ++node) {
+    if (!graph.ProviderIds(node).empty()) downable_.push_back(node);
+  }
+  candidates_.resize(downable_.size());
+}
 
 std::size_t ReachabilityEngine::RunBfs(AsId origin, const Bitset* excluded,
                                        Bitset* reached) {
   std::size_t n = graph_.num_ases();
   if (origin >= n) throw InvalidArgument("ReachabilityEngine: origin out of range");
-  if (excluded != nullptr && excluded->Test(origin)) return 0;
+  if (excluded != nullptr && excluded->Test(origin)) {
+    if (reached != nullptr) reached->ResetAll();
+    return 0;
+  }
 
-  ++epoch_;
-  auto blocked = [&](AsId id) { return excluded != nullptr && excluded->Test(id); };
-  auto record = [&](AsId id) {
-    if (reached != nullptr) reached->Set(id);
-  };
+  if (++epoch_ == 0) {
+    // 2^32 sweeps later the counter wraps to 0, the value every stamp
+    // starts at (and the value untouched nodes still hold), so the whole
+    // graph would look already-visited and the BFS would silently truncate.
+    // Resetting the array restarts the scheme from a clean slate.
+    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0u);
+    epoch_ = 1;
+  }
+  const std::uint32_t cur = epoch_;
+  std::uint32_t* stamp = visit_epoch_.data();
+
+  // Fold the exclusion mask into the stamps (word-level ctz iteration):
+  // excluded nodes look already-visited, so the per-edge loops below need
+  // no exclusion test at all. They never enter the queue, so they are
+  // counted nowhere and forward nothing.
+  if (excluded != nullptr) {
+    excluded->ForEachSet([&](std::size_t id) { stamp[id] = cur; });
+  }
+
+  AsId* q = queue_.data();
+  std::size_t tail = 0;
+  stamp[origin] = cur;
+  q[tail++] = origin;
 
   // Stage 1: "up" state — ASes holding a customer-learned route. These form
   // the set reachable from the origin by provider edges only; each can
   // export to every neighbor. The origin behaves like an up-state node (it
   // exports its own prefix everywhere).
-  queue_.clear();
-  up_epoch_[origin] = epoch_;
-  queue_.push_back(origin);
-  record(origin);
-  for (std::size_t head = 0; head < queue_.size(); ++head) {
-    AsId node = queue_[head];
-    for (const Neighbor& nb : graph_.Providers(node)) {
-      if (blocked(nb.id) || up_epoch_[nb.id] == epoch_) continue;
-      up_epoch_[nb.id] = epoch_;
-      record(nb.id);
-      queue_.push_back(nb.id);
+  for (std::size_t head = 0; head < tail; ++head) {
+    AsId node = q[head];
+    if (head + kPrefetchAhead < tail) {
+      __builtin_prefetch(graph_.ProviderIds(q[head + kPrefetchAhead]).data());
+    }
+    for (AsId nb : graph_.ProviderIds(node)) {
+      if (stamp[nb] != cur) {
+        stamp[nb] = cur;
+        q[tail++] = nb;
+      }
     }
   }
 
   // Stage 2: one lateral peer step off any up-state node, then strictly
   // downward through customer edges. Seed the down queue with peers and
   // customers of every up-state node.
-  std::size_t up_count = queue_.size();
+  std::size_t up_count = tail;
   for (std::size_t head = 0; head < up_count; ++head) {
-    AsId node = queue_[head];
-    for (const Neighbor& nb : graph_.Peers(node)) {
-      if (blocked(nb.id) || up_epoch_[nb.id] == epoch_ || down_epoch_[nb.id] == epoch_)
-        continue;
-      down_epoch_[nb.id] = epoch_;
-      record(nb.id);
-      queue_.push_back(nb.id);
+    AsId node = q[head];
+    for (AsId nb : graph_.PeerIds(node)) {
+      if (stamp[nb] != cur) {
+        stamp[nb] = cur;
+        q[tail++] = nb;
+      }
     }
-    for (const Neighbor& nb : graph_.Customers(node)) {
-      if (blocked(nb.id) || up_epoch_[nb.id] == epoch_ || down_epoch_[nb.id] == epoch_)
-        continue;
-      down_epoch_[nb.id] = epoch_;
-      record(nb.id);
-      queue_.push_back(nb.id);
+    for (AsId nb : graph_.CustomerIds(node)) {
+      if (stamp[nb] != cur) {
+        stamp[nb] = cur;
+        q[tail++] = nb;
+      }
     }
   }
-  for (std::size_t head = up_count; head < queue_.size(); ++head) {
-    AsId node = queue_[head];
-    for (const Neighbor& nb : graph_.Customers(node)) {
-      if (blocked(nb.id) || up_epoch_[nb.id] == epoch_ || down_epoch_[nb.id] == epoch_)
-        continue;
-      down_epoch_[nb.id] = epoch_;
-      record(nb.id);
-      queue_.push_back(nb.id);
+  // Stage 3: the customer-edge closure of the seed set. Two strategies
+  // computing the identical set:
+  //   top-down — pop frontier nodes, push unvisited customers. O(reach)
+  //     edge work, but every pop chases node bounds in random order.
+  //   bottom-up — still-unvisited nodes probe their providers for a
+  //     visited one, in id order, with the survivor list compacted every
+  //     round. Sequential scans with independent loads win when most of
+  //     the graph is about to be reached (the common no-exclusion case).
+  // An exclusion mask forces top-down: excluded nodes carry the current
+  // stamp (folded above), so a bottom-up provider probe could not tell
+  // them from genuinely reached nodes — and excluded reach is small, which
+  // is the regime where top-down is the right choice anyway.
+  if (excluded == nullptr && tail >= n / 16) {
+    // Round 1 runs straight over the static provider-owning list (id
+    // order: the slice walk is sequential, so the hardware prefetcher does
+    // the work); survivors compact into candidates_ for later rounds.
+    AsId* cand = candidates_.data();
+    auto probe = [&](AsId node, std::size_t& write) {
+      for (AsId p : graph_.ProviderIds(node)) {
+        if (stamp[p] == cur) {
+          stamp[node] = cur;
+          q[tail++] = node;
+          return;
+        }
+      }
+      cand[write++] = node;
+    };
+    std::size_t cand_count = 0;
+    std::size_t tail_before = tail;
+    for (AsId node : downable_) {
+      if (stamp[node] != cur) probe(node, cand_count);
+    }
+    while (tail != tail_before && cand_count != 0) {
+      tail_before = tail;
+      std::size_t write = 0;
+      for (std::size_t i = 0; i < cand_count; ++i) probe(cand[i], write);
+      cand_count = write;
+    }
+  } else {
+    for (std::size_t head = up_count; head < tail; ++head) {
+      AsId node = q[head];
+      if (head + kPrefetchAhead < tail) {
+        __builtin_prefetch(graph_.CustomerIds(q[head + kPrefetchAhead]).data());
+      }
+      for (AsId nb : graph_.CustomerIds(node)) {
+        if (stamp[nb] != cur) {
+          stamp[nb] = cur;
+          q[tail++] = nb;
+        }
+      }
     }
   }
+
   Counters().computes.Increment();
   // Destinations only, matching Count(): the queue holds every reached node
   // exactly once, origin included.
-  Counters().nodes_reached.Increment(queue_.size() - 1);
-  return queue_.size();
+  Counters().nodes_reached.Increment(tail - 1);
+
+  if (reached != nullptr) {
+    if (tail >= n / 8) {
+      // Dense reach (the common case: most origins reach most of the
+      // graph): rebuild every output word from the stamps in one
+      // sequential pass, masking excluded nodes back out word-at-a-time.
+      std::size_t words = reached->num_words();
+      for (std::size_t w = 0; w < words; ++w) {
+        std::size_t base = w * 64;
+        std::size_t limit = std::min<std::size_t>(64, n - base);
+        std::uint64_t bits = 0;
+        for (std::size_t b = 0; b < limit; ++b) {
+          bits |= static_cast<std::uint64_t>(stamp[base + b] == cur) << b;
+        }
+        if (excluded != nullptr) bits &= ~excluded->Word(w);
+        reached->StoreWord(w, bits);
+      }
+    } else {
+      // Sparse reach: scattering the queue beats scanning all n stamps.
+      reached->ResetAll();
+      for (std::size_t i = 0; i < tail; ++i) reached->Set(q[i]);
+    }
+  }
+  return tail;
 }
 
 Bitset ReachabilityEngine::Compute(AsId origin, const Bitset* excluded) {
@@ -103,7 +203,7 @@ void ReachabilityEngine::ComputeInto(AsId origin, const Bitset* excluded, Bitset
   if (reached.size() != graph_.num_ases()) {
     reached.Resize(graph_.num_ases());
   }
-  reached.ResetAll();
+  // No clear needed: RunBfs overwrites the full set.
   RunBfs(origin, excluded, &reached);
 }
 

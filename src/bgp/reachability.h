@@ -43,17 +43,34 @@ class ReachabilityEngine {
   // sweep is allocation-free after the first call.
   std::size_t Count(AsId origin, const Bitset* excluded = nullptr);
 
+  // Forces the internal epoch counter for the wraparound regression test
+  // (2^32 real RunBfs calls are out of reach for a unit test).
+  void SetEpochForTesting(std::uint32_t epoch) { epoch_ = epoch; }
+
  private:
-  // Runs the two-state BFS; records membership into `reached` when
-  // non-null (assumed sized and cleared). Returns the number of reached
-  // nodes, origin included (0 when the origin is excluded).
+  // Runs the two-state BFS; when `reached` is non-null it is overwritten
+  // entirely with the reach set (assumed sized to the graph). Returns the
+  // number of reached nodes, origin included (0 when the origin is
+  // excluded). The exclusion mask is folded into the stamp array up front
+  // (excluded nodes look already-visited), so the inner loops pay one
+  // epoch compare per edge and no per-bit Test.
   std::size_t RunBfs(AsId origin, const Bitset* excluded, Bitset* reached);
 
   const AsGraph& graph_;
-  // 2 bits per node per sweep, epoch-stamped to avoid clearing.
-  std::vector<std::uint32_t> up_epoch_;
-  std::vector<std::uint32_t> down_epoch_;
+  // Visited stamp per node, epoch-numbered to avoid clearing between
+  // sweeps. The up/down BFS stages run strictly in sequence, so one merged
+  // array serves both (stage 1 only ever sees up-state stamps). epoch_
+  // wraps after 2^32 sweeps; RunBfs detects the wrap and resets the stamps
+  // so stale entries from 2^32 calls ago can never collide.
+  std::vector<std::uint32_t> visit_epoch_;
   std::vector<AsId> queue_;
+  // Static id-ordered list of nodes with at least one provider — the only
+  // nodes the bottom-up down-flood ever needs to visit. Built once per
+  // engine so stage 3 starts its first round without an O(n) filter pass.
+  std::vector<AsId> downable_;
+  // Scratch for the bottom-up down-flood: unvisited nodes still waiting
+  // for a visited provider, compacted every round.
+  std::vector<AsId> candidates_;
   std::uint32_t epoch_ = 0;
 };
 

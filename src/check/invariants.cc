@@ -21,7 +21,7 @@ std::optional<std::string> CheckValleyFreeDag(const RouteComputation& computatio
   std::vector<AsId> preds_sorted;
   for (AsId node = 0; node < graph.num_ases(); ++node) {
     const RouteEntry& entry = computation.Route(node);
-    const std::vector<AsId>& preds = computation.Predecessors(node);
+    std::span<const AsId> preds = computation.Predecessors(node);
     if (!entry.HasRoute() || entry.cls == RouteClass::kOrigin) {
       if (!preds.empty()) {
         return StrFormat("%s: %s node has %zu predecessors",
@@ -171,7 +171,7 @@ std::optional<std::string> CheckRelianceConservation(const RouteComputation& com
   // combinatorially, so compare with a relative tolerance once they leave
   // exact double range.
   for (AsId node : computation.NodesByLength()) {
-    const std::vector<AsId>& preds = computation.Predecessors(node);
+    std::span<const AsId> preds = computation.Predecessors(node);
     double sigma = reliance.path_counts[node];
     if (preds.empty()) {
       if (sigma != 1.0) {
@@ -195,7 +195,7 @@ std::optional<std::string> CheckRelianceConservation(const RouteComputation& com
   double reliance_mass = 0.0;
   double expected_intermediates = 0.0;
   for (AsId node : computation.NodesByLength()) {
-    const std::vector<AsId>& preds = computation.Predecessors(node);
+    std::span<const AsId> preds = computation.Predecessors(node);
     if (preds.empty()) continue;
     double acc = 0.0;
     for (AsId pred : preds) acc += reliance.path_counts[pred] * (expected_len[pred] + 1.0);

@@ -1,7 +1,5 @@
 #include "util/bitset.h"
 
-#include "util/error.h"
-
 namespace flatnet {
 
 Bitset::Bitset(std::size_t size, bool value) { Resize(size, value); }
@@ -41,20 +39,26 @@ bool Bitset::Any() const {
   return false;
 }
 
+void Bitset::StoreWord(std::size_t w, std::uint64_t bits) {
+  assert(w < words_.size() && "Bitset::StoreWord: index out of range");
+  words_[w] = bits;
+  if (w + 1 == words_.size()) ClearTail();
+}
+
 Bitset& Bitset::operator|=(const Bitset& other) {
-  if (size_ != other.size_) throw InvalidArgument("Bitset: size mismatch in |=");
+  assert(size_ == other.size_ && "Bitset: size mismatch in |=");
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
   return *this;
 }
 
 Bitset& Bitset::operator&=(const Bitset& other) {
-  if (size_ != other.size_) throw InvalidArgument("Bitset: size mismatch in &=");
+  assert(size_ == other.size_ && "Bitset: size mismatch in &=");
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
   return *this;
 }
 
 Bitset& Bitset::operator-=(const Bitset& other) {
-  if (size_ != other.size_) throw InvalidArgument("Bitset: size mismatch in -=");
+  assert(size_ == other.size_ && "Bitset: size mismatch in -=");
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
   return *this;
 }
@@ -71,7 +75,7 @@ bool Bitset::operator==(const Bitset& other) const {
 }
 
 bool Bitset::IsSubsetOf(const Bitset& other) const {
-  if (size_ != other.size_) throw InvalidArgument("Bitset: size mismatch in IsSubsetOf");
+  assert(size_ == other.size_ && "Bitset: size mismatch in IsSubsetOf");
   for (std::size_t i = 0; i < words_.size(); ++i) {
     if (words_[i] & ~other.words_[i]) return false;
   }
@@ -79,10 +83,30 @@ bool Bitset::IsSubsetOf(const Bitset& other) const {
 }
 
 std::size_t Bitset::CountAnd(const Bitset& other) const {
-  if (size_ != other.size_) throw InvalidArgument("Bitset: size mismatch in CountAnd");
+  assert(size_ == other.size_ && "Bitset: size mismatch in CountAnd");
   std::size_t total = 0;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     total += static_cast<std::size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+std::size_t Bitset::OrCountNew(const Bitset& other) {
+  assert(size_ == other.size_ && "Bitset: size mismatch in OrCountNew");
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t fresh = other.words_[i] & ~words_[i];
+    words_[i] |= other.words_[i];
+    total += static_cast<std::size_t>(__builtin_popcountll(fresh));
+  }
+  return total;
+}
+
+std::size_t Bitset::AndNotCount(const Bitset& other) const {
+  assert(size_ == other.size_ && "Bitset: size mismatch in AndNotCount");
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(__builtin_popcountll(words_[i] & ~other.words_[i]));
   }
   return total;
 }

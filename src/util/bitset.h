@@ -50,11 +50,30 @@ class Bitset {
   bool Any() const;
   bool None() const { return !Any(); }
 
-  // Set algebra; operands must have equal size.
+  // Word-level access for the propagation kernels: word w covers bits
+  // [64w, 64w + 64). StoreWord on the last word masks bits beyond size().
+  std::size_t num_words() const { return words_.size(); }
+  std::uint64_t Word(std::size_t w) const {
+    assert(w < words_.size() && "Bitset::Word: index out of range");
+    return words_[w];
+  }
+  void StoreWord(std::size_t w, std::uint64_t bits);
+
+  // Set algebra; operands must have equal size. Like Test/Set, the size
+  // contract is asserted in debug builds only — the word loops below are
+  // branch-free hot kernels in release, where a mismatched call is
+  // undefined behaviour.
   Bitset& operator|=(const Bitset& other);
   Bitset& operator&=(const Bitset& other);
   Bitset& operator-=(const Bitset& other);  // set difference
   Bitset operator~() const;
+
+  // Fused |= that returns how many bits were newly set, in one pass over
+  // the words (saves a separate Count() sweep in union-accumulate loops).
+  std::size_t OrCountNew(const Bitset& other);
+
+  // |*this & ~other| without materializing the difference.
+  std::size_t AndNotCount(const Bitset& other) const;
 
   bool operator==(const Bitset& other) const;
 

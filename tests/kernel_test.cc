@@ -1,0 +1,119 @@
+// Regression and property tests for the hot propagation kernels: the
+// epoch-stamped BFS in ReachabilityEngine and the SoA route state in
+// RouteComputation. These pin the behaviours the speed pass is allowed to
+// change only bit-identically.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bgp/propagation.h"
+#include "bgp/reachability.h"
+#include "topogen/generate.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace flatnet {
+namespace {
+
+World MakeWorld(std::uint32_t ases, std::uint64_t seed) {
+  GeneratorParams params = GeneratorParams::Era2020(ases);
+  params.seed = seed;
+  return GenerateWorld(params);
+}
+
+// The visited stamps are 32-bit epochs. After 2^32 RunBfs calls the counter
+// wraps to 0 — exactly the value every stamp starts at (and the value any
+// node untouched since the last wrap still holds), so without the wrap
+// reset the whole graph looks already-visited and the BFS silently
+// truncates to the origin alone. The test forces the counter to the wrap
+// boundary on an engine whose stamps still hold stale values and checks
+// every post-wrap sweep against a fresh engine bit for bit (reverting the
+// `++epoch_ == 0` reset in RunBfs fails this immediately).
+TEST(ReachabilityEpochWrap, SweepAfterWrapMatchesFreshEngine) {
+  World world = MakeWorld(600, 7);
+  const AsGraph& graph = world.full_graph;
+  ReachabilityEngine fresh(graph);
+  ReachabilityEngine wrapped(graph);
+  wrapped.SetEpochForTesting(0xffffffffu);
+  for (AsId origin = 0; origin < 64; ++origin) {
+    SCOPED_TRACE(origin);
+    EXPECT_EQ(wrapped.Compute(origin), fresh.Compute(origin));
+    EXPECT_EQ(wrapped.Count(origin), fresh.Count(origin));
+  }
+}
+
+// Recompute() promises results identical to fresh construction while
+// reusing allocations; after the SoA refactor the reset runs through one
+// audited helper, and this test is the guard a forgotten new field fails.
+TEST(RouteComputationReset, RecomputeEqualsFreshConstruction) {
+  World world = MakeWorld(800, 11);
+  const AsGraph& graph = world.full_graph;
+  Rng rng(13);
+  AnnouncementSource first{.node = static_cast<AsId>(rng.UniformU64(graph.num_ases()))};
+  RouteComputation reused(graph, {first});
+  for (int trial = 0; trial < 8; ++trial) {
+    AnnouncementSource victim{.node = static_cast<AsId>(rng.UniformU64(graph.num_ases()))};
+    AnnouncementSource leaker{.node = static_cast<AsId>(rng.UniformU64(graph.num_ases())),
+                              .base_length = 3};
+    std::vector<AnnouncementSource> sources = {victim};
+    if (leaker.node != victim.node && trial % 2 == 0) sources.push_back(leaker);
+    reused.Recompute(sources);
+    RouteComputation scratch(graph, sources);
+    ASSERT_EQ(reused.ReachedCount(), scratch.ReachedCount());
+    ASSERT_EQ(reused.ReachedSet(), scratch.ReachedSet());
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      ASSERT_EQ(reused.CountFromSource(i), scratch.CountFromSource(i));
+    }
+    for (AsId node = 0; node < graph.num_ases(); ++node) {
+      RouteEntry a = reused.Route(node);
+      RouteEntry b = scratch.Route(node);
+      ASSERT_EQ(a.cls, b.cls) << "node " << node;
+      ASSERT_EQ(a.length, b.length) << "node " << node;
+      ASSERT_EQ(a.source_mask, b.source_mask) << "node " << node;
+      std::span<const AsId> ap = reused.Predecessors(node);
+      std::span<const AsId> bp = scratch.Predecessors(node);
+      ASSERT_TRUE(std::equal(ap.begin(), ap.end(), bp.begin(), bp.end())) << "node " << node;
+    }
+  }
+}
+
+// ComputeInto/Count reuse engine scratch (stamps, queue, bottom-up
+// candidate lists) and pick different code paths by reach density; whatever
+// path they take, the results must stay bit-identical to a fresh
+// Compute(). Random origins and random exclusion masks of varying density
+// exercise the dense word-pack, the sparse scatter, and both the top-down
+// and bottom-up stage-3 strategies at several graph sizes.
+TEST(ReachabilityProperty, ReusedEngineMatchesFreshAcrossRandomMasks) {
+  for (std::uint32_t ases : {220u, 900u, 2500u}) {
+    World world = MakeWorld(ases, 17 + ases);
+    const AsGraph& graph = world.full_graph;
+    std::size_t n = graph.num_ases();
+    ReachabilityEngine reused(graph);
+    Bitset into(n);
+    Rng rng(23 + ases);
+    for (int trial = 0; trial < 40; ++trial) {
+      SCOPED_TRACE(trial);
+      AsId origin = static_cast<AsId>(rng.UniformU64(n));
+      const Bitset* excluded = nullptr;
+      Bitset mask(n);
+      if (trial % 3 != 0) {
+        // Densities from a handful of nodes up to half the graph.
+        std::size_t excluded_count = 1 + rng.UniformU64(trial % 2 ? n / 2 : 8);
+        for (std::size_t i = 0; i < excluded_count; ++i) {
+          mask.Set(rng.UniformU64(n));
+        }
+        excluded = &mask;
+      }
+      ReachabilityEngine fresh(graph);
+      Bitset expected = fresh.Compute(origin, excluded);
+      reused.ComputeInto(origin, excluded, into);
+      ASSERT_EQ(into, expected);
+      ASSERT_EQ(reused.Compute(origin, excluded), expected);
+      std::size_t count = expected.Count();
+      ASSERT_EQ(reused.Count(origin, excluded), count > 0 ? count - 1 : 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flatnet
