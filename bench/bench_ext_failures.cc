@@ -2,89 +2,75 @@
 // Tier-1 outage do to a cloud's reachability?
 //
 // The paper argues the clouds' independence from the hierarchy has
-// resilience implications; this drill quantifies them with the
-// message-level BGP engine: originate each network's prefix, take every
-// Tier-1 down in turn (withdrawing all of its adjacencies), and record the
-// destinations lost plus the UPDATE churn of re-convergence. Expected
-// shape: no single Tier-1 failure costs a cloud more than a sliver of the
-// Internet, while a hierarchy-dependent Tier-1 origin (Sprint archetype)
-// loses far more when its Tier-2 lifelines fail.
+// resilience implications; this drill quantifies them with the failure
+// campaign engine (src/failsim): one kTier1 cell per origin evaluates
+// every Tier-1 outage individually (the cell's seeded permutation covers
+// the whole Tier-1 clique), and the worst trial's collateral loss —
+// destinations cut off beyond the failed Tier-1 itself — is reported.
+// Expected shape: no single Tier-1 failure costs a cloud more than a
+// sliver of the Internet, while a hierarchy-dependent Tier-1 origin
+// (Sprint archetype) loses far more when its Tier-2 lifelines fail.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <vector>
 
-#include "bgp/event_engine.h"
 #include "common.h"
+#include "failsim/engine.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 using namespace flatnet;
 
-namespace {
-
-struct DrillResult {
-  std::size_t baseline = 0;
-  std::size_t worst_loss = 0;
-  std::string worst_tier1;
-  std::size_t total_churn = 0;
-};
-
-DrillResult Drill(const Internet& internet, AsId origin) {
-  DrillResult result;
-  {
-    EventBgpEngine engine(internet.graph());
-    engine.Originate(origin);
-    result.baseline = engine.ReachedCount();
-  }
-  for (AsId t1 : internet.tiers().tier1) {
-    if (t1 == origin) continue;
-    EventBgpEngine engine(internet.graph());
-    engine.Originate(origin);
-    std::size_t before_messages = engine.messages_processed();
-    for (const Neighbor& nb : internet.graph().NeighborsOf(t1)) {
-      engine.FailLink(t1, nb.id);
-    }
-    result.total_churn += engine.messages_processed() - before_messages;
-    // Losing the failed Tier-1 itself is expected; count other casualties.
-    std::size_t reached = engine.ReachedCount();
-    std::size_t loss = result.baseline > reached + 1 ? result.baseline - reached - 1 : 0;
-    if (loss > result.worst_loss) {
-      result.worst_loss = loss;
-      result.worst_tier1 = internet.NameOf(t1);
-    }
-  }
-  return result;
-}
-
-}  // namespace
-
 int main() {
-  bench::PrintHeader("bench_ext_failures: Tier-1 outage drill (event-driven BGP)",
+  bench::PrintHeader("bench_ext_failures: Tier-1 outage drill (failure campaign engine)",
                      "extension of §1's resilience motivation");
   const Internet& internet = bench::Internet2020();
 
-  TextTable table;
-  table.AddColumn("origin");
-  table.AddColumn("baseline reach", TextTable::Align::kRight);
-  table.AddColumn("worst T1-outage loss", TextTable::Align::kRight);
-  table.AddColumn("worst case", TextTable::Align::kRight);
-  table.AddColumn("loss %", TextTable::Align::kRight);
+  // One kTier1 cell per origin, sized so every Tier-1 appears exactly once
+  // (origins that are themselves Tier-1s draw one fewer — the permutation
+  // never fails the origin).
+  const char* kOrigins[] = {"Google", "Microsoft", "Amazon", "IBM", "Sprint"};
+  auto trials = static_cast<std::uint32_t>(internet.tiers().tier1.size());
+  std::vector<failsim::FailCellSpec> cells;
+  for (const char* name : kOrigins) {
+    cells.push_back({.origin = bench::IdByName(internet, name),
+                     .scenario = failsim::FailScenario::kTier1,
+                     .severity = 0,
+                     .seed = 1,
+                     .trials = trials});
+  }
+  failsim::FailTable table = failsim::RunFailureCampaign(internet, cells);
+
+  TextTable out;
+  out.AddColumn("origin");
+  out.AddColumn("baseline reach", TextTable::Align::kRight);
+  out.AddColumn("worst T1-outage loss", TextTable::Align::kRight);
+  out.AddColumn("worst case", TextTable::Align::kRight);
+  out.AddColumn("loss %", TextTable::Align::kRight);
 
   double cloud_worst_fraction = 0.0;
   double sprint_fraction = 0.0;
-  for (const char* name : {"Google", "Microsoft", "Amazon", "IBM", "Sprint"}) {
-    AsId origin = bench::IdByName(internet, name);
-    DrillResult result = Drill(internet, origin);
-    double fraction =
-        result.baseline ? static_cast<double>(result.worst_loss) / result.baseline : 0.0;
-    table.AddRow({name, WithCommas(result.baseline), WithCommas(result.worst_loss),
-                  result.worst_tier1, StrFormat("%.2f%%", 100 * fraction)});
-    if (std::string(name) == "Sprint") {
+  for (std::size_t i = 0; i < table.cells.size(); ++i) {
+    const failsim::FailCellResult& cell = table.cells[i];
+    std::size_t worst_trial = 0;
+    for (std::size_t t = 1; t < cell.collected(); ++t) {
+      if (cell.loss_ases[t] > cell.loss_ases[worst_trial]) worst_trial = t;
+    }
+    double fraction = cell.collected() ? cell.loss_ases[worst_trial] : 0.0;
+    auto worst_loss = static_cast<std::uint64_t>(
+        std::llround(fraction * static_cast<double>(cell.baseline)));
+    std::string worst_name =
+        cell.collected() ? internet.NameOf(cell.targets[worst_trial]) : "-";
+    out.AddRow({kOrigins[i], WithCommas(cell.baseline), WithCommas(worst_loss), worst_name,
+                StrFormat("%.2f%%", 100 * fraction)});
+    if (std::string(kOrigins[i]) == "Sprint") {
       sprint_fraction = fraction;
     } else {
       cloud_worst_fraction = std::max(cloud_worst_fraction, fraction);
     }
   }
-  table.Print(stdout);
+  out.Print(stdout);
 
   bench::Expect(cloud_worst_fraction < 0.05,
                 StrFormat("no single Tier-1 outage costs a cloud more than a sliver of its "

@@ -1,0 +1,134 @@
+#include "bgp/hegemony.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/error.h"
+
+namespace flatnet {
+
+HegemonyResult ComputeHegemony(const RouteComputation& computation,
+                               const HegemonyOptions& options) {
+  if (computation.num_sources() != 1) {
+    throw InvalidArgument("ComputeHegemony: requires a single-origin computation");
+  }
+  if (!(options.trim >= 0.0) || options.trim >= 0.5) {
+    throw InvalidArgument("ComputeHegemony: trim must be in [0, 0.5)");
+  }
+  obs::TraceSpan span("bgp.hegemony");
+  static obs::Counter& computes = obs::GetCounter("hegemony.computes");
+  computes.Increment();
+
+  std::size_t n = computation.graph().num_ases();
+  const std::vector<AsId>& order = computation.NodesByLength();
+
+  HegemonyResult result;
+  result.hegemony.assign(n, 0.0);
+
+  // Forward pass (ascending length): σ(v) = Σ σ(pred), σ(origin) = 1.
+  std::vector<double> sigma(n, 0.0);
+  for (AsId node : order) {
+    const auto& preds = computation.Predecessors(node);
+    if (preds.empty()) {
+      sigma[node] = 1.0;  // the origin
+      continue;
+    }
+    double s = 0.0;
+    for (AsId pred : preds) s += sigma[pred];
+    sigma[node] = s;
+  }
+
+  // Position of each reached node in the topological order, for sorting
+  // ancestor cones into reverse-topological order.
+  std::vector<std::uint32_t> pos(n, 0);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = static_cast<std::uint32_t>(i);
+
+  std::size_t num_viewpoints = 0;
+  for (AsId node : order) {
+    if (!computation.Predecessors(node).empty()) ++num_viewpoints;
+  }
+  result.num_viewpoints = num_viewpoints;
+  if (num_viewpoints == 0) return result;
+
+  std::size_t trim_count =
+      static_cast<std::size_t>(std::floor(options.trim * static_cast<double>(num_viewpoints)));
+  if (2 * trim_count >= num_viewpoints) trim_count = (num_viewpoints - 1) / 2;
+  result.trimmed_each_end = trim_count;
+
+  // Per-AS nonzero viewpoint values; a viewpoint not listed saw 0.
+  std::vector<std::vector<double>> values(n);
+  // Epoch-stamped scratch reused across viewpoints.
+  std::vector<std::uint32_t> visit(n, 0);
+  std::vector<double> sigma_rev(n, 0.0);
+  std::vector<AsId> cone;
+  std::uint32_t epoch = 0;
+
+  for (AsId viewpoint : order) {
+    if (computation.Predecessors(viewpoint).empty()) continue;  // origin
+    ++epoch;
+    // Collect the viewpoint's ancestor cone (viewpoint included) by BFS
+    // over predecessor edges; every node on any tied-best path is in it.
+    cone.clear();
+    cone.push_back(viewpoint);
+    visit[viewpoint] = epoch;
+    for (std::size_t head = 0; head < cone.size(); ++head) {
+      for (AsId pred : computation.Predecessors(cone[head])) {
+        if (visit[pred] == epoch) continue;
+        visit[pred] = epoch;
+        cone.push_back(pred);
+      }
+    }
+    // Reverse-topological accumulation: σ_rev(x) = paths x → viewpoint.
+    std::sort(cone.begin(), cone.end(),
+              [&](AsId a, AsId b) { return pos[a] > pos[b]; });
+    sigma_rev[viewpoint] = 1.0;
+    for (AsId node : cone) {
+      double s = sigma_rev[node];
+      for (AsId pred : computation.Predecessors(node)) sigma_rev[pred] += s;
+    }
+    // BC_v(a) = σ(a)·σ_rev(a)/σ(v) for every non-origin ancestor a.
+    double inv = 1.0 / sigma[viewpoint];
+    for (AsId node : cone) {
+      if (!computation.Predecessors(node).empty()) {
+        values[node].push_back(sigma[node] * sigma_rev[node] * inv);
+      }
+      sigma_rev[node] = 0.0;
+    }
+  }
+
+  // Trimmed mean per AS: conceptually prepend the implicit zeros, drop
+  // trim_count values at each end, average the middle.
+  std::size_t kept = num_viewpoints - 2 * trim_count;
+  for (AsId node = 0; node < n; ++node) {
+    std::vector<double>& vals = values[node];
+    if (vals.empty()) continue;
+    std::sort(vals.begin(), vals.end());
+    std::size_t zeros = num_viewpoints - vals.size();
+    // Low trim: zeros absorb it first, then the smallest nonzeros.
+    std::size_t low = trim_count > zeros ? trim_count - zeros : 0;
+    // High trim removes the largest nonzeros.
+    std::size_t high = std::min(trim_count, vals.size());
+    double sum = 0.0;
+    for (std::size_t i = low; i < vals.size() - high; ++i) sum += vals[i];
+    result.hegemony[node] = sum / static_cast<double>(kept);
+  }
+  return result;
+}
+
+std::vector<AsId> HegemonyRanking(const HegemonyResult& result) {
+  std::vector<AsId> ranking;
+  for (AsId node = 0; node < result.hegemony.size(); ++node) {
+    if (result.hegemony[node] > 0.0) ranking.push_back(node);
+  }
+  std::sort(ranking.begin(), ranking.end(), [&](AsId a, AsId b) {
+    if (result.hegemony[a] != result.hegemony[b]) {
+      return result.hegemony[a] > result.hegemony[b];
+    }
+    return a < b;
+  });
+  return ranking;
+}
+
+}  // namespace flatnet

@@ -1,0 +1,57 @@
+// AS hegemony (Fontugne et al., "The (thin) Bridges of AS Connectivity"):
+// per-origin centrality over the tied-best predecessor DAG.
+//
+// Every reachable non-origin AS is a viewpoint. Viewpoint v scores AS a
+// with BC_v(a) = σ_v(a)/σ_v — the fraction of v's tied-best paths to the
+// origin passing through a (BC_v(v) = 1: every path from v passes through
+// v). Hegemony H(a) is the mean of BC_v(a) over viewpoints after
+// discarding the top and bottom `trim` fraction of viewpoint values — the
+// paper's defense against over-counting monitors parked behind one
+// transit. With trim = 0 the mean is exact and ties back to reliance
+// (bgp/reliance.h): H(a) * num_viewpoints == rely(o, a), which the
+// invariant checks in src/check/invariants.cc pin.
+//
+// Computed without materializing the V×V viewpoint matrix: one forward
+// σ pass (shared with reliance), then per viewpoint a reverse path-count
+// accumulation restricted to the viewpoint's ancestor cone, appending
+// only nonzero fractions to each AS's value list. Zeros are implicit, so
+// memory is O(total ancestor-cone size), not O(V²).
+#ifndef FLATNET_BGP_HEGEMONY_H_
+#define FLATNET_BGP_HEGEMONY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "bgp/propagation.h"
+
+namespace flatnet {
+
+struct HegemonyOptions {
+  // Fraction of viewpoints discarded at EACH end before averaging.
+  // Must be in [0, 0.5); 0.1 is the paper's choice. When the campaign is
+  // small the count floor(trim * V) rounds to zero and the mean is plain.
+  double trim = 0.1;
+};
+
+struct HegemonyResult {
+  // H(o, a) per AsId; 0 for the origin itself and unreachable ASes.
+  std::vector<double> hegemony;
+  // Viewpoints scored: reachable non-origin ASes.
+  std::size_t num_viewpoints = 0;
+  // Viewpoint values dropped at each end of every AS's distribution.
+  std::size_t trimmed_each_end = 0;
+};
+
+// `computation` must have exactly one source (the origin). Throws
+// InvalidArgument on a multi-source computation or trim outside [0, 0.5).
+HegemonyResult ComputeHegemony(const RouteComputation& computation,
+                               const HegemonyOptions& options = {});
+
+// Descending-hegemony ranking of the ASes with a positive score, ties
+// broken by ascending AsId — the knockout order used by failure-cascade
+// campaigns and the `hegemony` serve op.
+std::vector<AsId> HegemonyRanking(const HegemonyResult& result);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_BGP_HEGEMONY_H_

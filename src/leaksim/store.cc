@@ -1,42 +1,24 @@
 #include "leaksim/store.h"
 
-#include <unistd.h>
-
 #include <cstring>
-#include <filesystem>
-#include <fstream>
 
 #include "sweep/fingerprint.h"
-#include "util/crc32.h"
+#include "util/colstore.h"
 #include "util/error.h"
 #include "util/strings.h"
 
 namespace flatnet::leaksim {
 namespace {
 
-constexpr char kMagic[8] = {'F', 'N', 'L', 'E', 'A', 'K', '0', '1'};
-constexpr char kEndMagic[8] = {'F', 'N', 'L', 'E', 'A', 'K', 'E', '1'};
-constexpr std::uint32_t kVersion = 1;
+using colstore::Append;
+using colstore::AppendScalar;
+using colstore::ReadScalar;
+
+constexpr colstore::Format kFormat = {"FNLEAK01", "FNLEAKE1", 1, "leak"};
 constexpr std::uint32_t kFlagHasUsers = 1u << 0;
 constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 4 + 4 + 8;
 constexpr std::size_t kCellDescBytes = 4 + 4 + 4 + 4 + 8 + 4 + 4 + 8;
-constexpr std::size_t kFooterBytes = 4 + 8;
-
-void Append(std::string& out, const void* data, std::size_t len) {
-  out.append(static_cast<const char*>(data), len);
-}
-
-template <typename T>
-void AppendScalar(std::string& out, T value) {
-  Append(out, &value, sizeof(value));
-}
-
-template <typename T>
-T ReadScalar(const std::string& bytes, std::size_t offset) {
-  T value;
-  std::memcpy(&value, bytes.data() + offset, sizeof(value));
-  return value;
-}
+constexpr std::size_t kFooterBytes = colstore::kFooterBytes;
 
 std::string Serialize(const LeakTable& table) {
   std::size_t total_trials = 0;
@@ -53,8 +35,7 @@ std::string Serialize(const LeakTable& table) {
   std::string out;
   out.reserve(kHeaderBytes + table.cells.size() * kCellDescBytes +
               columns * total_trials * sizeof(double) + kFooterBytes);
-  Append(out, kMagic, sizeof(kMagic));
-  AppendScalar(out, kVersion);
+  colstore::AppendMagicAndVersion(out, kFormat);
   AppendScalar(out, table.has_users ? kFlagHasUsers : std::uint32_t{0});
   AppendScalar(out, static_cast<std::uint32_t>(table.cells.size()));
   AppendScalar(out, std::uint32_t{0});  // reserved
@@ -75,54 +56,19 @@ std::string Serialize(const LeakTable& table) {
       Append(out, cell.fraction_users.data(), cell.fraction_users.size() * sizeof(double));
     }
   }
-  AppendScalar(out, Crc32(out.data(), out.size()));
-  Append(out, kEndMagic, sizeof(kEndMagic));
+  colstore::AppendFooter(out, kFormat);
   return out;
 }
 
 }  // namespace
 
 void WriteLeakStore(const std::string& path, const LeakTable& table) {
-  std::string bytes = Serialize(table);
-  std::string tmp = StrFormat("%s.tmp%d", path.c_str(), static_cast<int>(::getpid()));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw Error("WriteLeakStore: cannot write " + tmp);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) {
-      std::error_code ec;
-      std::filesystem::remove(tmp, ec);
-      throw Error("WriteLeakStore: write failure on " + tmp);
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    throw Error(StrFormat("WriteLeakStore: publish to %s failed: %s", path.c_str(),
-                          ec.message().c_str()));
-  }
+  colstore::AtomicWriteFile(path, Serialize(table), "WriteLeakStore");
 }
 
 LeakStore LeakStore::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("LeakStore: cannot open " + path);
-  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-  if (!in.good() && !in.eof()) throw Error("LeakStore: read failure on " + path);
-
-  if (bytes.size() < kHeaderBytes + kFooterBytes) {
-    throw Error(StrFormat("%s:0: truncated leak store (%zu bytes, header+footer need %zu)",
-                          path.c_str(), bytes.size(), kHeaderBytes + kFooterBytes));
-  }
-  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
-    throw Error(StrFormat("%s:0: bad magic (not a leak store)", path.c_str()));
-  }
-  std::uint32_t version = ReadScalar<std::uint32_t>(bytes, 8);
-  if (version != kVersion) {
-    throw Error(StrFormat("%s:8: unsupported leak store version %u (expected %u)",
-                          path.c_str(), version, kVersion));
-  }
+  std::string bytes = colstore::ReadFileBytes(path, "LeakStore");
+  colstore::CheckHeader(path, bytes, kFormat, kHeaderBytes + kFooterBytes);
   std::uint32_t flags = ReadScalar<std::uint32_t>(bytes, 12);
   if ((flags & ~kFlagHasUsers) != 0) {
     throw Error(StrFormat("%s:12: unknown flags 0x%x", path.c_str(), flags));
@@ -180,17 +126,7 @@ LeakStore LeakStore::Load(const std::string& path) {
                           "imply %zu)",
                           path.c_str(), descs_end, bytes.size(), expected));
   }
-  std::size_t footer = bytes.size() - kFooterBytes;
-  if (std::memcmp(bytes.data() + footer + 4, kEndMagic, sizeof(kEndMagic)) != 0) {
-    throw Error(StrFormat("%s:%zu: bad end magic (torn or overwritten footer)", path.c_str(),
-                          footer + 4));
-  }
-  std::uint32_t stored_crc = ReadScalar<std::uint32_t>(bytes, footer);
-  std::uint32_t actual_crc = Crc32(bytes.data(), footer);
-  if (stored_crc != actual_crc) {
-    throw Error(StrFormat("%s:%zu: CRC mismatch (stored 0x%08x, computed 0x%08x)",
-                          path.c_str(), footer, stored_crc, actual_crc));
-  }
+  colstore::CheckFooter(path, bytes, kFormat);
 
   std::size_t offset = descs_end;
   for (LeakCellResult& cell : table.cells) {

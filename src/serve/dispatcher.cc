@@ -10,6 +10,7 @@
 
 #include <cstdlib>
 
+#include "bgp/hegemony.h"
 #include "bgp/propagation.h"
 #include "bgp/reliance.h"
 #include "obs/log.h"
@@ -48,6 +49,8 @@ obs::Histogram& LatencyHistogram(QueryKind kind) {
       &obs::GetHistogram("serve.leakdist.latency_ms", bounds),
       &obs::GetHistogram("serve.metrics.latency_ms", bounds),
       &obs::GetHistogram("serve.debug.latency_ms", bounds),
+      &obs::GetHistogram("serve.hegemony.latency_ms", bounds),
+      &obs::GetHistogram("serve.failure.latency_ms", bounds),
   };
   return *histograms[static_cast<std::size_t>(kind)];
 }
@@ -62,6 +65,8 @@ obs::Counter& OpRequests(QueryKind kind) {
       &obs::GetCounter("serve.leakdist.requests"),
       &obs::GetCounter("serve.metrics.requests"),
       &obs::GetCounter("serve.debug.requests"),
+      &obs::GetCounter("serve.hegemony.requests"),
+      &obs::GetCounter("serve.failure.requests"),
   };
   return *counters[static_cast<std::size_t>(kind)];
 }
@@ -76,6 +81,8 @@ obs::Counter& OpErrors(QueryKind kind) {
       &obs::GetCounter("serve.leakdist.errors"),
       &obs::GetCounter("serve.metrics.errors"),
       &obs::GetCounter("serve.debug.errors"),
+      &obs::GetCounter("serve.hegemony.errors"),
+      &obs::GetCounter("serve.failure.errors"),
   };
   return *counters[static_cast<std::size_t>(kind)];
 }
@@ -177,6 +184,45 @@ void Dispatcher::AttachLeakStore(leaksim::LeakStore store, const std::string& pa
       .Kv("cells", static_cast<std::uint64_t>(leak_store_.num_cells()));
 }
 
+void Dispatcher::AttachFailStore(failsim::FailStore store, const std::string& path) {
+  store.ValidateAgainst(internet_);
+  fail_store_ = std::move(store);
+  fail_path_ = path;
+  fail_sorted_.clear();
+  fail_sorted_.reserve(fail_store_.num_cells());
+  hegemony_rankings_.clear();
+  for (std::size_t i = 0; i < fail_store_.num_cells(); ++i) {
+    const failsim::FailCellResult& cell = fail_store_.cell(i);
+    FailSortedCell sorted;
+    sorted.loss_ases = cell.loss_ases;
+    std::sort(sorted.loss_ases.begin(), sorted.loss_ases.end());
+    sorted.disconnected = cell.disconnected;
+    std::sort(sorted.disconnected.begin(), sorted.disconnected.end());
+    sorted.loss_users = cell.loss_users;
+    std::sort(sorted.loss_users.begin(), sorted.loss_users.end());
+    fail_sorted_.push_back(std::move(sorted));
+    hegemony_rankings_.emplace(cell.spec.origin, HegemonyRank{});
+  }
+  // One hegemony computation per distinct origin — milliseconds each, so
+  // attach stays cheap and every `hegemony` query is a prefix copy.
+  for (auto& [origin, rank] : hegemony_rankings_) {
+    AnnouncementSource source;
+    source.node = origin;
+    RouteComputation computation(internet_.graph(), {source});
+    HegemonyResult result = ComputeHegemony(computation);
+    rank.ranking = HegemonyRanking(result);
+    rank.scores.reserve(rank.ranking.size());
+    for (AsId a : rank.ranking) rank.scores.push_back(result.hegemony[a]);
+    rank.num_viewpoints = result.num_viewpoints;
+    rank.trimmed_each_end = result.trimmed_each_end;
+  }
+  fail_loaded_ = true;
+  obs::Log(obs::LogLevel::kInfo, "serve", "fail_store.attached")
+      .Kv("path", path)
+      .Kv("cells", static_cast<std::uint64_t>(fail_store_.num_cells()))
+      .Kv("origins", static_cast<std::uint64_t>(hegemony_rankings_.size()));
+}
+
 AsId Dispatcher::ResolveAsn(Asn asn, const char* field) const {
   auto id = internet_.graph().IdOf(asn);
   if (!id) {
@@ -247,6 +293,8 @@ void Dispatcher::Handle(const std::string& line, std::function<void(std::string)
         case QueryKind::kLeakDist: result = ExecuteLeakDist(request); break;
         case QueryKind::kMetrics: result = ExecuteMetrics(request); break;
         case QueryKind::kDebug: result = ExecuteDebug(request); break;
+        case QueryKind::kHegemony: result = ExecuteHegemony(request); break;
+        case QueryKind::kFailure: result = ExecuteFailure(request); break;
         default: break;
       }
       if (trace != nullptr) trace->Mark("execute");
@@ -384,6 +432,8 @@ std::string Dispatcher::Execute(const Request& request, const CancelToken* cance
     case QueryKind::kLeakDist: return ExecuteLeakDist(request);
     case QueryKind::kMetrics: return ExecuteMetrics(request);
     case QueryKind::kDebug: return ExecuteDebug(request);
+    case QueryKind::kHegemony: return ExecuteHegemony(request);
+    case QueryKind::kFailure: return ExecuteFailure(request);
     case QueryKind::kStatus: break;
   }
   throw ProtocolError(ErrorCode::kInternal, "unreachable op");
@@ -628,6 +678,97 @@ std::string Dispatcher::ExecuteLeakDist(const Request& request) const {
   return result.Dump();
 }
 
+std::string Dispatcher::ExecuteHegemony(const Request& request) const {
+  if (!fail_loaded_) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "no fail store loaded (run flatnet_failsim, then start the "
+                        "server with --fail)");
+  }
+  AsId origin = ResolveAsn(request.origin, "origin");
+  auto it = hegemony_rankings_.find(origin);
+  if (it == hegemony_rankings_.end()) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        StrFormat("the loaded fail store has no cells for origin AS%u",
+                                  request.origin));
+  }
+  const HegemonyRank& rank = it->second;
+
+  std::size_t k = std::min(request.top_k, rank.ranking.size());
+  Json top = Json::MakeArray();
+  for (std::size_t i = 0; i < k; ++i) {
+    AsId id = rank.ranking[i];
+    Json entry = Json::MakeObject();
+    entry["asn"] = internet_.graph().AsnOf(id);
+    entry["hegemony"] = rank.scores[i];
+    entry["name"] = internet_.NameOf(id);
+    top.Append(std::move(entry));
+  }
+  Json result = Json::MakeObject();
+  result["k"] = static_cast<std::uint64_t>(request.top_k);
+  result["num_viewpoints"] = static_cast<std::uint64_t>(rank.num_viewpoints);
+  result["origin"] = request.origin;
+  result["top"] = std::move(top);
+  result["trimmed_each_end"] = static_cast<std::uint64_t>(rank.trimmed_each_end);
+  return result.Dump();
+}
+
+std::string Dispatcher::ExecuteFailure(const Request& request) const {
+  if (!fail_loaded_) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "no fail store loaded (run flatnet_failsim, then start the "
+                        "server with --fail)");
+  }
+  AsId origin = ResolveAsn(request.origin, "origin");
+  std::size_t cell_index = fail_store_.FindCell(origin, request.fail_scenario);
+  if (cell_index == failsim::FailStore::npos) {
+    throw ProtocolError(
+        ErrorCode::kBadRequest,
+        StrFormat("the loaded fail store has no cell for origin AS%u, scenario '%s'",
+                  request.origin, failsim::ToString(request.fail_scenario)));
+  }
+  if (request.fail_column == FailColumn::kLossUsers && !fail_store_.has_users()) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "the loaded fail store has no user-weighted column (rerun "
+                        "flatnet_failsim with --users)");
+  }
+  const failsim::FailCellResult& cell = fail_store_.cell(cell_index);
+  const FailSortedCell& cell_sorted = fail_sorted_[cell_index];
+  const std::vector<double>* sorted = &cell_sorted.loss_ases;
+  switch (request.fail_column) {
+    case FailColumn::kLossAses: break;
+    case FailColumn::kDisconnected: sorted = &cell_sorted.disconnected; break;
+    case FailColumn::kLossUsers: sorted = &cell_sorted.loss_users; break;
+  }
+
+  static const std::vector<double> kDefaultQuantiles{0.5, 0.9, 0.99};
+  const std::vector<double>& qs =
+      request.quantiles.empty() ? kDefaultQuantiles : request.quantiles;
+
+  double mean = sorted->empty() ? 0.0
+                                : std::accumulate(sorted->begin(), sorted->end(), 0.0) /
+                                      static_cast<double>(sorted->size());
+  Json quantiles = Json::MakeArray();
+  for (double q : qs) {
+    Json entry = Json::MakeObject();
+    entry["q"] = q;
+    entry["value"] = SortedQuantile(*sorted, q);
+    quantiles.Append(std::move(entry));
+  }
+
+  Json result = Json::MakeObject();
+  result["baseline"] = static_cast<std::uint64_t>(cell.baseline);
+  result["collected"] = static_cast<std::uint64_t>(cell.collected());
+  result["column"] = ToString(request.fail_column);
+  result["mean"] = mean;
+  result["origin"] = request.origin;
+  result["quantiles"] = std::move(quantiles);
+  result["requested"] = static_cast<std::uint64_t>(cell.spec.trials);
+  result["scenario"] = failsim::ToString(request.fail_scenario);
+  result["severity"] = cell.spec.severity;
+  result["under_collected"] = cell.UnderCollected();
+  return result.Dump();
+}
+
 std::string Dispatcher::ExecuteMetrics(const Request& request) const {
   Json result = Json::MakeObject();
   if (request.prometheus) {
@@ -704,8 +845,42 @@ std::string Dispatcher::StatusResult() {
     leak_store["victims"] = std::move(victim_list);
   }
 
+  Json fail_store = Json::MakeObject();
+  fail_store["loaded"] = fail_loaded_;
+  if (fail_loaded_) {
+    fail_store["cells"] = static_cast<std::uint64_t>(fail_store_.num_cells());
+    fail_store["has_users"] = fail_store_.has_users();
+    fail_store["path"] = fail_path_;
+    // Distinct origin ASNs, ascending — the origins `hegemony` and
+    // `failure` can answer for, discoverable without a topology scan.
+    std::vector<Asn> origins;
+    origins.reserve(hegemony_rankings_.size());
+    for (const auto& [id, rank] : hegemony_rankings_) {
+      origins.push_back(internet_.graph().AsnOf(id));
+    }
+    std::sort(origins.begin(), origins.end());
+    Json origin_list = Json::MakeArray();
+    for (Asn asn : origins) origin_list.Append(Json(asn));
+    fail_store["origins"] = std::move(origin_list);
+    // Distinct scenario slugs in enum order. CLI-produced stores hold the
+    // full origins x scenarios cross-product, so a client can combine the
+    // two lists freely.
+    Json scenario_list = Json::MakeArray();
+    for (std::size_t s = 0; s < failsim::kNumFailScenarios; ++s) {
+      auto scenario = static_cast<failsim::FailScenario>(s);
+      for (std::size_t i = 0; i < fail_store_.num_cells(); ++i) {
+        if (fail_store_.cell(i).spec.scenario == scenario) {
+          scenario_list.Append(Json(failsim::ToString(scenario)));
+          break;
+        }
+      }
+    }
+    fail_store["scenarios"] = std::move(scenario_list);
+  }
+
   Json result = Json::MakeObject();
   result["cache"] = std::move(cache);
+  result["fail_store"] = std::move(fail_store);
   result["inflight"] = static_cast<std::int64_t>(inflight());
   result["leak_store"] = std::move(leak_store);
   result["metrics"] = obs::ObservabilitySnapshot();

@@ -30,10 +30,12 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/internet.h"
+#include "failsim/store.h"
 #include "leaksim/store.h"
 #include "serve/cache.h"
 #include "serve/protocol.h"
@@ -82,6 +84,16 @@ class Dispatcher {
   void AttachLeakStore(leaksim::LeakStore store, const std::string& path);
   bool has_leak_store() const { return leak_loaded_; }
 
+  // Attaches a loaded failure-campaign store: pre-sorts every cell's
+  // damage columns so a `failure` query is a rank lookup, and computes
+  // the hegemony ranking for every distinct cell origin so a `hegemony`
+  // query is a prefix copy (the scores live on the current topology, not
+  // in the store — attach re-derives them deterministically). Validates
+  // the store's fingerprint against this topology — a mismatch throws and
+  // nothing is attached. Same threading contract as AttachSweepStore.
+  void AttachFailStore(failsim::FailStore store, const std::string& path);
+  bool has_fail_store() const { return fail_loaded_; }
+
   // Handles one request line. `done` receives exactly one response line
   // (no trailing newline) — inline for parse errors, cache hits, status,
   // and overload rejections; on a pool thread for computed queries. `done`
@@ -121,6 +133,8 @@ class Dispatcher {
   std::string ExecuteLeakDist(const Request& request) const;
   std::string ExecuteMetrics(const Request& request) const;
   std::string ExecuteDebug(const Request& request) const;
+  std::string ExecuteHegemony(const Request& request) const;
+  std::string ExecuteFailure(const Request& request) const;
   std::string StatusResult();
 
   // Delivers a successful response: attaches the timing field when the
@@ -158,6 +172,27 @@ class Dispatcher {
   bool leak_loaded_ = false;
   std::string leak_path_;
   std::vector<std::vector<double>> leak_sorted_;
+
+  // Failure-campaign store state (immutable once attached). Each cell's
+  // damage columns ascending-sorted for quantile lookups, plus one
+  // hegemony ranking per distinct cell origin (score descending, ASN
+  // ascending — positive-score ASes only), computed at attach time.
+  failsim::FailStore fail_store_;
+  bool fail_loaded_ = false;
+  std::string fail_path_;
+  struct FailSortedCell {
+    std::vector<double> loss_ases;
+    std::vector<double> disconnected;
+    std::vector<double> loss_users;  // empty unless the store has_users
+  };
+  std::vector<FailSortedCell> fail_sorted_;
+  struct HegemonyRank {
+    std::vector<AsId> ranking;
+    std::vector<double> scores;  // parallel to `ranking`
+    std::size_t num_viewpoints = 0;
+    std::size_t trimmed_each_end = 0;
+  };
+  std::map<AsId, HegemonyRank> hegemony_rankings_;
 };
 
 }  // namespace flatnet::serve

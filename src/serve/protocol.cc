@@ -121,6 +121,39 @@ std::vector<double> QuantilesField(const Json& value) {
   return quantiles;
 }
 
+// Scenario slugs mirror failsim::ToString / flatnet_failsim's --scenarios
+// spellings.
+failsim::FailScenario FailScenarioField(const Json& value) {
+  const std::string* text = nullptr;
+  try {
+    text = &value.AsString();
+  } catch (const Error&) {
+  }
+  if (text != nullptr) {
+    if (*text == "single_as") return failsim::FailScenario::kSingleAs;
+    if (*text == "tier1") return failsim::FailScenario::kTier1;
+    if (*text == "hegemony_cascade") return failsim::FailScenario::kHegemonyCascade;
+    if (*text == "link_set") return failsim::FailScenario::kLinkSet;
+  }
+  throw ProtocolError(ErrorCode::kBadRequest,
+                      "'scenario' must be one of single_as|tier1|hegemony_cascade|link_set");
+}
+
+FailColumn FailColumnField(const Json& value) {
+  const std::string* text = nullptr;
+  try {
+    text = &value.AsString();
+  } catch (const Error&) {
+  }
+  if (text != nullptr) {
+    if (*text == "loss_ases") return FailColumn::kLossAses;
+    if (*text == "disconnected") return FailColumn::kDisconnected;
+    if (*text == "loss_users") return FailColumn::kLossUsers;
+  }
+  throw ProtocolError(ErrorCode::kBadRequest,
+                      "'column' must be one of loss_ases|disconnected|loss_users");
+}
+
 LeakModel ModelField(const Json& value) {
   const std::string* text = nullptr;
   try {
@@ -169,8 +202,19 @@ const char* ToString(QueryKind kind) {
     case QueryKind::kLeakDist: return "leakdist";
     case QueryKind::kMetrics: return "metrics";
     case QueryKind::kDebug: return "debug";
+    case QueryKind::kHegemony: return "hegemony";
+    case QueryKind::kFailure: return "failure";
   }
   return "status";
+}
+
+const char* ToString(FailColumn column) {
+  switch (column) {
+    case FailColumn::kLossAses: return "loss_ases";
+    case FailColumn::kDisconnected: return "disconnected";
+    case FailColumn::kLossUsers: return "loss_users";
+  }
+  return "loss_ases";
 }
 
 const char* ToString(ReachMode mode) {
@@ -222,6 +266,10 @@ Request RequestFromJson(const Json& doc) {
     request.kind = QueryKind::kMetrics;
   } else if (op == "debug") {
     request.kind = QueryKind::kDebug;
+  } else if (op == "hegemony") {
+    request.kind = QueryKind::kHegemony;
+  } else if (op == "failure") {
+    request.kind = QueryKind::kFailure;
   } else {
     throw ProtocolError(ErrorCode::kUnknownOp, "unknown op '" + op + "'");
   }
@@ -384,6 +432,39 @@ Request RequestFromJson(const Json& doc) {
           handled = true;
         }
         break;
+      case QueryKind::kHegemony:
+        if (key == "origin") {
+          request.origin = AsnField(value, "origin");
+          have_origin = handled = true;
+        } else if (key == "k") {
+          std::uint64_t k;
+          try {
+            k = value.AsU64();
+          } catch (const Error&) {
+            throw ProtocolError(ErrorCode::kBadRequest, "'k' must be a positive integer");
+          }
+          if (k == 0 || k > 100'000) {
+            throw ProtocolError(ErrorCode::kBadRequest, "'k' must be in [1, 100000]");
+          }
+          request.top_k = static_cast<std::size_t>(k);
+          handled = true;
+        }
+        break;
+      case QueryKind::kFailure:
+        if (key == "origin") {
+          request.origin = AsnField(value, "origin");
+          have_origin = handled = true;
+        } else if (key == "scenario") {
+          request.fail_scenario = FailScenarioField(value);
+          handled = true;
+        } else if (key == "column") {
+          request.fail_column = FailColumnField(value);
+          handled = true;
+        } else if (key == "q") {
+          request.quantiles = QuantilesField(value);
+          handled = true;
+        }
+        break;
       case QueryKind::kStatus:
         break;
     }
@@ -396,6 +477,8 @@ Request RequestFromJson(const Json& doc) {
   switch (request.kind) {
     case QueryKind::kReach:
     case QueryKind::kReliance:
+    case QueryKind::kHegemony:
+    case QueryKind::kFailure:
       if (!have_origin) {
         throw ProtocolError(ErrorCode::kBadRequest, "missing required field 'origin'");
       }
@@ -431,6 +514,8 @@ std::string CacheKey(const Request& request) {
     case QueryKind::kLeakDist:
     case QueryKind::kMetrics:
     case QueryKind::kDebug:
+    case QueryKind::kHegemony:
+    case QueryKind::kFailure:
       return key;  // answered inline, never cached
     case QueryKind::kReach:
       key = "reach|o=";

@@ -30,6 +30,17 @@
 //    "model":"reannounce"|"originate",
 //    "q":[<quantile in [0,1]>...],
 //    "id":<any>}
+//   {"op":"hegemony","origin":<asn>,         top-k transit ASes by hegemony
+//    "k":<n>,"id":<any>}                     score for a fail-store origin
+//                                            (rankings precomputed at attach
+//                                            time; inline, no propagation)
+//   {"op":"failure","origin":<asn>,          damage percentiles from the
+//    "scenario":"single_as"|"tier1"|         loaded failure-campaign store
+//               "hegemony_cascade"|          (inline, no simulation)
+//               "link_set",
+//    "column":"loss_ases"|"disconnected"|"loss_users",
+//    "q":[<quantile in [0,1]>...],
+//    "id":<any>}
 //   {"op":"status","id":<any>}               uptime, cache + obs snapshot
 //   {"op":"metrics","id":<any>,              full metrics registry snapshot
 //    "format":"json"|"prometheus"}           (inline; "prometheus" wraps the
@@ -65,6 +76,7 @@
 #include "bgp/leak.h"
 #include "bgp/policy.h"
 #include "core/leak_scenarios.h"
+#include "failsim/store.h"
 #include "util/error.h"
 #include "util/json.h"
 
@@ -102,9 +114,11 @@ enum class QueryKind : std::uint8_t {
   kLeakDist,
   kMetrics,
   kDebug,
+  kHegemony,
+  kFailure,
 };
 
-inline constexpr std::size_t kNumQueryKinds = 8;
+inline constexpr std::size_t kNumQueryKinds = 10;
 
 const char* ToString(QueryKind kind);
 
@@ -118,6 +132,15 @@ enum class ReachMode : std::uint8_t {
 };
 
 const char* ToString(ReachMode mode);
+
+// Which per-trial damage column a `failure` query reports percentiles of.
+enum class FailColumn : std::uint8_t {
+  kLossAses,      // collateral loss fraction of baseline
+  kDisconnected,  // absolute ASes cut off (knocked-out ASes included)
+  kLossUsers,     // user-weighted collateral fraction (has_users stores)
+};
+
+const char* ToString(FailColumn column);
 
 // One parsed, canonicalized request. AS lists are sorted and deduplicated
 // at parse time so equal queries produce equal cache keys.
@@ -153,6 +176,9 @@ struct Request {
   // Empty `quantiles` means the server default (0.5, 0.9, 0.99).
   LeakScenario scenario = LeakScenario::kAnnounceAll;
   std::vector<double> quantiles;
+  // failure: which failure-campaign cell and which damage column.
+  failsim::FailScenario fail_scenario = failsim::FailScenario::kSingleAs;
+  FailColumn fail_column = FailColumn::kLossAses;
 };
 
 // Parses one request line (JSON text). Throws ProtocolError on malformed
@@ -165,8 +191,8 @@ Request RequestFromJson(const Json& doc);
 
 // Canonical result-cache key: everything that affects the result — kind,
 // origin(s), canonicalized option sets — and nothing that does not (id,
-// deadline, timing). Empty for status, top, leakdist, metrics, and debug,
-// which are answered inline and never cached.
+// deadline, timing). Empty for status, top, leakdist, metrics, debug,
+// hegemony, and failure, which are answered inline and never cached.
 std::string CacheKey(const Request& request);
 
 // Response encoders. `result_json` is a compact JSON object embedded

@@ -1,40 +1,22 @@
 #include "sweep/store.h"
 
-#include <unistd.h>
-
 #include <cstring>
-#include <filesystem>
-#include <fstream>
 
 #include "sweep/fingerprint.h"
-#include "util/crc32.h"
+#include "util/colstore.h"
 #include "util/error.h"
 #include "util/strings.h"
 
 namespace flatnet::sweep {
 namespace {
 
-constexpr char kMagic[8] = {'F', 'N', 'S', 'W', 'E', 'E', 'P', '1'};
-constexpr char kEndMagic[8] = {'F', 'N', 'S', 'W', 'E', 'E', 'P', 'E'};
-constexpr std::uint32_t kVersion = 1;
+using colstore::Append;
+using colstore::AppendScalar;
+using colstore::ReadScalar;
+
+constexpr colstore::Format kFormat = {"FNSWEEP1", "FNSWEEPE", 1, "sweep"};
 constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8 + 4;
-constexpr std::size_t kFooterBytes = 4 + 8;
-
-void Append(std::string& out, const void* data, std::size_t len) {
-  out.append(static_cast<const char*>(data), len);
-}
-
-template <typename T>
-void AppendScalar(std::string& out, T value) {
-  Append(out, &value, sizeof(value));
-}
-
-template <typename T>
-T ReadScalar(const std::string& bytes, std::size_t offset) {
-  T value;
-  std::memcpy(&value, bytes.data() + offset, sizeof(value));
-  return value;
-}
+constexpr std::size_t kFooterBytes = colstore::kFooterBytes;
 
 std::string Serialize(const SweepTable& table) {
   std::string out;
@@ -43,8 +25,7 @@ std::string Serialize(const SweepTable& table) {
     if (table.columns & (1u << c)) body += table.num_origins * sizeof(std::uint32_t);
   }
   out.reserve(kHeaderBytes + body + kFooterBytes);
-  Append(out, kMagic, sizeof(kMagic));
-  AppendScalar(out, kVersion);
+  colstore::AppendMagicAndVersion(out, kFormat);
   AppendScalar(out, table.columns);
   AppendScalar(out, static_cast<std::uint64_t>(table.num_origins));
   AppendScalar(out, table.fingerprint);
@@ -59,8 +40,7 @@ std::string Serialize(const SweepTable& table) {
     }
     Append(out, column.data(), column.size() * sizeof(std::uint32_t));
   }
-  AppendScalar(out, Crc32(out.data(), out.size()));
-  Append(out, kEndMagic, sizeof(kEndMagic));
+  colstore::AppendFooter(out, kFormat);
   return out;
 }
 
@@ -90,46 +70,12 @@ std::vector<std::uint32_t>& SweepTable::MutableColumn(SweepColumn c) {
 }
 
 void WriteSweepStore(const std::string& path, const SweepTable& table) {
-  std::string bytes = Serialize(table);
-  std::string tmp = StrFormat("%s.tmp%d", path.c_str(), static_cast<int>(::getpid()));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw Error("WriteSweepStore: cannot write " + tmp);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) {
-      std::error_code ec;
-      std::filesystem::remove(tmp, ec);
-      throw Error("WriteSweepStore: write failure on " + tmp);
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    throw Error(StrFormat("WriteSweepStore: publish to %s failed: %s", path.c_str(),
-                          ec.message().c_str()));
-  }
+  colstore::AtomicWriteFile(path, Serialize(table), "WriteSweepStore");
 }
 
 SweepStore SweepStore::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("SweepStore: cannot open " + path);
-  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-  if (!in.good() && !in.eof()) throw Error("SweepStore: read failure on " + path);
-
-  if (bytes.size() < kHeaderBytes + kFooterBytes) {
-    throw Error(StrFormat("%s:0: truncated sweep store (%zu bytes, header+footer need %zu)",
-                          path.c_str(), bytes.size(), kHeaderBytes + kFooterBytes));
-  }
-  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
-    throw Error(StrFormat("%s:0: bad magic (not a sweep store)", path.c_str()));
-  }
-  std::uint32_t version = ReadScalar<std::uint32_t>(bytes, 8);
-  if (version != kVersion) {
-    throw Error(StrFormat("%s:8: unsupported sweep store version %u (expected %u)",
-                          path.c_str(), version, kVersion));
-  }
+  std::string bytes = colstore::ReadFileBytes(path, "SweepStore");
+  colstore::CheckHeader(path, bytes, kFormat, kHeaderBytes + kFooterBytes);
   SweepTable table;
   table.columns = ReadScalar<std::uint32_t>(bytes, 12);
   table.num_origins = static_cast<std::size_t>(ReadScalar<std::uint64_t>(bytes, 16));
@@ -148,17 +94,7 @@ SweepStore SweepStore::Load(const std::string& path) {
                           "implies %zu)",
                           path.c_str(), bytes.size(), bytes.size(), expected));
   }
-  std::size_t footer = bytes.size() - kFooterBytes;
-  if (std::memcmp(bytes.data() + footer + 4, kEndMagic, sizeof(kEndMagic)) != 0) {
-    throw Error(StrFormat("%s:%zu: bad end magic (torn or overwritten footer)", path.c_str(),
-                          footer + 4));
-  }
-  std::uint32_t stored_crc = ReadScalar<std::uint32_t>(bytes, footer);
-  std::uint32_t actual_crc = Crc32(bytes.data(), footer);
-  if (stored_crc != actual_crc) {
-    throw Error(StrFormat("%s:%zu: CRC mismatch (stored 0x%08x, computed 0x%08x)",
-                          path.c_str(), footer, stored_crc, actual_crc));
-  }
+  colstore::CheckFooter(path, bytes, kFormat);
 
   std::size_t offset = kHeaderBytes;
   for (std::size_t c = 0; c < kNumSweepColumns; ++c) {

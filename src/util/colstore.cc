@@ -1,0 +1,90 @@
+#include "util/colstore.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/crc32.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace flatnet::colstore {
+
+void Append(std::string& out, const void* data, std::size_t len) {
+  out.append(static_cast<const char*>(data), len);
+}
+
+void AppendMagicAndVersion(std::string& out, const Format& format) {
+  Append(out, format.magic, kMagicBytes);
+  AppendScalar(out, format.version);
+}
+
+void AppendFooter(std::string& out, const Format& format) {
+  AppendScalar(out, Crc32(out.data(), out.size()));
+  Append(out, format.end_magic, kMagicBytes);
+}
+
+void AtomicWriteFile(const std::string& path, const std::string& bytes, const char* op) {
+  std::string tmp = StrFormat("%s.tmp%d", path.c_str(), static_cast<int>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error(StrFormat("%s: cannot write %s", op, tmp.c_str()));
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw Error(StrFormat("%s: write failure on %s", op, tmp.c_str()));
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw Error(StrFormat("%s: publish to %s failed: %s", op, path.c_str(),
+                          ec.message().c_str()));
+  }
+}
+
+std::string ReadFileBytes(const std::string& path, const char* label) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error(StrFormat("%s: cannot open %s", label, path.c_str()));
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    throw Error(StrFormat("%s: read failure on %s", label, path.c_str()));
+  }
+  return bytes;
+}
+
+void CheckHeader(const std::string& path, const std::string& bytes, const Format& format,
+                 std::size_t min_bytes) {
+  if (bytes.size() < min_bytes) {
+    throw Error(StrFormat("%s:0: truncated %s store (%zu bytes, header+footer need %zu)",
+                          path.c_str(), format.kind, bytes.size(), min_bytes));
+  }
+  if (std::memcmp(bytes.data(), format.magic, kMagicBytes) != 0) {
+    throw Error(StrFormat("%s:0: bad magic (not a %s store)", path.c_str(), format.kind));
+  }
+  std::uint32_t version = ReadScalar<std::uint32_t>(bytes, kMagicBytes);
+  if (version != format.version) {
+    throw Error(StrFormat("%s:%zu: unsupported %s store version %u (expected %u)",
+                          path.c_str(), kMagicBytes, format.kind, version, format.version));
+  }
+}
+
+void CheckFooter(const std::string& path, const std::string& bytes, const Format& format) {
+  std::size_t footer = bytes.size() - kFooterBytes;
+  if (std::memcmp(bytes.data() + footer + 4, format.end_magic, kMagicBytes) != 0) {
+    throw Error(StrFormat("%s:%zu: bad end magic (torn or overwritten footer)", path.c_str(),
+                          footer + 4));
+  }
+  std::uint32_t stored_crc = ReadScalar<std::uint32_t>(bytes, footer);
+  std::uint32_t actual_crc = Crc32(bytes.data(), footer);
+  if (stored_crc != actual_crc) {
+    throw Error(StrFormat("%s:%zu: CRC mismatch (stored 0x%08x, computed 0x%08x)",
+                          path.c_str(), footer, stored_crc, actual_crc));
+  }
+}
+
+}  // namespace flatnet::colstore

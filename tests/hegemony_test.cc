@@ -1,0 +1,247 @@
+// Tests for AS hegemony (src/bgp/hegemony.h): agreement with a
+// brute-force tied-best path enumerator on handcrafted graphs, the
+// viewpoint-trimming boundaries, the trim = 0 conservation identity
+// against reliance, and the ranking order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "asgraph/as_graph.h"
+#include "bgp/hegemony.h"
+#include "bgp/propagation.h"
+#include "bgp/reliance.h"
+#include "topogen/generate.h"
+#include "util/error.h"
+
+namespace flatnet {
+namespace {
+
+// Enumerates every tied-best path from `node` down the predecessor DAG to
+// the origin (whose predecessor list is empty) and appends them to
+// `paths`. Exponential, fine for the <= 12-node graphs used here.
+void EnumeratePaths(const RouteComputation& computation, AsId node, std::vector<AsId>* current,
+                    std::vector<std::vector<AsId>>* paths) {
+  current->push_back(node);
+  auto preds = computation.Predecessors(node);
+  if (preds.empty()) {
+    paths->push_back(*current);
+  } else {
+    for (AsId pred : preds) EnumeratePaths(computation, pred, current, paths);
+  }
+  current->pop_back();
+}
+
+// Brute-force hegemony: materialize the full viewpoint x AS matrix of
+// BC_v(a) = sigma_v(a)/sigma_v by explicit path enumeration (zeros and
+// all), then trimmed-mean each AS's column. Independent of the Brandes
+// accumulation in ComputeHegemony — only the predecessor DAG is shared.
+std::vector<double> BruteForceHegemony(const RouteComputation& computation, AsId origin,
+                                       double trim) {
+  std::size_t n = computation.graph().num_ases();
+  Bitset reached = computation.ReachedSet();
+  std::vector<AsId> viewpoints;
+  for (AsId v = 0; v < n; ++v) {
+    if (v != origin && reached.Test(v)) viewpoints.push_back(v);
+  }
+  std::vector<std::vector<double>> columns(n);
+  for (AsId v : viewpoints) {
+    std::vector<std::vector<AsId>> paths;
+    std::vector<AsId> current;
+    EnumeratePaths(computation, v, &current, &paths);
+    std::vector<std::size_t> through(n, 0);
+    for (const std::vector<AsId>& path : paths) {
+      for (AsId a : path) ++through[a];
+    }
+    for (AsId a = 0; a < n; ++a) {
+      columns[a].push_back(static_cast<double>(through[a]) /
+                           static_cast<double>(paths.size()));
+    }
+  }
+  std::size_t drop = static_cast<std::size_t>(trim * static_cast<double>(viewpoints.size()));
+  std::vector<double> hegemony(n, 0.0);
+  for (AsId a = 0; a < n; ++a) {
+    if (a == origin || !reached.Test(a)) continue;
+    std::vector<double>& column = columns[a];
+    std::sort(column.begin(), column.end());
+    double sum = 0.0;
+    for (std::size_t i = drop; i + drop < column.size(); ++i) sum += column[i];
+    std::size_t kept = column.size() - 2 * drop;
+    hegemony[a] = kept > 0 ? sum / static_cast<double>(kept) : 0.0;
+  }
+  return hegemony;
+}
+
+void ExpectMatchesBruteForce(const AsGraph& graph, Asn origin_asn, double trim) {
+  AsId origin = *graph.IdOf(origin_asn);
+  RouteComputation computation(graph, {{.node = origin}});
+  HegemonyResult result = ComputeHegemony(computation, {.trim = trim});
+  std::vector<double> oracle = BruteForceHegemony(computation, origin, trim);
+  ASSERT_EQ(result.hegemony.size(), graph.num_ases());
+  for (AsId a = 0; a < graph.num_ases(); ++a) {
+    EXPECT_NEAR(result.hegemony[a], oracle[a], 1e-12)
+        << "AS" << graph.AsnOf(a) << " trim=" << trim;
+  }
+}
+
+// Diamond: 4 reaches the origin 1 through tied providers 2 and 3.
+AsGraph Diamond() {
+  AsGraphBuilder builder;
+  builder.AddEdge(2, 1, EdgeType::kP2C);
+  builder.AddEdge(3, 1, EdgeType::kP2C);
+  builder.AddEdge(4, 2, EdgeType::kP2C);
+  builder.AddEdge(4, 3, EdgeType::kP2C);
+  return std::move(builder).Build();
+}
+
+TEST(HegemonyTest, MatchesBruteForceOnTiedPaths) {
+  // Two tied layers: 6's four paths to 1 split over {4,5} x {2,3}.
+  AsGraphBuilder builder;
+  builder.AddEdge(2, 1, EdgeType::kP2C);
+  builder.AddEdge(3, 1, EdgeType::kP2C);
+  for (Asn mid : {4u, 5u}) {
+    builder.AddEdge(mid, 2, EdgeType::kP2C);
+    builder.AddEdge(mid, 3, EdgeType::kP2C);
+    builder.AddEdge(6, mid, EdgeType::kP2C);
+  }
+  AsGraph graph = std::move(builder).Build();
+  ExpectMatchesBruteForce(graph, 1, 0.0);
+  ExpectMatchesBruteForce(graph, 1, 0.1);
+}
+
+TEST(HegemonyTest, MatchesBruteForceWithUnreachableComponent) {
+  // A chain behind the origin plus a disconnected pair: the pair is
+  // neither viewpoint nor scored.
+  AsGraphBuilder builder;
+  builder.AddEdge(2, 1, EdgeType::kP2C);
+  builder.AddEdge(3, 2, EdgeType::kP2C);
+  builder.AddEdge(4, 3, EdgeType::kP2C);
+  builder.AddEdge(11, 10, EdgeType::kP2C);
+  AsGraph graph = std::move(builder).Build();
+
+  AsId origin = *graph.IdOf(1);
+  RouteComputation computation(graph, {{.node = origin}});
+  HegemonyResult result = ComputeHegemony(computation, {.trim = 0.0});
+  EXPECT_EQ(result.num_viewpoints, 3u);
+  EXPECT_EQ(result.hegemony[*graph.IdOf(10)], 0.0);
+  EXPECT_EQ(result.hegemony[*graph.IdOf(11)], 0.0);
+  EXPECT_EQ(result.hegemony[origin], 0.0);
+  // Origin-adjacent transit: every viewpoint's paths pass through AS 2.
+  EXPECT_DOUBLE_EQ(result.hegemony[*graph.IdOf(2)], 1.0);
+  ExpectMatchesBruteForce(graph, 1, 0.0);
+  ExpectMatchesBruteForce(graph, 1, 0.1);
+}
+
+TEST(HegemonyTest, DiamondScoresAndRankingAreExact) {
+  AsGraph graph = Diamond();
+  AsId origin = *graph.IdOf(1);
+  RouteComputation computation(graph, {{.node = origin}});
+  HegemonyResult result = ComputeHegemony(computation, {.trim = 0.0});
+  // Viewpoints {2,3,4}. AS2's column is {1, 0, 1/2} -> 1/2; AS4 only
+  // carries its own paths -> 1/3.
+  EXPECT_EQ(result.num_viewpoints, 3u);
+  EXPECT_DOUBLE_EQ(result.hegemony[*graph.IdOf(2)], 0.5);
+  EXPECT_DOUBLE_EQ(result.hegemony[*graph.IdOf(3)], 0.5);
+  EXPECT_DOUBLE_EQ(result.hegemony[*graph.IdOf(4)], 1.0 / 3.0);
+
+  // Descending score, ties by ascending id.
+  std::vector<AsId> expected = {*graph.IdOf(2), *graph.IdOf(3), *graph.IdOf(4)};
+  std::sort(expected.begin(), expected.begin() + 2);
+  EXPECT_EQ(HegemonyRanking(result), expected);
+}
+
+TEST(HegemonyTest, TrimDropsNothingBelowTenViewpoints) {
+  // floor(0.1 * 3) = 0: the trimmed mean degrades to the plain mean.
+  AsGraph graph = Diamond();
+  AsId origin = *graph.IdOf(1);
+  RouteComputation computation(graph, {{.node = origin}});
+  HegemonyResult trimmed = ComputeHegemony(computation, {.trim = 0.1});
+  HegemonyResult plain = ComputeHegemony(computation, {.trim = 0.0});
+  EXPECT_EQ(trimmed.trimmed_each_end, 0u);
+  EXPECT_EQ(trimmed.hegemony, plain.hegemony);
+}
+
+TEST(HegemonyTest, TrimDiscardsTheExtremeViewpoints) {
+  // A 20-leaf star: each leaf scores itself 1 and everyone else 0, so
+  // every AS's column is nineteen zeros and a single one. Trimming two
+  // viewpoints off each end removes the 1 — every score collapses to 0 —
+  // while the untrimmed mean keeps 1/20 per leaf.
+  AsGraphBuilder builder;
+  for (Asn leaf = 2; leaf <= 21; ++leaf) builder.AddEdge(leaf, 1, EdgeType::kP2C);
+  AsGraph graph = std::move(builder).Build();
+  AsId origin = *graph.IdOf(1);
+  RouteComputation computation(graph, {{.node = origin}});
+
+  HegemonyResult trimmed = ComputeHegemony(computation, {.trim = 0.1});
+  EXPECT_EQ(trimmed.num_viewpoints, 20u);
+  EXPECT_EQ(trimmed.trimmed_each_end, 2u);
+  HegemonyResult plain = ComputeHegemony(computation, {.trim = 0.0});
+  for (Asn leaf = 2; leaf <= 21; ++leaf) {
+    EXPECT_EQ(trimmed.hegemony[*graph.IdOf(leaf)], 0.0) << "AS" << leaf;
+    EXPECT_DOUBLE_EQ(plain.hegemony[*graph.IdOf(leaf)], 1.0 / 20.0) << "AS" << leaf;
+  }
+  EXPECT_TRUE(HegemonyRanking(trimmed).empty());
+  ExpectMatchesBruteForce(graph, 1, 0.1);
+}
+
+// The all-equal-viewpoints boundary: on a provider chain 1 <- 2 <- ... <-
+// 13, the origin's sole transit (AS 2) is scored 1 by every one of the 12
+// viewpoints. Trimming drops two of those equal values from each end and
+// must not move the mean — the boundary between "defends against outlier
+// viewpoints" and "distorts a consensus score".
+TEST(HegemonyTest, AllEqualViewpointValuesSurviveTrimming) {
+  AsGraphBuilder builder;
+  for (Asn a = 2; a <= 13; ++a) builder.AddEdge(a, a - 1, EdgeType::kP2C);
+  AsGraph graph = std::move(builder).Build();
+  AsId origin = *graph.IdOf(1);
+  RouteComputation computation(graph, {{.node = origin}});
+  HegemonyResult trimmed = ComputeHegemony(computation, {.trim = 0.1});
+  HegemonyResult plain = ComputeHegemony(computation, {.trim = 0.0});
+  EXPECT_EQ(trimmed.num_viewpoints, 12u);
+  EXPECT_EQ(trimmed.trimmed_each_end, 1u);
+  EXPECT_DOUBLE_EQ(trimmed.hegemony[*graph.IdOf(2)], 1.0);
+  EXPECT_DOUBLE_EQ(plain.hegemony[*graph.IdOf(2)], 1.0);
+  ExpectMatchesBruteForce(graph, 1, 0.1);
+}
+
+// The conservation identity the header documents: with trim = 0,
+// H(a) * num_viewpoints == rely(o, a) — hegemony is reliance normalized
+// by viewpoint count. Pinned on a generated topology so the identity
+// holds beyond handcrafted DAGs (same mass-balance family as
+// src/check/invariants.cc).
+TEST(HegemonyTest, UntrimmedHegemonyIsRelianceOverViewpoints) {
+  GeneratorParams params = GeneratorParams::Era2015(300);
+  params.seed = 12;
+  World world = GenerateWorld(params);
+  const AsGraph& graph = world.full_graph;
+
+  AsId origins[] = {world.tiers.tier1[0], world.tiers.tier2[0]};
+  for (AsId origin : origins) {
+    RouteComputation computation(graph, {{.node = origin}});
+    HegemonyResult hegemony = ComputeHegemony(computation, {.trim = 0.0});
+    RelianceResult reliance = ComputeReliance(computation);
+    ASSERT_GT(hegemony.num_viewpoints, 0u);
+    double viewpoints = static_cast<double>(hegemony.num_viewpoints);
+    for (AsId a = 0; a < graph.num_ases(); ++a) {
+      EXPECT_NEAR(hegemony.hegemony[a] * viewpoints, reliance.reliance[a],
+                  1e-9 * std::max(1.0, reliance.reliance[a]))
+          << "origin " << origin << " AS" << graph.AsnOf(a);
+    }
+  }
+}
+
+TEST(HegemonyTest, RejectsBadInputs) {
+  AsGraph graph = Diamond();
+  AsId origin = *graph.IdOf(1);
+  RouteComputation single(graph, {{.node = origin}});
+  EXPECT_THROW(ComputeHegemony(single, {.trim = 0.5}), InvalidArgument);
+  EXPECT_THROW(ComputeHegemony(single, {.trim = -0.1}), InvalidArgument);
+
+  RouteComputation dual(graph, {{.node = origin}, {.node = *graph.IdOf(4)}});
+  EXPECT_THROW(ComputeHegemony(dual), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace flatnet

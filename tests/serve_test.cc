@@ -16,7 +16,10 @@
 
 #include "bgp/propagation.h"
 #include "bgp/reachability.h"
+#include "bgp/hegemony.h"
 #include "core/reachability_analysis.h"
+#include "failsim/engine.h"
+#include "failsim/store.h"
 #include "leaksim/engine.h"
 #include "leaksim/store.h"
 #include "obs/metrics.h"
@@ -408,7 +411,7 @@ TEST_F(ServeDispatchTest, StatusReportsPerOpCountersHitRatioAndUptime) {
 
   const Json& ops = after.Get("ops");
   for (const char* op : {"reach", "reliance", "leak", "status", "top", "leakdist",
-                         "metrics", "debug"}) {
+                         "metrics", "debug", "hegemony", "failure"}) {
     ASSERT_TRUE(ops.Contains(op)) << op;
     EXPECT_TRUE(ops.Get(op).Contains("requests")) << op;
     EXPECT_TRUE(ops.Get(op).Contains("errors")) << op;
@@ -671,6 +674,165 @@ TEST_F(ServeDispatchTest, AttachRejectsMismatchedLeakStore) {
   Dispatcher d(internet(), DispatcherOptions{.threads = 1});
   EXPECT_THROW(d.AttachLeakStore(std::move(store), path), Error);
   EXPECT_FALSE(d.has_leak_store());
+}
+
+TEST(ServeProtocol, ParsesHegemonyAndFailureRequests) {
+  Request hegemony = ParseRequest(R"({"op":"hegemony","origin":15169,"k":5,"id":1})");
+  EXPECT_EQ(hegemony.kind, QueryKind::kHegemony);
+  EXPECT_EQ(hegemony.origin, 15169u);
+  EXPECT_EQ(hegemony.top_k, 5u);
+  EXPECT_TRUE(CacheKey(hegemony).empty());
+
+  Request failure = ParseRequest(
+      R"({"op":"failure","origin":7,"scenario":"hegemony_cascade",)"
+      R"("column":"disconnected","q":[0.5],"id":2})");
+  EXPECT_EQ(failure.kind, QueryKind::kFailure);
+  EXPECT_EQ(failure.fail_scenario, failsim::FailScenario::kHegemonyCascade);
+  EXPECT_EQ(failure.fail_column, serve::FailColumn::kDisconnected);
+  EXPECT_EQ(failure.quantiles, (std::vector<double>{0.5}));
+  EXPECT_TRUE(CacheKey(failure).empty());
+
+  // Defaults: single_as knockouts, the AS-fraction column, the
+  // server-side quantile set (empty list here).
+  Request bare = ParseRequest(R"({"op":"failure","origin":7})");
+  EXPECT_EQ(bare.fail_scenario, failsim::FailScenario::kSingleAs);
+  EXPECT_EQ(bare.fail_column, serve::FailColumn::kLossAses);
+  EXPECT_TRUE(bare.quantiles.empty());
+
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"hegemony"})"); }), ErrorCode::kBadRequest);
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"hegemony","origin":7,"k":0})"); }),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"failure"})"); }), ErrorCode::kBadRequest);
+  EXPECT_EQ(
+      CodeOf([] { ParseRequest(R"({"op":"failure","origin":7,"scenario":"meteor"})"); }),
+      ErrorCode::kBadRequest);
+  EXPECT_EQ(CodeOf([] { ParseRequest(R"({"op":"failure","origin":7,"column":"vibes"})"); }),
+            ErrorCode::kBadRequest);
+  // Served inline from the attached store: no deadline, never cached.
+  EXPECT_EQ(
+      CodeOf([] { ParseRequest(R"({"op":"hegemony","origin":7,"deadline_ms":100})"); }),
+      ErrorCode::kBadRequest);
+}
+
+TEST_F(ServeDispatchTest, HegemonyAndFailureWithoutStoreAreBadRequests) {
+  for (const char* format : {R"({"op":"hegemony","origin":%u,"id":"h"})",
+                             R"({"op":"failure","origin":%u,"id":"f"})"}) {
+    Json response = Ask(StrFormat(format, AsnAt(3)));
+    EXPECT_FALSE(response.Get("ok").AsBool()) << format;
+    EXPECT_EQ(response.Get("error").Get("code").AsString(), "bad_request") << format;
+  }
+  Json status = Ask(R"({"op":"status","id":"s"})");
+  EXPECT_FALSE(status.Get("result").Get("fail_store").Get("loaded").AsBool());
+}
+
+TEST_F(ServeDispatchTest, HegemonyAndFailureServeFromAttachedStore) {
+  // Build a small two-cell campaign, round-trip it through a store file,
+  // and attach it to a fresh dispatcher.
+  AsId origin = world().tiers.tier2[0];
+  std::vector<failsim::FailCellSpec> cells;
+  for (failsim::FailScenario scenario :
+       {failsim::FailScenario::kSingleAs, failsim::FailScenario::kTier1}) {
+    failsim::FailCellSpec spec;
+    spec.origin = origin;
+    spec.scenario = scenario;
+    spec.seed = 0x2f;
+    spec.trials = 12;
+    cells.push_back(spec);
+  }
+  failsim::FailTable table = failsim::RunFailureCampaign(internet(), cells);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "flatnet_serve_failure.fail").string();
+  failsim::WriteFailStore(path, table);
+
+  Dispatcher d(internet(), DispatcherOptions{.threads = 2});
+  d.AttachFailStore(failsim::FailStore::Load(path), path);
+  std::filesystem::remove(path);
+  ASSERT_TRUE(d.has_fail_store());
+
+  // The served hegemony prefix is the deterministic ranking recomputed on
+  // the same topology — the store only gates which origins are available.
+  RouteComputation computation(internet().graph(), {{.node = origin}});
+  HegemonyResult hegemony = ComputeHegemony(computation);
+  std::vector<AsId> ranking = HegemonyRanking(hegemony);
+  ASSERT_GE(ranking.size(), 3u);
+  Json response = Json::Parse(d.HandleSync(
+      StrFormat(R"({"op":"hegemony","origin":%u,"k":3,"id":1})", AsnAt(origin))));
+  ASSERT_TRUE(response.Get("ok").AsBool()) << response.Dump();
+  const Json& top = response.Get("result").Get("top");
+  ASSERT_EQ(top.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(top[i].Get("asn").AsU64(), AsnAt(ranking[i])) << "rank " << i;
+    EXPECT_DOUBLE_EQ(top[i].Get("hegemony").AsNumber(), hegemony.hegemony[ranking[i]])
+        << "rank " << i;
+  }
+  EXPECT_EQ(response.Get("result").Get("num_viewpoints").AsU64(), hegemony.num_viewpoints);
+
+  // An origin the campaign never ran answers bad_request even with the
+  // store attached.
+  Json unknown = Json::Parse(d.HandleSync(StrFormat(
+      R"({"op":"hegemony","origin":%u,"id":2})", AsnAt(world().tiers.tier2[1]))));
+  EXPECT_FALSE(unknown.Get("ok").AsBool());
+  EXPECT_EQ(unknown.Get("error").Get("code").AsString(), "bad_request");
+
+  // The served failure quantile is the shared nearest-rank statistic of
+  // the cell.
+  Json failure = Json::Parse(d.HandleSync(
+      StrFormat(R"({"op":"failure","origin":%u,"scenario":"tier1","q":[0.9],"id":3})",
+                AsnAt(origin))));
+  ASSERT_TRUE(failure.Get("ok").AsBool()) << failure.Dump();
+  const Json& result = failure.Get("result");
+  EXPECT_EQ(result.Get("scenario").AsString(), "tier1");
+  EXPECT_EQ(result.Get("collected").AsU64(), table.cells[1].collected());
+  EXPECT_EQ(result.Get("baseline").AsU64(), table.cells[1].baseline);
+  ASSERT_EQ(result.Get("quantiles").size(), 1u);
+  EXPECT_DOUBLE_EQ(result.Get("quantiles")[0].Get("q").AsNumber(), 0.9);
+  EXPECT_DOUBLE_EQ(result.Get("quantiles")[0].Get("value").AsNumber(),
+                   Quantile(table.cells[1].loss_ases, 0.9));
+
+  // A scenario the campaign never ran, and the user-weighted column of a
+  // store built without --users, both answer structured errors.
+  Json missing = Json::Parse(d.HandleSync(StrFormat(
+      R"({"op":"failure","origin":%u,"scenario":"link_set","id":4})", AsnAt(origin))));
+  EXPECT_FALSE(missing.Get("ok").AsBool());
+  EXPECT_EQ(missing.Get("error").Get("code").AsString(), "bad_request");
+  Json no_users = Json::Parse(d.HandleSync(StrFormat(
+      R"({"op":"failure","origin":%u,"column":"loss_users","id":5})", AsnAt(origin))));
+  EXPECT_FALSE(no_users.Get("ok").AsBool());
+  EXPECT_EQ(no_users.Get("error").Get("code").AsString(), "bad_request");
+
+  // Status advertises the store, its origins, and its scenarios so
+  // clients (the loadgen capability probe) can gate.
+  Json status = Json::Parse(d.HandleSync(R"({"op":"status","id":"s"})"));
+  const Json& fail_store = status.Get("result").Get("fail_store");
+  EXPECT_TRUE(fail_store.Get("loaded").AsBool());
+  EXPECT_EQ(fail_store.Get("cells").AsU64(), 2u);
+  EXPECT_FALSE(fail_store.Get("has_users").AsBool());
+  ASSERT_EQ(fail_store.Get("origins").size(), 1u);
+  EXPECT_EQ(fail_store.Get("origins")[0].AsU64(), AsnAt(origin));
+  ASSERT_EQ(fail_store.Get("scenarios").size(), 2u);
+  EXPECT_EQ(fail_store.Get("scenarios")[0].AsString(), "single_as");
+  EXPECT_EQ(fail_store.Get("scenarios")[1].AsString(), "tier1");
+}
+
+TEST_F(ServeDispatchTest, AttachRejectsMismatchedFailStore) {
+  GeneratorParams params = GeneratorParams::Era2015(300);
+  params.seed = 4321;
+  World other = GenerateWorld(params);
+  Internet other_net(other.full_graph, other.tiers, other.metadata);
+  failsim::FailCellSpec spec;
+  spec.origin = other.tiers.tier1[0];
+  spec.seed = 2;
+  spec.trials = 5;
+  failsim::FailTable table = failsim::RunFailureCampaign(other_net, {spec});
+  std::string path =
+      (std::filesystem::temp_directory_path() / "flatnet_serve_fail_mismatch.fail").string();
+  failsim::WriteFailStore(path, table);
+  failsim::FailStore store = failsim::FailStore::Load(path);
+  std::filesystem::remove(path);
+
+  Dispatcher d(internet(), DispatcherOptions{.threads = 1});
+  EXPECT_THROW(d.AttachFailStore(std::move(store), path), Error);
+  EXPECT_FALSE(d.has_fail_store());
 }
 
 TEST_F(ServeDispatchTest, ErrorsCarryStructuredCodes) {

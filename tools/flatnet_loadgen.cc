@@ -4,9 +4,12 @@
 // status queries over origins sampled from the topology (a small hot set is
 // revisited so the server's result cache sees repeats), and reports p50 /
 // p95 / p99 latency, throughput, error rate, and cache-hit rate as one JSON
-// object on stdout. When the server's status reports a loaded sweep store,
-// `top` queries join the mix (they are answered inline from the store and
-// are never cached).
+// object on stdout. A single preflight `status` probe builds a capability
+// map: `top` joins the mix only when the server reports a loaded sweep
+// store, and `hegemony` / `failure` join only when it reports a loaded fail
+// store (their origins and scenarios come from the store's advertisement,
+// so every query hits a real cell). Ops the server cannot answer are listed
+// under `skipped_ops` in the report instead of surfacing as counted errors.
 //
 // Requests carry `"timing":true` (disable with --no-timing), so every ok
 // response returns the server's phase timeline. The report's `attribution`
@@ -195,14 +198,65 @@ struct WorkerTally {
 const char* kModes[] = {"full", "provider_free", "tier1_free", "hierarchy_free"};
 const char* kMetrics[] = {"provider_free", "tier1_free", "hierarchy_free"};
 
-// Builds one request from the mix: ~55% reach, 20% reliance, 15% leak, 10%
-// status — or, with a sweep store loaded server-side, ~45% reach, 20%
-// reliance, 15% leak, 10% top, 10% status. Origins come from a 16-AS hot
-// pool 70% of the time so identical queries recur and the result cache
-// gets hits.
+// What the server can answer, discovered by one preflight `status` probe.
+// Ops the server cannot serve (no sweep store → top, no fail store →
+// hegemony / failure) are left out of the request mix and recorded in
+// `skipped` for the report, instead of being issued and counted as errors.
+struct Capabilities {
+  bool top = false;
+  bool fail = false;
+  bool fail_users = false;                  // store carries loss_users
+  std::vector<Asn> fail_origins;            // advertised cell origins
+  std::vector<std::string> fail_scenarios;  // advertised scenario slugs
+  std::vector<std::string> skipped;         // ops absent from the mix
+};
+
+Capabilities ProbeCapabilities(const Json& status) {
+  Capabilities caps;
+  const Json& result = status.Get("result");
+  const Json& sweep_loaded = result.Get("sweep_store").Get("loaded");
+  caps.top = sweep_loaded.type() == Json::Type::kBool && sweep_loaded.AsBool();
+  const Json& fail_store = result.Get("fail_store");
+  const Json& fail_loaded = fail_store.Get("loaded");
+  if (fail_loaded.type() == Json::Type::kBool && fail_loaded.AsBool()) {
+    const Json& users = fail_store.Get("has_users");
+    caps.fail_users = users.type() == Json::Type::kBool && users.AsBool();
+    const Json& origins = fail_store.Get("origins");
+    if (origins.type() == Json::Type::kArray) {
+      for (std::size_t i = 0; i < origins.size(); ++i) {
+        if (origins[i].type() == Json::Type::kNumber) {
+          caps.fail_origins.push_back(static_cast<Asn>(origins[i].AsU64()));
+        }
+      }
+    }
+    const Json& scenarios = fail_store.Get("scenarios");
+    if (scenarios.type() == Json::Type::kArray) {
+      for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        if (scenarios[i].type() == Json::Type::kString) {
+          caps.fail_scenarios.push_back(scenarios[i].AsString());
+        }
+      }
+    }
+    caps.fail = !caps.fail_origins.empty() && !caps.fail_scenarios.empty();
+  }
+  if (!caps.top) caps.skipped.push_back("top");
+  if (!caps.fail) {
+    caps.skipped.push_back("hegemony");
+    caps.skipped.push_back("failure");
+  }
+  return caps;
+}
+
+// Builds one request from the mix. Base: ~55% reach, 20% reliance, 15%
+// leak, 10% status. A loaded sweep store moves 10 points from reach to
+// `top`; a loaded fail store moves another 10 to `hegemony` / `failure`
+// (5 each), targeting the store's advertised origins and scenarios so the
+// queries hit real cells. Origins come from a 16-AS hot pool 70% of the
+// time so identical queries recur and the result cache gets hits. The
+// store-backed ops and status are answered inline and never cached.
 std::string BuildRequest(Rng& rng, const std::vector<Asn>& asns,
-                         const std::vector<Asn>& hot, std::uint64_t id, bool top_enabled,
-                         bool timing, bool* cacheable) {
+                         const std::vector<Asn>& hot, std::uint64_t id,
+                         const Capabilities& caps, bool timing, bool* cacheable) {
   auto pick = [&](const std::vector<Asn>& pool) {
     return pool[rng.UniformU64(pool.size())];
   };
@@ -210,28 +264,54 @@ std::string BuildRequest(Rng& rng, const std::vector<Asn>& asns,
   const char* timing_key = timing ? ",\"timing\":true" : "";
   std::uint64_t roll = rng.UniformU64(100);
   *cacheable = true;
-  if (roll < (top_enabled ? 45u : 55u)) {
+  std::uint64_t hi = 55u - (caps.top ? 10u : 0u) - (caps.fail ? 10u : 0u);
+  if (roll < hi) {
     return StrFormat("{\"op\":\"reach\",\"origin\":%u,\"mode\":\"%s\",\"id\":%llu%s}",
                      origin(), kModes[rng.UniformU64(4)],
                      static_cast<unsigned long long>(id), timing_key);
   }
-  if (roll < (top_enabled ? 65u : 75u)) {
+  if (roll < hi + 20u) {
     return StrFormat("{\"op\":\"reliance\",\"origin\":%u,\"k\":10,\"id\":%llu%s}", origin(),
                      static_cast<unsigned long long>(id), timing_key);
   }
-  if (roll < (top_enabled ? 80u : 90u)) {
+  if (roll < hi + 35u) {
     Asn victim = origin();
     Asn leaker = origin();
     while (leaker == victim) leaker = pick(asns);
     return StrFormat("{\"op\":\"leak\",\"victim\":%u,\"leaker\":%u,\"id\":%llu%s}", victim,
                      leaker, static_cast<unsigned long long>(id), timing_key);
   }
+  hi += 35u;
   *cacheable = false;
-  if (top_enabled && roll < 90) {
-    return StrFormat("{\"op\":\"top\",\"k\":%llu,\"metric\":\"%s\",\"id\":%llu%s}",
-                     static_cast<unsigned long long>(1 + rng.UniformU64(20)),
-                     kMetrics[rng.UniformU64(3)], static_cast<unsigned long long>(id),
-                     timing_key);
+  if (caps.top) {
+    hi += 10u;
+    if (roll < hi) {
+      return StrFormat("{\"op\":\"top\",\"k\":%llu,\"metric\":\"%s\",\"id\":%llu%s}",
+                       static_cast<unsigned long long>(1 + rng.UniformU64(20)),
+                       kMetrics[rng.UniformU64(3)], static_cast<unsigned long long>(id),
+                       timing_key);
+    }
+  }
+  if (caps.fail) {
+    hi += 5u;
+    if (roll < hi) {
+      return StrFormat("{\"op\":\"hegemony\",\"origin\":%u,\"k\":%llu,\"id\":%llu%s}",
+                       pick(caps.fail_origins),
+                       static_cast<unsigned long long>(1 + rng.UniformU64(10)),
+                       static_cast<unsigned long long>(id), timing_key);
+    }
+    hi += 5u;
+    if (roll < hi) {
+      const char* column = caps.fail_users && rng.Bernoulli(0.33) ? "loss_users"
+                           : rng.Bernoulli(0.5)                   ? "disconnected"
+                                                                  : "loss_ases";
+      return StrFormat(
+          "{\"op\":\"failure\",\"origin\":%u,\"scenario\":\"%s\",\"column\":\"%s\","
+          "\"q\":[0.5,0.9],\"id\":%llu%s}",
+          pick(caps.fail_origins),
+          caps.fail_scenarios[rng.UniformU64(caps.fail_scenarios.size())].c_str(), column,
+          static_cast<unsigned long long>(id), timing_key);
+    }
   }
   return StrFormat("{\"op\":\"status\",\"id\":%llu%s}", static_cast<unsigned long long>(id),
                    timing_key);
@@ -330,21 +410,22 @@ int main(int argc, char** argv) {
   std::vector<Asn> hot;
   for (std::size_t i = 0; i < 16; ++i) hot.push_back(asns[pool_rng.UniformU64(asns.size())]);
 
-  // Preflight status probe: include `top` in the mix only when the server
-  // actually has a sweep store, so the loadgen works against servers
-  // started with and without one.
-  bool top_enabled = false;
+  // Preflight status probe: one capability map decides which store-backed
+  // ops join the mix, so the loadgen works against servers started with
+  // any combination of stores.
+  Capabilities caps;
   try {
     Client probe(host, static_cast<std::uint16_t>(port));
-    Json status = Json::Parse(probe.RoundTrip("{\"op\":\"status\",\"id\":\"probe\"}"));
-    const Json& loaded = status.Get("result").Get("sweep_store").Get("loaded");
-    top_enabled = loaded.type() == Json::Type::kBool && loaded.AsBool();
+    caps = ProbeCapabilities(
+        Json::Parse(probe.RoundTrip("{\"op\":\"status\",\"id\":\"probe\"}")));
   } catch (const Error& e) {
     std::fprintf(stderr, "status probe failed: %s\n", e.what());
     return 1;
   }
-  std::fprintf(stderr, "sweep store %s: top queries %s\n",
-               top_enabled ? "loaded" : "absent", top_enabled ? "in the mix" : "skipped");
+  std::fprintf(stderr, "sweep store %s: top queries %s\n", caps.top ? "loaded" : "absent",
+               caps.top ? "in the mix" : "skipped");
+  std::fprintf(stderr, "fail store %s: hegemony/failure queries %s\n",
+               caps.fail ? "loaded" : "absent", caps.fail ? "in the mix" : "skipped");
 
   std::atomic<std::uint64_t> next_id{0};
   std::vector<WorkerTally> tallies(connections);
@@ -363,8 +444,7 @@ int main(int argc, char** argv) {
           std::uint64_t id = next_id.fetch_add(1);
           if (id >= requests) break;
           bool cacheable = false;
-          std::string request =
-              BuildRequest(rng, asns, hot, id, top_enabled, timing, &cacheable);
+          std::string request = BuildRequest(rng, asns, hot, id, caps, timing, &cacheable);
           auto start = std::chrono::steady_clock::now();
           std::string response = client.RoundTrip(request);
           double client_ms = std::chrono::duration<double, std::milli>(
@@ -505,6 +585,9 @@ int main(int argc, char** argv) {
   }
   report["requests"] = requests;
   report["seconds"] = seconds;
+  Json skipped_ops = Json::MakeArray();
+  for (const std::string& op : caps.skipped) skipped_ops.Append(Json(op));
+  report["skipped_ops"] = std::move(skipped_ops);
   report["throughput_qps"] =
       seconds > 0 ? static_cast<double>(requests) / seconds : 0.0;
   report["verify_checked"] = verify_checked;

@@ -12,7 +12,7 @@
 //                 [--port P] [--bind ADDR] [--port-file <file>]
 //                 [--threads N] [--cache-mb MB] [--max-inflight N]
 //                 [--default-deadline-ms MS] [--sweep <file>] [--leak <file>]
-//                 [--log-level <level>] [--metrics-out <file>]
+//                 [--fail <file>] [--log-level <level>] [--metrics-out <file>]
 //                 [--slow-query-ms MS] [--recorder-dump <file>]
 //
 // Observability: --slow-query-ms (or FLATNET_SLOW_QUERY_MS) logs each
@@ -34,7 +34,9 @@
 // <stem>.sweep is attached when it exists and matches — best-effort, so a
 // stale store logs a warning instead of blocking startup. --leak does the
 // same for a flatnet_leaksim --campaign store and the `leakdist` op
-// (implicit candidate: <stem>.leak).
+// (implicit candidate: <stem>.leak), and --fail for a flatnet_failsim
+// store and the `hegemony` + `failure` ops (implicit candidate:
+// <stem>.fail).
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -45,6 +47,7 @@
 
 #include "core/serialize.h"
 #include "core/study.h"
+#include "failsim/store.h"
 #include "leaksim/store.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -72,7 +75,8 @@ int Usage() {
                "                     [--threads N] [--cache-mb MB] [--max-inflight N]\n"
                "                     [--default-deadline-ms MS] [--sweep <file>] "
                "[--leak <file>]\n"
-               "                     [--log-level <level>] [--metrics-out <file>]\n"
+               "                     [--fail <file>] [--log-level <level>] "
+               "[--metrics-out <file>]\n"
                "                     [--slow-query-ms MS] [--recorder-dump <file>]\n");
   return 2;
 }
@@ -114,6 +118,7 @@ int main(int argc, char** argv) {
   std::string recorder_dump;
   std::string sweep_path;
   std::string leak_path;
+  std::string fail_path;
   serve::DispatcherOptions dispatch;
 
   for (int i = 1; i < argc; ++i) {
@@ -177,6 +182,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       leak_path = v;
+    } else if (arg == "--fail") {
+      const char* v = next();
+      if (!v) return Usage();
+      fail_path = v;
     } else if (arg == "--log-level") {
       const char* v = next();
       auto level = v ? obs::ParseLogLevel(v) : std::nullopt;
@@ -242,6 +251,27 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::fprintf(stderr, "ignoring leak store %s: %s\n", leak_path.c_str(), e.what());
+    }
+  }
+
+  // And for the failure-campaign store: explicit --fail is fatal on
+  // failure, the implicit <stem>.fail candidate is opportunistic.
+  bool explicit_fail = !fail_path.empty();
+  if (!explicit_fail && !stem.empty()) {
+    std::string candidate = stem + ".fail";
+    if (std::filesystem::exists(candidate)) fail_path = candidate;
+  }
+  if (!fail_path.empty()) {
+    try {
+      dispatcher.AttachFailStore(failsim::FailStore::Load(fail_path), fail_path);
+      std::fprintf(stderr, "fail store: %s (hegemony + failure ops enabled)\n",
+                   fail_path.c_str());
+    } catch (const Error& e) {
+      if (explicit_fail) {
+        std::fprintf(stderr, "cannot attach fail store: %s\n", e.what());
+        return 1;
+      }
+      std::fprintf(stderr, "ignoring fail store %s: %s\n", fail_path.c_str(), e.what());
     }
   }
 
