@@ -1,0 +1,94 @@
+#include "fleet/merge.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace flatnet::fleet {
+namespace {
+
+struct MergeEntry {
+  std::uint64_t reach;
+  std::uint64_t asn;
+  const Json* entry;
+};
+
+}  // namespace
+
+Json RangesJson(const Ring& ring, std::size_t shard) {
+  Json ranges = Json::MakeArray();
+  for (const auto& [lo, hi] : ring.RangesOf(shard)) {
+    Json pair = Json::MakeArray();
+    pair.Append(Json(StrFormat("%016llx", static_cast<unsigned long long>(lo))));
+    pair.Append(Json(StrFormat("%016llx", static_cast<unsigned long long>(hi))));
+    ranges.Append(std::move(pair));
+  }
+  return ranges;
+}
+
+std::string MergeTop(const std::vector<Json>& results,
+                     const std::vector<std::size_t>& missing, const Ring& ring) {
+  if (results.empty()) throw InvalidArgument("fleet merge: no shard results");
+
+  // Every shard computed the scalar fields from the same store and the same
+  // request, so the first shard's copy is the fleet's copy.
+  const Json& first = results.front();
+  std::uint64_t k = first.At("k").AsU64();
+
+  std::vector<MergeEntry> entries;
+  for (const Json& result : results) {
+    const Json::Array& top = result.At("top").AsArray();
+    for (const Json& entry : top) {
+      entries.push_back(
+          MergeEntry{entry.At("reach").AsU64(), entry.At("asn").AsU64(), &entry});
+    }
+  }
+  // The single-process order: value descending, ASN ascending. Shard slices
+  // are disjoint, so the global top-k is contained in the union of the
+  // per-shard top-k lists and this sort-and-truncate reproduces it exactly.
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const MergeEntry& a, const MergeEntry& b) {
+                     if (a.reach != b.reach) return a.reach > b.reach;
+                     return a.asn < b.asn;
+                   });
+  if (entries.size() > k) entries.resize(k);
+
+  Json scalars = Json::MakeObject();
+  scalars["denominator"] = first.At("denominator");
+  scalars["k"] = first.At("k");
+  scalars["metric"] = first.At("metric");
+  if (!missing.empty()) {
+    // Which slices of origin space this answer cannot see: the dead shards
+    // and their ring intervals (origins whose Mix64(asn) lands inside).
+    Json ranges = Json::MakeArray();
+    Json shards = Json::MakeArray();
+    for (std::size_t shard : missing) {
+      shards.Append(Json(static_cast<std::uint64_t>(shard)));
+      Json shard_ranges = RangesJson(ring, shard);
+      for (const Json& pair : shard_ranges.AsArray()) {
+        ranges.Append(pair);
+      }
+    }
+    scalars["missing_origin_ranges"] = std::move(ranges);
+    scalars["missing_shards"] = std::move(shards);
+    scalars["partial"] = true;
+  }
+
+  // Splice the merged `top` array into the scalar dump by hand. `top`
+  // sorts after every scalar key above, so dropping the closing brace and
+  // appending keeps the object in Json::Dump's sorted-key encoding — the
+  // merged bytes are exactly what a single process would have emitted.
+  std::string out = scalars.Dump();
+  out.pop_back();
+  out.append(",\"top\":[");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(entries[i].entry->Dump());
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace flatnet::fleet

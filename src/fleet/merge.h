@@ -1,0 +1,44 @@
+// K-way merge of per-shard ranking answers.
+//
+// Sharded backends attach disjoint origin slices of one sweep store, so
+// each shard's `top` answer is the true global ranking restricted to its
+// slice — the global top-k is a k-way merge of the per-shard top-k lists
+// under the same (value descending, ASN ascending) order, and it is
+// byte-identical to the single-process answer because both sides build
+// their entries through the same Json encoder and the envelope is
+// hand-assembled the same way dispatcher.cc does (sorted keys, `top`
+// appended last).
+//
+// When shards are missing the merge is still produced from the survivors,
+// marked `partial: true` and annotated with the dead shards' identities
+// and their ring ranges (missing_origin_ranges, hex interval pairs) so a
+// client knows exactly which slice of origin space the answer cannot see.
+#ifndef FLATNET_FLEET_MERGE_H_
+#define FLATNET_FLEET_MERGE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fleet/ring.h"
+#include "util/json.h"
+
+namespace flatnet::fleet {
+
+// Merges parsed per-shard `top` result objects (each `{"denominator":...,
+// "k":...,"metric":...,"top":[{"asn":...,"name":...,"reach":...},...]}`)
+// into one compact result JSON. `missing` lists ring shards that did not
+// answer; empty means the answer is complete and the output carries no
+// partial markers at all. `results` must be non-empty. Throws Error when a
+// shard result is structurally malformed.
+std::string MergeTop(const std::vector<Json>& results,
+                     const std::vector<std::size_t>& missing, const Ring& ring);
+
+// Renders one ring hash interval as the wire pair ["%016x-lo","%016x-hi"].
+// Hex strings rather than numbers: JSON numbers are doubles and cannot
+// carry a full 64-bit point losslessly.
+Json RangesJson(const Ring& ring, std::size_t shard);
+
+}  // namespace flatnet::fleet
+
+#endif  // FLATNET_FLEET_MERGE_H_

@@ -13,6 +13,7 @@ struct CacheCounters {
   obs::Counter& hit = obs::GetCounter("serve.cache.hit");
   obs::Counter& miss = obs::GetCounter("serve.cache.miss");
   obs::Counter& eviction = obs::GetCounter("serve.cache.eviction");
+  obs::Counter& oversize = obs::GetCounter("serve.cache.oversize");
 };
 
 CacheCounters& Counters() {
@@ -57,6 +58,21 @@ void ResultCache::Put(const std::string& key, const std::string& value) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(std::string_view(key));
+  // An entry bigger than the whole shard slice could never survive the
+  // eviction loop below; inserting it would only evict everything else
+  // first. Reject it up front — and drop any stale smaller value under the
+  // same key, which the oversize result has just superseded.
+  if (key.size() + value.size() + kEntryOverhead > shard_capacity_) {
+    if (it != shard.index.end()) {
+      auto node = it->second;
+      shard.bytes -= EntryCost(*node);
+      shard.index.erase(it);
+      shard.lru.erase(node);
+    }
+    ++shard.oversize;
+    Counters().oversize.Increment();
+    return;
+  }
   if (it != shard.index.end()) {
     shard.bytes -= EntryCost(*it->second);
     it->second->value = value;
@@ -86,6 +102,7 @@ CacheStats ResultCache::Stats() const {
     stats.hits += shard.hits;
     stats.misses += shard.misses;
     stats.evictions += shard.evictions;
+    stats.oversize += shard.oversize;
     stats.entries += shard.lru.size();
     stats.bytes += shard.bytes;
   }

@@ -26,6 +26,10 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  // Put calls rejected because one entry exceeded its shard's byte slice.
+  // A nonzero, growing tally means the budget is too small for the working
+  // set's payloads — every query for those keys recomputes.
+  std::uint64_t oversize = 0;
   std::uint64_t entries = 0;
   std::uint64_t bytes = 0;
   std::uint64_t capacity_bytes = 0;
@@ -34,7 +38,8 @@ struct CacheStats {
 class ResultCache {
  public:
   // `capacity_bytes` is split evenly across shards; an entry larger than
-  // its shard's slice is simply not stored.
+  // its shard's slice is rejected up front and counted (stats + the
+  // serve.cache.oversize counter) instead of silently churning the LRU.
   explicit ResultCache(std::size_t capacity_bytes, std::size_t num_shards = 8);
 
   ResultCache(const ResultCache&) = delete;
@@ -62,6 +67,7 @@ class ResultCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t oversize = 0;
   };
 
   static std::size_t EntryCost(const Entry& entry);

@@ -134,6 +134,16 @@ Dispatcher::Dispatcher(const Internet& internet, const DispatcherOptions& option
       cache_(options.cache_bytes),
       pool_(options.threads),
       start_time_(std::chrono::steady_clock::now()) {
+  if (options.shard_count > 1) {
+    if (options.shard_index >= options.shard_count) {
+      throw InvalidArgument(StrFormat("shard index %zu out of range (%zu shards)",
+                                      options.shard_index, options.shard_count));
+    }
+    ring_.emplace(options.shard_count, options.ring_vnodes);
+    obs::Log(obs::LogLevel::kInfo, "serve", "shard.configured")
+        .Kv("index", static_cast<std::uint64_t>(options.shard_index))
+        .Kv("count", static_cast<std::uint64_t>(options.shard_count));
+  }
   slow_query_ms_ = options.slow_query_ms >= 0 ? options.slow_query_ms : SlowQueryMsFromEnv();
   if (slow_query_ms_ > 0) {
     obs::Log(obs::LogLevel::kInfo, "serve", "slow_query_log.armed")
@@ -154,17 +164,28 @@ void Dispatcher::AttachSweepStore(sweep::SweepStore store, const std::string& pa
     if (!sweep_store_.HasColumn(column)) continue;
     const std::vector<std::uint32_t>& values = sweep_store_.table().Column(column);
     std::vector<AsId>& ranking = sweep_rankings_[c];
-    ranking.resize(values.size());
-    std::iota(ranking.begin(), ranking.end(), 0);
+    // Sharded, the ranking covers only this shard's slice of origin space:
+    // the router's k-way merge of the disjoint per-shard rankings then
+    // reproduces the full ranking exactly (fleet/merge.h).
+    ranking.clear();
+    ranking.reserve(values.size());
+    for (AsId id = 0; id < static_cast<AsId>(values.size()); ++id) {
+      if (OwnsAsId(id)) ranking.push_back(id);
+    }
     std::sort(ranking.begin(), ranking.end(), [&](AsId a, AsId b) {
       if (values[a] != values[b]) return values[a] > values[b];
       return internet_.graph().AsnOf(a) < internet_.graph().AsnOf(b);
     });
   }
+  std::size_t owned = 0;
+  for (AsId id = 0; id < internet_.num_ases(); ++id) {
+    if (OwnsAsId(id)) ++owned;
+  }
   sweep_loaded_ = true;
   obs::Log(obs::LogLevel::kInfo, "serve", "sweep_store.attached")
       .Kv("path", path)
-      .Kv("origins", static_cast<std::uint64_t>(sweep_store_.num_origins()));
+      .Kv("origins", static_cast<std::uint64_t>(sweep_store_.num_origins()))
+      .Kv("owned", static_cast<std::uint64_t>(owned));
 }
 
 void Dispatcher::AttachLeakStore(leaksim::LeakStore store, const std::string& path) {
@@ -173,7 +194,16 @@ void Dispatcher::AttachLeakStore(leaksim::LeakStore store, const std::string& pa
   leak_path_ = path;
   leak_sorted_.clear();
   leak_sorted_.reserve(leak_store_.num_cells());
+  leak_owned_.clear();
+  leak_owned_.reserve(leak_store_.num_cells());
   for (std::size_t i = 0; i < leak_store_.num_cells(); ++i) {
+    bool owned = OwnsAsId(leak_store_.cell(i).spec.victim);
+    leak_owned_.push_back(owned ? 1 : 0);
+    if (!owned) {
+      // Not this shard's slice: keep the index aligned but hold no samples.
+      leak_sorted_.emplace_back();
+      continue;
+    }
     std::vector<double> sorted = leak_store_.cell(i).fraction_ases;
     std::sort(sorted.begin(), sorted.end());
     leak_sorted_.push_back(std::move(sorted));
@@ -190,9 +220,17 @@ void Dispatcher::AttachFailStore(failsim::FailStore store, const std::string& pa
   fail_path_ = path;
   fail_sorted_.clear();
   fail_sorted_.reserve(fail_store_.num_cells());
+  fail_owned_.clear();
+  fail_owned_.reserve(fail_store_.num_cells());
   hegemony_rankings_.clear();
   for (std::size_t i = 0; i < fail_store_.num_cells(); ++i) {
     const failsim::FailCellResult& cell = fail_store_.cell(i);
+    bool owned = OwnsAsId(cell.spec.origin);
+    fail_owned_.push_back(owned ? 1 : 0);
+    if (!owned) {
+      fail_sorted_.emplace_back();
+      continue;
+    }
     FailSortedCell sorted;
     sorted.loss_ases = cell.loss_ases;
     std::sort(sorted.loss_ases.begin(), sorted.loss_ases.end());
@@ -236,6 +274,22 @@ Bitset Dispatcher::ResolveAsnList(const std::vector<Asn>& asns) const {
   Bitset mask(internet_.num_ases());
   for (Asn asn : asns) mask.Set(ResolveAsn(asn, "listed"));
   return mask;
+}
+
+bool Dispatcher::OwnsAsId(AsId id) const {
+  if (!ring_) return true;
+  return ring_->Owner(internet_.graph().AsnOf(id)) == options_.shard_index;
+}
+
+void Dispatcher::RequireOwned(AsId id, const char* op) const {
+  if (OwnsAsId(id)) return;
+  Asn asn = internet_.graph().AsnOf(id);
+  throw ProtocolError(
+      ErrorCode::kBadRequest,
+      StrFormat("%s: AS%u belongs to shard %zu of %zu (this is shard %zu; route "
+                "through the fleet router)",
+                op, asn, ring_->Owner(asn), options_.shard_count,
+                options_.shard_index));
 }
 
 void Dispatcher::Handle(const std::string& line, std::function<void(std::string)> done) {
@@ -634,6 +688,7 @@ std::string Dispatcher::ExecuteLeakDist(const Request& request) const {
                         "the server with --leak)");
   }
   AsId victim = ResolveAsn(request.victim, "victim");
+  RequireOwned(victim, "leakdist");
   std::size_t cell_index =
       leak_store_.FindCell(victim, request.scenario, request.lock_mode, request.model);
   if (cell_index == leaksim::LeakStore::npos) {
@@ -685,6 +740,7 @@ std::string Dispatcher::ExecuteHegemony(const Request& request) const {
                         "server with --fail)");
   }
   AsId origin = ResolveAsn(request.origin, "origin");
+  RequireOwned(origin, "hegemony");
   auto it = hegemony_rankings_.find(origin);
   if (it == hegemony_rankings_.end()) {
     throw ProtocolError(ErrorCode::kBadRequest,
@@ -719,6 +775,7 @@ std::string Dispatcher::ExecuteFailure(const Request& request) const {
                         "server with --fail)");
   }
   AsId origin = ResolveAsn(request.origin, "origin");
+  RequireOwned(origin, "failure");
   std::size_t cell_index = fail_store_.FindCell(origin, request.fail_scenario);
   if (cell_index == failsim::FailStore::npos) {
     throw ProtocolError(
@@ -803,6 +860,7 @@ std::string Dispatcher::StatusResult() {
                            : 0.0;
   cache["hits"] = stats.hits;
   cache["misses"] = stats.misses;
+  cache["oversize"] = stats.oversize;
 
   // Per-op request/error counters, keyed by wire op name.
   Json ops = Json::MakeObject();
@@ -836,6 +894,7 @@ std::string Dispatcher::StatusResult() {
     // test) discover which victims are queryable without a topology scan.
     std::vector<Asn> victims;
     for (std::size_t i = 0; i < leak_store_.num_cells(); ++i) {
+      if (leak_owned_[i] == 0) continue;  // another shard's slice
       victims.push_back(internet_.graph().AsnOf(leak_store_.cell(i).spec.victim));
     }
     std::sort(victims.begin(), victims.end());
@@ -869,6 +928,7 @@ std::string Dispatcher::StatusResult() {
     for (std::size_t s = 0; s < failsim::kNumFailScenarios; ++s) {
       auto scenario = static_cast<failsim::FailScenario>(s);
       for (std::size_t i = 0; i < fail_store_.num_cells(); ++i) {
+        if (fail_owned_[i] == 0) continue;  // another shard's slice
         if (fail_store_.cell(i).spec.scenario == scenario) {
           scenario_list.Append(Json(failsim::ToString(scenario)));
           break;
@@ -887,6 +947,24 @@ std::string Dispatcher::StatusResult() {
   result["num_ases"] = static_cast<std::uint64_t>(internet_.num_ases());
   result["num_edges"] = static_cast<std::uint64_t>(internet_.graph().num_edges());
   result["ops"] = std::move(ops);
+  if (ring_) {
+    // Fleet identity: which slice of the hash space this shard owns. Hex
+    // interval strings — JSON numbers are doubles and would corrupt the
+    // 64-bit ring points.
+    Json shard = Json::MakeObject();
+    shard["count"] = static_cast<std::uint64_t>(options_.shard_count);
+    shard["index"] = static_cast<std::uint64_t>(options_.shard_index);
+    shard["vnodes"] = static_cast<std::uint64_t>(ring_->vnodes());
+    Json ranges = Json::MakeArray();
+    for (const auto& [lo, hi] : ring_->RangesOf(options_.shard_index)) {
+      Json pair = Json::MakeArray();
+      pair.Append(Json(StrFormat("%016llx", static_cast<unsigned long long>(lo))));
+      pair.Append(Json(StrFormat("%016llx", static_cast<unsigned long long>(hi))));
+      ranges.Append(std::move(pair));
+    }
+    shard["owned_ranges"] = std::move(ranges);
+    result["shard"] = std::move(shard);
+  }
   result["slow_query_ms"] = slow_query_ms_;
   result["sweep_store"] = std::move(sweep_store);
   result["threads"] = static_cast<std::uint64_t>(pool_.thread_count());

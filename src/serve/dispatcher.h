@@ -31,11 +31,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/internet.h"
 #include "failsim/store.h"
+#include "fleet/ring.h"
 #include "leaksim/store.h"
 #include "serve/cache.h"
 #include "serve/protocol.h"
@@ -59,6 +61,17 @@ struct DispatcherOptions {
   // 0 disables; a negative value (the default) defers to the
   // FLATNET_SLOW_QUERY_MS environment variable (unset/invalid = disabled).
   std::int64_t slow_query_ms = -1;
+  // Fleet slice identity: this process is shard `shard_index` of
+  // `shard_count` under the consistent-hash ring (fleet/ring.h, built from
+  // the count alone — every fleet member derives identical ownership).
+  // Attach methods then keep only the owned slice of each store's rankings
+  // and cells; compute ops are unaffected (every shard holds the full
+  // topology, which is what makes failover and hedging possible).
+  // shard_count <= 1 means unsharded.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  // Ring vnodes per shard; must match the router's setting.
+  std::size_t ring_vnodes = fleet::kDefaultVnodes;
 };
 
 class Dispatcher {
@@ -147,8 +160,16 @@ class Dispatcher {
   AsId ResolveAsn(Asn asn, const char* field) const;
   Bitset ResolveAsnList(const std::vector<Asn>& asns) const;
 
+  // True when this shard owns `id`'s slice of origin space (always true
+  // unsharded). Store ops for non-owned keys are rejected naming the owner.
+  bool OwnsAsId(AsId id) const;
+  // Throws bad_request naming the owning shard when `id` is not owned.
+  void RequireOwned(AsId id, const char* op) const;
+
   const Internet& internet_;
   DispatcherOptions options_;
+  // Present when shard_count > 1: the fleet ownership ring.
+  std::optional<fleet::Ring> ring_;
   // Resolved slow-query threshold (options / env); <= 0 = disabled.
   std::int64_t slow_query_ms_ = 0;
   ResultCache cache_;
@@ -172,6 +193,9 @@ class Dispatcher {
   bool leak_loaded_ = false;
   std::string leak_path_;
   std::vector<std::vector<double>> leak_sorted_;
+  // Sharded: whether each cell's victim falls in this shard's slice (the
+  // sorted copy above stays empty for cells that do not). Empty unsharded.
+  std::vector<char> leak_owned_;
 
   // Failure-campaign store state (immutable once attached). Each cell's
   // damage columns ascending-sorted for quantile lookups, plus one
@@ -186,6 +210,8 @@ class Dispatcher {
     std::vector<double> loss_users;  // empty unless the store has_users
   };
   std::vector<FailSortedCell> fail_sorted_;
+  // Sharded: per-cell origin ownership, as leak_owned_ above.
+  std::vector<char> fail_owned_;
   struct HegemonyRank {
     std::vector<AsId> ranking;
     std::vector<double> scores;  // parallel to `ranking`

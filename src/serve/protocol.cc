@@ -187,6 +187,7 @@ const char* ToString(ErrorCode code) {
     case ErrorCode::kUnknownAsn: return "unknown_asn";
     case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kUnavailable: return "unavailable";
     case ErrorCode::kInternal: return "internal";
   }
   return "internal";

@@ -63,7 +63,9 @@
 // identical to the cold one — and a request without `timing` produces a
 // response byte-identical to one from a server built before tracing
 // existed. Error codes: bad_request, unknown_op, unknown_asn, overloaded,
-// deadline_exceeded, internal.
+// deadline_exceeded, unavailable, internal. `unavailable` is raised by the
+// fleet router (fleet/router.h) when the shard owning a request's slice of
+// origin space is out of the ring; a single server never emits it.
 #ifndef FLATNET_SERVE_PROTOCOL_H_
 #define FLATNET_SERVE_PROTOCOL_H_
 
@@ -88,6 +90,7 @@ enum class ErrorCode : std::uint8_t {
   kUnknownAsn,
   kOverloaded,
   kDeadlineExceeded,
+  kUnavailable,
   kInternal,
 };
 

@@ -13,6 +13,8 @@
 #include <utility>
 
 #include "obs/log.h"
+#include "obs/metrics.h"
+#include "serve/protocol.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -23,10 +25,25 @@ void CloseQuietly(int fd) {
   if (fd >= 0) ::close(fd);
 }
 
+// Best-effort whole-string send for the pre-connection overload rejection;
+// the peer may already be gone, which is fine.
+void SendAll(int fd, const std::string& text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    ssize_t n = ::send(fd, text.data() + sent, text.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
 }  // namespace
 
-Server::Server(Dispatcher& dispatcher, const ServerOptions& options)
-    : dispatcher_(dispatcher), options_(options) {
+Server::Connection::~Connection() { CloseQuietly(fd); }
+
+Server::Server(LineHandler handler, std::function<void()> drain,
+               const ServerOptions& options)
+    : handler_(std::move(handler)), drain_(std::move(drain)), options_(options) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     throw Error(StrFormat("socket: %s", std::strerror(errno)));
@@ -66,12 +83,20 @@ Server::Server(Dispatcher& dispatcher, const ServerOptions& options)
   port_ = ntohs(bound.sin_port);
 }
 
+Server::Server(Dispatcher& dispatcher, const ServerOptions& options)
+    : Server(
+          [&dispatcher](const std::string& line, std::function<void(std::string)> done,
+                        std::chrono::steady_clock::time_point received_at) {
+            dispatcher.Handle(line, std::move(done), received_at);
+          },
+          [&dispatcher] { dispatcher.Drain(); }, options) {}
+
 Server::~Server() {
   CloseQuietly(listen_fd_);
   for (auto& connection : connections_) {
     if (connection->reader.joinable()) connection->reader.join();
-    CloseQuietly(connection->fd);
   }
+  connections_.clear();
 }
 
 void Server::Run() {
@@ -91,17 +116,38 @@ void Server::Run() {
   for (auto& connection : connections_) {
     if (connection->reader.joinable()) connection->reader.join();
   }
-  dispatcher_.Drain();
-  for (auto& connection : connections_) {
-    CloseQuietly(connection->fd);
-    connection->fd = -1;
-  }
+  if (drain_) drain_();
+  // Dropping the references closes each fd whose responses are all written;
+  // a response still in flight holds its own reference.
   connections_.clear();
   obs::Log(obs::LogLevel::kInfo, "serve", "server.stopped");
 }
 
+void Server::ReapFinished() {
+  std::vector<ConnectionPtr> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done_reading.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside the lock; destruction (and the close) may be deferred past
+  // this scope by response callbacks still holding references.
+  for (auto& connection : finished) {
+    if (connection->reader.joinable()) connection->reader.join();
+  }
+}
+
 void Server::AcceptLoop() {
+  obs::Counter& accepted = obs::GetCounter("serve.connections.accepted");
+  obs::Counter& rejected = obs::GetCounter("serve.connections.rejected");
   while (!stop_.load(std::memory_order_relaxed)) {
+    ReapFinished();
     pollfd pfd{listen_fd_, POLLIN, 0};
     int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (ready < 0) {
@@ -118,24 +164,46 @@ void Server::AcceptLoop() {
           .Kv("error", std::strerror(errno));
       continue;
     }
-    auto connection = std::make_unique<Connection>();
-    connection->fd = fd;
-    Connection* raw = connection.get();
+    std::size_t live = 0;
     {
       std::lock_guard<std::mutex> lock(connections_mu_);
-      connections_.push_back(std::move(connection));
+      live = connections_.size();
     }
-    raw->reader = std::thread([this, raw] { ReadLoop(raw); });
+    if (options_.max_connections > 0 && live >= options_.max_connections) {
+      // Structured backpressure instead of an unexplained RST: one
+      // overloaded error line, then close. The fleet router retries it.
+      rejected.Increment();
+      SendAll(fd, ErrorResponse(Json(), ErrorCode::kOverloaded,
+                                StrFormat("connection limit reached (%zu connections)",
+                                          options_.max_connections)) +
+                      "\n");
+      CloseQuietly(fd);
+      obs::Log(obs::LogLevel::kWarn, "serve", "server.connection_rejected")
+          .Kv("live", static_cast<std::uint64_t>(live))
+          .Kv("max", static_cast<std::uint64_t>(options_.max_connections));
+      continue;
+    }
+    accepted.Increment();
+    auto connection = std::make_shared<Connection>();
+    connection->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      connections_.push_back(connection);
+    }
+    // The reader captures a plain copy of the shared_ptr; ReapFinished
+    // joins the thread before the vector's reference is dropped, and any
+    // response in flight holds its own.
+    connection->reader = std::thread([this, connection] { ReadLoop(connection); });
   }
 }
 
-void Server::ReadLoop(Connection* connection) {
+void Server::ReadLoop(const ConnectionPtr& connection) {
   std::string buffer;
   char chunk[4096];
   for (;;) {
     ssize_t n = ::recv(connection->fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return;  // peer closed, error, or shutdown(SHUT_RD)
+    if (n <= 0) break;  // peer closed, error, or shutdown(SHUT_RD)
     // One receive timestamp covers every line in the chunk: the timeline's
     // `accept` phase then measures socket-to-dispatcher latency, including
     // time spent behind earlier lines of a pipelined batch.
@@ -149,21 +217,22 @@ void Server::ReadLoop(Connection* connection) {
       start = newline + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      dispatcher_.Handle(
+      handler_(
           line,
-          [this, connection](std::string response) { WriteLine(connection, response); },
+          [connection](std::string response) { WriteLine(connection, response); },
           received_at);
     }
     buffer.erase(0, start);
     if (buffer.size() > options_.max_line_bytes) {
       obs::Log(obs::LogLevel::kWarn, "serve", "server.line_too_long")
           .Kv("bytes", static_cast<std::uint64_t>(buffer.size()));
-      return;
+      break;
     }
   }
+  connection->done_reading.store(true, std::memory_order_release);
 }
 
-void Server::WriteLine(Connection* connection, const std::string& line) {
+void Server::WriteLine(const ConnectionPtr& connection, const std::string& line) {
   std::lock_guard<std::mutex> lock(connection->write_mu);
   std::string framed = line;
   framed.push_back('\n');

@@ -214,6 +214,28 @@ TEST(ServeCache, EvictsColdEntriesUnderByteBudget) {
   EXPECT_LE(stats.bytes, stats.capacity_bytes);
 }
 
+TEST(ServeCache, OversizeResultsAreDroppedAndCounted) {
+  // Budget fits one small entry; a value bigger than the whole shard
+  // budget is dropped up front (counted, not churned through the LRU).
+  ResultCache cache(1 + 10 + 96, /*num_shards=*/1);
+  cache.Put("a", std::string(10, 'v'));
+  cache.Put("b", std::string(4096, 'w'));
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("a").has_value());  // resident entries survive the drop
+
+  serve::CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.oversize, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // An oversize result supersedes a stale cached value under the same key
+  // rather than leaving the old bytes to be served.
+  cache.Put("a", std::string(4096, 'w'));
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(cache.Stats().oversize, 2u);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
 TEST(ServeCache, PutRefreshesExistingKey) {
   ResultCache cache(1 << 20, 1);
   cache.Put("k", "old");

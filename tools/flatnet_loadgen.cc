@@ -29,10 +29,21 @@
 // exercises the same cross-engine equivalence the differential oracle
 // (src/check) guarantees.
 //
+// --fleet points the loadgen at a flatnet_router instead of a single
+// server: the preflight reads the router's merged fleet view, rebuilds the
+// consistent-hash ring locally (same shard count and vnodes), and
+// attributes every keyed request to its owning shard. The report then
+// carries a `fleet` object — per-shard p50/p95/p99 from the client's
+// vantage, the router's hedge counters and win rate, the number of
+// partial (`partial: true`) ranking answers observed, and how many
+// requests came back `unavailable` (a dead owner's store slice).
+// `unavailable` responses are expected while a shard is down, so in fleet
+// mode they are counted separately instead of as hard errors.
+//
 // Usage:
 //   flatnet_loadgen --topology <stem> (--port P | --port-file <file>)
 //                   [--host ADDR] [--requests N] [--connections C]
-//                   [--seed S] [--verify K] [--no-timing]
+//                   [--seed S] [--verify K] [--no-timing] [--fleet]
 //                   [--log-level <level>]
 //
 // Exits nonzero on any protocol error, transport failure, or verification
@@ -49,12 +60,14 @@
 #include <cstring>
 #include <fstream>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bgp/reachability.h"
 #include "core/serialize.h"
+#include "fleet/ring.h"
 #include "obs/log.h"
 #include "util/error.h"
 #include "util/json.h"
@@ -70,7 +83,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: flatnet_loadgen --topology <stem> (--port P | --port-file <file>)\n"
                "                       [--host ADDR] [--requests N] [--connections C]\n"
-               "                       [--seed S] [--verify K] [--no-timing]\n"
+               "                       [--seed S] [--verify K] [--no-timing] [--fleet]\n"
                "                       [--log-level <level>]\n");
   return 2;
 }
@@ -193,6 +206,11 @@ struct WorkerTally {
   std::uint64_t errors = 0;
   Attribution attribution;
   std::vector<std::string> error_samples;
+  // Fleet mode: latencies bucketed by the owning shard of each keyed
+  // request, plus the degraded-answer counters the report surfaces.
+  std::vector<std::vector<double>> shard_latencies_ms;
+  std::uint64_t partial = 0;
+  std::uint64_t unavailable = 0;
 };
 
 const char* kModes[] = {"full", "provider_free", "tier1_free", "hierarchy_free"};
@@ -256,7 +274,8 @@ Capabilities ProbeCapabilities(const Json& status) {
 // store-backed ops and status are answered inline and never cached.
 std::string BuildRequest(Rng& rng, const std::vector<Asn>& asns,
                          const std::vector<Asn>& hot, std::uint64_t id,
-                         const Capabilities& caps, bool timing, bool* cacheable) {
+                         const Capabilities& caps, bool timing, bool* cacheable,
+                         std::optional<Asn>* key_asn) {
   auto pick = [&](const std::vector<Asn>& pool) {
     return pool[rng.UniformU64(pool.size())];
   };
@@ -264,20 +283,26 @@ std::string BuildRequest(Rng& rng, const std::vector<Asn>& asns,
   const char* timing_key = timing ? ",\"timing\":true" : "";
   std::uint64_t roll = rng.UniformU64(100);
   *cacheable = true;
+  key_asn->reset();  // set for keyed ops; scatter and status stay unkeyed
   std::uint64_t hi = 55u - (caps.top ? 10u : 0u) - (caps.fail ? 10u : 0u);
   if (roll < hi) {
-    return StrFormat("{\"op\":\"reach\",\"origin\":%u,\"mode\":\"%s\",\"id\":%llu%s}",
-                     origin(), kModes[rng.UniformU64(4)],
-                     static_cast<unsigned long long>(id), timing_key);
+    Asn o = origin();
+    *key_asn = o;
+    return StrFormat("{\"op\":\"reach\",\"origin\":%u,\"mode\":\"%s\",\"id\":%llu%s}", o,
+                     kModes[rng.UniformU64(4)], static_cast<unsigned long long>(id),
+                     timing_key);
   }
   if (roll < hi + 20u) {
-    return StrFormat("{\"op\":\"reliance\",\"origin\":%u,\"k\":10,\"id\":%llu%s}", origin(),
+    Asn o = origin();
+    *key_asn = o;
+    return StrFormat("{\"op\":\"reliance\",\"origin\":%u,\"k\":10,\"id\":%llu%s}", o,
                      static_cast<unsigned long long>(id), timing_key);
   }
   if (roll < hi + 35u) {
     Asn victim = origin();
     Asn leaker = origin();
     while (leaker == victim) leaker = pick(asns);
+    *key_asn = victim;
     return StrFormat("{\"op\":\"leak\",\"victim\":%u,\"leaker\":%u,\"id\":%llu%s}", victim,
                      leaker, static_cast<unsigned long long>(id), timing_key);
   }
@@ -295,8 +320,9 @@ std::string BuildRequest(Rng& rng, const std::vector<Asn>& asns,
   if (caps.fail) {
     hi += 5u;
     if (roll < hi) {
-      return StrFormat("{\"op\":\"hegemony\",\"origin\":%u,\"k\":%llu,\"id\":%llu%s}",
-                       pick(caps.fail_origins),
+      Asn o = pick(caps.fail_origins);
+      *key_asn = o;
+      return StrFormat("{\"op\":\"hegemony\",\"origin\":%u,\"k\":%llu,\"id\":%llu%s}", o,
                        static_cast<unsigned long long>(1 + rng.UniformU64(10)),
                        static_cast<unsigned long long>(id), timing_key);
     }
@@ -305,12 +331,13 @@ std::string BuildRequest(Rng& rng, const std::vector<Asn>& asns,
       const char* column = caps.fail_users && rng.Bernoulli(0.33) ? "loss_users"
                            : rng.Bernoulli(0.5)                   ? "disconnected"
                                                                   : "loss_ases";
+      Asn o = pick(caps.fail_origins);
+      *key_asn = o;
       return StrFormat(
           "{\"op\":\"failure\",\"origin\":%u,\"scenario\":\"%s\",\"column\":\"%s\","
           "\"q\":[0.5,0.9],\"id\":%llu%s}",
-          pick(caps.fail_origins),
-          caps.fail_scenarios[rng.UniformU64(caps.fail_scenarios.size())].c_str(), column,
-          static_cast<unsigned long long>(id), timing_key);
+          o, caps.fail_scenarios[rng.UniformU64(caps.fail_scenarios.size())].c_str(),
+          column, static_cast<unsigned long long>(id), timing_key);
     }
   }
   return StrFormat("{\"op\":\"status\",\"id\":%llu%s}", static_cast<unsigned long long>(id),
@@ -343,6 +370,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::uint64_t verify = 1;
   bool timing = true;
+  bool fleet_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -378,6 +406,8 @@ int main(int argc, char** argv) {
       if (!next_u64(&verify)) return Usage();
     } else if (arg == "--no-timing") {
       timing = false;
+    } else if (arg == "--fleet") {
+      fleet_mode = true;
     } else if (arg == "--log-level") {
       const char* v = next();
       auto level = v ? obs::ParseLogLevel(v) : std::nullopt;
@@ -414,10 +444,26 @@ int main(int argc, char** argv) {
   // ops join the mix, so the loadgen works against servers started with
   // any combination of stores.
   Capabilities caps;
+  std::optional<fleet::Ring> ring;
   try {
     Client probe(host, static_cast<std::uint16_t>(port));
-    caps = ProbeCapabilities(
-        Json::Parse(probe.RoundTrip("{\"op\":\"status\",\"id\":\"probe\"}")));
+    Json status = Json::Parse(probe.RoundTrip("{\"op\":\"status\",\"id\":\"probe\"}"));
+    caps = ProbeCapabilities(status);
+    if (fleet_mode) {
+      // Rebuild the router's ring locally (same shard count and vnodes →
+      // identical ownership) so each keyed request can be attributed to
+      // the shard that served it.
+      const Json& ring_config = status.Get("result").Get("fleet").Get("ring");
+      if (ring_config.type() != Json::Type::kObject) {
+        std::fprintf(stderr, "--fleet: %s:%u is not a flatnet_router (no fleet view)\n",
+                     host.c_str(), static_cast<unsigned>(port));
+        return 1;
+      }
+      ring.emplace(ring_config.At("shards").AsU64(), ring_config.At("vnodes").AsU64());
+      std::fprintf(stderr, "fleet: %llu shards, %llu vnodes each\n",
+                   static_cast<unsigned long long>(ring->num_shards()),
+                   static_cast<unsigned long long>(ring->vnodes()));
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "status probe failed: %s\n", e.what());
     return 1;
@@ -437,6 +483,7 @@ int main(int argc, char** argv) {
   for (std::uint64_t w = 0; w < connections; ++w) {
     workers.emplace_back([&, w] {
       WorkerTally& tally = tallies[w];
+      if (ring) tally.shard_latencies_ms.resize(ring->num_shards());
       try {
         Client client(host, static_cast<std::uint16_t>(port));
         Rng rng(seed * 0x9e3779b97f4a7c15ULL + w + 1);
@@ -444,16 +491,23 @@ int main(int argc, char** argv) {
           std::uint64_t id = next_id.fetch_add(1);
           if (id >= requests) break;
           bool cacheable = false;
-          std::string request = BuildRequest(rng, asns, hot, id, caps, timing, &cacheable);
+          std::optional<Asn> key_asn;
+          std::string request =
+              BuildRequest(rng, asns, hot, id, caps, timing, &cacheable, &key_asn);
           auto start = std::chrono::steady_clock::now();
           std::string response = client.RoundTrip(request);
           double client_ms = std::chrono::duration<double, std::milli>(
                                  std::chrono::steady_clock::now() - start)
                                  .count();
           tally.latencies_ms.push_back(client_ms);
+          if (ring && key_asn) {
+            tally.shard_latencies_ms[ring->Owner(*key_asn)].push_back(client_ms);
+          }
           Json doc = Json::Parse(response);
           if (doc.Get("ok").type() == Json::Type::kBool && doc.Get("ok").AsBool()) {
             ++tally.ok;
+            const Json& partial = doc.Get("result").Get("partial");
+            if (partial.type() == Json::Type::kBool && partial.AsBool()) ++tally.partial;
             if (doc.Get("timing").type() == Json::Type::kObject) {
               tally.attribution.Fold(doc.Get("timing"), client_ms);
             }
@@ -464,6 +518,12 @@ int main(int argc, char** argv) {
                 ++tally.cached;
               }
             }
+          } else if (fleet_mode && doc.Get("error").Get("code").type() ==
+                                       Json::Type::kString &&
+                     doc.Get("error").Get("code").AsString() == "unavailable") {
+            // A dead owner's store slice: expected while a shard is down, so
+            // it degrades the fleet report instead of failing the run.
+            ++tally.unavailable;
           } else {
             ++tally.errors;
             if (tally.error_samples.size() < 3) tally.error_samples.push_back(response);
@@ -485,6 +545,8 @@ int main(int argc, char** argv) {
 
   std::vector<double> latencies;
   std::uint64_t ok = 0, cached = 0, cacheable = 0, errors = 0;
+  std::uint64_t partial = 0, unavailable = 0;
+  std::vector<std::vector<double>> shard_latencies(ring ? ring->num_shards() : 0);
   Attribution attribution;
   for (const WorkerTally& tally : tallies) {
     latencies.insert(latencies.end(), tally.latencies_ms.begin(), tally.latencies_ms.end());
@@ -492,6 +554,13 @@ int main(int argc, char** argv) {
     cached += tally.cached;
     cacheable += tally.cacheable;
     errors += tally.errors;
+    partial += tally.partial;
+    unavailable += tally.unavailable;
+    for (std::size_t s = 0; s < tally.shard_latencies_ms.size(); ++s) {
+      shard_latencies[s].insert(shard_latencies[s].end(),
+                                tally.shard_latencies_ms[s].begin(),
+                                tally.shard_latencies_ms[s].end());
+    }
     attribution.Merge(tally.attribution);
     for (const std::string& sample : tally.error_samples) {
       std::fprintf(stderr, "error response: %s\n", sample.c_str());
@@ -557,6 +626,46 @@ int main(int argc, char** argv) {
   }
 
   Json report = Json::MakeObject();
+  if (ring) {
+    // One post-run status round-trip: the router's hedge counters cover
+    // this run (plus its own probes, which never hedge).
+    Json fleet = Json::MakeObject();
+    fleet["partial_answers"] = partial;
+    fleet["unavailable"] = unavailable;
+    try {
+      Client probe(host, static_cast<std::uint16_t>(port));
+      Json status = Json::Parse(probe.RoundTrip("{\"op\":\"status\",\"id\":\"post\"}"));
+      const Json& counters = status.Get("result").Get("fleet");
+      std::uint64_t issued = counters.Get("hedge_issued").type() == Json::Type::kNumber
+                                 ? counters.At("hedge_issued").AsU64()
+                                 : 0;
+      std::uint64_t won = counters.Get("hedge_won").type() == Json::Type::kNumber
+                              ? counters.At("hedge_won").AsU64()
+                              : 0;
+      fleet["hedge_issued"] = issued;
+      fleet["hedge_win_rate"] =
+          issued > 0 ? static_cast<double>(won) / static_cast<double>(issued) : 0.0;
+      fleet["hedge_won"] = won;
+      fleet["shards_alive"] = counters.Get("alive");
+    } catch (const Error& e) {
+      std::fprintf(stderr, "post-run fleet status failed: %s\n", e.what());
+    }
+    Json per_shard = Json::MakeArray();
+    for (std::size_t s = 0; s < shard_latencies.size(); ++s) {
+      Json entry = Json::MakeObject();
+      entry["requests"] = static_cast<std::uint64_t>(shard_latencies[s].size());
+      entry["shard"] = static_cast<std::uint64_t>(s);
+      if (!shard_latencies[s].empty()) {
+        EmpiricalCdf cdf(shard_latencies[s]);
+        entry["p50_ms"] = cdf.Quantile(0.50);
+        entry["p95_ms"] = cdf.Quantile(0.95);
+        entry["p99_ms"] = cdf.Quantile(0.99);
+      }
+      per_shard.Append(std::move(entry));
+    }
+    fleet["per_shard"] = std::move(per_shard);
+    report["fleet"] = std::move(fleet);
+  }
   if (attribution.timed > 0) {
     // Mean milliseconds per timed request, by server-side phase group,
     // plus what the server never saw (network + client overhead).

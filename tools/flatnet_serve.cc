@@ -14,6 +14,15 @@
 //                 [--default-deadline-ms MS] [--sweep <file>] [--leak <file>]
 //                 [--fail <file>] [--log-level <level>] [--metrics-out <file>]
 //                 [--slow-query-ms MS] [--recorder-dump <file>]
+//                 [--shard I/N] [--max-connections N]
+//
+// Fleet membership: --shard I/N declares this process shard I of an
+// N-shard fleet (0-based). Attach then keeps only this shard's slice of
+// each store's rankings and cells under the consistent-hash ring
+// (src/fleet/ring.h), and status advertises the owned ranges so the
+// flatnet_router can route and merge. --max-connections caps live
+// connections; past the cap an accept receives one structured
+// `overloaded` error line (the router treats it as backpressure).
 //
 // Observability: --slow-query-ms (or FLATNET_SLOW_QUERY_MS) logs each
 // request slower than the threshold with its phase timeline;
@@ -77,7 +86,8 @@ int Usage() {
                "[--leak <file>]\n"
                "                     [--fail <file>] [--log-level <level>] "
                "[--metrics-out <file>]\n"
-               "                     [--slow-query-ms MS] [--recorder-dump <file>]\n");
+               "                     [--slow-query-ms MS] [--recorder-dump <file>]\n"
+               "                     [--shard I/N] [--max-connections N]\n");
   return 2;
 }
 
@@ -119,6 +129,7 @@ int main(int argc, char** argv) {
   std::string sweep_path;
   std::string leak_path;
   std::string fail_path;
+  std::uint64_t max_connections = 0;
   serve::DispatcherOptions dispatch;
 
   for (int i = 1; i < argc; ++i) {
@@ -170,6 +181,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--slow-query-ms") {
       if (!next_u64(&value)) return Usage();
       dispatch.slow_query_ms = static_cast<std::int64_t>(value);
+    } else if (arg == "--shard") {
+      // I/N, e.g. --shard 0/3: shard index / fleet size.
+      const char* v = next();
+      if (!v) return Usage();
+      const char* slash = std::strchr(v, '/');
+      if (!slash) return Usage();
+      auto index = ParseU64(std::string(v, slash));
+      auto count = ParseU64(slash + 1);
+      if (!index || !count || *count == 0 || *index >= *count) return Usage();
+      dispatch.shard_index = *index;
+      dispatch.shard_count = *count;
+    } else if (arg == "--max-connections") {
+      if (!next_u64(&max_connections)) return Usage();
     } else if (arg == "--recorder-dump") {
       const char* v = next();
       if (!v) return Usage();
@@ -278,6 +302,7 @@ int main(int argc, char** argv) {
   serve::ServerOptions server_options;
   server_options.bind_address = bind_address;
   server_options.port = static_cast<std::uint16_t>(port);
+  server_options.max_connections = max_connections;
   serve::Server server(dispatcher, server_options);
 
   if (!port_file.empty()) {
