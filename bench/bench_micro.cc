@@ -4,6 +4,7 @@
 // computation, and prefix-trie lookups.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <memory>
 
 #include "asgraph/cone.h"
@@ -11,7 +12,9 @@
 #include "bgp/propagation.h"
 #include "bgp/reachability.h"
 #include "bgp/reliance.h"
+#include "core/graph_store.h"
 #include "core/internet.h"
+#include "core/serialize.h"
 #include "net/prefix_trie.h"
 #include "serve/dispatcher.h"
 #include "sweep/engine.h"
@@ -288,6 +291,62 @@ void BM_GenerateWorld(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_GenerateWorld)->Arg(1000)->Arg(4000)->Complexity(benchmark::oN);
+
+// Binary store scaling: serialize, then serve straight from the mapping.
+// Compare BM_GraphStoreLoad against BM_TextLoad at the same AS count — the
+// gap is what ROADMAP item 1 buys every tool that opens a topology.
+void BM_GraphStoreSave(benchmark::State& state) {
+  auto params = GeneratorParams::Era2020(static_cast<std::uint32_t>(state.range(0)));
+  World world = GenerateWorld(params);
+  Internet internet(std::move(world.full_graph), std::move(world.tiers),
+                    std::move(world.metadata));
+  std::string path = (std::filesystem::temp_directory_path() /
+                      StrFormat("bench_store_%ld.graph", state.range(0)))
+                         .string();
+  for (auto _ : state) {
+    SaveInternetBinary(internet, path);
+  }
+  state.SetComplexityN(state.range(0));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_GraphStoreSave)->Arg(1000)->Arg(4000)->Arg(16000)->Complexity(benchmark::oN);
+
+void BM_GraphStoreLoad(benchmark::State& state) {
+  auto params = GeneratorParams::Era2020(static_cast<std::uint32_t>(state.range(0)));
+  World world = GenerateWorld(params);
+  Internet internet(std::move(world.full_graph), std::move(world.tiers),
+                    std::move(world.metadata));
+  std::string path = (std::filesystem::temp_directory_path() /
+                      StrFormat("bench_load_%ld.graph", state.range(0)))
+                         .string();
+  SaveInternetBinary(internet, path);
+  for (auto _ : state) {
+    Internet loaded = LoadInternetBinary(path);
+    benchmark::DoNotOptimize(loaded.num_ases());
+  }
+  state.SetComplexityN(state.range(0));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_GraphStoreLoad)->Arg(1000)->Arg(4000)->Arg(16000)->Complexity(benchmark::oN);
+
+void BM_TextLoad(benchmark::State& state) {
+  auto params = GeneratorParams::Era2020(static_cast<std::uint32_t>(state.range(0)));
+  World world = GenerateWorld(params);
+  Internet internet(std::move(world.full_graph), std::move(world.tiers),
+                    std::move(world.metadata));
+  std::string stem = (std::filesystem::temp_directory_path() /
+                      StrFormat("bench_text_%ld", state.range(0)))
+                         .string();
+  SaveInternet(internet, stem);
+  for (auto _ : state) {
+    Internet loaded = LoadInternet(stem);
+    benchmark::DoNotOptimize(loaded.num_ases());
+  }
+  state.SetComplexityN(state.range(0));
+  std::filesystem::remove(stem + ".as-rel.txt");
+  std::filesystem::remove(stem + ".meta.tsv");
+}
+BENCHMARK(BM_TextLoad)->Arg(1000)->Arg(4000)->Arg(16000)->Complexity(benchmark::oN);
 
 }  // namespace
 }  // namespace flatnet

@@ -1,12 +1,24 @@
 #include "asgraph/as_graph.h"
 
 #include <algorithm>
-#include <array>
+#include <numeric>
 
 #include "util/error.h"
+#include "util/narrow.h"
 #include "util/strings.h"
 
 namespace flatnet {
+namespace {
+
+// Owns everything an AsGraph's spans point into: an opaque owner of the
+// column bytes (moved-in vectors or a mapped file) plus the typed
+// Neighbor array derived from the id column.
+struct GraphStorage {
+  std::shared_ptr<const void> backing;
+  std::vector<Neighbor> entries;
+};
+
+}  // namespace
 
 const char* ToString(Relationship rel) {
   switch (rel) {
@@ -52,7 +64,7 @@ void AsGraphBuilder::AddEdge(Asn a, Asn b, EdgeType type) {
     }
     return;
   }
-  edge_index_.emplace(key, static_cast<std::uint32_t>(edges_.size()));
+  edge_index_.emplace(key, CheckedNarrow32(edges_.size(), "AsGraphBuilder edge index"));
   edges_.push_back(Edge{ia, ib, type});
 }
 
@@ -62,7 +74,7 @@ bool AsGraphBuilder::AddEdgeIfAbsent(Asn a, Asn b, EdgeType type) {
   AsId ib = AddAs(b);
   std::uint64_t key = PairKey(ia, ib);
   if (edge_index_.contains(key)) return false;
-  edge_index_.emplace(key, static_cast<std::uint32_t>(edges_.size()));
+  edge_index_.emplace(key, CheckedNarrow32(edges_.size(), "AsGraphBuilder edge index"));
   edges_.push_back(Edge{ia, ib, type});
   return true;
 }
@@ -75,54 +87,155 @@ bool AsGraphBuilder::HasEdge(Asn a, Asn b) const {
 }
 
 AsGraph AsGraphBuilder::Build() && {
-  AsGraph graph;
-  graph.asn_of_ = std::move(asn_of_);
-  graph.id_of_ = std::move(id_of_);
-  graph.num_edges_ = edges_.size();
+  std::size_t n = asn_of_.size();
+  std::uint32_t total =
+      CheckedNarrow32(edges_.size() * 2, "AsGraphBuilder: CSR entry count");
 
-  std::size_t n = graph.asn_of_.size();
-  // Per-node neighbor lists bucketed by relationship.
-  std::vector<std::array<std::vector<Neighbor>, 3>> adj(n);
+  AsGraph::Columns columns;
+  columns.asn_of = std::move(asn_of_);
+  columns.slice.assign(3 * n + 1, 0);
+  columns.entry_ids.resize(total);
+
+  // Counting sort into the CSR: one pass to count each (node, bucket)
+  // group, a prefix sum into the interleaved slice bounds, one pass to
+  // scatter the ids, then a per-bucket sort. No per-node vectors — peak
+  // memory is the output plus one u32 cursor per group.
   auto bucket_of = [](Relationship rel) { return static_cast<std::size_t>(rel); };
+  std::vector<std::uint32_t> cursor(3 * n, 0);
+  auto count = [&](AsId node, Relationship rel) { ++cursor[3 * node + bucket_of(rel)]; };
   for (const Edge& e : edges_) {
     if (e.type == EdgeType::kP2P) {
-      adj[e.a][bucket_of(Relationship::kPeer)].push_back({e.b, Relationship::kPeer});
-      adj[e.b][bucket_of(Relationship::kPeer)].push_back({e.a, Relationship::kPeer});
+      count(e.a, Relationship::kPeer);
+      count(e.b, Relationship::kPeer);
+    } else {
+      count(e.a, Relationship::kCustomer);
+      count(e.b, Relationship::kProvider);
+    }
+  }
+  std::uint32_t running = 0;
+  for (std::size_t g = 0; g < 3 * n; ++g) {
+    columns.slice[g] = running;
+    std::uint32_t c = cursor[g];
+    cursor[g] = running;  // becomes the group's write cursor
+    running += c;
+  }
+  columns.slice[3 * n] = running;
+  auto scatter = [&](AsId node, AsId nb, Relationship rel) {
+    columns.entry_ids[cursor[3 * node + bucket_of(rel)]++] = nb;
+  };
+  for (const Edge& e : edges_) {
+    if (e.type == EdgeType::kP2P) {
+      scatter(e.a, e.b, Relationship::kPeer);
+      scatter(e.b, e.a, Relationship::kPeer);
     } else {
       // e.a is provider of e.b.
-      adj[e.a][bucket_of(Relationship::kCustomer)].push_back({e.b, Relationship::kCustomer});
-      adj[e.b][bucket_of(Relationship::kProvider)].push_back({e.a, Relationship::kProvider});
+      scatter(e.a, e.b, Relationship::kCustomer);
+      scatter(e.b, e.a, Relationship::kProvider);
+    }
+  }
+  for (std::size_t g = 0; g < 3 * n; ++g) {
+    std::sort(columns.entry_ids.begin() + columns.slice[g],
+              columns.entry_ids.begin() + (g + 1 < 3 * n ? columns.slice[g + 1]
+                                                         : columns.slice[3 * n]));
+  }
+  return AsGraph::FromColumns(std::move(columns), "AsGraphBuilder");
+}
+
+AsGraph AsGraph::FromColumns(Columns columns, const std::string& what) {
+  auto owned = std::make_shared<Columns>(std::move(columns));
+  if (owned->by_asn.empty() && !owned->asn_of.empty()) {
+    owned->by_asn.resize(owned->asn_of.size());
+    std::iota(owned->by_asn.begin(), owned->by_asn.end(), AsId{0});
+    std::sort(owned->by_asn.begin(), owned->by_asn.end(),
+              [&](AsId a, AsId b) { return owned->asn_of[a] < owned->asn_of[b]; });
+  }
+  const Columns& c = *owned;
+  return FromColumns(c.asn_of, c.by_asn, c.slice, c.entry_ids, std::move(owned), what);
+}
+
+AsGraph AsGraph::FromColumns(std::span<const Asn> asn_of, std::span<const AsId> by_asn,
+                             std::span<const std::uint32_t> slice,
+                             std::span<const AsId> entry_ids,
+                             std::shared_ptr<const void> keeper, const std::string& what) {
+  auto storage = std::make_shared<GraphStorage>();
+  storage->backing = std::move(keeper);
+  const char* ctx = what.c_str();
+  std::size_t n = asn_of.size();
+  if (slice.size() != 3 * n + 1) {
+    throw Error(StrFormat("%s: slice column has %zu bounds, %zu ASes need %zu", ctx,
+                          slice.size(), n, 3 * n + 1));
+  }
+  if (slice[0] != 0) {
+    throw Error(StrFormat("%s: CSR slice does not start at 0 (got %u)", ctx, slice[0]));
+  }
+  for (std::size_t k = 0; k + 1 < slice.size(); ++k) {
+    if (slice[k] > slice[k + 1]) {
+      throw Error(StrFormat("%s: CSR slice bounds decrease at index %zu (%u > %u)", ctx, k,
+                            slice[k], slice[k + 1]));
+    }
+  }
+  if (entry_ids.size() != slice[3 * n]) {
+    throw Error(StrFormat("%s: %zu adjacency entries but slice bounds imply %u", ctx,
+                          entry_ids.size(), slice[3 * n]));
+  }
+  if (entry_ids.size() % 2 != 0) {
+    throw Error(StrFormat("%s: odd adjacency entry count %zu (edges store two half-edges)",
+                          ctx, entry_ids.size()));
+  }
+  if (by_asn.size() != n) {
+    throw Error(StrFormat("%s: ASN index has %zu entries, expected %zu", ctx, by_asn.size(),
+                          n));
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    if (by_asn[k] >= n) {
+      throw Error(StrFormat("%s: ASN index entry %zu is id %u, out of range", ctx, k,
+                            by_asn[k]));
+    }
+    // Strict ASN increase over the index implies distinct ids, which with
+    // length n and the range check makes it a permutation.
+    if (k > 0 && asn_of[by_asn[k - 1]] >= asn_of[by_asn[k]]) {
+      throw Error(StrFormat("%s: ASN index not strictly increasing at entry %zu", ctx, k));
     }
   }
 
-  if (edges_.size() * 2 > 0xffffffffull) {
-    throw InvalidArgument("AsGraphBuilder: CSR entry count exceeds 32-bit offsets");
-  }
-  graph.slice_.resize(3 * n + 1);
-  graph.entries_.reserve(edges_.size() * 2);
-  std::uint32_t cursor = 0;
+  // Derive the typed Neighbor array (the relationship is implied by the
+  // bucket an entry sits in) and check ids are in range and bucket-sorted
+  // in the same pass.
+  storage->entries.resize(entry_ids.size());
   for (std::size_t i = 0; i < n; ++i) {
-    graph.slice_[3 * i] = cursor;
     for (std::size_t b = 0; b < 3; ++b) {
-      auto& bucket = adj[i][b];
-      std::sort(bucket.begin(), bucket.end(),
-                [](const Neighbor& x, const Neighbor& y) { return x.id < y.id; });
-      graph.entries_.insert(graph.entries_.end(), bucket.begin(), bucket.end());
-      cursor += static_cast<std::uint32_t>(bucket.size());
-      if (b == bucket_of(Relationship::kCustomer)) graph.slice_[3 * i + 1] = cursor;
-      if (b == bucket_of(Relationship::kPeer)) graph.slice_[3 * i + 2] = cursor;
+      auto rel = static_cast<Relationship>(b);
+      for (std::uint32_t k = slice[3 * i + b]; k < slice[3 * i + b + 1]; ++k) {
+        AsId nb = entry_ids[k];
+        if (nb >= n) {
+          throw Error(StrFormat("%s: node %zu has neighbor id %u, out of range", ctx, i, nb));
+        }
+        if (k > slice[3 * i + b] && entry_ids[k - 1] >= nb) {
+          throw Error(StrFormat("%s: %s bucket of node %zu not strictly increasing at "
+                                "entry %u",
+                                ctx, ToString(rel), i, k));
+        }
+        storage->entries[k] = Neighbor{nb, rel};
+      }
     }
   }
-  graph.slice_[3 * n] = cursor;
-  graph.entry_ids_.reserve(graph.entries_.size());
-  for (const Neighbor& nb : graph.entries_) graph.entry_ids_.push_back(nb.id);
+
+  AsGraph graph;
+  graph.asn_of_ = asn_of;
+  graph.by_asn_ = by_asn;
+  graph.slice_ = slice;
+  graph.entry_ids_ = entry_ids;
+  graph.entries_ = storage->entries;
+  graph.num_edges_ = entry_ids.size() / 2;
+  graph.storage_ = std::move(storage);
   return graph;
 }
 
 std::optional<AsId> AsGraph::IdOf(Asn asn) const {
-  auto it = id_of_.find(asn);
-  if (it == id_of_.end()) return std::nullopt;
-  return it->second;
+  auto it = std::lower_bound(by_asn_.begin(), by_asn_.end(), asn,
+                             [&](AsId id, Asn a) { return asn_of_[id] < a; });
+  if (it == by_asn_.end() || asn_of_[*it] != asn) return std::nullopt;
+  return *it;
 }
 
 std::span<const Neighbor> AsGraph::NeighborsOf(AsId id) const {

@@ -1,15 +1,21 @@
 // AS-level topology graph with typed business relationships.
 //
-// The graph is immutable after construction (build with AsGraphBuilder).
-// ASes are addressed internally by dense ids so algorithm state lives in
-// flat arrays; external AS numbers map bidirectionally. Adjacency is stored
-// in a CSR layout, grouped by relationship (customers, then peers, then
-// providers) so the BGP propagation phases can iterate exactly the slice
-// they need.
+// The graph is immutable after construction (build with AsGraphBuilder or
+// load a binary topology store). ASes are addressed internally by dense
+// ids so algorithm state lives in flat arrays; external AS numbers map
+// bidirectionally. Adjacency is stored in a CSR layout, grouped by
+// relationship (customers, then peers, then providers) so the BGP
+// propagation phases can iterate exactly the slice they need.
+//
+// Storage is a shared immutable block behind column spans: the builder
+// path owns plain vectors, the binary loader serves the same columns
+// straight out of a memory-mapped file without rebuilding adjacency.
+// Copying an AsGraph copies spans and a shared_ptr, never the columns.
 #ifndef FLATNET_ASGRAPH_AS_GRAPH_H_
 #define FLATNET_ASGRAPH_AS_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -73,8 +79,6 @@ class AsGraphBuilder {
   AsGraph Build() &&;
 
  private:
-  friend class AsGraph;
-
   struct Edge {
     AsId a;  // provider side for kP2C
     AsId b;
@@ -91,7 +95,33 @@ class AsGraphBuilder {
 
 class AsGraph {
  public:
+  // The raw column set behind a graph. This is the unit the binary
+  // topology store persists and the streaming generator assembles: the
+  // dense-id → ASN map, the ids sorted by ASN (the IdOf index), the
+  // interleaved CSR slice bounds, and the flat neighbor-id array.
+  struct Columns {
+    std::vector<Asn> asn_of;
+    // Dense ids ordered by ascending ASN; empty → derived by FromColumns.
+    std::vector<AsId> by_asn;
+    std::vector<std::uint32_t> slice;
+    std::vector<AsId> entry_ids;
+  };
+
   AsGraph() = default;
+
+  // Assembles a graph that owns `columns` (builder and streaming-generator
+  // paths). Validates CSR shape in O(n + E); throws Error naming `what`
+  // on any inconsistency.
+  static AsGraph FromColumns(Columns columns, const std::string& what);
+
+  // Assembles a graph over externally owned columns — the memory-mapped
+  // loader path. `keeper` owns the bytes behind every span and is held
+  // alive for the graph's lifetime; adjacency is served in place, never
+  // rebuilt. Same validation as the owning overload.
+  static AsGraph FromColumns(std::span<const Asn> asn_of, std::span<const AsId> by_asn,
+                             std::span<const std::uint32_t> slice,
+                             std::span<const AsId> entry_ids,
+                             std::shared_ptr<const void> keeper, const std::string& what);
 
   std::size_t num_ases() const { return asn_of_.size(); }
   std::size_t num_edges() const { return num_edges_; }
@@ -136,11 +166,25 @@ class AsGraph {
   };
   std::vector<Edge> EdgeList() const;
 
- private:
-  friend class AsGraphBuilder;
+  // Raw column views for the binary store writer. Valid for the graph's
+  // lifetime.
+  std::span<const Asn> AsnColumn() const { return asn_of_; }
+  std::span<const AsId> ByAsnColumn() const { return by_asn_; }
+  std::span<const std::uint32_t> SliceColumn() const { return slice_; }
+  std::span<const AsId> EntryIdsColumn() const { return entry_ids_; }
 
-  std::vector<Asn> asn_of_;
-  std::unordered_map<Asn, AsId> id_of_;
+ private:
+  // Owns the memory behind every span below: the moved-in column vectors
+  // or a mapped file, plus the derived typed Neighbor array. Copies of the
+  // graph share it — the graph is immutable, so sharing is safe and makes
+  // copies O(1) at any scale.
+  std::shared_ptr<const void> storage_;
+
+  std::span<const Asn> asn_of_;
+  // Dense ids sorted by ascending ASN; IdOf binary-searches this instead
+  // of keeping a hash map, so the index is servable straight from a
+  // mapped file and costs 4 bytes per AS.
+  std::span<const AsId> by_asn_;
   std::size_t num_edges_ = 0;
 
   // CSR adjacency. slice_ interleaves the per-node bounds — for node i,
@@ -150,12 +194,13 @@ class AsGraph {
   // the provider group. Interleaving puts all of a node's bounds on one
   // cache line — the BFS/relax kernels hit these for every frontier node
   // in random order, where three separate offset arrays cost three misses.
-  // 32-bit offsets (Build() checks the bound) halve the footprint.
-  std::vector<std::uint32_t> slice_;
-  std::vector<Neighbor> entries_;
-  // entry_ids_[k] == entries_[k].id — the compact array behind the *Ids
-  // accessors.
-  std::vector<AsId> entry_ids_;
+  // 32-bit offsets (validated on construction) halve the footprint.
+  std::span<const std::uint32_t> slice_;
+  // entries_[k] pairs entry_ids_[k] with the relationship implied by its
+  // slice; derived in one sequential pass on construction (it is the only
+  // column not persisted — the relationship is redundant on disk).
+  std::span<const Neighbor> entries_;
+  std::span<const AsId> entry_ids_;
 };
 
 }  // namespace flatnet

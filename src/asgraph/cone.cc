@@ -2,6 +2,9 @@
 
 #include <vector>
 
+#include "util/epoch.h"
+#include "util/narrow.h"
+
 namespace flatnet {
 
 Bitset CustomerCone(const AsGraph& graph, AsId root) {
@@ -24,22 +27,21 @@ Bitset CustomerCone(const AsGraph& graph, AsId root) {
 std::vector<std::uint32_t> CustomerConeSizes(const AsGraph& graph) {
   std::size_t n = graph.num_ases();
   std::vector<std::uint32_t> sizes(n, 1);
-  // Reused scratch to avoid per-AS allocation; epoch-stamped visited array.
-  std::vector<std::uint32_t> visited_epoch(n, 0);
+  // Reused scratch to avoid per-AS allocation; EpochStamps carries the
+  // wraparound guard (stale stamps can never alias as visited).
+  EpochStamps visited(n);
   std::vector<AsId> stack;
-  std::uint32_t epoch = 0;
   for (AsId root = 0; root < n; ++root) {
     if (graph.Customers(root).empty()) continue;  // stub: cone is {self}
-    ++epoch;
-    visited_epoch[root] = epoch;
+    visited.NextEpoch();
+    visited.MarkVisited(root);
     stack.assign(1, root);
     std::uint32_t count = 1;
     while (!stack.empty()) {
       AsId node = stack.back();
       stack.pop_back();
       for (const Neighbor& nb : graph.Customers(node)) {
-        if (visited_epoch[nb.id] != epoch) {
-          visited_epoch[nb.id] = epoch;
+        if (visited.TryVisit(nb.id)) {
           ++count;
           stack.push_back(nb.id);
         }
@@ -54,7 +56,8 @@ std::vector<std::uint32_t> TransitDegrees(const AsGraph& graph) {
   std::size_t n = graph.num_ases();
   std::vector<std::uint32_t> degrees(n);
   for (AsId i = 0; i < n; ++i) {
-    degrees[i] = static_cast<std::uint32_t>(graph.CustomerCount(i) + graph.ProviderCount(i));
+    degrees[i] =
+        CheckedNarrow32(graph.CustomerCount(i) + graph.ProviderCount(i), "TransitDegrees");
   }
   return degrees;
 }
@@ -62,7 +65,7 @@ std::vector<std::uint32_t> TransitDegrees(const AsGraph& graph) {
 std::vector<std::uint32_t> NodeDegrees(const AsGraph& graph) {
   std::size_t n = graph.num_ases();
   std::vector<std::uint32_t> degrees(n);
-  for (AsId i = 0; i < n; ++i) degrees[i] = static_cast<std::uint32_t>(graph.Degree(i));
+  for (AsId i = 0; i < n; ++i) degrees[i] = CheckedNarrow32(graph.Degree(i), "NodeDegrees");
   return degrees;
 }
 

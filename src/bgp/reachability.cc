@@ -29,7 +29,7 @@ constexpr std::size_t kPrefetchAhead = 4;
 }  // namespace
 
 ReachabilityEngine::ReachabilityEngine(const AsGraph& graph)
-    : graph_(graph), visit_epoch_(graph.num_ases(), 0) {
+    : graph_(graph), stamps_(graph.num_ases()) {
   // The queue holds every reached node exactly once, so n slots is the
   // worst case; sizing it up front keeps the BFS free of growth checks
   // (the inner loops write through a raw cursor).
@@ -50,16 +50,12 @@ std::size_t ReachabilityEngine::RunBfs(AsId origin, const Bitset* excluded,
     return 0;
   }
 
-  if (++epoch_ == 0) {
-    // 2^32 sweeps later the counter wraps to 0, the value every stamp
-    // starts at (and the value untouched nodes still hold), so the whole
-    // graph would look already-visited and the BFS would silently truncate.
-    // Resetting the array restarts the scheme from a clean slate.
-    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0u);
-    epoch_ = 1;
-  }
-  const std::uint32_t cur = epoch_;
-  std::uint32_t* stamp = visit_epoch_.data();
+  // NextEpoch carries the wraparound guard: 2^32 sweeps later the counter
+  // would return to 0 — the value every untouched stamp still holds — and
+  // the BFS would silently truncate; the guard clears the array instead.
+  stamps_.NextEpoch();
+  const std::uint32_t cur = stamps_.epoch();
+  std::uint32_t* stamp = stamps_.data();
 
   // Fold the exclusion mask into the stamps (word-level ctz iteration):
   // excluded nodes look already-visited, so the per-edge loops below need

@@ -12,6 +12,7 @@
 #include "asgraph/as_graph.h"
 #include "bgp/policy.h"
 #include "util/bitset.h"
+#include "util/epoch.h"
 
 namespace flatnet {
 
@@ -45,7 +46,7 @@ class ReachabilityEngine {
 
   // Forces the internal epoch counter for the wraparound regression test
   // (2^32 real RunBfs calls are out of reach for a unit test).
-  void SetEpochForTesting(std::uint32_t epoch) { epoch_ = epoch; }
+  void SetEpochForTesting(std::uint32_t epoch) { stamps_.SetEpochForTesting(epoch); }
 
  private:
   // Runs the two-state BFS; when `reached` is non-null it is overwritten
@@ -59,10 +60,11 @@ class ReachabilityEngine {
   const AsGraph& graph_;
   // Visited stamp per node, epoch-numbered to avoid clearing between
   // sweeps. The up/down BFS stages run strictly in sequence, so one merged
-  // array serves both (stage 1 only ever sees up-state stamps). epoch_
-  // wraps after 2^32 sweeps; RunBfs detects the wrap and resets the stamps
-  // so stale entries from 2^32 calls ago can never collide.
-  std::vector<std::uint32_t> visit_epoch_;
+  // array serves both (stage 1 only ever sees up-state stamps). The
+  // wraparound guard lives in EpochStamps::NextEpoch — shared with
+  // CustomerConeSizes — so stale stamps from 2^32 calls ago can never
+  // collide.
+  EpochStamps stamps_;
   std::vector<AsId> queue_;
   // Static id-ordered list of nodes with at least one provider — the only
   // nodes the bottom-up down-flood ever needs to visit. Built once per
@@ -71,7 +73,6 @@ class ReachabilityEngine {
   // Scratch for the bottom-up down-flood: unvisited nodes still waiting
   // for a visited provider, compacted every round.
   std::vector<AsId> candidates_;
-  std::uint32_t epoch_ = 0;
 };
 
 }  // namespace flatnet

@@ -1,6 +1,6 @@
-#include "sweep/fingerprint.h"
+#include "core/fingerprint.h"
 
-namespace flatnet::sweep {
+namespace flatnet {
 namespace {
 
 class Fnv1a64 {
@@ -44,4 +44,4 @@ std::uint64_t TopologyFingerprint(const Internet& internet) {
   return h.value();
 }
 
-}  // namespace flatnet::sweep
+}  // namespace flatnet

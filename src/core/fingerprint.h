@@ -1,0 +1,24 @@
+// Topology fingerprint binding persisted results to the exact graph they
+// were computed on.
+//
+// A 64-bit FNV-1a hash over everything that determines per-origin
+// reachability: the dense-id → ASN mapping, the full typed adjacency
+// structure, and the Tier-1/Tier-2 masks. Metadata (names, user counts)
+// is deliberately excluded — it cannot change a reachability count.
+// The same Internet always hashes to the same value across runs and
+// machines, so a persisted store — sweep/leak/fail results or a binary
+// `.graph` topology — can be validated before it is served.
+#ifndef FLATNET_CORE_FINGERPRINT_H_
+#define FLATNET_CORE_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "core/internet.h"
+
+namespace flatnet {
+
+std::uint64_t TopologyFingerprint(const Internet& internet);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_CORE_FINGERPRINT_H_

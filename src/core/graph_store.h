@@ -1,0 +1,63 @@
+// Binary topology store: the `.graph` format.
+//
+// An immutable, memory-mappable serialization of an Internet following
+// the colstore envelope discipline of the `.sweep`/`.leak`/`.fail`
+// stores: `FNGRAPH1` magic + version header, native-endian body, CRC-32 +
+// `FNGRAPHE` footer, published via a pid-unique tmp file and atomic
+// rename. Load errors always name the file and byte offset.
+//
+// Layout after the 48-byte header (magic, version, flags, num_ases,
+// num_edges, topology fingerprint, section count) comes a descriptor
+// table — one {offset, bytes} pair per section — then the sections
+// themselves, each 8-byte aligned:
+//
+//   0  asn_of        u32[n]      dense id → ASN
+//   1  by_asn        u32[n]      ids sorted by ASN (the IdOf index)
+//   2  slice         u32[3n+1]   interleaved CSR bounds (PR 7 layout)
+//   3  entry_ids     u32[2E]     flat neighbor ids, bucket-grouped
+//   4  tier1_mask    u64[ceil(n/64)]
+//   5  tier2_mask    u64[ceil(n/64)]
+//   6  types         u8[n]       AsType per id
+//   7  users         f64[n]      APNIC-style user estimate per id
+//   8  name_offsets  u32[n+1]    bounds into the name blob
+//   9  name_blob     bytes       concatenated AS names
+//
+// Sections 0–3 are exactly AsGraph's columns: LoadInternetBinary mmaps
+// the file and serves adjacency straight from the mapping — no builder,
+// no hash maps, no sorting. The stored FNV-1a fingerprint is recomputed
+// from the loaded topology and must match, so a graph served from disk is
+// provably the one that was saved.
+#ifndef FLATNET_CORE_GRAPH_STORE_H_
+#define FLATNET_CORE_GRAPH_STORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/internet.h"
+
+namespace flatnet {
+
+// Writes `internet` to `path` atomically. Throws Error on I/O failure.
+void SaveInternetBinary(const Internet& internet, const std::string& path);
+
+// Memory-maps and validates a store written by SaveInternetBinary. The
+// returned Internet's graph serves its CSR columns from the mapping (kept
+// alive by the graph; copies share it). Throws Error naming `path` and
+// the byte offset on any corruption.
+Internet LoadInternetBinary(const std::string& path);
+
+// Reads only the header fingerprint — cheap store/topology pairing checks
+// without loading the graph.
+std::uint64_t ReadGraphStoreFingerprint(const std::string& path);
+
+// Loads `path` as a binary store when it names one (by extension), else as
+// a SaveInternet text stem — the single entry point for tools that accept
+// either.
+Internet LoadInternetAuto(const std::string& path);
+
+// True when `path` names a binary topology store (by extension).
+bool IsGraphStorePath(const std::string& path);
+
+}  // namespace flatnet
+
+#endif  // FLATNET_CORE_GRAPH_STORE_H_

@@ -1,22 +1,15 @@
-// Topology fingerprint binding sweep results to the exact graph they were
-// computed on.
-//
-// A 64-bit FNV-1a hash over everything that determines per-origin
-// reachability: the dense-id → ASN mapping, the full typed adjacency
-// structure, and the Tier-1/Tier-2 masks. Metadata (names, user counts)
-// is deliberately excluded — it cannot change a reachability count.
-// The same Internet always hashes to the same value across runs and
-// machines, so a persisted store can be validated before it is served.
+// Forwarding header: the topology fingerprint moved to core/fingerprint.h
+// so the binary `.graph` store (core/serialize) can embed it without the
+// core → sweep dependency inversion. Existing sweep/leak/fail callers keep
+// the flatnet::sweep spelling.
 #ifndef FLATNET_SWEEP_FINGERPRINT_H_
 #define FLATNET_SWEEP_FINGERPRINT_H_
 
-#include <cstdint>
-
-#include "core/internet.h"
+#include "core/fingerprint.h"
 
 namespace flatnet::sweep {
 
-std::uint64_t TopologyFingerprint(const Internet& internet);
+using flatnet::TopologyFingerprint;
 
 }  // namespace flatnet::sweep
 

@@ -1,0 +1,186 @@
+#include "topogen/edge_stream.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <queue>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace flatnet {
+namespace {
+
+// Per-run read buffer during the merge. Small enough that merging dozens
+// of runs stays well under any sane budget, big enough that the merge
+// reads sequentially in ~0.5 MB chunks.
+constexpr std::size_t kReadChunkRecords = 48 * 1024;
+
+class RunReader {
+ public:
+  explicit RunReader(const std::string& path) : in_(path, std::ios::binary), path_(path) {
+    if (!in_) throw Error("EdgeRunSorter: cannot reopen run " + path);
+    Refill();
+  }
+
+  bool exhausted() const { return pos_ >= chunk_.size() && eof_; }
+  const HalfEdge& head() const { return chunk_[pos_]; }
+
+  void Pop() {
+    ++pos_;
+    if (pos_ >= chunk_.size() && !eof_) Refill();
+  }
+
+ private:
+  void Refill() {
+    chunk_.resize(kReadChunkRecords);
+    in_.read(reinterpret_cast<char*>(chunk_.data()),
+             static_cast<std::streamsize>(chunk_.size() * sizeof(HalfEdge)));
+    std::size_t got = static_cast<std::size_t>(in_.gcount());
+    if (got % sizeof(HalfEdge) != 0) {
+      throw Error("EdgeRunSorter: torn record in run " + path_);
+    }
+    chunk_.resize(got / sizeof(HalfEdge));
+    pos_ = 0;
+    if (chunk_.empty() || in_.eof()) eof_ = in_.eof() || chunk_.empty();
+    if (!in_.good() && !in_.eof()) throw Error("EdgeRunSorter: read failure on " + path_);
+  }
+
+  std::ifstream in_;
+  std::string path_;
+  std::vector<HalfEdge> chunk_;
+  std::size_t pos_ = 0;
+  bool eof_ = false;
+};
+
+}  // namespace
+
+EdgeRunSorter::EdgeRunSorter(std::string run_prefix, std::uint64_t budget_bytes)
+    : run_prefix_(std::move(run_prefix)) {
+  if (budget_bytes == 0) {
+    cap_records_ = static_cast<std::size_t>(-1);
+  } else {
+    // At least a few thousand records per run, or tiny budgets would
+    // produce a pathological number of files.
+    cap_records_ = std::max<std::size_t>(4096, budget_bytes / sizeof(HalfEdge));
+  }
+}
+
+EdgeRunSorter::~EdgeRunSorter() {
+  std::error_code ec;
+  for (const std::string& path : run_files_) std::filesystem::remove(path, ec);
+}
+
+void EdgeRunSorter::Add(const HalfEdge& record) {
+  buffer_.push_back(record);
+  ++total_;
+  if (buffer_.size() >= cap_records_) Spill();
+}
+
+void EdgeRunSorter::Spill() {
+  std::sort(buffer_.begin(), buffer_.end());
+  std::string path = StrFormat("%s.run%zu", run_prefix_.c_str(), run_files_.size());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("EdgeRunSorter: cannot write run " + path);
+  out.write(reinterpret_cast<const char*>(buffer_.data()),
+            static_cast<std::streamsize>(buffer_.size() * sizeof(HalfEdge)));
+  out.flush();
+  if (!out) throw Error("EdgeRunSorter: write failure on run " + path);
+  run_files_.push_back(std::move(path));
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  buffer_.reserve(std::min(cap_records_, static_cast<std::size_t>(1) << 20));
+}
+
+void EdgeRunSorter::Drain(const std::function<void(const HalfEdge&)>& fn) {
+  std::sort(buffer_.begin(), buffer_.end());
+  if (run_files_.empty()) {
+    // Pure in-memory mode: the resident buffer IS the merged order.
+    for (const HalfEdge& record : buffer_) fn(record);
+    buffer_.clear();
+    buffer_.shrink_to_fit();
+    total_ = 0;
+    return;
+  }
+
+  // K-way merge of the spilled runs plus the resident tail. Keys are
+  // unique across all sources, so any tie-break policy yields the same
+  // sequence — the output cannot depend on run boundaries.
+  std::vector<RunReader> readers;
+  readers.reserve(run_files_.size());
+  for (const std::string& path : run_files_) readers.emplace_back(path);
+  std::size_t tail_pos = 0;
+
+  using Entry = std::pair<HalfEdge, std::size_t>;  // record, source (runs.size() = tail)
+  auto greater = [](const Entry& x, const Entry& y) { return y.first < x.first; };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(greater)> heap(greater);
+  for (std::size_t r = 0; r < readers.size(); ++r) {
+    if (!readers[r].exhausted()) heap.push({readers[r].head(), r});
+  }
+  if (tail_pos < buffer_.size()) heap.push({buffer_[tail_pos], readers.size()});
+
+  while (!heap.empty()) {
+    auto [record, source] = heap.top();
+    heap.pop();
+    fn(record);
+    if (source == readers.size()) {
+      if (++tail_pos < buffer_.size()) heap.push({buffer_[tail_pos], source});
+    } else {
+      readers[source].Pop();
+      if (!readers[source].exhausted()) heap.push({readers[source].head(), source});
+    }
+  }
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  std::error_code ec;
+  for (const std::string& path : run_files_) std::filesystem::remove(path, ec);
+  run_files_.clear();
+  total_ = 0;
+}
+
+std::uint64_t PairKeySet::Mix(std::uint64_t key) {
+  // splitmix64 finalizer: full-avalanche, so linear probing sees a
+  // uniform distribution even from sequential id pairs.
+  key ^= key >> 30;
+  key *= 0xbf58476d1ce4e5b9ULL;
+  key ^= key >> 27;
+  key *= 0x94d049bb133111ebULL;
+  key ^= key >> 31;
+  return key;
+}
+
+bool PairKeySet::Insert(std::uint64_t key) {
+  std::size_t mask = slots_.size() - 1;
+  std::size_t at = static_cast<std::size_t>(Mix(key)) & mask;
+  while (slots_[at] != 0) {
+    if (slots_[at] == key) return false;
+    at = (at + 1) & mask;
+  }
+  slots_[at] = key;
+  ++size_;
+  if (size_ * 10 >= slots_.size() * 6) {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, 0);
+    mask = slots_.size() - 1;
+    for (std::uint64_t k : old) {
+      if (k == 0) continue;
+      std::size_t slot = static_cast<std::size_t>(Mix(k)) & mask;
+      while (slots_[slot] != 0) slot = (slot + 1) & mask;
+      slots_[slot] = k;
+    }
+  }
+  return true;
+}
+
+bool PairKeySet::Contains(std::uint64_t key) const {
+  std::size_t mask = slots_.size() - 1;
+  std::size_t at = static_cast<std::size_t>(Mix(key)) & mask;
+  while (slots_[at] != 0) {
+    if (slots_[at] == key) return true;
+    at = (at + 1) & mask;
+  }
+  return false;
+}
+
+}  // namespace flatnet

@@ -1,14 +1,21 @@
 #include "topogen/generate.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <filesystem>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "net/prefix_allocator.h"
 #include "obs/log.h"
 #include "obs/trace.h"
+#include "topogen/edge_stream.h"
 #include "util/error.h"
+#include "util/narrow.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -35,13 +42,6 @@ struct AsRecord {
   CityIndex home = 0;
   double users = 0.0;
   PeeringPolicy policy = PeeringPolicy::kRestrictive;
-};
-
-struct EdgeRecord {
-  AsId a = 0;  // provider side for p2c
-  AsId b = 0;
-  EdgeType type = EdgeType::kP2P;
-  bool visible = true;
 };
 
 // Weighted sampling over a fixed item set (cumulative sums + binary search).
@@ -99,6 +99,7 @@ class Generator {
     Stage("create_records", [&] { CreateRecords(); });
     // Users before cloud links: clouds target high-user eyeballs.
     Stage("assign_users", [&] { AssignUsers(); });
+    InitEdgeSinks();
     Stage("clique", [&] { BuildClique(); });
     Stage("tier2_links", [&] { BuildTier2Links(); });
     Stage("transit_links", [&] { BuildTransitLinks(); });
@@ -106,11 +107,17 @@ class Generator {
     Stage("cloud_links", [&] { BuildCloudLinks(); });
     Stage("hierarchy_edge_peering", [&] { BuildHierarchyEdgePeering(); });
     Stage("ixp_mesh", [&] { BuildIxpMesh(); });
-    Stage("assign_prefixes", [&] { AssignPrefixes(); });
+    if (params_.assign_prefixes) {
+      Stage("assign_prefixes", [&] { AssignPrefixes(); });
+    } else {
+      prefixes_.resize(records_.size());
+    }
+    std::size_t spilled = full_sink_->runs_spilled() + bgp_sink_->runs_spilled();
     World world = Assemble();
     obs::Log(obs::LogLevel::kDebug, "topogen", "generated")
         .Kv("ases", records_.size())
-        .Kv("edges", edges_.size())
+        .Kv("edges", num_edges_full_)
+        .Kv("spilled_runs", spilled)
         .Kv("ixps", world.ixps.size())
         .Kv("seed", params_.seed);
     return world;
@@ -185,9 +192,19 @@ class Generator {
       open_transit_ids_.push_back(id);
       if (ot.name == "Durand do Brasil") durand_ = id;
     }
+    // Synthetic ASNs fill the space above 100000, but a few archetype ASes
+    // (G-Core 199524, Spirit 529076, Telefonica 712389) already sit in that
+    // range. Skip any ASN a seed record claimed — a duplicate would break
+    // the strictly-increasing by-ASN index at assembly.
+    std::unordered_set<Asn> taken;
+    for (const AsRecord& record : records_) taken.insert(record.asn);
     Asn next_asn = 100000;
+    auto fresh_asn = [&] {
+      while (taken.count(next_asn) != 0) ++next_asn;
+      return next_asn++;
+    };
     for (std::uint32_t i = 0; i < n_large; ++i) {
-      AsId id = AddRecord({next_asn++, StrFormat("LargeTransit-%u", i), Category::kLargeTransit,
+      AsId id = AddRecord({fresh_asn(), StrFormat("LargeTransit-%u", i), Category::kLargeTransit,
                            SampleCity({1.0, 1.0, 1.0, 0.9, 1.0, 1.0, 0.9}), 0.0,
                            PeeringPolicy::kSelective});
       large_ids_.push_back(id);
@@ -197,26 +214,26 @@ class Generator {
             ? n_mid_total - static_cast<std::uint32_t>(open_transit_ids_.size())
             : 0;
     for (std::uint32_t i = 0; i < n_mid; ++i) {
-      AsId id = AddRecord({next_asn++, StrFormat("MidTransit-%u", i), Category::kMidTransit,
+      AsId id = AddRecord({fresh_asn(), StrFormat("MidTransit-%u", i), Category::kMidTransit,
                            SampleEdgeCity(), 0.0,
                            rng_.Bernoulli(0.3) ? PeeringPolicy::kOpen
                                                : PeeringPolicy::kSelective});
       mid_ids_.push_back(id);
     }
     for (std::uint32_t i = 0; i < n_access; ++i) {
-      AsId id = AddRecord({next_asn++, StrFormat("AccessNet-%u", i), Category::kAccess,
+      AsId id = AddRecord({fresh_asn(), StrFormat("AccessNet-%u", i), Category::kAccess,
                            SampleEdgeCity(), 0.0,
                            rng_.Bernoulli(0.5) ? PeeringPolicy::kOpen
                                                : PeeringPolicy::kSelective});
       access_ids_.push_back(id);
     }
     for (std::uint32_t i = 0; i < n_content; ++i) {
-      AsId id = AddRecord({next_asn++, StrFormat("ContentNet-%u", i), Category::kContent,
+      AsId id = AddRecord({fresh_asn(), StrFormat("ContentNet-%u", i), Category::kContent,
                            SampleEdgeCity(), 0.0, PeeringPolicy::kOpen});
       content_ids_.push_back(id);
     }
     while (records_.size() < total) {
-      AsId id = AddRecord({next_asn++, StrFormat("Enterprise-%zu", enterprise_ids_.size()),
+      AsId id = AddRecord({fresh_asn(), StrFormat("Enterprise-%zu", enterprise_ids_.size()),
                            Category::kEnterprise, SampleEdgeCity(), 0.0,
                            PeeringPolicy::kRestrictive});
       enterprise_ids_.push_back(id);
@@ -225,25 +242,70 @@ class Generator {
 
   // ---- edge helpers ----------------------------------------------------
 
+  // Edges stream out the moment they are decided: each one becomes two
+  // HalfEdge records per graph (both directions), pushed into budgeted
+  // run sorters, while per-(node, bucket) counters accumulate so the CSR
+  // slice array is a prefix sum at assembly — no edge list, no builder.
+
+  void InitEdgeSinks() {
+    std::size_t n = records_.size();
+    full_counts_.assign(3 * n, 0);
+    bgp_counts_.assign(3 * n, 0);
+    std::string dir = params_.stream_dir;
+    if (dir.empty()) dir = std::filesystem::temp_directory_path().string();
+    std::string prefix =
+        StrFormat("%s/flatnet-topogen-%ld", dir.c_str(), static_cast<long>(::getpid()));
+    // The bgp graph only carries the visible subset; give it the smaller
+    // share of the resident budget.
+    std::uint64_t budget = params_.stream_budget_bytes;
+    full_sink_ = std::make_unique<EdgeRunSorter>(prefix + "-full",
+                                                 budget == 0 ? 0 : budget * 2 / 3);
+    bgp_sink_ = std::make_unique<EdgeRunSorter>(prefix + "-bgp",
+                                                budget == 0 ? 0 : budget - budget * 2 / 3);
+  }
+
   static std::uint64_t PairKey(AsId x, AsId y) {
     if (x > y) std::swap(x, y);
     return (std::uint64_t{x} << 32) | y;
   }
 
-  bool HasEdge(AsId a, AsId b) const { return edge_keys_.contains(PairKey(a, b)); }
+  bool HasEdge(AsId a, AsId b) const { return edge_keys_.Contains(PairKey(a, b)); }
+
+  static void EmitHalf(EdgeRunSorter& sink, std::vector<std::uint32_t>& counts, AsId a,
+                       AsId b, EdgeType type) {
+    auto push = [&](AsId node, Relationship rel, AsId neighbor) {
+      sink.Add({node, static_cast<std::uint32_t>(rel), neighbor});
+      ++counts[3 * static_cast<std::size_t>(node) + static_cast<std::size_t>(rel)];
+    };
+    if (type == EdgeType::kP2P) {
+      push(a, Relationship::kPeer, b);
+      push(b, Relationship::kPeer, a);
+    } else {
+      push(a, Relationship::kCustomer, b);
+      push(b, Relationship::kProvider, a);
+    }
+  }
+
+  void EmitEdge(AsId a, AsId b, EdgeType type, bool visible) {
+    ++num_edges_full_;
+    EmitHalf(*full_sink_, full_counts_, a, b, type);
+    if (visible) {
+      ++num_edges_bgp_;
+      EmitHalf(*bgp_sink_, bgp_counts_, a, b, type);
+    }
+  }
 
   bool AddC2P(AsId provider, AsId customer) {
     if (provider == customer) return false;
-    if (!edge_keys_.insert(PairKey(provider, customer)).second) return false;
-    edges_.push_back({provider, customer, EdgeType::kP2C, true});
-    provider_count_[customer]++;
+    if (!edge_keys_.Insert(PairKey(provider, customer))) return false;
+    EmitEdge(provider, customer, EdgeType::kP2C, /*visible=*/true);
     return true;
   }
 
   bool AddP2P(AsId a, AsId b, bool visible) {
     if (a == b) return false;
-    if (!edge_keys_.insert(PairKey(a, b)).second) return false;
-    edges_.push_back({a, b, EdgeType::kP2P, visible});
+    if (!edge_keys_.Insert(PairKey(a, b))) return false;
+    EmitEdge(a, b, EdgeType::kP2P, visible);
     return true;
   }
 
@@ -434,54 +496,72 @@ class Generator {
     }
   }
 
+  // Per-continent cumulative-weight caches. The transit weight maps are
+  // complete before the first call that reads them (large_weight_ fills in
+  // BuildTransitLinks' large loop, ahead of the mid loop's first
+  // SampleLargeTransit; mid_weight_ finishes in the same stage, ahead of
+  // the edge/cloud stages that call SampleMidTransit), so each continent's
+  // cache can build lazily once. Item order and float accumulation order
+  // match the old per-call loops exactly — the sampled ids are
+  // bit-identical, and ~1.5M samples at the million-AS scale drop from
+  // O(|transits|) each to one binary search.
+  struct TransitSampler {
+    std::vector<AsId> items;
+    std::vector<double> cumulative;
+    double total = 0.0;
+    bool built = false;
+  };
+
+  AsId SampleFrom(const TransitSampler& sampler) {
+    double r = rng_.UniformDouble() * sampler.total;
+    auto it = std::lower_bound(sampler.cumulative.begin(), sampler.cumulative.end(), r);
+    std::size_t idx = static_cast<std::size_t>(it - sampler.cumulative.begin());
+    if (idx >= sampler.items.size()) idx = sampler.items.size() - 1;
+    return sampler.items[idx];
+  }
+
   AsId SampleLargeTransit(CityIndex customer_home) {
     // Same-continent large transits are 3x more attractive; Durand do
     // Brasil dominates South America (10x) so the region's reachability
     // funnels through it.
     Continent home_continent = cities_[customer_home].continent;
-    double total = 0.0;
-    sample_weights_.clear();
-    sample_items_.clear();
-    auto add = [&](AsId id, double base) {
-      double w = base;
-      if (cities_[records_[id].home].continent == home_continent) w *= 3.0;
-      sample_items_.push_back(id);
-      total += w;
-      sample_weights_.push_back(total);
-    };
-    for (AsId id : large_ids_) add(id, large_weight_[id]);
-    if (durand_ != kInvalidAsId && home_continent == Continent::kSouthAmerica) {
-      add(durand_, 30.0);
+    TransitSampler& sampler = large_samplers_[static_cast<std::size_t>(home_continent)];
+    if (!sampler.built) {
+      auto add = [&](AsId id, double base) {
+        double w = base;
+        if (cities_[records_[id].home].continent == home_continent) w *= 3.0;
+        sampler.items.push_back(id);
+        sampler.total += w;
+        sampler.cumulative.push_back(sampler.total);
+      };
+      for (AsId id : large_ids_) add(id, large_weight_[id]);
+      if (durand_ != kInvalidAsId && home_continent == Continent::kSouthAmerica) {
+        add(durand_, 30.0);
+      }
+      sampler.built = true;
     }
-    double r = rng_.UniformDouble() * total;
-    auto it = std::lower_bound(sample_weights_.begin(), sample_weights_.end(), r);
-    std::size_t idx = static_cast<std::size_t>(it - sample_weights_.begin());
-    if (idx >= sample_items_.size()) idx = sample_items_.size() - 1;
-    return sample_items_[idx];
+    return SampleFrom(sampler);
   }
 
   AsId SampleMidTransit(CityIndex customer_home) {
     Continent home_continent = cities_[customer_home].continent;
-    double total = 0.0;
-    sample_weights_.clear();
-    sample_items_.clear();
-    auto add = [&](AsId id) {
-      double w = mid_weight_[id];
-      if (cities_[records_[id].home].continent == home_continent) {
-        w *= 3.0;
-        if (id == durand_ && home_continent == Continent::kSouthAmerica) w *= 25.0;
-      }
-      sample_items_.push_back(id);
-      total += w;
-      sample_weights_.push_back(total);
-    };
-    for (AsId id : mid_ids_) add(id);
-    for (AsId id : open_transit_ids_) add(id);
-    double r = rng_.UniformDouble() * total;
-    auto it = std::lower_bound(sample_weights_.begin(), sample_weights_.end(), r);
-    std::size_t idx = static_cast<std::size_t>(it - sample_weights_.begin());
-    if (idx >= sample_items_.size()) idx = sample_items_.size() - 1;
-    return sample_items_[idx];
+    TransitSampler& sampler = mid_samplers_[static_cast<std::size_t>(home_continent)];
+    if (!sampler.built) {
+      auto add = [&](AsId id) {
+        double w = mid_weight_[id];
+        if (cities_[records_[id].home].continent == home_continent) {
+          w *= 3.0;
+          if (id == durand_ && home_continent == Continent::kSouthAmerica) w *= 25.0;
+        }
+        sampler.items.push_back(id);
+        sampler.total += w;
+        sampler.cumulative.push_back(sampler.total);
+      };
+      for (AsId id : mid_ids_) add(id);
+      for (AsId id : open_transit_ids_) add(id);
+      sampler.built = true;
+    }
+    return SampleFrom(sampler);
   }
 
   // ---- edge networks -----------------------------------------------------
@@ -723,7 +803,9 @@ class Generator {
     for (std::uint32_t x = 0; x < ixp_count; ++x) {
       IxpInstance ixp;
       ixp.name = StrFormat("IX-%u", x);
-      ixp.ixp_asn = 900000 + x;
+      // Private 32-bit range: synthetic AS ASNs sweep past 900000 at paper
+      // scale, so IXP management ASNs must live where they cannot collide.
+      ixp.ixp_asn = 4200000000u + x;
       ixp.city = SampleCity({1.4, 0.7, 1.6, 0.5, 1.1, 0.6, 0.8});
       ixp.lan_in_bgp = rng_.Bernoulli(0.25);
       auto continent = static_cast<std::size_t>(cities_[ixp.city].continent);
@@ -868,32 +950,61 @@ class Generator {
     return cities;
   }
 
+  // Turns a drained sink into an AsGraph: slice = prefix sum of the
+  // per-(node, bucket) counters, entry_ids = the merged record sequence,
+  // which arrives already grouped and sorted in exactly CSR order — a
+  // single append cursor fills the column. FromColumns re-validates the
+  // whole shape, so any merge defect fails loudly instead of producing a
+  // subtly misordered graph.
+  AsGraph BuildGraph(EdgeRunSorter& sink, const std::vector<std::uint32_t>& counts,
+                     const std::vector<Asn>& asn_of, const std::vector<AsId>& by_asn,
+                     const char* what) {
+    std::size_t n = asn_of.size();
+    AsGraph::Columns columns;
+    columns.asn_of = asn_of;
+    columns.by_asn = by_asn;
+    columns.slice.resize(3 * n + 1);
+    std::uint64_t running = 0;
+    for (std::size_t g = 0; g < 3 * n; ++g) {
+      columns.slice[g] = static_cast<std::uint32_t>(running);
+      running += counts[g];
+    }
+    columns.slice[3 * n] = CheckedNarrow32(running, what);
+    columns.entry_ids.resize(sink.size());
+    std::size_t at = 0;
+    sink.Drain([&](const HalfEdge& record) { columns.entry_ids[at++] = record.neighbor; });
+    if (at != columns.entry_ids.size()) {
+      throw Error(StrFormat("%s: merged %zu of %zu half-edges", what, at,
+                            columns.entry_ids.size()));
+    }
+    return AsGraph::FromColumns(std::move(columns), what);
+  }
+
   World Assemble() {
     World world;
     world.params = params_;
 
-    AsGraphBuilder full_builder;
-    AsGraphBuilder bgp_builder;
-    for (const AsRecord& rec : records_) {
-      full_builder.AddAs(rec.asn);
-      bgp_builder.AddAs(rec.asn);
-    }
-    for (const EdgeRecord& e : edges_) {
-      Asn a = records_[e.a].asn;
-      Asn b = records_[e.b].asn;
-      full_builder.AddEdge(a, b, e.type);
-      if (e.visible) bgp_builder.AddEdge(a, b, e.type);
-    }
-    world.full_graph = std::move(full_builder).Build();
-    world.bgp_graph = std::move(bgp_builder).Build();
+    // All edges are decided: the dedup set (the largest transient at paper
+    // scale, ~13 bytes/edge) can go before the CSR columns materialize.
+    edge_keys_ = PairKeySet();
 
-    // Both graphs registered every AS in the same order: ids must align.
-    for (AsId id = 0; id < records_.size(); ++id) {
-      if (world.full_graph.AsnOf(id) != records_[id].asn ||
-          world.bgp_graph.AsnOf(id) != records_[id].asn) {
-        throw Error("GenerateWorld: AsId spaces diverged between graphs");
-      }
-    }
+    // Both graphs share the id space by construction: the same asn_of
+    // column (record order) and the same ASN-sorted IdOf index.
+    std::vector<Asn> asn_of(records_.size());
+    for (AsId id = 0; id < records_.size(); ++id) asn_of[id] = records_[id].asn;
+    std::vector<AsId> by_asn(records_.size());
+    for (AsId id = 0; id < records_.size(); ++id) by_asn[id] = id;
+    std::sort(by_asn.begin(), by_asn.end(),
+              [&](AsId x, AsId y) { return asn_of[x] < asn_of[y]; });
+
+    world.full_graph =
+        BuildGraph(*full_sink_, full_counts_, asn_of, by_asn, "GenerateWorld full graph");
+    full_sink_.reset();
+    full_counts_ = {};
+    world.bgp_graph =
+        BuildGraph(*bgp_sink_, bgp_counts_, asn_of, by_asn, "GenerateWorld bgp graph");
+    bgp_sink_.reset();
+    bgp_counts_ = {};
 
     world.metadata = AsMetadata(records_.size());
     for (AsId id = 0; id < records_.size(); ++id) {
@@ -963,11 +1074,17 @@ class Generator {
   std::span<const City> cities_;
 
   std::vector<AsRecord> records_;
-  std::vector<EdgeRecord> edges_;
-  std::unordered_set<std::uint64_t> edge_keys_;
-  std::unordered_map<AsId, std::uint32_t> provider_count_;
+  PairKeySet edge_keys_;
+  std::unique_ptr<EdgeRunSorter> full_sink_;
+  std::unique_ptr<EdgeRunSorter> bgp_sink_;
+  std::vector<std::uint32_t> full_counts_;
+  std::vector<std::uint32_t> bgp_counts_;
+  std::size_t num_edges_full_ = 0;
+  std::size_t num_edges_bgp_ = 0;
   std::unordered_map<AsId, double> large_weight_;
   std::unordered_map<AsId, double> mid_weight_;
+  std::array<TransitSampler, kContinentCount> large_samplers_;
+  std::array<TransitSampler, kContinentCount> mid_samplers_;
 
   std::vector<AsId> tier1_ids_;
   std::vector<AsId> tier2_ids_;
@@ -985,8 +1102,6 @@ class Generator {
 
   // Scratch buffers.
   std::vector<double> city_weights_scratch_;
-  std::vector<double> sample_weights_;
-  std::vector<AsId> sample_items_;
 };
 
 }  // namespace

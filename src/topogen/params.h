@@ -3,6 +3,7 @@
 #define FLATNET_TOPOGEN_PARAMS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "topogen/archetypes.h"
@@ -41,6 +42,19 @@ struct GeneratorParams {
   double transit_peer_visibility = 0.85;  // both endpoints transit networks
   double mid_peer_visibility = 0.60;      // at least one mid transit
   double edge_peer_visibility = 0.08;     // edge-edge (the ~90% blind spot)
+
+  // Streaming generation (ROADMAP item 1). Cap on resident half-edge
+  // bytes per sink: past it, sorted runs spill to disk and merge at
+  // assembly, so generation RSS stays within a small constant of the
+  // final graph. 0 keeps every record in memory. Output is bit-identical
+  // at any budget.
+  std::uint64_t stream_budget_bytes = 0;
+  // Directory for spill runs; empty uses the system temp directory.
+  std::string stream_dir;
+  // Prefix assignment exhausts the /8 pools somewhere above ~500k ASes;
+  // graph-only generation at the million-AS scale turns it off. Consumes
+  // no RNG, so toggling it cannot shift the generated topology.
+  bool assign_prefixes = true;
 
   // Era rosters.
   std::vector<CloudArchetype> clouds;

@@ -57,7 +57,7 @@ std::string ReadFileBytes(const std::string& path, const char* label) {
   return bytes;
 }
 
-void CheckHeader(const std::string& path, const std::string& bytes, const Format& format,
+void CheckHeader(const std::string& path, std::string_view bytes, const Format& format,
                  std::size_t min_bytes) {
   if (bytes.size() < min_bytes) {
     throw Error(StrFormat("%s:0: truncated %s store (%zu bytes, header+footer need %zu)",
@@ -73,7 +73,7 @@ void CheckHeader(const std::string& path, const std::string& bytes, const Format
   }
 }
 
-void CheckFooter(const std::string& path, const std::string& bytes, const Format& format) {
+void CheckFooter(const std::string& path, std::string_view bytes, const Format& format) {
   std::size_t footer = bytes.size() - kFooterBytes;
   if (std::memcmp(bytes.data() + footer + 4, format.end_magic, kMagicBytes) != 0) {
     throw Error(StrFormat("%s:%zu: bad end magic (torn or overwritten footer)", path.c_str(),

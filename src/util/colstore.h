@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 
 namespace flatnet::colstore {
 
@@ -39,8 +40,11 @@ void AppendScalar(std::string& out, T value) {
   Append(out, &value, sizeof(value));
 }
 
+// The byte views accept either a slurped std::string or a memory-mapped
+// region (string_view over the mapping) — validation is copy-free either
+// way.
 template <typename T>
-T ReadScalar(const std::string& bytes, std::size_t offset) {
+T ReadScalar(std::string_view bytes, std::size_t offset) {
   T value;
   std::memcpy(&value, bytes.data() + offset, sizeof(value));
   return value;
@@ -65,12 +69,12 @@ std::string ReadFileBytes(const std::string& path, const char* label);
 // version. `min_bytes` is the store's fixed header size plus
 // kFooterBytes. Callers run their own body checks afterwards so a
 // corrupted field names itself before the CRC fires.
-void CheckHeader(const std::string& path, const std::string& bytes, const Format& format,
+void CheckHeader(const std::string& path, std::string_view bytes, const Format& format,
                  std::size_t min_bytes);
 
 // Validates the end magic and the CRC-32 over everything before the
 // footer. Call after the body-shape checks.
-void CheckFooter(const std::string& path, const std::string& bytes, const Format& format);
+void CheckFooter(const std::string& path, std::string_view bytes, const Format& format);
 
 }  // namespace flatnet::colstore
 

@@ -1,0 +1,64 @@
+// Epoch-stamped visited scratch for repeated graph traversals.
+//
+// A traversal that runs once per origin cannot afford an O(n) clear of its
+// visited array per call; instead every slot carries the epoch number of
+// the last traversal that touched it, and "visited" means "stamp equals
+// the current epoch". The catch is wraparound: 2^32 traversals later the
+// u32 counter returns to 0 — the value every untouched slot still holds —
+// and the whole graph would silently read as already-visited. NextEpoch()
+// detects the wrap and clears the stamps, so the scheme is safe at any
+// call count. ReachabilityEngine and CustomerConeSizes share this helper.
+#ifndef FLATNET_UTIL_EPOCH_H_
+#define FLATNET_UTIL_EPOCH_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flatnet {
+
+class EpochStamps {
+ public:
+  EpochStamps() = default;
+  explicit EpochStamps(std::size_t n) : stamp_(n, 0) {}
+
+  std::size_t size() const { return stamp_.size(); }
+
+  // Starts a new traversal: afterwards every slot reads as unvisited.
+  void NextEpoch() {
+    if (++epoch_ == 0) {
+      // Wrapped to 0, the initial stamp value: stale entries from 2^32
+      // traversals ago would alias as visited. Restart from a clean slate.
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  bool Visited(std::size_t i) const { return stamp_[i] == epoch_; }
+  void MarkVisited(std::size_t i) { stamp_[i] = epoch_; }
+
+  // Marks `i` visited; returns true when it was unvisited before the call.
+  bool TryVisit(std::size_t i) {
+    if (stamp_[i] == epoch_) return false;
+    stamp_[i] = epoch_;
+    return true;
+  }
+
+  // Raw access for kernels that hoist `stamp[nb] != cur` into a tight
+  // loop; `cur` is epoch() and must be captured after NextEpoch().
+  std::uint32_t* data() { return stamp_.data(); }
+  std::uint32_t epoch() const { return epoch_; }
+
+  // Forces the counter for the wraparound regression tests (2^32 real
+  // traversals are out of reach for a unit test).
+  void SetEpochForTesting(std::uint32_t epoch) { epoch_ = epoch; }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_UTIL_EPOCH_H_

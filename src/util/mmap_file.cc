@@ -1,0 +1,51 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace flatnet {
+
+MappedFile::MappedFile(const std::string& path, const char* label) : path_(path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw Error(StrFormat("%s: cannot open %s: %s", label, path.c_str(),
+                          std::strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw Error(StrFormat("%s: cannot stat %s: %s", label, path.c_str(),
+                          std::strerror(err)));
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    // mmap rejects zero-length maps; an empty store is invalid anyway, but
+    // let the format checks produce the diagnostic on a valid pointer.
+    ::close(fd);
+    data_ = nullptr;
+    return;
+  }
+  void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  int err = errno;
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    throw Error(StrFormat("%s: cannot mmap %s (%zu bytes): %s", label, path.c_str(), size_,
+                          std::strerror(err)));
+  }
+  data_ = map;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr && size_ != 0) ::munmap(data_, size_);
+}
+
+}  // namespace flatnet

@@ -1,0 +1,41 @@
+// Read-only memory-mapped files.
+//
+// The binary topology store serves its CSR columns straight from the page
+// cache: MappedFile wraps open + fstat + mmap(PROT_READ) and hands out a
+// byte span valid for the lifetime of the object. Loaders keep the
+// MappedFile alive (shared_ptr) behind the spans they vend.
+#ifndef FLATNET_UTIL_MMAP_FILE_H_
+#define FLATNET_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace flatnet {
+
+class MappedFile {
+ public:
+  // Maps `path` read-only. Throws Error naming the file on open/map
+  // failure; `label` prefixes the message ("LoadInternetBinary").
+  MappedFile(const std::string& path, const char* label);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::span<const std::byte> bytes() const {
+    return {static_cast<const std::byte*>(data_), size_};
+  }
+  const char* data() const { return static_cast<const char*>(data_); }
+  std::size_t size() const { return size_; }
+
+ private:
+  std::string path_;
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace flatnet
+
+#endif  // FLATNET_UTIL_MMAP_FILE_H_

@@ -1,0 +1,43 @@
+// Checked integer narrowing.
+//
+// The graph core stores counts and CSR offsets in 32 bits to halve the
+// memory footprint, which is safe only while the counts actually fit. A
+// silent `static_cast` turns an overflowing count into a wrong-but-legal
+// value that corrupts adjacency without a diagnostic; CheckedNarrow fails
+// loudly instead, naming the caller and the offending count so the error
+// surfaces at the insertion site rather than as a miscomputed result.
+#ifndef FLATNET_UTIL_NARROW_H_
+#define FLATNET_UTIL_NARROW_H_
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace flatnet {
+
+// Returns `value` as a `To`, throwing Error when it does not fit. `what`
+// names the quantity in the error ("AsGraphBuilder edge index", ...).
+template <typename To, typename From>
+To CheckedNarrow(From value, const char* what) {
+  static_assert(std::is_unsigned_v<To> && std::is_unsigned_v<From>,
+                "CheckedNarrow handles unsigned counts and offsets only");
+  if (value > static_cast<From>(std::numeric_limits<To>::max())) {
+    throw Error(StrFormat("%s: count %llu exceeds the %zu-bit limit %llu", what,
+                          static_cast<unsigned long long>(value), sizeof(To) * 8,
+                          static_cast<unsigned long long>(std::numeric_limits<To>::max())));
+  }
+  return static_cast<To>(value);
+}
+
+// The common case in the CSR code: a size_t count stored as u32.
+template <typename From>
+std::uint32_t CheckedNarrow32(From value, const char* what) {
+  return CheckedNarrow<std::uint32_t>(value, what);
+}
+
+}  // namespace flatnet
+
+#endif  // FLATNET_UTIL_NARROW_H_

@@ -11,7 +11,9 @@
 
 #include "util/bitset.h"
 #include "util/env.h"
+#include "util/epoch.h"
 #include "util/error.h"
+#include "util/narrow.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/stopwatch.h"
@@ -533,6 +535,55 @@ TEST_P(RngSeedTest, ForkIndependence) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedTest, ::testing::Values(1, 2, 42, 1337, 99999));
+
+TEST(CheckedNarrow, PassesValuesThatFit) {
+  EXPECT_EQ(CheckedNarrow32(std::size_t{0}, "test"), 0u);
+  EXPECT_EQ(CheckedNarrow32(std::size_t{0xffffffff}, "test"), 0xffffffffu);
+  EXPECT_EQ((CheckedNarrow<std::uint8_t>(std::uint64_t{255}, "test")), 255u);
+}
+
+TEST(CheckedNarrow, ThrowsNamingContextAndCount) {
+  try {
+    CheckedNarrow32(std::size_t{0x100000000ull}, "AsGraphBuilder edge index");
+    FAIL() << "expected CheckedNarrow32 to throw";
+  } catch (const Error& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("AsGraphBuilder edge index"), std::string::npos) << what;
+    EXPECT_NE(what.find("4294967296"), std::string::npos) << what;
+  }
+}
+
+TEST(EpochStamps, TracksVisitsPerEpoch) {
+  EpochStamps stamps(4);
+  stamps.NextEpoch();
+  EXPECT_FALSE(stamps.Visited(2));
+  EXPECT_TRUE(stamps.TryVisit(2));
+  EXPECT_FALSE(stamps.TryVisit(2));
+  EXPECT_TRUE(stamps.Visited(2));
+  stamps.NextEpoch();
+  EXPECT_FALSE(stamps.Visited(2));
+  stamps.MarkVisited(0);
+  EXPECT_TRUE(stamps.Visited(0));
+}
+
+// Regression for the epoch-counter wraparound guard: after 2^32 epochs the
+// counter returns to 0 — the value every untouched slot still holds — and
+// without the guard in NextEpoch every node would read as already visited.
+// Reverting the guard makes this test fail.
+TEST(EpochStamps, WraparoundClearsStaleStamps) {
+  EpochStamps stamps(3);
+  stamps.SetEpochForTesting(0xfffffffeu);
+  stamps.NextEpoch();  // -> 0xffffffff
+  EXPECT_EQ(stamps.epoch(), 0xffffffffu);
+  stamps.MarkVisited(1);
+  EXPECT_TRUE(stamps.Visited(1));
+  stamps.NextEpoch();  // wraps: must clear, not alias stamp 0 as visited
+  EXPECT_EQ(stamps.epoch(), 1u);
+  EXPECT_FALSE(stamps.Visited(0));
+  EXPECT_FALSE(stamps.Visited(1));
+  EXPECT_FALSE(stamps.Visited(2));
+  EXPECT_TRUE(stamps.TryVisit(1));
+}
 
 }  // namespace
 }  // namespace flatnet

@@ -16,14 +16,22 @@
 //                     [--log-level L] [--metrics-out <file>]
 //   flatnet_diffcheck
 //       --repro <era>:<topo-seed>:<ases>:<case-seed>:<excluded>:<lock>:<locked>:<senders>
+//   flatnet_diffcheck --graph-identity <file.graph>
 //
 // The --repro string is printed verbatim when a case fails; feeding it back
 // replays exactly that topology and configuration.
+//
+// --graph-identity memory-maps a binary topology store, re-feeds its edge
+// list through AsGraphBuilder, and compares every CSR column bit for bit —
+// the proof that a graph served from disk is indistinguishable from one
+// built in memory.
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "check/diff.h"
+#include "core/graph_store.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "topogen/generate.h"
@@ -55,8 +63,44 @@ int Usage() {
       "                         [--log-level trace|debug|info|warn|error|off]\n"
       "                         [--metrics-out <file>]\n"
       "       flatnet_diffcheck --repro "
-      "<era>:<topo-seed>:<ases>:<case-seed>:<excluded>:<lock>:<locked>:<senders>\n");
+      "<era>:<topo-seed>:<ases>:<case-seed>:<excluded>:<lock>:<locked>:<senders>\n"
+      "       flatnet_diffcheck --graph-identity <file.graph>\n");
   return 2;
+}
+
+template <typename T>
+bool ColumnsEqual(const char* name, std::span<const T> mapped, std::span<const T> built) {
+  if (mapped.size() == built.size() &&
+      std::equal(mapped.begin(), mapped.end(), built.begin())) {
+    return true;
+  }
+  std::size_t at = 0;
+  std::size_t common = std::min(mapped.size(), built.size());
+  while (at < common && mapped[at] == built[at]) ++at;
+  std::printf("MISMATCH column %s: sizes %zu vs %zu, first divergence at index %zu\n", name,
+              mapped.size(), built.size(), at);
+  return false;
+}
+
+int RunGraphIdentity(const std::string& path) {
+  Internet internet = LoadInternetBinary(path);
+  const AsGraph& mapped = internet.graph();
+  AsGraphBuilder builder;
+  for (AsId id = 0; id < mapped.num_ases(); ++id) builder.AddAs(mapped.AsnOf(id));
+  for (const AsGraph::Edge& edge : mapped.EdgeList()) {
+    builder.AddEdge(edge.a, edge.b, edge.type);
+  }
+  AsGraph built = std::move(builder).Build();
+
+  bool ok = ColumnsEqual("asn_of", mapped.AsnColumn(), built.AsnColumn());
+  ok &= ColumnsEqual("by_asn", mapped.ByAsnColumn(), built.ByAsnColumn());
+  ok &= ColumnsEqual("slice", mapped.SliceColumn(), built.SliceColumn());
+  ok &= ColumnsEqual("entry_ids", mapped.EntryIdsColumn(), built.EntryIdsColumn());
+  if (ok) {
+    std::printf("OK: %s (%zu ASes, %zu edges) is bit-identical to the builder-built graph\n",
+                path.c_str(), mapped.num_ases(), mapped.num_edges());
+  }
+  return ok ? 0 : 1;
 }
 
 struct TopologyKey {
@@ -151,6 +195,7 @@ int main(int argc, char** argv) {
   std::uint64_t per_topology = 8;
   std::string era = "both";
   std::string repro;
+  std::string graph_identity;
   std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
@@ -181,6 +226,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       repro = v;
+    } else if (arg == "--graph-identity") {
+      const char* v = next();
+      if (!v) return Usage();
+      graph_identity = v;
     } else if (arg == "--log-level") {
       const char* v = next();
       auto level = v ? obs::ParseLogLevel(v) : std::nullopt;
@@ -200,6 +249,7 @@ int main(int argc, char** argv) {
     if (!metrics_out.empty()) obs::WriteMetricsFile(metrics_out);
     return code;
   };
+  if (!graph_identity.empty()) return finish(RunGraphIdentity(graph_identity));
   if (!repro.empty()) return finish(RunRepro(repro));
 
   Rng master(seed);

@@ -32,6 +32,7 @@
 
 #include "bgp/hegemony.h"
 #include "bgp/propagation.h"
+#include "core/graph_store.h"
 #include "core/serialize.h"
 #include "failsim/engine.h"
 #include "obs/log.h"
@@ -212,7 +213,7 @@ int main(int argc, char** argv) {
   };
 
   try {
-    Internet internet = LoadInternet(stem);
+    Internet internet = LoadInternetAuto(stem);
     std::size_t n = internet.num_ases();
 
     auto lookup = [&](std::uint64_t asn) {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/leak_scenarios.h"
+#include "core/graph_store.h"
 #include "core/serialize.h"
 #include "leaksim/engine.h"
 #include "obs/log.h"
@@ -206,7 +207,7 @@ int main(int argc, char** argv) {
   };
 
   try {
-    Internet internet = LoadInternet(stem);
+    Internet internet = LoadInternetAuto(stem);
 
     auto lookup = [&](std::uint64_t asn) {
       auto id = internet.graph().IdOf(static_cast<Asn>(asn));

@@ -66,6 +66,7 @@
 #include <vector>
 
 #include "bgp/reachability.h"
+#include "core/graph_store.h"
 #include "core/serialize.h"
 #include "fleet/ring.h"
 #include "obs/log.h"
@@ -426,7 +427,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  Internet internet = LoadInternet(stem);
+  Internet internet = LoadInternetAuto(stem);
   std::vector<Asn> asns;
   asns.reserve(internet.num_ases());
   for (AsId id = 0; id < internet.num_ases(); ++id) {

@@ -19,6 +19,7 @@
 #include "asgraph/caida.h"
 #include "asgraph/tiers.h"
 #include "core/reachability_analysis.h"
+#include "core/graph_store.h"
 #include "core/serialize.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -95,7 +96,7 @@ int main(int argc, char** argv) {
 
   Internet internet;
   if (!stem.empty()) {
-    internet = LoadInternet(stem);
+    internet = LoadInternetAuto(stem);
   } else {
     AsGraph graph = LoadCaidaFile(rel_file);
     TierSets tiers = InferTierSets(graph);

@@ -54,6 +54,7 @@
 
 #include <filesystem>
 
+#include "core/graph_store.h"
 #include "core/serialize.h"
 #include "core/study.h"
 #include "failsim/store.h"
@@ -93,7 +94,14 @@ int Usage() {
 
 Internet LoadOrGenerate(const std::string& stem, const std::string& era, std::uint32_t ases,
                         std::uint64_t seed) {
-  if (!stem.empty() && InternetCacheExists(stem)) {
+  // A `.graph` topology is memory-mapped: adjacency serves straight from
+  // the file, no builder, no hash maps.
+  if (IsGraphStorePath(stem)) {
+    if (std::filesystem::exists(stem)) {
+      std::fprintf(stderr, "mapping topology from %s...\n", stem.c_str());
+      return LoadInternetBinary(stem);
+    }
+  } else if (!stem.empty() && InternetCacheExists(stem)) {
     std::fprintf(stderr, "loading topology from %s...\n", stem.c_str());
     return LoadInternet(stem);
   }
@@ -107,7 +115,10 @@ Internet LoadOrGenerate(const std::string& stem, const std::string& era, std::ui
                static_cast<unsigned long long>(options.generator.seed));
   Study study(options);
   Internet internet = study.internet();
-  if (!stem.empty()) {
+  if (IsGraphStorePath(stem)) {
+    SaveInternetBinary(internet, stem);
+    std::fprintf(stderr, "cached topology at %s\n", stem.c_str());
+  } else if (!stem.empty()) {
     SaveInternet(internet, stem);
     std::fprintf(stderr, "cached topology at %s.{as-rel.txt,meta.tsv}\n", stem.c_str());
   }

@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <string>
 
+#include "core/graph_store.h"
 #include "core/serialize.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -123,7 +124,7 @@ int main(int argc, char** argv) {
   };
 
   try {
-    Internet internet = LoadInternet(stem);
+    Internet internet = LoadInternetAuto(stem);
     std::fprintf(stderr, "topology: %zu ASes, %zu relationships\n", internet.num_ases(),
                  internet.graph().num_edges());
 
